@@ -1,0 +1,103 @@
+// Command dfgtool generates, inspects and converts data-flow graphs.
+//
+// Usage:
+//
+//	dfgtool -gen 3dft -o graph.json         # generate a workload
+//	dfgtool -gen ndft:5 -dot                # render as Graphviz DOT
+//	dfgtool -in graph.json -levels          # print ASAP/ALAP/Height
+//	dfgtool -in graph.json -stats           # node/edge/color census
+//	dfgtool -gen fir:4,8 -text              # text serialisation
+//
+// Generators: 3dft, fig4, ndft:N, fft:N, fir:TAPS,BLOCK, matmul:N, butterfly:S, random:SEED.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpsched/internal/cliutil"
+	"mpsched/internal/dfg"
+)
+
+func main() {
+	var (
+		gen    = flag.String("gen", "", "workload to generate (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
+		inFile = flag.String("in", "", "read a graph from a JSON (.json) or text file")
+		out    = flag.String("o", "", "write the graph as JSON to this file")
+		dot    = flag.Bool("dot", false, "print Graphviz DOT")
+		text   = flag.Bool("text", false, "print the text serialisation")
+		levels = flag.Bool("levels", false, "print the ASAP/ALAP/Height table (paper Table 1 format)")
+		stats  = flag.Bool("stats", false, "print a census of the graph")
+	)
+	flag.Parse()
+
+	g, err := load(*gen, *inFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	did := false
+	if *out != "" {
+		data, err := json.Marshal(g)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatal(err)
+		}
+		did = true
+	}
+	if *dot {
+		if err := dfg.WriteDOT(os.Stdout, g); err != nil {
+			fatal(err)
+		}
+		did = true
+	}
+	if *text {
+		if err := dfg.WriteText(os.Stdout, g); err != nil {
+			fatal(err)
+		}
+		did = true
+	}
+	if *levels {
+		fmt.Print(dfg.FormatLevelTable(g))
+		did = true
+	}
+	if *stats || !did {
+		printStats(g)
+	}
+}
+
+func load(gen, inFile string) (*dfg.Graph, error) {
+	if gen == "" && inFile == "" {
+		return nil, fmt.Errorf("nothing to do: pass -gen or -in (see -h)")
+	}
+	return cliutil.LoadGraph(gen, inFile)
+}
+
+func printStats(g *dfg.Graph) {
+	lv := g.Levels()
+	fmt.Println(g.String())
+	fmt.Printf("critical path: %d cycles\n", lv.CriticalPathLength())
+	fmt.Printf("width (largest antichain): %d\n", g.Reach().Width())
+	fmt.Printf("comparable pairs: %d of %d\n", g.Reach().ComparablePairs(), g.N()*(g.N()-1)/2)
+	fmt.Print("color census:")
+	for color, count := range g.ColorCounts() {
+		fmt.Printf(" %s=%d", color, count)
+	}
+	fmt.Println()
+	if ins := g.InputNames(); len(ins) > 0 {
+		fmt.Printf("inputs: %s\n", strings.Join(ins, " "))
+	}
+	if outs := g.OutputNames(); len(outs) > 0 {
+		fmt.Printf("outputs: %s\n", strings.Join(outs, " "))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfgtool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's tables and figures and
+// prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -run table7
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpsched/internal/expmt"
+)
+
+func main() {
+	var (
+		runID = flag.String("run", "", "experiment id to run (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println(strings.Join(expmt.IDs(), "\n"))
+	case *all:
+		reports, err := expmt.All()
+		if err != nil {
+			fatal(err)
+		}
+		totalMatch, totalCells := 0, 0
+		for _, r := range reports {
+			fmt.Println(r.Render())
+			m, t := r.Matched()
+			totalMatch += m
+			totalCells += t
+		}
+		fmt.Printf("overall: %d/%d paper cells reproduced exactly\n", totalMatch, totalCells)
+	case *runID != "":
+		r, err := expmt.ByID(*runID)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r.Render())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

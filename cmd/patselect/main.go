@@ -1,0 +1,134 @@
+// Command patselect runs the paper's pattern selection algorithm on a
+// data-flow graph and prints the chosen patterns.
+//
+// Usage:
+//
+//	patselect -gen 3dft -pdef 4 -span 1 -v
+//	patselect -in graph.json -pdef 3 -C 5 -best-span
+//	patselect -gen ndft:5 -pdef 4 -baseline random -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"mpsched/internal/cliutil"
+	"mpsched/internal/dfg"
+	"mpsched/internal/patsel"
+	"mpsched/internal/pattern"
+	"mpsched/internal/sched"
+)
+
+func main() {
+	var (
+		gen      = flag.String("gen", "", "workload (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
+		inFile   = flag.String("in", "", "graph JSON file")
+		c        = flag.Int("C", 5, "resources per tile (pattern capacity)")
+		pdef     = flag.Int("pdef", 4, "number of patterns to select")
+		span     = flag.Int("span", 1, "antichain span limit (-1 unlimited)")
+		bestSpan = flag.Bool("best-span", false, "sweep span limits 0..2 and keep the best schedule")
+		baseline = flag.String("baseline", "", "use a baseline instead: random, greedy, coverage")
+		seed     = flag.Int64("seed", 1, "seed for -baseline random")
+		verbose  = flag.Bool("v", false, "print per-round priorities")
+		schedule = flag.Bool("schedule", true, "also schedule with the result and report cycles")
+	)
+	flag.Parse()
+
+	g, err := cliutil.LoadGraph(*gen, *inFile)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := patsel.Config{C: *c, Pdef: *pdef, MaxSpan: *span}
+
+	var sel *patsel.Selection
+	switch *baseline {
+	case "":
+		if *bestSpan {
+			s, schedResult, winSpan, err := patsel.SelectBestSpan(g, cfg, []int{0, 1, 2}, sched.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			sel = s
+			fmt.Printf("best span limit: %d (%d cycles)\n", winSpan, schedResult.Length())
+		} else {
+			sel, err = patsel.Select(g, cfg)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	case "random":
+		ps, err := patsel.Random(g, cfg, rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("random patterns: %s\n", ps)
+		if *schedule {
+			reportSchedule(g, ps)
+		}
+		return
+	case "greedy":
+		sel, err = patsel.GreedyFrequency(g, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	case "coverage":
+		sel, err = patsel.NodeCoverage(g, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown baseline %q", *baseline))
+	}
+
+	fmt.Printf("selected: %s\n", sel.Patterns)
+	for i, step := range sel.Steps {
+		tag := ""
+		if step.Synthesized {
+			tag = " (synthesised from uncovered colors)"
+		}
+		fmt.Printf("round %d: %s  f=%.3f%s\n", i+1, step.Chosen, step.Priority, tag)
+		if *verbose {
+			keys := make([]string, 0, len(step.Priorities))
+			for k := range step.Priorities {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				return step.Priorities[keys[a]] > step.Priorities[keys[b]]
+			})
+			for _, k := range keys {
+				fmt.Printf("    f({%s}) = %.3f\n", k, step.Priorities[k])
+			}
+			if len(step.Deleted) > 0 {
+				fmt.Printf("    deleted subpatterns: %s\n", strings.Join(step.Deleted, " "))
+			}
+		}
+	}
+	if *schedule {
+		reportSchedule(g, sel.Patterns)
+	}
+}
+
+func reportSchedule(g *dfg.Graph, ps *pattern.Set) {
+	s, err := sched.MultiPattern(g, ps, sched.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		fatal(err)
+	}
+	lb, err := sched.LowerBound(g, ps)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("schedule: %d cycles (lower bound %d, utilisation %.0f%%)\n",
+		s.Length(), lb, 100*s.Utilization())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "patselect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// customarch retargets the whole flow at a tile that is *not* the Montium:
+// a narrow 3-ALU machine with a tiny 4-entry configuration store, small
+// register files and few buses. The paper's algorithms are parameterised
+// by C and Pdef, so nothing else changes — this example shows the library
+// scheduling a FIR filter block onto the custom tile, watching spills and
+// bus pressure appear as the architecture shrinks, and verifying the
+// numerics still hold.
+//
+// Run with: go run ./examples/customarch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"mpsched"
+	"mpsched/internal/alloc"
+	"mpsched/internal/sched"
+	"mpsched/internal/workloads"
+)
+
+func main() {
+	// An 8-tap FIR over a block of 6 samples: 48 multiplies, 42 adds.
+	g, err := mpsched.FIRFilter(8, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g.String())
+
+	// The custom tile: 3 ALUs, 4 patterns max, 6 registers per ALU.
+	tiny := alloc.Arch{
+		ALUs: 3, RegsPerALU: 6, Memories: 4, MemWords: 64, Buses: 4, MaxPatterns: 4,
+	}
+	fmt.Printf("target: %d ALUs, %d-pattern store, %d regs/ALU, %d buses\n\n",
+		tiny.ALUs, tiny.MaxPatterns, tiny.RegsPerALU, tiny.Buses)
+
+	// Select patterns for C=3, at most 4 of them.
+	sel, schedule, span, err := mpsched.SelectPatternsBestSpan(g,
+		mpsched.SelectConfig{C: tiny.ALUs, Pdef: tiny.MaxPatterns},
+		[]int{0, 1, 2}, sched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("patterns (span≤%d): %s\n", span, sel.Patterns)
+	fmt.Printf("schedule: %d cycles for %d ops on %d ALUs\n",
+		schedule.Length(), g.N(), tiny.ALUs)
+	lb, err := mpsched.ScheduleLowerBound(g, sel.Patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lower bound: %d cycles (utilisation %.0f%%)\n\n",
+		lb, 100*schedule.Utilization())
+
+	prog, err := mpsched.Allocate(schedule, tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("allocation on the tiny tile: spills=%d crossALU=%d peakLiveRegs=%d/%d\n",
+		prog.Stats.Spills, prog.Stats.CrossALUMoves, prog.Stats.MaxLiveRegs, tiny.RegsPerALU)
+
+	tile, err := mpsched.NewTile(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 6+8-1)
+	inputs := map[string]float64{}
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		inputs[fmt.Sprintf("x%d", i)] = xs[i]
+	}
+	out, err := tile.Run(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, err := workloads.ReferenceFIR(8, 6, xs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for n := 0; n < 6; n++ {
+		got := out[fmt.Sprintf("y%d", n)]
+		if d := math.Abs(got - want[n]); d > worst {
+			worst = d
+		}
+	}
+	st := tile.Stats()
+	fmt.Printf("tile run: %d cycles, peak bus load %d/%d (overflow cycles: %d)\n",
+		st.Cycles, st.PeakBusLoad, tiny.Buses, st.BusOverflows)
+	fmt.Printf("max |simulated − reference| = %.2g\n", worst)
+	if worst > 1e-9 {
+		log.Fatal("numerics diverged on the custom architecture")
+	}
+	fmt.Println("OK: FIR block verified on the 3-ALU tile")
+}

@@ -1,0 +1,89 @@
+// designspace explores the pattern-count / span-limit design space for a
+// workload — the practical question behind the paper's Table 7: how many
+// configuration-store entries (Pdef) does a kernel need before extra
+// patterns stop paying off, and how tight may the antichain span limit be?
+//
+// It prints a Pdef × span matrix of schedule lengths for the 5-point DFT,
+// plus the random-selection baseline, reproducing the paper's observations
+// that (1) more patterns help monotonically and (2) selected patterns beat
+// random ones.
+//
+// Run with: go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mpsched"
+	"mpsched/internal/antichain"
+	"mpsched/internal/patsel"
+	"mpsched/internal/sched"
+)
+
+func main() {
+	g, err := mpsched.NPointDFT(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g.String())
+	fmt.Printf("critical path: %d cycles\n\n", g.Levels().CriticalPathLength())
+
+	spans := []int{0, 1, 2, 3}
+	const maxPdef = 6
+
+	// One antichain census per span, reused across the Pdef column.
+	censuses := make([]*antichain.Result, len(spans))
+	for i, span := range spans {
+		res, err := antichain.Enumerate(g, antichain.Config{MaxSize: 5, MaxSpan: span})
+		if err != nil {
+			log.Fatal(err)
+		}
+		censuses[i] = res
+		fmt.Printf("span≤%d: %6d antichains in %4d pattern classes\n",
+			span, res.Total(), len(res.Classes))
+	}
+
+	fmt.Printf("\nschedule length (cycles), selected patterns:\n Pdef |")
+	for _, span := range spans {
+		fmt.Printf(" span≤%d", span)
+	}
+	fmt.Printf("  random(mean of 10)\n")
+	rng := rand.New(rand.NewSource(42))
+	for pdef := 1; pdef <= maxPdef; pdef++ {
+		fmt.Printf("  %2d  |", pdef)
+		for i := range spans {
+			sel, err := patsel.SelectFrom(g, censuses[i], patsel.Config{C: 5, Pdef: pdef})
+			if err != nil {
+				log.Fatal(err)
+			}
+			s, err := sched.MultiPattern(g, sel.Patterns, sched.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %6d", s.Length())
+		}
+		mean, err := randomMean(g, pdef, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %17.1f\n", mean)
+	}
+}
+
+func randomMean(g *mpsched.Graph, pdef int, rng *rand.Rand) (float64, error) {
+	sum := 0
+	for t := 0; t < 10; t++ {
+		ps, err := patsel.Random(g, patsel.Config{C: 5, Pdef: pdef}, rng)
+		if err != nil {
+			return 0, err
+		}
+		s, err := sched.MultiPattern(g, ps, sched.Options{})
+		if err != nil {
+			return 0, err
+		}
+		sum += s.Length()
+	}
+	return float64(sum) / 10, nil
+}

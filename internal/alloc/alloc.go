@@ -1,0 +1,294 @@
+// Package alloc implements the Allocation phase of the Montium compiler
+// flow [3]: binding a verified multi-pattern schedule onto the tile's
+// physical resources — ALU slots (respecting each cycle's pattern),
+// per-ALU register files, and the tile memories that hold external inputs
+// and spilled values. The package owns the architecture description; the
+// simulator (package montium) executes its output.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/sched"
+)
+
+// Arch describes the target tile. The defaults model the Montium of the
+// paper: 5 ALUs, 4 register banks of 4 words each per ALU, 10 memories of
+// 512 words, 10 global buses, and a configuration store limited to 32
+// patterns.
+type Arch struct {
+	ALUs        int
+	RegsPerALU  int
+	Memories    int
+	MemWords    int
+	Buses       int
+	MaxPatterns int
+}
+
+// DefaultArch is the Montium tile of Heysters et al. as used by the paper.
+func DefaultArch() Arch {
+	return Arch{ALUs: 5, RegsPerALU: 16, Memories: 10, MemWords: 512, Buses: 10, MaxPatterns: 32}
+}
+
+// Validate rejects degenerate architectures.
+func (a Arch) Validate() error {
+	if a.ALUs < 1 || a.RegsPerALU < 1 || a.Memories < 1 || a.MemWords < 1 || a.Buses < 1 || a.MaxPatterns < 1 {
+		return fmt.Errorf("alloc: invalid architecture %+v", a)
+	}
+	return nil
+}
+
+// Loc is a storage location for one value.
+type Loc struct {
+	// Reg < 0 means the value is spilled; then Mem/Word locate it.
+	// Otherwise the value lives in register Reg of the producing ALU.
+	Reg  int
+	Mem  int
+	Word int
+}
+
+// Program is an allocated schedule — everything the tile simulator needs.
+type Program struct {
+	Graph    *dfg.Graph
+	Schedule *sched.Schedule
+	Arch     Arch
+
+	ALUOf     []int          // node → ALU index executing it
+	ResultLoc []Loc          // node → where its result lives
+	InputAddr map[string]int // external input name → memory address (mem*MemWords + word)
+
+	Stats Stats
+}
+
+// Stats aggregates allocation-quality metrics.
+type Stats struct {
+	Spills        int // values that did not fit a register file
+	CrossALUMoves int // operand reads from another ALU's registers
+	MemoryReads   int // operand reads from memories (inputs + spills)
+	MaxLiveRegs   int // peak simultaneous live registers on one ALU
+}
+
+// Allocate binds a schedule to the architecture. The schedule must verify.
+// Slot assignment honours each cycle's pattern (a node's ALU slot carries
+// the node's color) and prefers placing a node on an ALU that already
+// holds one of its operands. Register allocation is a per-ALU linear scan
+// over cycles with spilling to memory when a file is full.
+func Allocate(s *sched.Schedule, arch Arch) (*Program, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Verify(); err != nil {
+		return nil, err
+	}
+	d := s.Graph
+	// Every pattern must fit the machine.
+	if s.Patterns.Len() > arch.MaxPatterns {
+		return nil, fmt.Errorf("alloc: %d patterns exceed the configuration store (%d)",
+			s.Patterns.Len(), arch.MaxPatterns)
+	}
+	for i := 0; i < s.Patterns.Len(); i++ {
+		if s.Patterns.At(i).Size() > arch.ALUs {
+			return nil, fmt.Errorf("alloc: pattern %s needs %d ALUs, tile has %d",
+				s.Patterns.At(i), s.Patterns.At(i).Size(), arch.ALUs)
+		}
+	}
+
+	p := &Program{
+		Graph:     d,
+		Schedule:  s,
+		Arch:      arch,
+		ALUOf:     make([]int, d.N()),
+		ResultLoc: make([]Loc, d.N()),
+		InputAddr: map[string]int{},
+	}
+	for i := range p.ALUOf {
+		p.ALUOf[i] = -1
+		p.ResultLoc[i] = Loc{Reg: -1, Mem: -1, Word: -1}
+	}
+
+	mem := newMemoryPool(arch)
+	// External inputs live in memory from the start, round-robin across
+	// the memories so parallel reads spread over the AGUs.
+	for _, name := range d.InputNames() {
+		addr, err := mem.alloc()
+		if err != nil {
+			return nil, fmt.Errorf("alloc: placing input %q: %w", name, err)
+		}
+		p.InputAddr[name] = addr
+	}
+
+	if err := assignALUs(p); err != nil {
+		return nil, err
+	}
+	if err := allocateRegisters(p, mem); err != nil {
+		return nil, err
+	}
+	countMoves(p)
+	return p, nil
+}
+
+// assignALUs binds every node to an ALU slot of its cycle's pattern, with
+// operand affinity: reuse a predecessor's ALU when a matching slot is free.
+func assignALUs(p *Program) error {
+	d := p.Graph
+	s := p.Schedule
+	for cyc, nodes := range s.Cycles {
+		pat := s.Patterns.At(s.PatternOf[cyc])
+		// slotsByColor: color → list of ALU indices offering that color.
+		// Slots are dealt in canonical order: pattern colors sorted, ALU
+		// index ascending.
+		colors := pat.Colors()
+		slotALU := map[dfg.Color][]int{}
+		for i, c := range colors {
+			slotALU[c] = append(slotALU[c], i)
+		}
+		// Nodes in deterministic order: by color then id, mirroring the
+		// slot layout.
+		ordered := append([]int(nil), nodes...)
+		sort.Slice(ordered, func(i, j int) bool {
+			ci, cj := d.ColorOf(ordered[i]), d.ColorOf(ordered[j])
+			if ci != cj {
+				return ci < cj
+			}
+			return ordered[i] < ordered[j]
+		})
+		for _, n := range ordered {
+			c := d.ColorOf(n)
+			avail := slotALU[c]
+			if len(avail) == 0 {
+				return fmt.Errorf("alloc: cycle %d: no %q slot left for %s (pattern %s)",
+					cyc, c, d.NameOf(n), pat)
+			}
+			pick := 0
+			// Affinity: prefer a slot on a predecessor's ALU.
+			for _, pred := range d.Preds(n) {
+				pa := p.ALUOf[pred]
+				for idx, alu := range avail {
+					if alu == pa {
+						pick = idx
+						break
+					}
+				}
+			}
+			p.ALUOf[n] = avail[pick]
+			slotALU[c] = append(avail[:pick], avail[pick+1:]...)
+		}
+	}
+	return nil
+}
+
+// allocateRegisters runs a per-ALU linear scan across cycles. A value is
+// live from the end of its producing cycle to its last consuming cycle
+// (forever, for outputs). Full register file → spill to memory.
+func allocateRegisters(p *Program, mem *memoryPool) error {
+	d := p.Graph
+	s := p.Schedule
+	lastUse := make([]int, d.N())
+	for n := 0; n < d.N(); n++ {
+		last := -1
+		for _, succ := range d.Succs(n) {
+			if s.CycleOf[succ] > last {
+				last = s.CycleOf[succ]
+			}
+		}
+		if d.Node(n).Output != "" {
+			last = len(s.Cycles) + 1 // outputs stay live to the end
+		}
+		lastUse[n] = last
+	}
+
+	type regState struct {
+		node   int // occupying node, -1 free
+		freeAt int // cycle after which the register may be reused
+	}
+	files := make([][]regState, p.Arch.ALUs)
+	for i := range files {
+		files[i] = make([]regState, p.Arch.RegsPerALU)
+		for r := range files[i] {
+			files[i][r] = regState{node: -1}
+		}
+	}
+	live := make([]int, p.Arch.ALUs)
+
+	for cyc, nodes := range s.Cycles {
+		// Free registers whose value's last use has passed.
+		for alu := range files {
+			for r := range files[alu] {
+				st := &files[alu][r]
+				if st.node >= 0 && st.freeAt <= cyc {
+					st.node = -1
+					live[alu]--
+				}
+			}
+		}
+		for _, n := range nodes {
+			if lastUse[n] < 0 {
+				continue // dead value (no consumers, not an output): skip storage
+			}
+			alu := p.ALUOf[n]
+			reg := -1
+			for r := range files[alu] {
+				if files[alu][r].node < 0 {
+					reg = r
+					break
+				}
+			}
+			if reg >= 0 {
+				files[alu][reg] = regState{node: n, freeAt: lastUse[n] + 1}
+				live[alu]++
+				if live[alu] > p.Stats.MaxLiveRegs {
+					p.Stats.MaxLiveRegs = live[alu]
+				}
+				p.ResultLoc[n] = Loc{Reg: reg, Mem: -1, Word: -1}
+				continue
+			}
+			addr, err := mem.alloc()
+			if err != nil {
+				return fmt.Errorf("alloc: spilling %s: %w", d.NameOf(n), err)
+			}
+			p.Stats.Spills++
+			p.ResultLoc[n] = Loc{Reg: -1, Mem: addr / p.Arch.MemWords, Word: addr % p.Arch.MemWords}
+		}
+	}
+	return nil
+}
+
+// countMoves tallies operand traffic: cross-ALU register reads and memory
+// reads (inputs and spills).
+func countMoves(p *Program) {
+	d := p.Graph
+	for n := 0; n < d.N(); n++ {
+		for _, a := range d.Node(n).Args {
+			switch a.Kind {
+			case dfg.OperandInput:
+				p.Stats.MemoryReads++
+			case dfg.OperandNode:
+				src := a.Node
+				if p.ResultLoc[src].Reg < 0 {
+					p.Stats.MemoryReads++
+				} else if p.ALUOf[src] != p.ALUOf[n] {
+					p.Stats.CrossALUMoves++
+				}
+			}
+		}
+	}
+}
+
+// memoryPool deals memory words sequentially across the tile memories.
+type memoryPool struct {
+	arch Arch
+	next int
+}
+
+func newMemoryPool(arch Arch) *memoryPool { return &memoryPool{arch: arch} }
+
+func (m *memoryPool) alloc() (int, error) {
+	if m.next >= m.arch.Memories*m.arch.MemWords {
+		return 0, fmt.Errorf("out of memory (%d words)", m.arch.Memories*m.arch.MemWords)
+	}
+	addr := m.next
+	m.next++
+	return addr, nil
+}

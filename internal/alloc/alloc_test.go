@@ -1,0 +1,174 @@
+package alloc
+
+import (
+	"testing"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+	"mpsched/internal/sched"
+	"mpsched/internal/workloads"
+)
+
+func scheduled3DFT(t *testing.T) *sched.Schedule {
+	t.Helper()
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	s, err := sched.MultiPattern(g, ps, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAllocate3DFT(t *testing.T) {
+	s := scheduled3DFT(t)
+	p, err := Allocate(s, DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Graph
+	// Every node got an ALU within range and matching its cycle's pattern.
+	for n := 0; n < d.N(); n++ {
+		alu := p.ALUOf[n]
+		if alu < 0 || alu >= p.Arch.ALUs {
+			t.Fatalf("node %s on ALU %d", d.NameOf(n), alu)
+		}
+	}
+	// Per cycle, ALUs are used at most once and the color layout matches
+	// the pattern's sorted slot assignment.
+	for cyc, nodes := range s.Cycles {
+		used := map[int]bool{}
+		for _, n := range nodes {
+			if used[p.ALUOf[n]] {
+				t.Fatalf("cycle %d: ALU %d double-booked", cyc, p.ALUOf[n])
+			}
+			used[p.ALUOf[n]] = true
+			pat := s.Patterns.At(s.PatternOf[cyc])
+			if pat.Colors()[p.ALUOf[n]] != d.ColorOf(n) {
+				t.Fatalf("cycle %d: node %s (color %s) on slot of color %s",
+					cyc, d.NameOf(n), d.ColorOf(n), pat.Colors()[p.ALUOf[n]])
+			}
+		}
+	}
+	// With 16 registers per ALU nothing should spill on a 24-node graph.
+	if p.Stats.Spills != 0 {
+		t.Errorf("unexpected spills: %d", p.Stats.Spills)
+	}
+	// All six inputs placed at distinct addresses.
+	if len(p.InputAddr) != 6 {
+		t.Errorf("inputs placed: %d, want 6", len(p.InputAddr))
+	}
+	seen := map[int]bool{}
+	for _, addr := range p.InputAddr {
+		if seen[addr] {
+			t.Error("input address reused")
+		}
+		seen[addr] = true
+	}
+}
+
+func TestAllocateRejectsTooManyPatterns(t *testing.T) {
+	s := scheduled3DFT(t)
+	arch := DefaultArch()
+	arch.MaxPatterns = 1
+	if _, err := Allocate(s, arch); err == nil {
+		t.Error("pattern-store overflow not caught")
+	}
+}
+
+func TestAllocateRejectsWidePattern(t *testing.T) {
+	g := workloads.Fig4Small()
+	ps := pattern.NewSet(pattern.MustParse("aaabb"))
+	s, err := sched.MultiPattern(g, ps, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := DefaultArch()
+	arch.ALUs = 3
+	if _, err := Allocate(s, arch); err == nil {
+		t.Error("pattern wider than ALU count accepted")
+	}
+}
+
+func TestAllocateRejectsBadArch(t *testing.T) {
+	s := scheduled3DFT(t)
+	if _, err := Allocate(s, Arch{}); err == nil {
+		t.Error("zero arch accepted")
+	}
+}
+
+func TestRegisterPressureForcesSpills(t *testing.T) {
+	// A wide graph with long-lived values and a tiny register file.
+	b := dfg.NewBuilder("wide")
+	for i := 0; i < 8; i++ {
+		b.OpNode(nodeName("p", i), "a", dfg.OpAdd, dfg.In("x"), dfg.K(float64(i)))
+	}
+	// One consumer at the end keeps everything live.
+	args := []dfg.BOperand{dfg.N("p0"), dfg.N("p1")}
+	b.OpNode("q0", "a", dfg.OpAdd, args...)
+	prev := "q0"
+	for i := 2; i < 8; i++ {
+		b.OpNode(nodeName("q", i-1), "a", dfg.OpAdd, dfg.N(prev), dfg.N(nodeName("p", i)))
+		prev = nodeName("q", i-1)
+	}
+	b.Output(prev, "y")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := pattern.NewSet(pattern.MustParse("a"))
+	s, err := sched.MultiPattern(g, ps, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := DefaultArch()
+	arch.ALUs = 1
+	arch.RegsPerALU = 2
+	p, err := Allocate(s, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Spills == 0 {
+		t.Error("expected spills with 2 registers and 8 live values")
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	s := scheduled3DFT(t)
+	arch := DefaultArch()
+	arch.Memories = 1
+	arch.MemWords = 2 // six inputs cannot fit
+	if _, err := Allocate(s, arch); err == nil {
+		t.Error("memory exhaustion not reported")
+	}
+}
+
+func TestAffinityReducesMoves(t *testing.T) {
+	// A chain should stay on one ALU thanks to operand affinity.
+	b := dfg.NewBuilder("chain")
+	b.OpNode("n0", "a", dfg.OpAdd, dfg.In("x"), dfg.K(1))
+	for i := 1; i < 6; i++ {
+		b.OpNode(nodeName("n", i), "a", dfg.OpAdd, dfg.N(nodeName("n", i-1)), dfg.K(1))
+	}
+	b.Output("n5", "y")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := pattern.NewSet(pattern.MustParse("aaaaa"))
+	s, err := sched.MultiPattern(g, ps, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Allocate(s, DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.CrossALUMoves != 0 {
+		t.Errorf("chain produced %d cross-ALU moves, want 0", p.Stats.CrossALUMoves)
+	}
+}
+
+func nodeName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}

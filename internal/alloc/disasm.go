@@ -1,0 +1,93 @@
+package alloc
+
+import (
+	"fmt"
+	"strings"
+
+	"mpsched/internal/dfg"
+)
+
+// Disassemble renders the allocated program as a cycle-by-cycle listing in
+// the style of a configuration dump: the pattern store, the input memory
+// map, then one line per ALU per cycle showing the operation, its operand
+// sources (register, memory, immediate) and the destination.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	d := p.Graph
+	s := p.Schedule
+
+	fmt.Fprintf(&sb, "; program %q on %d-ALU tile (%d-pattern store)\n",
+		d.Name, p.Arch.ALUs, p.Arch.MaxPatterns)
+	sb.WriteString("; pattern store:\n")
+	for i := 0; i < s.Patterns.Len(); i++ {
+		fmt.Fprintf(&sb, ";   P%d = %s\n", i, s.Patterns.At(i))
+	}
+	if len(p.InputAddr) > 0 {
+		sb.WriteString("; input memory map:\n")
+		for _, name := range d.InputNames() {
+			addr := p.InputAddr[name]
+			fmt.Fprintf(&sb, ";   %-8s M%02d[%d]\n", name,
+				addr/p.Arch.MemWords, addr%p.Arch.MemWords)
+		}
+	}
+	for cyc, nodes := range s.Cycles {
+		fmt.Fprintf(&sb, "cycle %-3d P%d %s\n", cyc, s.PatternOf[cyc],
+			s.Patterns.At(s.PatternOf[cyc]))
+		byALU := map[int]int{}
+		for _, n := range nodes {
+			byALU[p.ALUOf[n]] = n
+		}
+		for alu := 0; alu < p.Arch.ALUs; alu++ {
+			n, busy := byALU[alu]
+			if !busy {
+				fmt.Fprintf(&sb, "  alu%d  nop\n", alu)
+				continue
+			}
+			node := d.Node(n)
+			args := make([]string, len(node.Args))
+			for i, a := range node.Args {
+				args[i] = p.operandAsm(a)
+			}
+			dest := p.destAsm(n)
+			tag := ""
+			if node.Output != "" {
+				tag = "  ; -> " + node.Output
+			}
+			fmt.Fprintf(&sb, "  alu%d  %-4s %-24s => %s (%s)%s\n",
+				alu, node.Op, strings.Join(args, ", "), dest, node.Name, tag)
+		}
+	}
+	return sb.String()
+}
+
+func (p *Program) operandAsm(a dfg.Operand) string {
+	switch a.Kind {
+	case dfg.OperandConst:
+		return fmt.Sprintf("#%g", a.Const)
+	case dfg.OperandInput:
+		addr := p.InputAddr[a.Input]
+		return fmt.Sprintf("M%02d[%d]", addr/p.Arch.MemWords, addr%p.Arch.MemWords)
+	case dfg.OperandNode:
+		loc := p.ResultLoc[a.Node]
+		if loc.Reg >= 0 {
+			return fmt.Sprintf("alu%d.r%d", p.ALUOf[a.Node], loc.Reg)
+		}
+		if loc.Mem >= 0 {
+			return fmt.Sprintf("M%02d[%d]", loc.Mem, loc.Word)
+		}
+		return "?"
+	}
+	return "?"
+}
+
+func (p *Program) destAsm(n int) string {
+	loc := p.ResultLoc[n]
+	switch {
+	case loc.Reg >= 0:
+		return fmt.Sprintf("r%d", loc.Reg)
+	case loc.Mem >= 0:
+		return fmt.Sprintf("M%02d[%d]", loc.Mem, loc.Word)
+	default:
+		return "discard"
+	}
+}

@@ -1,0 +1,43 @@
+package alloc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassemble(t *testing.T) {
+	s := scheduled3DFT(t)
+	p, err := Allocate(s, DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := p.Disassemble()
+	for _, want := range []string{
+		"pattern store", "P0 = {a,a,b,c,c}", "input memory map",
+		"cycle 0", "alu0", "mul", "sub", "add", "=>", "-> X0r", "nop",
+	} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+	// Every cycle appears.
+	for cyc := 0; cyc < s.Length(); cyc++ {
+		if !strings.Contains(asm, "cycle "+itoa(cyc)) {
+			t.Errorf("cycle %d missing from listing", cyc)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [4]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,246 @@
+// Package antichain enumerates the antichains of a data-flow graph — the
+// sets of pairwise-parallelizable nodes that can share a clock cycle — and
+// classifies them by pattern, producing the node-frequency vectors h(p̄, n)
+// that drive the paper's pattern selection algorithm (§5.1).
+//
+// Enumeration is a depth-first search over cliques of the incomparability
+// graph, in ascending node order so every antichain is produced exactly
+// once. Two prunes keep it fast: candidate sets shrink by bitset
+// intersection, and the span bound is monotone (growing a set never shrinks
+// its span), so subtrees violating the limit are cut immediately.
+package antichain
+
+import (
+	"fmt"
+	"sort"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/graph"
+	"mpsched/internal/pattern"
+)
+
+// Config bounds the enumeration.
+type Config struct {
+	// MaxSize is the machine's resource count C: antichains of size 1..C
+	// are enumerated. Must be ≥ 1.
+	MaxSize int
+	// MaxSpan limits Span(A) = U(max ASAP − min ALAP). Negative means
+	// unlimited. The paper's Theorem 1 motivates small limits: scheduling a
+	// large-span antichain in one cycle lengthens every schedule.
+	MaxSpan int
+	// KeepSets retains the member lists of every antichain per class
+	// (needed to print the paper's Table 4; costs memory on big graphs).
+	KeepSets bool
+}
+
+// DefaultConfig enumerates up to the Montium's C=5 with the paper's span
+// limit of 1 — the operating point §5.1 recommends.
+func DefaultConfig() Config { return Config{MaxSize: 5, MaxSpan: 1} }
+
+// Class aggregates all antichains sharing one pattern (color multiset).
+type Class struct {
+	Pattern pattern.Pattern
+	// Count is the number of antichains with this pattern.
+	Count int
+	// NodeFreq[id] is h(p̄, id): how many of the class's antichains contain
+	// node id — the paper's measure of how flexibly p̄ schedules the node.
+	NodeFreq []int
+	// Sets holds the antichains themselves when Config.KeepSets is true,
+	// each sorted ascending, in enumeration order.
+	Sets [][]int
+}
+
+// Result is the output of Enumerate.
+type Result struct {
+	// BySize[k] counts enumerated antichains of size k (index 0 unused).
+	BySize []int
+	// Classes maps canonical pattern keys to their aggregate statistics.
+	Classes map[string]*Class
+	// NodeCount is the number of nodes in the source graph.
+	NodeCount int
+}
+
+// Total returns the number of enumerated antichains across all sizes.
+func (r *Result) Total() int {
+	t := 0
+	for _, c := range r.BySize {
+		t += c
+	}
+	return t
+}
+
+// SortedClasses returns the classes ordered by descending count, breaking
+// ties by pattern key, for stable reporting.
+func (r *Result) SortedClasses() []*Class {
+	out := make([]*Class, 0, len(r.Classes))
+	for _, c := range r.Classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Pattern.Key() < out[j].Pattern.Key()
+	})
+	return out
+}
+
+// Enumerate finds every antichain of size 1..cfg.MaxSize and span ≤
+// cfg.MaxSpan and returns the per-size census plus per-pattern classes.
+func Enumerate(d *dfg.Graph, cfg Config) (*Result, error) {
+	res := &Result{
+		BySize:    make([]int, cfg.MaxSize+1),
+		Classes:   map[string]*Class{},
+		NodeCount: d.N(),
+	}
+	err := ForEach(d, cfg, func(nodes []int) bool {
+		res.BySize[len(nodes)]++
+		colors := make([]dfg.Color, len(nodes))
+		for i, n := range nodes {
+			colors[i] = d.ColorOf(n)
+		}
+		p := pattern.New(colors...)
+		key := p.Key()
+		cl := res.Classes[key]
+		if cl == nil {
+			cl = &Class{Pattern: p, NodeFreq: make([]int, d.N())}
+			res.Classes[key] = cl
+		}
+		cl.Count++
+		for _, n := range nodes {
+			cl.NodeFreq[n]++
+		}
+		if cfg.KeepSets {
+			cl.Sets = append(cl.Sets, append([]int(nil), nodes...))
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ForEach streams every bounded antichain to fn in canonical (ascending
+// member, lexicographic) order. fn returning false stops the enumeration.
+// The slice passed to fn is reused; callers must copy to retain it.
+func ForEach(d *dfg.Graph, cfg Config, fn func(nodes []int) bool) error {
+	if cfg.MaxSize < 1 {
+		return fmt.Errorf("antichain: MaxSize %d < 1", cfg.MaxSize)
+	}
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	n := d.N()
+	if n == 0 {
+		return nil
+	}
+	reach := d.Reach()
+	lv := d.Levels()
+	inc := reach.Incomparability()
+
+	e := &enumerator{
+		inc:     inc,
+		asap:    lv.ASAP,
+		alap:    lv.ALAP,
+		maxSize: cfg.MaxSize,
+		maxSpan: cfg.MaxSpan,
+		fn:      fn,
+		current: make([]int, 0, cfg.MaxSize),
+	}
+	for v := 0; v < n; v++ {
+		if !e.extend(v, nil, lv.ASAP[v], lv.ALAP[v]) {
+			break
+		}
+	}
+	return nil
+}
+
+type enumerator struct {
+	inc     []*graph.BitSet
+	asap    []int
+	alap    []int
+	maxSize int
+	maxSpan int
+	fn      func([]int) bool
+	current []int
+}
+
+// extend adds v to the current antichain (cand is the candidate set valid
+// *before* adding v, nil at the root), emits it, and recurses. Returns
+// false to abort the whole enumeration.
+func (e *enumerator) extend(v int, cand *graph.BitSet, maxASAP, minALAP int) bool {
+	span := maxASAP - minALAP
+	if span < 0 {
+		span = 0
+	}
+	if e.maxSpan >= 0 && span > e.maxSpan {
+		// Span is monotone in set growth: every superset violates too.
+		return true
+	}
+	e.current = append(e.current, v)
+	ok := e.fn(e.current)
+	if ok && len(e.current) < e.maxSize {
+		var next *graph.BitSet
+		if cand == nil {
+			next = e.inc[v].Clone()
+		} else {
+			next = cand.Clone()
+			next.And(e.inc[v])
+		}
+		// Enumerate in ascending order; only members > v keep canonicity.
+		next.ForEach(func(w int) bool {
+			if w <= v {
+				return true
+			}
+			ma, mi := maxASAP, minALAP
+			if e.asap[w] > ma {
+				ma = e.asap[w]
+			}
+			if e.alap[w] < mi {
+				mi = e.alap[w]
+			}
+			ok = e.extend(w, next, ma, mi)
+			return ok
+		})
+	}
+	e.current = e.current[:len(e.current)-1]
+	return ok
+}
+
+// SpanLowerBound is Theorem 1: if the nodes of antichain A run in one clock
+// cycle, any complete schedule needs at least ASAPmax + Span(A) + 1 cycles.
+func SpanLowerBound(d *dfg.Graph, nodes []int) int {
+	lv := d.Levels()
+	return lv.ASAPMax + lv.Span(nodes) + 1
+}
+
+// IsAntichain reports whether the node set is pairwise parallelizable.
+func IsAntichain(d *dfg.Graph, nodes []int) bool {
+	r := d.Reach()
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !r.Parallelizable(nodes[i], nodes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CountTable computes the paper's Table 5: rows are span limits 0..maxSpan,
+// columns antichain sizes 1..maxSize. Entry [s][k] is the number of
+// antichains of size k with Span ≤ s.
+func CountTable(d *dfg.Graph, maxSize, maxSpan int) ([][]int, error) {
+	table := make([][]int, maxSpan+1)
+	for s := 0; s <= maxSpan; s++ {
+		res, err := Enumerate(d, Config{MaxSize: maxSize, MaxSpan: s})
+		if err != nil {
+			return nil, err
+		}
+		row := make([]int, maxSize+1)
+		copy(row, res.BySize)
+		table[s] = row
+	}
+	return table, nil
+}

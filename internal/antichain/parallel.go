@@ -1,0 +1,122 @@
+package antichain
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+)
+
+// EnumerateParallel is Enumerate with the enumeration tree's root branches
+// fanned out over a worker pool. Each root node owns the canonical
+// antichains whose smallest member it is; those subtrees are independent,
+// so workers share nothing but the (read-only) reachability structures and
+// merge their partial censuses at the end.
+//
+// Counts and frequency vectors are identical to Enumerate's. When
+// cfg.KeepSets is set, per-class set *order* may differ from the
+// sequential enumeration (sets are grouped by owning worker); the sets
+// themselves are the same.
+func EnumerateParallel(d *dfg.Graph, cfg Config, workers int) (*Result, error) {
+	if cfg.MaxSize < 1 {
+		return nil, fmt.Errorf("antichain: MaxSize %d < 1", cfg.MaxSize)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := d.N()
+	if n == 0 {
+		return &Result{BySize: make([]int, cfg.MaxSize+1), Classes: map[string]*Class{}}, nil
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Shared read-only state, computed once up front.
+	reach := d.Reach()
+	lv := d.Levels()
+	inc := reach.Incomparability()
+	colors := make([]dfg.Color, n)
+	for i := 0; i < n; i++ {
+		colors[i] = d.ColorOf(i)
+	}
+
+	partials := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &Result{
+				BySize:    make([]int, cfg.MaxSize+1),
+				Classes:   map[string]*Class{},
+				NodeCount: n,
+			}
+			e := &enumerator{
+				inc:     inc,
+				asap:    lv.ASAP,
+				alap:    lv.ALAP,
+				maxSize: cfg.MaxSize,
+				maxSpan: cfg.MaxSpan,
+				current: make([]int, 0, cfg.MaxSize),
+				fn: func(nodes []int) bool {
+					res.BySize[len(nodes)]++
+					cs := make([]dfg.Color, len(nodes))
+					for i, nd := range nodes {
+						cs[i] = colors[nd]
+					}
+					p := pattern.New(cs...)
+					key := p.Key()
+					cl := res.Classes[key]
+					if cl == nil {
+						cl = &Class{Pattern: p, NodeFreq: make([]int, n)}
+						res.Classes[key] = cl
+					}
+					cl.Count++
+					for _, nd := range nodes {
+						cl.NodeFreq[nd]++
+					}
+					if cfg.KeepSets {
+						cl.Sets = append(cl.Sets, append([]int(nil), nodes...))
+					}
+					return true
+				},
+			}
+			// Static stride partition of the roots.
+			for v := w; v < n; v += workers {
+				e.extend(v, nil, lv.ASAP[v], lv.ALAP[v])
+			}
+			partials[w] = res
+		}(w)
+	}
+	wg.Wait()
+
+	merged := &Result{
+		BySize:    make([]int, cfg.MaxSize+1),
+		Classes:   map[string]*Class{},
+		NodeCount: n,
+	}
+	for _, res := range partials {
+		for k, c := range res.BySize {
+			merged.BySize[k] += c
+		}
+		for key, cl := range res.Classes {
+			dst := merged.Classes[key]
+			if dst == nil {
+				merged.Classes[key] = cl
+				continue
+			}
+			dst.Count += cl.Count
+			for i, h := range cl.NodeFreq {
+				dst.NodeFreq[i] += h
+			}
+			dst.Sets = append(dst.Sets, cl.Sets...)
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,132 @@
+package antichain
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mpsched/internal/workloads"
+)
+
+func TestEnumerateParallelMatchesSequential(t *testing.T) {
+	g := workloads.ThreeDFT()
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		for _, span := range []int{-1, 0, 1, 2} {
+			cfg := Config{MaxSize: 5, MaxSpan: span}
+			seq, err := Enumerate(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := EnumerateParallel(g, cfg, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 1; k <= 5; k++ {
+				if seq.BySize[k] != par.BySize[k] {
+					t.Fatalf("workers=%d span=%d size=%d: %d vs %d",
+						workers, span, k, seq.BySize[k], par.BySize[k])
+				}
+			}
+			if len(seq.Classes) != len(par.Classes) {
+				t.Fatalf("class count differs: %d vs %d", len(seq.Classes), len(par.Classes))
+			}
+			for key, sc := range seq.Classes {
+				pc := par.Classes[key]
+				if pc == nil || pc.Count != sc.Count {
+					t.Fatalf("class %q mismatch", key)
+				}
+				for i := range sc.NodeFreq {
+					if sc.NodeFreq[i] != pc.NodeFreq[i] {
+						t.Fatalf("class %q node %d freq %d vs %d",
+							key, i, sc.NodeFreq[i], pc.NodeFreq[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEnumerateParallelKeepSets(t *testing.T) {
+	g := workloads.Fig4Small()
+	cfg := Config{MaxSize: 2, MaxSpan: -1, KeepSets: true}
+	seq, err := Enumerate(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EnumerateParallel(g, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, sc := range seq.Classes {
+		pc := par.Classes[key]
+		if pc == nil {
+			t.Fatalf("class %q missing", key)
+		}
+		if !sameSetOfSets(sc.Sets, pc.Sets) {
+			t.Errorf("class %q sets differ: %v vs %v", key, sc.Sets, pc.Sets)
+		}
+	}
+}
+
+func sameSetOfSets(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(s []int) string {
+		out := ""
+		for _, v := range s {
+			out += string(rune('A' + v))
+		}
+		return out
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = key(a[i])
+		kb[i] = key(b[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEnumerateParallelRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 10; trial++ {
+		g := randomSmallDFG(rng, 12)
+		cfg := Config{MaxSize: 4, MaxSpan: 1}
+		seq, err := Enumerate(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := EnumerateParallel(g, cfg, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Total() != par.Total() {
+			t.Fatalf("trial %d: totals %d vs %d", trial, seq.Total(), par.Total())
+		}
+	}
+}
+
+func TestEnumerateParallelEdgeCases(t *testing.T) {
+	g := workloads.Fig4Small()
+	if _, err := EnumerateParallel(g, Config{MaxSize: 0}, 2); err == nil {
+		t.Error("MaxSize 0 accepted")
+	}
+	// workers > nodes and workers <= 0 both normalise.
+	for _, w := range []int{-1, 0, 100} {
+		res, err := EnumerateParallel(g, Config{MaxSize: 2, MaxSpan: -1}, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.Total() != 8 { // 5 singletons + 3 pairs
+			t.Errorf("workers=%d: total = %d, want 8", w, res.Total())
+		}
+	}
+}

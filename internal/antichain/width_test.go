@@ -1,0 +1,51 @@
+package antichain
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpsched/internal/workloads"
+)
+
+// The Dilworth width (matching-based, package graph) must equal the
+// largest antichain size the enumeration engine finds — two completely
+// different algorithms for the same quantity.
+func TestWidthAgreesWithEnumeration(t *testing.T) {
+	g := workloads.ThreeDFT()
+	res, err := Enumerate(g, Config{MaxSize: g.N(), MaxSpan: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	largest := 0
+	for k, c := range res.BySize {
+		if c > 0 && k > largest {
+			largest = k
+		}
+	}
+	if w := g.Reach().Width(); w != largest {
+		t.Errorf("matching width %d, enumeration max size %d", w, largest)
+	}
+	if largest != 8 {
+		t.Errorf("3DFT width = %d, expected 8", largest)
+	}
+}
+
+func TestWidthAgreesOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		g := randomSmallDFG(rng, 11)
+		res, err := Enumerate(g, Config{MaxSize: g.N(), MaxSpan: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		largest := 0
+		for k, c := range res.BySize {
+			if c > 0 && k > largest {
+				largest = k
+			}
+		}
+		if w := g.Reach().Width(); w != largest {
+			t.Fatalf("trial %d: matching %d vs enumeration %d", trial, w, largest)
+		}
+	}
+}

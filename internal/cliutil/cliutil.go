@@ -1,0 +1,162 @@
+// Package cliutil holds the helpers shared by the command-line tools:
+// loading data-flow graphs from generator specs or files, and parsing the
+// small option grammars the tools share.
+package cliutil
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/sched"
+	"mpsched/internal/workloads"
+)
+
+// LoadGraph resolves a graph from either a generator spec or a file path
+// (exactly one must be non-empty; an empty pair defaults to the 3DFT).
+//
+// Generator specs: 3dft, fig4, ndft:N, fft:N (radix-2, power of two),
+// fir:TAPS,BLOCK, matmul:N, butterfly:STAGES, random:SEED.
+// Files: *.json (the dfg JSON schema) or the line-oriented text format.
+func LoadGraph(gen, file string) (*dfg.Graph, error) {
+	switch {
+	case gen != "" && file != "":
+		return nil, fmt.Errorf("use either a generator or a file, not both")
+	case file != "":
+		return loadFile(file)
+	case gen == "":
+		gen = "3dft"
+	}
+	return Generate(gen)
+}
+
+func loadFile(path string) (*dfg.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".json") {
+		var g dfg.Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return nil, err
+		}
+		return &g, nil
+	}
+	return dfg.ReadText(strings.NewReader(string(data)))
+}
+
+// Generate builds a workload graph from a spec string.
+func Generate(spec string) (*dfg.Graph, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	switch name {
+	case "3dft":
+		return workloads.ThreeDFT(), nil
+	case "fig4":
+		return workloads.Fig4Small(), nil
+	case "ndft":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("ndft wants ndft:N, got %q", spec)
+		}
+		return workloads.NPointDFT(n)
+	case "fft":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("fft wants fft:N, got %q", spec)
+		}
+		return workloads.RadixTwoFFT(n)
+	case "fir":
+		taps, block, err := twoInts(arg)
+		if err != nil {
+			return nil, fmt.Errorf("fir wants fir:TAPS,BLOCK, got %q", spec)
+		}
+		return workloads.FIRFilter(taps, block)
+	case "matmul":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("matmul wants matmul:N, got %q", spec)
+		}
+		return workloads.MatMul(n)
+	case "butterfly":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("butterfly wants butterfly:STAGES, got %q", spec)
+		}
+		return workloads.Butterfly(n)
+	case "random":
+		seed, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("random wants random:SEED, got %q", spec)
+		}
+		return workloads.RandomColored(rand.New(rand.NewSource(seed)),
+			workloads.DefaultRandomColoredConfig()), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", spec)
+	}
+}
+
+func twoInts(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("want two comma-separated integers")
+	}
+	x, err1 := strconv.Atoi(strings.TrimSpace(a))
+	y, err2 := strconv.Atoi(strings.TrimSpace(b))
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("want two comma-separated integers")
+	}
+	return x, y, nil
+}
+
+// ParseTieBreak maps the CLI names to scheduler policies.
+func ParseTieBreak(s string) (sched.TieBreak, error) {
+	switch s {
+	case "desc":
+		return sched.TieIndexDesc, nil
+	case "asc":
+		return sched.TieIndexAsc, nil
+	case "stable":
+		return sched.TieStable, nil
+	case "random":
+		return sched.TieRandom, nil
+	}
+	return 0, fmt.Errorf("unknown tie-break %q (want desc, asc, stable, random)", s)
+}
+
+// ParsePriority maps F1/F2 names to pattern priorities.
+func ParsePriority(s string) (sched.PatternPriority, error) {
+	switch strings.ToUpper(s) {
+	case "F1":
+		return sched.F1, nil
+	case "F2":
+		return sched.F2, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q (want F1 or F2)", s)
+}
+
+// ParseInputs reads "name=value,name=value" into the defaults map (which
+// is mutated and returned); names must already exist as graph inputs.
+func ParseInputs(defaults map[string]float64, spec string) (map[string]float64, error) {
+	if spec == "" {
+		return defaults, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad input %q (want name=value)", kv)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", kv, err)
+		}
+		if _, exists := defaults[name]; !exists {
+			return nil, fmt.Errorf("graph has no input %q", name)
+		}
+		defaults[name] = v
+	}
+	return defaults, nil
+}

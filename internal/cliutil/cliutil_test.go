@@ -1,0 +1,145 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mpsched/internal/sched"
+	"mpsched/internal/workloads"
+)
+
+func TestGenerateSpecs(t *testing.T) {
+	cases := map[string]int{ // spec → expected node count (0 = just valid)
+		"3dft":        24,
+		"fig4":        5,
+		"ndft:5":      76,
+		"fft:8":       0,
+		"fir:3,4":     0,
+		"matmul:2":    12,
+		"butterfly:2": 12,
+		"random:9":    0,
+	}
+	for spec, wantN := range cases {
+		g, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if wantN > 0 && g.N() != wantN {
+			t.Errorf("%s: N = %d, want %d", spec, g.N(), wantN)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	for _, spec := range []string{
+		"unknown", "ndft:x", "fft:notanum", "fir:3", "fir:a,b",
+		"matmul:z", "butterfly:q", "random:zz",
+	} {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestLoadGraphFromJSON(t *testing.T) {
+	g := workloads.Fig4Small()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGraph("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 5 {
+		t.Errorf("loaded N = %d", back.N())
+	}
+}
+
+func TestLoadGraphFromText(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	src := "dfg demo\nnode x a\nnode y b\nedge x y\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraph("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 || g.Name != "demo" {
+		t.Errorf("loaded %s", g)
+	}
+}
+
+func TestLoadGraphConflictsAndDefaults(t *testing.T) {
+	if _, err := LoadGraph("3dft", "also.json"); err == nil {
+		t.Error("gen+file accepted")
+	}
+	g, err := LoadGraph("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 24 {
+		t.Errorf("default graph N = %d, want 24 (3dft)", g.N())
+	}
+	if _, err := LoadGraph("", "/nonexistent/file.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseTieBreak(t *testing.T) {
+	want := map[string]sched.TieBreak{
+		"desc": sched.TieIndexDesc, "asc": sched.TieIndexAsc,
+		"stable": sched.TieStable, "random": sched.TieRandom,
+	}
+	for s, tb := range want {
+		got, err := ParseTieBreak(s)
+		if err != nil || got != tb {
+			t.Errorf("ParseTieBreak(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseTieBreak("bogus"); err == nil {
+		t.Error("bogus tie-break accepted")
+	}
+}
+
+func TestParsePriority(t *testing.T) {
+	if p, err := ParsePriority("f1"); err != nil || p != sched.F1 {
+		t.Errorf("f1 parse failed: %v %v", p, err)
+	}
+	if p, err := ParsePriority("F2"); err != nil || p != sched.F2 {
+		t.Errorf("F2 parse failed: %v %v", p, err)
+	}
+	if _, err := ParsePriority("F3"); err == nil {
+		t.Error("F3 accepted")
+	}
+}
+
+func TestParseInputs(t *testing.T) {
+	defaults := map[string]float64{"x": 1, "y": 2}
+	out, err := ParseInputs(defaults, "x=5.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["x"] != 5.5 || out["y"] != 2 {
+		t.Errorf("inputs = %v", out)
+	}
+	if _, err := ParseInputs(defaults, "z=1"); err == nil {
+		t.Error("unknown input accepted")
+	}
+	if _, err := ParseInputs(defaults, "x"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if _, err := ParseInputs(defaults, "x=abc"); err == nil {
+		t.Error("bad value accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package cluster implements the Clustering phase of the Montium compiler
+// flow [3]: grouping data-flow operations into the units one ALU executes
+// in a single cycle. The paper schedules at single-operation granularity,
+// so the default clustering is the identity; FuseMulAdd is the classic
+// multiply-accumulate fusion the Montium ALU datapath supports, offered as
+// the documented extension point.
+package cluster
+
+import (
+	"fmt"
+
+	"mpsched/internal/dfg"
+)
+
+// Clustering maps an original DFG onto a clustered one. The clustered
+// graph is structural (clusters carry a color but no semantics); Members
+// lets later phases recover the original operations inside each cluster in
+// dependency order.
+type Clustering struct {
+	Original  *dfg.Graph
+	Clustered *dfg.Graph
+	MemberOf  []int   // original node id → cluster id
+	Members   [][]int // cluster id → original node ids, dependency-ordered
+}
+
+// Identity puts every node in its own cluster. The clustered graph shares
+// names and colors with the original.
+func Identity(d *dfg.Graph) (*Clustering, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Clustering{
+		Original:  d,
+		Clustered: dfg.NewGraph(d.Name + "_clustered"),
+		MemberOf:  make([]int, d.N()),
+		Members:   make([][]int, d.N()),
+	}
+	for i := 0; i < d.N(); i++ {
+		id, err := c.Clustered.AddNode(dfg.Node{Name: d.NameOf(i), Color: d.ColorOf(i)})
+		if err != nil {
+			return nil, err
+		}
+		c.MemberOf[i] = id
+		c.Members[id] = []int{i}
+	}
+	for _, e := range d.Digraph().Edges() {
+		if err := c.Clustered.AddDep(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// FuseMulAdd fuses each multiplication whose *only* consumer is an
+// addition, and which is that addition's only multiplication input, into a
+// single multiply-accumulate cluster of the given color. Contracting a
+// single-successor edge cannot create cycles, so the result is a DAG.
+func FuseMulAdd(d *dfg.Graph, macColor dfg.Color) (*Clustering, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if macColor == "" {
+		macColor = "m"
+	}
+	n := d.N()
+	// fusedInto[m] = a means mul m joins add a's cluster.
+	fusedInto := make([]int, n)
+	for i := range fusedInto {
+		fusedInto[i] = -1
+	}
+	taken := make([]bool, n) // add already absorbed a mul
+	for m := 0; m < n; m++ {
+		if d.Node(m).Op != dfg.OpMul {
+			continue
+		}
+		succs := d.Succs(m)
+		if len(succs) != 1 {
+			continue
+		}
+		a := succs[0]
+		if d.Node(a).Op != dfg.OpAdd || taken[a] {
+			continue
+		}
+		fusedInto[m] = a
+		taken[a] = true
+	}
+
+	c := &Clustering{
+		Original: d,
+		MemberOf: make([]int, n),
+	}
+	clustered := dfg.NewGraph(d.Name + "_mac")
+	// Create clusters: every non-fused node anchors one.
+	clusterOf := make([]int, n)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		if fusedInto[i] >= 0 {
+			continue // joins its consumer's cluster
+		}
+		color := d.ColorOf(i)
+		name := d.NameOf(i)
+		if taken[i] { // an add that absorbed a mul becomes a MAC
+			color = macColor
+			name = name + "_mac"
+		}
+		id, err := clustered.AddNode(dfg.Node{Name: name, Color: color})
+		if err != nil {
+			return nil, err
+		}
+		clusterOf[i] = id
+	}
+	for m := 0; m < n; m++ {
+		if a := fusedInto[m]; a >= 0 {
+			clusterOf[m] = clusterOf[a]
+		}
+	}
+	// Members in dependency order: fused mul before its add.
+	c.Members = make([][]int, clustered.N())
+	for i := 0; i < n; i++ {
+		if fusedInto[i] >= 0 {
+			continue
+		}
+		cid := clusterOf[i]
+		// Any mul fused into i goes first.
+		for m := 0; m < n; m++ {
+			if fusedInto[m] == i {
+				c.Members[cid] = append(c.Members[cid], m)
+			}
+		}
+		c.Members[cid] = append(c.Members[cid], i)
+	}
+	for i := 0; i < n; i++ {
+		c.MemberOf[i] = clusterOf[i]
+	}
+	// Cross-cluster edges.
+	for _, e := range d.Digraph().Edges() {
+		cu, cv := clusterOf[e[0]], clusterOf[e[1]]
+		if cu != cv {
+			if err := clustered.AddDep(cu, cv); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := clustered.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: fusion broke the graph: %w", err)
+	}
+	c.Clustered = clustered
+	return c, nil
+}
+
+// Stats summarises a clustering.
+type Stats struct {
+	OriginalNodes  int
+	ClusteredNodes int
+	Fused          int // operations absorbed into multi-op clusters
+}
+
+// Stats computes summary counts.
+func (c *Clustering) Stats() Stats {
+	fused := 0
+	for _, m := range c.Members {
+		if len(m) > 1 {
+			fused += len(m) - 1
+		}
+	}
+	return Stats{
+		OriginalNodes:  c.Original.N(),
+		ClusteredNodes: c.Clustered.N(),
+		Fused:          fused,
+	}
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/workloads"
+)
+
+func TestIdentity(t *testing.T) {
+	g := workloads.ThreeDFT()
+	c, err := Identity(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Clustered.N() != g.N() || c.Clustered.M() != g.M() {
+		t.Errorf("identity changed the graph: %s vs %s", c.Clustered, g)
+	}
+	for i := 0; i < g.N(); i++ {
+		if c.MemberOf[i] != i || len(c.Members[i]) != 1 || c.Members[i][0] != i {
+			t.Fatalf("identity mapping wrong at %d", i)
+		}
+	}
+	st := c.Stats()
+	if st.Fused != 0 || st.OriginalNodes != 24 || st.ClusteredNodes != 24 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFuseMulAddOnThreeDFT(t *testing.T) {
+	g := workloads.ThreeDFT()
+	c, err := FuseMulAdd(g, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the six multiplications feeds exactly one addition, and
+	// those additions absorb at most one mul each: c9→a15, c13→a18,
+	// c12→a17, c14→a20 fuse for sure; c10 and c11 have two consumers so
+	// they stay. That leaves 24 − 4 = 20 clusters.
+	st := c.Stats()
+	if st.Fused != 4 {
+		t.Errorf("fused %d ops, want 4", st.Fused)
+	}
+	if c.Clustered.N() != 20 {
+		t.Errorf("clusters = %d, want 20", c.Clustered.N())
+	}
+	if err := c.Clustered.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// MAC clusters carry the mac color.
+	macs := c.Clustered.NodesByColor("m")
+	if len(macs) != 4 {
+		t.Errorf("mac clusters = %d, want 4", len(macs))
+	}
+	// Members are dependency ordered: mul before add.
+	for _, cid := range macs {
+		m := c.Members[cid]
+		if len(m) != 2 {
+			t.Fatalf("mac cluster %d has %d members", cid, len(m))
+		}
+		if g.Node(m[0]).Op != dfg.OpMul || g.Node(m[1]).Op != dfg.OpAdd {
+			t.Errorf("mac cluster %d order wrong: %v", cid, m)
+		}
+	}
+}
+
+func TestFuseMulAddKeepsSharedMuls(t *testing.T) {
+	// mul with two consumers must not fuse.
+	g, err := dfg.NewBuilder("shared").
+		OpNode("m", "c", dfg.OpMul, dfg.In("x"), dfg.K(2)).
+		OpNode("s1", "a", dfg.OpAdd, dfg.N("m"), dfg.In("y")).
+		OpNode("s2", "a", dfg.OpAdd, dfg.N("m"), dfg.In("z")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FuseMulAdd(g, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Fused != 0 {
+		t.Errorf("shared mul fused: %+v", c.Stats())
+	}
+}
+
+func TestFuseMulAddAddAbsorbsOneMulOnly(t *testing.T) {
+	// add fed by two single-use muls absorbs only one.
+	g, err := dfg.NewBuilder("two").
+		OpNode("m1", "c", dfg.OpMul, dfg.In("x"), dfg.K(2)).
+		OpNode("m2", "c", dfg.OpMul, dfg.In("y"), dfg.K(3)).
+		OpNode("s", "a", dfg.OpAdd, dfg.N("m1"), dfg.N("m2")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FuseMulAdd(g, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Fused != 1 {
+		t.Errorf("fused = %d, want 1", c.Stats().Fused)
+	}
+	if c.Clustered.N() != 2 {
+		t.Errorf("clusters = %d, want 2", c.Clustered.N())
+	}
+}
+
+func TestClusteredGraphSchedulable(t *testing.T) {
+	g := workloads.ThreeDFT()
+	c, err := FuseMulAdd(g, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cluster colors now include "m"; levels must still compute.
+	lv := c.Clustered.Levels()
+	if lv.CriticalPathLength() > g.Levels().CriticalPathLength() {
+		t.Error("fusion lengthened the critical path")
+	}
+}

@@ -1,0 +1,130 @@
+package dfg
+
+import "fmt"
+
+// Builder constructs a Graph by node name, deferring id resolution so that
+// edges and operands can reference nodes in any order. Errors accumulate and
+// are reported once by Build, keeping construction code linear.
+type Builder struct {
+	g    *Graph
+	errs []error
+}
+
+// NewBuilder returns a builder for a graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: NewGraph(name)}
+}
+
+// Node adds a structural node (no semantics).
+func (b *Builder) Node(name string, color Color) *Builder {
+	if _, err := b.g.AddNode(Node{Name: name, Color: color}); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// OpNode adds a node with semantics. Operands of kind OperandNode are given
+// by name via N(); the matching dependency edges are inserted automatically.
+func (b *Builder) OpNode(name string, color Color, op Op, args ...BOperand) *Builder {
+	id, err := b.g.AddNode(Node{Name: name, Color: color, Op: op})
+	if err != nil {
+		b.errs = append(b.errs, err)
+		return b
+	}
+	resolved := make([]Operand, 0, len(args))
+	for _, a := range args {
+		opnd, err := a.resolve(b.g)
+		if err != nil {
+			b.errs = append(b.errs, fmt.Errorf("node %s: %w", name, err))
+			continue
+		}
+		resolved = append(resolved, opnd)
+		if opnd.Kind == OperandNode {
+			if err := b.g.AddDep(opnd.Node, id); err != nil {
+				b.errs = append(b.errs, err)
+			}
+		}
+	}
+	b.g.nodes[id].Args = resolved
+	return b
+}
+
+// Dep adds a dependency edge between two named nodes.
+func (b *Builder) Dep(from, to string) *Builder {
+	f, ok := b.g.ID(from)
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("dep: unknown node %q", from))
+		return b
+	}
+	t, ok := b.g.ID(to)
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("dep: unknown node %q", to))
+		return b
+	}
+	if err := b.g.AddDep(f, t); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// Output marks a named node as producing the named result.
+func (b *Builder) Output(nodeName, outputName string) *Builder {
+	id, ok := b.g.ID(nodeName)
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("output: unknown node %q", nodeName))
+		return b
+	}
+	b.g.SetOutput(id, outputName)
+	return b
+}
+
+// Build validates and returns the graph, or the first accumulated error.
+func (b *Builder) Build() (*Graph, error) {
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("dfg builder: %d errors, first: %w", len(b.errs), b.errs[0])
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+// MustBuild is Build for statically-valid construction code.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BOperand is a by-name operand used with Builder.OpNode.
+type BOperand struct {
+	kind  OperandKind
+	name  string
+	value float64
+}
+
+// N references the result of the named node.
+func N(name string) BOperand { return BOperand{kind: OperandNode, name: name} }
+
+// In references the named external input.
+func In(name string) BOperand { return BOperand{kind: OperandInput, name: name} }
+
+// K is a constant operand.
+func K(v float64) BOperand { return BOperand{kind: OperandConst, value: v} }
+
+func (a BOperand) resolve(g *Graph) (Operand, error) {
+	switch a.kind {
+	case OperandNode:
+		id, ok := g.ID(a.name)
+		if !ok {
+			return Operand{}, fmt.Errorf("unknown operand node %q", a.name)
+		}
+		return NodeRef(id), nil
+	case OperandInput:
+		return InputRef(a.name), nil
+	default:
+		return ConstVal(a.value), nil
+	}
+}

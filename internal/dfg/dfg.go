@@ -1,0 +1,347 @@
+// Package dfg defines the data-flow graphs scheduled by the multi-pattern
+// scheduler: operation nodes carrying a *color* (the function type a
+// reconfigurable ALU must be set to), dependency edges, the paper's
+// ASAP/ALAP/Height level attributes, optional arithmetic semantics for
+// simulation, serialisation, and validation.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+
+	"mpsched/internal/graph"
+)
+
+// Color identifies the function type of a node — the paper's l(n). In the
+// Montium examples "a" is addition, "b" subtraction and "c" multiplication,
+// but any non-empty string is a valid color.
+type Color string
+
+// Op is the optional arithmetic semantics of a node, used by the Montium
+// simulator to execute schedules. Structural workloads (random DAGs) leave
+// it as OpNone.
+type Op int
+
+// Supported node semantics.
+const (
+	OpNone Op = iota // structural node, no semantics
+	OpAdd            // sum of operands
+	OpSub            // first operand minus the rest
+	OpMul            // product of operands
+	OpNeg            // negation of the single operand
+	OpPass           // copy of the single operand
+)
+
+var opNames = map[Op]string{
+	OpNone: "none", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpNeg: "neg", OpPass: "pass",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// ParseOp converts the textual form back to an Op.
+func ParseOp(s string) (Op, error) {
+	for op, name := range opNames {
+		if name == s {
+			return op, nil
+		}
+	}
+	return OpNone, fmt.Errorf("dfg: unknown op %q", s)
+}
+
+// OperandKind discriminates Operand variants.
+type OperandKind int
+
+// Operand variants: the result of another node, a named external input, or a
+// compile-time constant.
+const (
+	OperandNode OperandKind = iota
+	OperandInput
+	OperandConst
+)
+
+// Operand is one argument of a node's operation.
+type Operand struct {
+	Kind  OperandKind
+	Node  int     // node id, when Kind == OperandNode
+	Input string  // input name, when Kind == OperandInput
+	Const float64 // literal, when Kind == OperandConst
+}
+
+// NodeRef returns an operand referring to another node's result.
+func NodeRef(id int) Operand { return Operand{Kind: OperandNode, Node: id} }
+
+// InputRef returns an operand referring to a named external input.
+func InputRef(name string) Operand { return Operand{Kind: OperandInput, Input: name} }
+
+// ConstVal returns a constant operand.
+func ConstVal(v float64) Operand { return Operand{Kind: OperandConst, Const: v} }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperandNode:
+		return fmt.Sprintf("n%d", o.Node)
+	case OperandInput:
+		return "$" + o.Input
+	case OperandConst:
+		return fmt.Sprintf("%g", o.Const)
+	}
+	return "?"
+}
+
+// Node is one operation of the data-flow graph.
+type Node struct {
+	Name   string    // unique human-readable name, e.g. "a17"
+	Color  Color     // function type, e.g. "a"
+	Op     Op        // optional semantics
+	Args   []Operand // optional operands matching Op
+	Output string    // if non-empty, this node produces the named output
+}
+
+// Graph is a data-flow graph: a DAG of colored operation nodes. Construct
+// with NewGraph and AddNode/AddDep, or via the Builder.
+//
+// Level attributes and reachability are computed lazily and cached; any
+// mutation invalidates the caches.
+type Graph struct {
+	Name  string
+	nodes []Node
+	g     *graph.Digraph
+
+	byName map[string]int
+
+	levels *graph.Levels
+	reach  *graph.Reachability
+}
+
+// NewGraph returns an empty DFG with the given name.
+func NewGraph(name string) *Graph {
+	return &Graph{Name: name, g: &graph.Digraph{}, byName: map[string]int{}}
+}
+
+// N returns the number of nodes.
+func (d *Graph) N() int { return len(d.nodes) }
+
+// M returns the number of dependency edges.
+func (d *Graph) M() int { return d.g.M() }
+
+// AddNode appends a node and returns its id. Names must be unique and
+// non-empty; colors must be non-empty.
+func (d *Graph) AddNode(n Node) (int, error) {
+	if n.Name == "" {
+		return 0, fmt.Errorf("dfg: node with empty name")
+	}
+	if n.Color == "" {
+		return 0, fmt.Errorf("dfg: node %q with empty color", n.Name)
+	}
+	if _, dup := d.byName[n.Name]; dup {
+		return 0, fmt.Errorf("dfg: duplicate node name %q", n.Name)
+	}
+	id := d.g.AddNode()
+	d.nodes = append(d.nodes, n)
+	d.byName[n.Name] = id
+	d.invalidate()
+	return id, nil
+}
+
+// MustAddNode is AddNode for statically-valid construction code.
+func (d *Graph) MustAddNode(n Node) int {
+	id, err := d.AddNode(n)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddDep inserts the dependency edge from → to (from must execute before
+// to). Inserting a duplicate edge is a no-op.
+func (d *Graph) AddDep(from, to int) error {
+	if err := d.g.AddEdge(from, to); err != nil {
+		return fmt.Errorf("dfg: %w", err)
+	}
+	d.invalidate()
+	return nil
+}
+
+// MustAddDep is AddDep for statically-valid construction code.
+func (d *Graph) MustAddDep(from, to int) {
+	if err := d.AddDep(from, to); err != nil {
+		panic(err)
+	}
+}
+
+func (d *Graph) invalidate() {
+	d.levels = nil
+	d.reach = nil
+}
+
+// Node returns the node with the given id.
+func (d *Graph) Node(id int) Node { return d.nodes[id] }
+
+// SetOutput marks node id as producing the named result (used by Evaluate
+// and the Montium simulator).
+func (d *Graph) SetOutput(id int, name string) { d.nodes[id].Output = name }
+
+// ID looks a node up by name.
+func (d *Graph) ID(name string) (int, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// MustID is ID for names that are known to exist.
+func (d *Graph) MustID(name string) int {
+	id, ok := d.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("dfg: unknown node %q", name))
+	}
+	return id
+}
+
+// NameOf returns the name of node id.
+func (d *Graph) NameOf(id int) string { return d.nodes[id].Name }
+
+// ColorOf returns the color of node id — the paper's l(n).
+func (d *Graph) ColorOf(id int) Color { return d.nodes[id].Color }
+
+// Preds returns the direct predecessors of id (graph-owned slice).
+func (d *Graph) Preds(id int) []int { return d.g.Preds(id) }
+
+// Succs returns the direct successors of id (graph-owned slice).
+func (d *Graph) Succs(id int) []int { return d.g.Succs(id) }
+
+// Digraph exposes the underlying structural graph (read-only use).
+func (d *Graph) Digraph() *graph.Digraph { return d.g }
+
+// Levels returns the cached ASAP/ALAP/Height attributes, computing them on
+// first use. It panics if the graph is cyclic; use Validate first on
+// untrusted input.
+func (d *Graph) Levels() *graph.Levels {
+	if d.levels == nil {
+		lv, err := graph.ComputeLevels(d.g)
+		if err != nil {
+			panic(fmt.Sprintf("dfg %q: %v", d.Name, err))
+		}
+		d.levels = lv
+	}
+	return d.levels
+}
+
+// Reach returns the cached transitive-closure matrix, computing it on first
+// use. It panics if the graph is cyclic; use Validate first on untrusted
+// input.
+func (d *Graph) Reach() *graph.Reachability {
+	if d.reach == nil {
+		r, err := graph.NewReachability(d.g)
+		if err != nil {
+			panic(fmt.Sprintf("dfg %q: %v", d.Name, err))
+		}
+		d.reach = r
+	}
+	return d.reach
+}
+
+// Colors returns the complete color set L of the graph, sorted.
+func (d *Graph) Colors() []Color {
+	seen := map[Color]bool{}
+	for _, n := range d.nodes {
+		seen[n.Color] = true
+	}
+	out := make([]Color, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ColorCounts returns how many nodes carry each color.
+func (d *Graph) ColorCounts() map[Color]int {
+	out := map[Color]int{}
+	for _, n := range d.nodes {
+		out[n.Color]++
+	}
+	return out
+}
+
+// NodesByColor returns the ids of all nodes with the given color, ascending.
+func (d *Graph) NodesByColor(c Color) []int {
+	var out []int
+	for id, n := range d.nodes {
+		if n.Color == c {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Names returns all node names in id order.
+func (d *Graph) Names() []string {
+	out := make([]string, len(d.nodes))
+	for i, n := range d.nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy sharing no mutable state with the original.
+func (d *Graph) Clone() *Graph {
+	c := NewGraph(d.Name)
+	for _, n := range d.nodes {
+		nn := n
+		nn.Args = append([]Operand(nil), n.Args...)
+		c.MustAddNode(nn)
+	}
+	for _, e := range d.g.Edges() {
+		c.MustAddDep(e[0], e[1])
+	}
+	return c
+}
+
+// Validate checks structural well-formedness: acyclicity, operand/edge
+// consistency (every node-operand has a matching dependency edge), and
+// operand arity for nodes that carry semantics.
+func (d *Graph) Validate() error {
+	if _, err := graph.TopoSort(d.g); err != nil {
+		return fmt.Errorf("dfg %q: %w", d.Name, err)
+	}
+	for id, n := range d.nodes {
+		if n.Op == OpNone {
+			continue
+		}
+		switch n.Op {
+		case OpNeg, OpPass:
+			if len(n.Args) != 1 {
+				return fmt.Errorf("dfg %q: node %s: %s wants 1 operand, has %d",
+					d.Name, n.Name, n.Op, len(n.Args))
+			}
+		default:
+			if len(n.Args) < 2 {
+				return fmt.Errorf("dfg %q: node %s: %s wants ≥2 operands, has %d",
+					d.Name, n.Name, n.Op, len(n.Args))
+			}
+		}
+		for _, a := range n.Args {
+			if a.Kind != OperandNode {
+				continue
+			}
+			if a.Node < 0 || a.Node >= len(d.nodes) {
+				return fmt.Errorf("dfg %q: node %s references unknown node %d",
+					d.Name, n.Name, a.Node)
+			}
+			if !d.g.HasEdge(a.Node, id) {
+				return fmt.Errorf("dfg %q: node %s uses n%d without a dependency edge",
+					d.Name, n.Name, a.Node)
+			}
+		}
+	}
+	return nil
+}
+
+// String summarises the graph.
+func (d *Graph) String() string {
+	return fmt.Sprintf("dfg %q: %d nodes, %d edges, colors %v", d.Name, d.N(), d.M(), d.Colors())
+}

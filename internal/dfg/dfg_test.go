@@ -1,0 +1,285 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallGraph(t *testing.T) *Graph {
+	t.Helper()
+	// Fig. 4 of the paper: a1→a2→{b4,b5}, a3→{b4,b5}.
+	g, err := NewBuilder("fig4").
+		Node("a1", "a").
+		Node("a2", "a").
+		Node("a3", "a").
+		Node("b4", "b").
+		Node("b5", "b").
+		Dep("a1", "a2").
+		Dep("a2", "b4").
+		Dep("a2", "b5").
+		Dep("a3", "b4").
+		Dep("a3", "b5").
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	g := NewGraph("t")
+	if _, err := g.AddNode(Node{Name: "", Color: "a"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := g.AddNode(Node{Name: "x", Color: ""}); err == nil {
+		t.Error("empty color accepted")
+	}
+	if _, err := g.AddNode(Node{Name: "x", Color: "a"}); err != nil {
+		t.Errorf("valid node rejected: %v", err)
+	}
+	if _, err := g.AddNode(Node{Name: "x", Color: "b"}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestLookupAndAccessors(t *testing.T) {
+	g := smallGraph(t)
+	id, ok := g.ID("a3")
+	if !ok {
+		t.Fatal("a3 not found")
+	}
+	if g.NameOf(id) != "a3" || g.ColorOf(id) != "a" {
+		t.Errorf("accessors wrong for a3")
+	}
+	if _, ok := g.ID("zz"); ok {
+		t.Error("phantom node found")
+	}
+	if g.N() != 5 || g.M() != 5 {
+		t.Errorf("N=%d M=%d, want 5,5", g.N(), g.M())
+	}
+}
+
+func TestColors(t *testing.T) {
+	g := smallGraph(t)
+	cols := g.Colors()
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Errorf("Colors = %v", cols)
+	}
+	counts := g.ColorCounts()
+	if counts["a"] != 3 || counts["b"] != 2 {
+		t.Errorf("ColorCounts = %v", counts)
+	}
+	as := g.NodesByColor("a")
+	if len(as) != 3 {
+		t.Errorf("NodesByColor(a) = %v", as)
+	}
+}
+
+func TestLevelsFig4(t *testing.T) {
+	g := smallGraph(t)
+	lv := g.Levels()
+	a1, a2, a3 := g.MustID("a1"), g.MustID("a2"), g.MustID("a3")
+	b4, b5 := g.MustID("b4"), g.MustID("b5")
+	if lv.ASAP[a1] != 0 || lv.ASAP[a2] != 1 || lv.ASAP[b4] != 2 {
+		t.Errorf("ASAP chain wrong: %v", lv.ASAP)
+	}
+	if lv.ASAP[a3] != 0 || lv.ALAP[a3] != 1 {
+		t.Errorf("a3 levels (%d,%d), want (0,1)", lv.ASAP[a3], lv.ALAP[a3])
+	}
+	if lv.Height[a1] != 3 || lv.Height[b5] != 1 {
+		t.Errorf("heights wrong")
+	}
+}
+
+func TestReachFig4(t *testing.T) {
+	g := smallGraph(t)
+	r := g.Reach()
+	a1, a2, a3 := g.MustID("a1"), g.MustID("a2"), g.MustID("a3")
+	b4, b5 := g.MustID("b4"), g.MustID("b5")
+	if !r.Parallelizable(a1, a3) || !r.Parallelizable(a2, a3) || !r.Parallelizable(b4, b5) {
+		t.Error("expected parallel pairs missing")
+	}
+	if r.Parallelizable(a1, a2) {
+		t.Error("a1 ∥ a2 should be comparable")
+	}
+	// Every a is comparable with every b — this is why pattern {ab} has no
+	// antichain in the paper's example.
+	for _, a := range []int{a1, a2, a3} {
+		for _, b := range []int{b4, b5} {
+			if !r.Comparable(a, b) {
+				t.Errorf("%s and %s should be comparable", g.NameOf(a), g.NameOf(b))
+			}
+		}
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	g := smallGraph(t)
+	c := g.Clone()
+	c.MustAddNode(Node{Name: "extra", Color: "z"})
+	if g.N() == c.N() {
+		t.Error("clone shares node storage")
+	}
+	if _, ok := g.ID("extra"); ok {
+		t.Error("clone mutation leaked")
+	}
+}
+
+func TestValidateOperandEdgeConsistency(t *testing.T) {
+	g := NewGraph("t")
+	x := g.MustAddNode(Node{Name: "x", Color: "a", Op: OpAdd, Args: []Operand{InputRef("p"), InputRef("q")}})
+	_ = x
+	y := g.MustAddNode(Node{Name: "y", Color: "a", Op: OpAdd, Args: []Operand{NodeRef(0), ConstVal(1)}})
+	_ = y
+	// Missing edge x→y: Validate must complain.
+	if err := g.Validate(); err == nil {
+		t.Error("missing operand edge not detected")
+	}
+	g.MustAddDep(0, 1)
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+}
+
+func TestValidateArity(t *testing.T) {
+	g := NewGraph("t")
+	g.MustAddNode(Node{Name: "x", Color: "a", Op: OpAdd, Args: []Operand{ConstVal(1)}})
+	if err := g.Validate(); err == nil {
+		t.Error("unary add not rejected")
+	}
+	g2 := NewGraph("t2")
+	g2.MustAddNode(Node{Name: "x", Color: "a", Op: OpNeg, Args: []Operand{ConstVal(1), ConstVal(2)}})
+	if err := g2.Validate(); err == nil {
+		t.Error("binary neg not rejected")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	// y = (p+q) * 3; z = -(y)
+	g, err := NewBuilder("eval").
+		OpNode("sum", "a", OpAdd, In("p"), In("q")).
+		OpNode("prod", "c", OpMul, N("sum"), K(3)).
+		OpNode("neg", "n", OpNeg, N("prod")).
+		Output("prod", "y").
+		Output("neg", "z").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, outputs, err := g.Evaluate(map[string]float64{"p": 2, "q": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs["y"] != 21 || outputs["z"] != -21 {
+		t.Errorf("outputs = %v", outputs)
+	}
+	if values[g.MustID("sum")] != 7 {
+		t.Errorf("sum = %v", values[g.MustID("sum")])
+	}
+}
+
+func TestEvaluateSubOrder(t *testing.T) {
+	g, err := NewBuilder("sub").
+		OpNode("d", "b", OpSub, In("x"), In("y")).
+		Output("d", "out").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, outputs, err := g.Evaluate(map[string]float64{"x": 10, "y": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs["out"] != 6 {
+		t.Errorf("10-4 = %v, want 6", outputs["out"])
+	}
+}
+
+func TestEvaluateMissingInput(t *testing.T) {
+	g, err := NewBuilder("mi").
+		OpNode("s", "a", OpAdd, In("x"), In("y")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Evaluate(map[string]float64{"x": 1}); err == nil {
+		t.Error("missing input not reported")
+	}
+}
+
+func TestEvaluateStructuralNodeFails(t *testing.T) {
+	g := smallGraph(t)
+	if _, _, err := g.Evaluate(nil); err == nil {
+		t.Error("structural graph evaluated without error")
+	}
+}
+
+func TestInputOutputNames(t *testing.T) {
+	g, err := NewBuilder("names").
+		OpNode("s", "a", OpAdd, In("beta"), In("alpha")).
+		OpNode("m", "c", OpMul, N("s"), K(2)).
+		Output("m", "result").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := g.InputNames()
+	if len(ins) != 2 || ins[0] != "alpha" || ins[1] != "beta" {
+		t.Errorf("InputNames = %v", ins)
+	}
+	outs := g.OutputNames()
+	if len(outs) != 1 || outs[0] != "result" {
+		t.Errorf("OutputNames = %v", outs)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	_, err := NewBuilder("bad").
+		Node("x", "a").
+		Dep("x", "phantom").
+		Build()
+	if err == nil {
+		t.Error("unknown dep target accepted")
+	}
+	_, err = NewBuilder("bad2").
+		OpNode("y", "a", OpAdd, N("phantom"), K(1)).
+		Build()
+	if err == nil {
+		t.Error("unknown operand accepted")
+	}
+	_, err = NewBuilder("bad3").
+		Node("x", "a").
+		Output("phantom", "o").
+		Build()
+	if err == nil {
+		t.Error("unknown output node accepted")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{OpAdd: "add", OpSub: "sub", OpMul: "mul", OpNeg: "neg", OpPass: "pass", OpNone: "none"}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(op), op.String(), want)
+		}
+		back, err := ParseOp(want)
+		if err != nil || back != op {
+			t.Errorf("ParseOp(%q) = %v, %v", want, back, err)
+		}
+	}
+	if _, err := ParseOp("frobnicate"); err == nil {
+		t.Error("bogus op parsed")
+	}
+}
+
+func TestFormatLevelTable(t *testing.T) {
+	g := smallGraph(t)
+	out := FormatLevelTable(g)
+	if !strings.Contains(out, "a1") || !strings.Contains(out, "asap") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	// a1 (asap 0, alap 0) must precede b4 (asap 2).
+	if strings.Index(out, "a1") > strings.Index(out, "b4") {
+		t.Error("table not sorted by level")
+	}
+}

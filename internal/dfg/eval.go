@@ -1,0 +1,124 @@
+package dfg
+
+import (
+	"fmt"
+
+	"mpsched/internal/graph"
+)
+
+// Evaluate executes the graph's arithmetic semantics in dependency order and
+// returns the value of every node plus the named outputs. Every node must
+// carry semantics (Op ≠ OpNone); inputs must provide every referenced
+// external name.
+//
+// This is the *reference* interpreter: the Montium simulator's results are
+// checked against it.
+func (d *Graph) Evaluate(inputs map[string]float64) (values []float64, outputs map[string]float64, err error) {
+	order, err := graph.TopoSort(d.g)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dfg %q: %w", d.Name, err)
+	}
+	values = make([]float64, d.N())
+	outputs = map[string]float64{}
+	for _, id := range order {
+		n := d.nodes[id]
+		if n.Op == OpNone {
+			return nil, nil, fmt.Errorf("dfg %q: node %s has no semantics", d.Name, n.Name)
+		}
+		args := make([]float64, len(n.Args))
+		for i, a := range n.Args {
+			switch a.Kind {
+			case OperandNode:
+				args[i] = values[a.Node]
+			case OperandInput:
+				v, ok := inputs[a.Input]
+				if !ok {
+					return nil, nil, fmt.Errorf("dfg %q: node %s: missing input %q", d.Name, n.Name, a.Input)
+				}
+				args[i] = v
+			case OperandConst:
+				args[i] = a.Const
+			}
+		}
+		v, err := applyOp(n.Op, args)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dfg %q: node %s: %w", d.Name, n.Name, err)
+		}
+		values[id] = v
+		if n.Output != "" {
+			outputs[n.Output] = v
+		}
+	}
+	return values, outputs, nil
+}
+
+func applyOp(op Op, args []float64) (float64, error) {
+	switch op {
+	case OpAdd:
+		s := 0.0
+		for _, a := range args {
+			s += a
+		}
+		return s, nil
+	case OpSub:
+		if len(args) == 0 {
+			return 0, fmt.Errorf("sub with no operands")
+		}
+		s := args[0]
+		for _, a := range args[1:] {
+			s -= a
+		}
+		return s, nil
+	case OpMul:
+		p := 1.0
+		for _, a := range args {
+			p *= a
+		}
+		return p, nil
+	case OpNeg:
+		return -args[0], nil
+	case OpPass:
+		return args[0], nil
+	default:
+		return 0, fmt.Errorf("cannot evaluate op %s", op)
+	}
+}
+
+// InputNames returns the sorted set of external input names referenced by
+// the graph's operands.
+func (d *Graph) InputNames() []string {
+	seen := map[string]bool{}
+	for _, n := range d.nodes {
+		for _, a := range n.Args {
+			if a.Kind == OperandInput {
+				seen[a.Input] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sortStrings(out)
+	return out
+}
+
+// OutputNames returns the sorted set of output names produced by the graph.
+func (d *Graph) OutputNames() []string {
+	var out []string
+	for _, n := range d.nodes {
+		if n.Output != "" {
+			out = append(out, n.Output)
+		}
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package dfg
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, err := NewBuilder("rt").
+		OpNode("s", "a", OpAdd, In("x"), K(2)).
+		OpNode("m", "c", OpMul, N("s"), K(3)).
+		Output("m", "y").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "rt" || back.N() != 2 || back.M() != 1 {
+		t.Errorf("round trip lost structure: %s", back.String())
+	}
+	_, out1, err := g.Evaluate(map[string]float64{"x": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out2, err := back.Evaluate(map[string]float64{"x": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1["y"] != out2["y"] {
+		t.Errorf("semantics lost: %v vs %v", out1, out2)
+	}
+}
+
+func TestJSONRejectsBadEdges(t *testing.T) {
+	blob := `{"name":"bad","nodes":[{"name":"x","color":"a"}],"edges":[[0,7]]}`
+	var g Graph
+	if err := json.Unmarshal([]byte(blob), &g); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestJSONRejectsCycle(t *testing.T) {
+	blob := `{"name":"cyc","nodes":[{"name":"x","color":"a"},{"name":"y","color":"a"}],"edges":[[0,1],[1,0]]}`
+	var g Graph
+	if err := json.Unmarshal([]byte(blob), &g); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	g, err := NewBuilder("txt").
+		Node("n1", "a").
+		Node("n2", "b").
+		Node("n3", "c").
+		Dep("n1", "n2").
+		Dep("n2", "n3").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "txt" || back.N() != 3 || back.M() != 2 {
+		t.Errorf("text round trip lost structure: %s", back.String())
+	}
+	if !back.Digraph().HasEdge(back.MustID("n1"), back.MustID("n2")) {
+		t.Error("edge lost in text round trip")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"node onlytwo",                         // arity
+		"edge x y",                             // unknown nodes
+		"node n1 a\nedge n1 n1",                // self loop
+		"frobnicate",                           // unknown directive
+		"node n1 a\nnode n1 a",                 // duplicate
+		"node n1 a\nnode n2 a\nedge n1 phantm", // unknown head
+	}
+	for _, src := range cases {
+		if _, err := ReadText(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted invalid input %q", src)
+		}
+	}
+}
+
+func TestReadTextCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+dfg demo
+
+node x a
+node y b
+edge x y
+`
+	g, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "demo" || g.N() != 2 || g.M() != 1 {
+		t.Errorf("parse result: %s", g.String())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, err := NewBuilder("dot-test").
+		Node("x", "a").
+		Node("y", "b").
+		Node("z", "c").
+		Dep("x", "y").
+		Dep("y", "z").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph dot_test", `label="x"`, "shape=box", "rank=same", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package expmt regenerates every table and figure of the paper's
+// evaluation, comparing measured values against the published ones. Each
+// experiment returns a Report with a rendered body and cell-by-cell
+// comparisons; cmd/experiments prints them, EXPERIMENTS.md records them,
+// and the benchmarks in the repository root wrap them.
+package expmt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the outcome of one reproduced experiment.
+type Report struct {
+	ID          string // "table1" … "table7", "fig2", "fig4", "theorem1"
+	Title       string
+	Body        string // rendered, paper-style
+	Comparisons []Comparison
+	Notes       []string // substitutions, tie-break caveats, …
+}
+
+// Comparison is one paper-vs-measured cell.
+type Comparison struct {
+	Label    string
+	Paper    string
+	Measured string
+}
+
+// Match reports whether the measured value equals the published one.
+func (c Comparison) Match() bool { return c.Paper == c.Measured }
+
+// Matched counts comparisons that reproduce exactly.
+func (r *Report) Matched() (match, total int) {
+	for _, c := range r.Comparisons {
+		if c.Match() {
+			match++
+		}
+	}
+	return match, len(r.Comparisons)
+}
+
+// Render formats the report for terminal output.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n%s", r.ID, r.Title, r.Body)
+	if len(r.Comparisons) > 0 {
+		match, total := r.Matched()
+		fmt.Fprintf(&sb, "\npaper-vs-measured: %d/%d cells match\n", match, total)
+		w := 0
+		for _, c := range r.Comparisons {
+			if len(c.Label) > w {
+				w = len(c.Label)
+			}
+		}
+		for _, c := range r.Comparisons {
+			mark := "=="
+			if !c.Match() {
+				mark = "!="
+			}
+			fmt.Fprintf(&sb, "  %-*s  paper %-8s %s measured %s\n", w, c.Label, c.Paper, mark, c.Measured)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// All runs every experiment in paper order. Failures abort — the harness
+// is the reproduction's integration test.
+func All() ([]*Report, error) {
+	runs := []func() (*Report, error){
+		Table1, Table2, Table3, Table4, Table5, Table6, Table7,
+		Fig2, Fig4, Theorem1, Extras,
+	}
+	var out []*Report
+	for _, run := range runs {
+		r, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByID runs one experiment by its report id.
+func ByID(id string) (*Report, error) {
+	m := map[string]func() (*Report, error){
+		"table1": Table1, "table2": Table2, "table3": Table3, "table4": Table4,
+		"table5": Table5, "table6": Table6, "table7": Table7,
+		"fig2": Fig2, "fig4": Fig4, "theorem1": Theorem1, "extras": Extras,
+	}
+	run, ok := m[id]
+	if !ok {
+		var ids []string
+		for k := range m {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		return nil, fmt.Errorf("expmt: unknown experiment %q (have: %s)", id, strings.Join(ids, ", "))
+	}
+	return run()
+}
+
+// IDs lists the available experiment ids in paper order.
+func IDs() []string {
+	return []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig2", "fig4", "theorem1", "extras"}
+}

@@ -1,0 +1,19 @@
+package expmt
+
+import (
+	"sort"
+	"strings"
+
+	"mpsched/internal/dfg"
+)
+
+// sortedNames renders node ids as a sorted comma-joined name list — the
+// cell format used in table comparisons.
+func sortedNames(g *dfg.Graph, ids []int) string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = g.NameOf(id)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}

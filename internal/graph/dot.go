@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DOTOptions customises DOT export. Label and Attrs may be nil.
+type DOTOptions struct {
+	Name  string                  // graph name; defaults to "G"
+	Label func(node int) string   // node label; defaults to the id
+	Attrs func(node int) []string // extra per-node attributes, e.g. `shape=box`
+	Rank  func(node int) int      // optional same-rank grouping (e.g. ASAP level); -1 to skip
+}
+
+// WriteDOT renders the graph in Graphviz DOT format.
+func WriteDOT(w io.Writer, g *Digraph, opts DOTOptions) error {
+	name := opts.Name
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %s {\n  rankdir=TB;\n", name); err != nil {
+		return err
+	}
+	for i := 0; i < g.N(); i++ {
+		label := fmt.Sprintf("%d", i)
+		if opts.Label != nil {
+			label = opts.Label(i)
+		}
+		attrs := []string{fmt.Sprintf("label=%q", label)}
+		if opts.Attrs != nil {
+			attrs = append(attrs, opts.Attrs(i)...)
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [%s];\n", i, strings.Join(attrs, ", ")); err != nil {
+			return err
+		}
+	}
+	if opts.Rank != nil {
+		groups := map[int][]int{}
+		maxRank := -1
+		for i := 0; i < g.N(); i++ {
+			r := opts.Rank(i)
+			if r < 0 {
+				continue
+			}
+			groups[r] = append(groups[r], i)
+			if r > maxRank {
+				maxRank = r
+			}
+		}
+		for r := 0; r <= maxRank; r++ {
+			nodes := groups[r]
+			if len(nodes) == 0 {
+				continue
+			}
+			parts := make([]string, len(nodes))
+			for i, n := range nodes {
+				parts[i] = fmt.Sprintf("n%d;", n)
+			}
+			if _, err := fmt.Fprintf(w, "  { rank=same; %s }\n", strings.Join(parts, " ")); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,85 @@
+package graph
+
+// MaxBipartiteMatching computes a maximum matching between nLeft left
+// vertices and nRight right vertices with Hopcroft–Karp. adj(u) lists the
+// right vertices adjacent to left vertex u. Runs in O(E·√V).
+func MaxBipartiteMatching(nLeft, nRight int, adj func(u int) []int) int {
+	const inf = int(^uint(0) >> 1)
+	matchL := make([]int, nLeft)  // left → right (-1 unmatched)
+	matchR := make([]int, nRight) // right → left (-1 unmatched)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] < 0 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range adj(u) {
+				w := matchR[v]
+				if w < 0 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj(u) {
+			w := matchR[v]
+			if w < 0 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	matching := 0
+	for bfs() {
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] < 0 && dfs(u) {
+				matching++
+			}
+		}
+	}
+	return matching
+}
+
+// Width returns the width of the partial order induced by the DAG's
+// reachability — the size of its largest antichain. By Dilworth's theorem
+// this equals the minimum number of chains covering the poset, computed as
+// N − maximum matching in the split bipartite graph whose edges are the
+// reachability pairs (Fulkerson's construction).
+//
+// The width bounds how many DFG operations can ever share a clock cycle,
+// whatever the pattern — a capacity ceiling for pattern selection.
+func (r *Reachability) Width() int {
+	n := r.N()
+	adjCache := make([][]int, n)
+	for u := 0; u < n; u++ {
+		adjCache[u] = r.desc[u].Elems()
+	}
+	matching := MaxBipartiteMatching(n, n, func(u int) []int { return adjCache[u] })
+	return n - matching
+}

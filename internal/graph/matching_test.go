@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxBipartiteMatchingBasics(t *testing.T) {
+	// Perfect matching on a 3×3 complete bipartite graph.
+	all := func(u int) []int { return []int{0, 1, 2} }
+	if got := MaxBipartiteMatching(3, 3, all); got != 3 {
+		t.Errorf("K33 matching = %d, want 3", got)
+	}
+	// Star: three left vertices all adjacent to right vertex 0.
+	star := func(u int) []int { return []int{0} }
+	if got := MaxBipartiteMatching(3, 1, star); got != 1 {
+		t.Errorf("star matching = %d, want 1", got)
+	}
+	// Empty graph.
+	none := func(u int) []int { return nil }
+	if got := MaxBipartiteMatching(4, 4, none); got != 0 {
+		t.Errorf("empty matching = %d, want 0", got)
+	}
+}
+
+func TestWidthChain(t *testing.T) {
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	r, err := NewReachability(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Width(); got != 1 {
+		t.Errorf("chain width = %d, want 1", got)
+	}
+}
+
+func TestWidthAntichain(t *testing.T) {
+	g := New(6) // no edges: everything parallel
+	r, err := NewReachability(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Width(); got != 6 {
+		t.Errorf("antichain width = %d, want 6", got)
+	}
+}
+
+func TestWidthDiamond(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3)
+	r, err := NewReachability(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Width(); got != 2 {
+		t.Errorf("diamond width = %d, want 2", got)
+	}
+}
+
+// Width from Dilworth/matching must agree with brute-force maximum
+// antichain search on small random DAGs.
+func TestWidthMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		g := smallRandomDAG(rng, 4+rng.Intn(9))
+		r, err := NewReachability(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceWidth(g, r)
+		if got := r.Width(); got != want {
+			t.Fatalf("trial %d: width %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func smallRandomDAG(rng *rand.Rand, n int) *Digraph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func bruteForceWidth(g *Digraph, r *Reachability) int {
+	n := g.N()
+	best := 0
+	for mask := 1; mask < 1<<n; mask++ {
+		var nodes []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				nodes = append(nodes, i)
+			}
+		}
+		ok := true
+		for i := 0; i < len(nodes) && ok; i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if r.Comparable(nodes[i], nodes[j]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && len(nodes) > best {
+			best = len(nodes)
+		}
+	}
+	return best
+}

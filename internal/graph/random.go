@@ -1,0 +1,71 @@
+package graph
+
+import "math/rand"
+
+// RandomDAGConfig controls layered random DAG generation. Random DAGs feed
+// the property-based tests and the synthetic workload sweeps.
+type RandomDAGConfig struct {
+	Layers       int     // number of levels (≥1)
+	WidthMin     int     // min nodes per layer (≥1)
+	WidthMax     int     // max nodes per layer (≥ WidthMin)
+	EdgeProb     float64 // probability of an edge between adjacent layers
+	LongEdgeProb float64 // probability of an edge skipping ≥2 layers
+}
+
+// DefaultRandomDAGConfig is a moderate workload: 5 layers of 3–6 nodes.
+func DefaultRandomDAGConfig() RandomDAGConfig {
+	return RandomDAGConfig{Layers: 5, WidthMin: 3, WidthMax: 6, EdgeProb: 0.4, LongEdgeProb: 0.05}
+}
+
+// RandomLayeredDAG builds a random DAG whose nodes are organised in layers,
+// with edges pointing from lower to higher layers only (hence acyclic by
+// construction). Every non-first-layer node is guaranteed at least one
+// predecessor so that layer structure is meaningful. The rng drives all
+// choices, so a fixed seed yields a reproducible graph.
+func RandomLayeredDAG(rng *rand.Rand, cfg RandomDAGConfig) *Digraph {
+	if cfg.Layers < 1 {
+		cfg.Layers = 1
+	}
+	if cfg.WidthMin < 1 {
+		cfg.WidthMin = 1
+	}
+	if cfg.WidthMax < cfg.WidthMin {
+		cfg.WidthMax = cfg.WidthMin
+	}
+	layers := make([][]int, cfg.Layers)
+	g := &Digraph{}
+	for l := 0; l < cfg.Layers; l++ {
+		w := cfg.WidthMin
+		if cfg.WidthMax > cfg.WidthMin {
+			w += rng.Intn(cfg.WidthMax - cfg.WidthMin + 1)
+		}
+		for i := 0; i < w; i++ {
+			layers[l] = append(layers[l], g.AddNode())
+		}
+	}
+	for l := 1; l < cfg.Layers; l++ {
+		for _, v := range layers[l] {
+			connected := false
+			for _, u := range layers[l-1] {
+				if rng.Float64() < cfg.EdgeProb {
+					g.MustAddEdge(u, v)
+					connected = true
+				}
+			}
+			// Long skip edges from any strictly earlier layer.
+			for ll := 0; ll < l-1; ll++ {
+				for _, u := range layers[ll] {
+					if rng.Float64() < cfg.LongEdgeProb {
+						g.MustAddEdge(u, v)
+						connected = true
+					}
+				}
+			}
+			if !connected {
+				u := layers[l-1][rng.Intn(len(layers[l-1]))]
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,100 @@
+package graph
+
+// Reachability is the transitive-closure matrix of a DAG, stored as one
+// bitset of descendants (and one of ancestors) per node. It answers
+// comparability queries — the heart of antichain enumeration — in O(1).
+type Reachability struct {
+	desc []*BitSet // desc[u].Has(v) ⇔ v is a proper follower of u
+	anc  []*BitSet // anc[u].Has(v)  ⇔ v is a proper ancestor of u
+}
+
+// NewReachability computes the transitive closure of g, which must be a DAG.
+// Complexity O(N·M/64) via bitset propagation in reverse topological order.
+func NewReachability(g *Digraph) (*Reachability, error) {
+	order, err := TopoSort(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	r := &Reachability{
+		desc: make([]*BitSet, n),
+		anc:  make([]*BitSet, n),
+	}
+	for i := 0; i < n; i++ {
+		r.desc[i] = NewBitSet(n)
+		r.anc[i] = NewBitSet(n)
+	}
+	// Descendants accumulate from sinks upward.
+	for i := n - 1; i >= 0; i-- {
+		u := order[i]
+		for _, v := range g.Succs(u) {
+			r.desc[u].Set(v)
+			r.desc[u].Or(r.desc[v])
+		}
+	}
+	// Ancestors accumulate from sources downward.
+	for _, u := range order {
+		for _, p := range g.Preds(u) {
+			r.anc[u].Set(p)
+			r.anc[u].Or(r.anc[p])
+		}
+	}
+	return r, nil
+}
+
+// N returns the number of nodes covered by the matrix.
+func (r *Reachability) N() int { return len(r.desc) }
+
+// Follower reports whether v is a (proper, transitive) follower of u, i.e.
+// there is a directed path u → … → v of length ≥ 1.
+func (r *Reachability) Follower(u, v int) bool { return r.desc[u].Has(v) }
+
+// Comparable reports whether u and v are ordered (one follows the other).
+// A node is not comparable with itself under this definition.
+func (r *Reachability) Comparable(u, v int) bool {
+	if u == v {
+		return false
+	}
+	return r.desc[u].Has(v) || r.desc[v].Has(u)
+}
+
+// Parallelizable reports whether u ≠ v and neither follows the other — the
+// paper's condition for two nodes to share a clock cycle.
+func (r *Reachability) Parallelizable(u, v int) bool {
+	return u != v && !r.Comparable(u, v)
+}
+
+// Descendants returns the follower set of u. The returned bitset is owned by
+// the matrix and must not be mutated.
+func (r *Reachability) Descendants(u int) *BitSet { return r.desc[u] }
+
+// Ancestors returns the ancestor set of u. The returned bitset is owned by
+// the matrix and must not be mutated.
+func (r *Reachability) Ancestors(u int) *BitSet { return r.anc[u] }
+
+// ComparablePairs counts unordered node pairs {u,v} with u comparable to v.
+func (r *Reachability) ComparablePairs() int {
+	total := 0
+	for u := range r.desc {
+		total += r.desc[u].Count()
+	}
+	return total
+}
+
+// Incomparability returns, for each node, the bitset of nodes it is
+// parallelizable with. Used to enumerate antichains as cliques of the
+// incomparability graph.
+func (r *Reachability) Incomparability() []*BitSet {
+	n := len(r.desc)
+	inc := make([]*BitSet, n)
+	for u := 0; u < n; u++ {
+		b := NewBitSet(n)
+		for v := 0; v < n; v++ {
+			if u != v && !r.Comparable(u, v) {
+				b.Set(v)
+			}
+		}
+		inc[u] = b
+	}
+	return inc
+}

@@ -1,0 +1,96 @@
+package graph
+
+import "fmt"
+
+// TopoSort returns a topological ordering of the graph using Kahn's
+// algorithm, or an error naming one node on a cycle if the graph is not a
+// DAG. Among ready nodes the smallest id is emitted first, making the order
+// deterministic.
+func TopoSort(g *Digraph) ([]int, error) {
+	n := g.N()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = g.InDegree(i)
+	}
+	// A simple binary-heap-free selection: maintain a sorted-insert queue.
+	// DFGs are small (≤ a few thousand nodes); an O(n log n) ready heap is
+	// plenty and keeps the order deterministic.
+	ready := newMinQueue(n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready.push(i)
+		}
+	}
+	order := make([]int, 0, n)
+	for ready.len() > 0 {
+		u := ready.pop()
+		order = append(order, u)
+		for _, v := range g.Succs(u) {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready.push(v)
+			}
+		}
+	}
+	if len(order) != n {
+		for i := 0; i < n; i++ {
+			if indeg[i] > 0 {
+				return nil, fmt.Errorf("graph: cycle detected involving node %d", i)
+			}
+		}
+		return nil, fmt.Errorf("graph: cycle detected")
+	}
+	return order, nil
+}
+
+// IsDAG reports whether the graph has no directed cycles.
+func IsDAG(g *Digraph) bool {
+	_, err := TopoSort(g)
+	return err == nil
+}
+
+// minQueue is a small binary min-heap of ints.
+type minQueue struct{ a []int }
+
+func newMinQueue(capacity int) *minQueue {
+	return &minQueue{a: make([]int, 0, capacity)}
+}
+
+func (q *minQueue) len() int { return len(q.a) }
+
+func (q *minQueue) push(v int) {
+	q.a = append(q.a, v)
+	i := len(q.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.a[parent] <= q.a[i] {
+			break
+		}
+		q.a[parent], q.a[i] = q.a[i], q.a[parent]
+		i = parent
+	}
+}
+
+func (q *minQueue) pop() int {
+	top := q.a[0]
+	last := len(q.a) - 1
+	q.a[0] = q.a[last]
+	q.a = q.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.a) && q.a[l] < q.a[smallest] {
+			smallest = l
+		}
+		if r < len(q.a) && q.a[r] < q.a[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.a[i], q.a[smallest] = q.a[smallest], q.a[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,240 @@
+// Package montium models the Montium processor tile of Heysters et al. —
+// the coarse-grained reconfigurable architecture the paper schedules for —
+// and executes allocated programs on it cycle by cycle.
+//
+// The model enforces the constraints the paper's algorithms exist to
+// satisfy: one pattern configures all ALUs per clock cycle, the
+// configuration store holds a bounded number of patterns (32 in hardware),
+// values move between ALUs over a bounded set of global buses, and
+// external data lives in the tile memories. Execution results are checked
+// against the DFG's reference interpreter by the tests, closing the loop
+// from source program to simulated hardware.
+package montium
+
+import (
+	"fmt"
+
+	"mpsched/internal/alloc"
+	"mpsched/internal/dfg"
+)
+
+// Tile is an instance of the modeled hardware, ready to execute one loaded
+// program.
+type Tile struct {
+	arch alloc.Arch
+	prog *alloc.Program
+
+	regs [][]float64 // per ALU register file
+	mem  [][]float64 // tile memories
+
+	// Strict makes the tile fail when a cycle needs more global-bus
+	// transfers than the architecture provides, instead of just counting.
+	Strict bool
+
+	stats RunStats
+}
+
+// RunStats reports what one execution did.
+type RunStats struct {
+	Cycles        int
+	ALUOps        int
+	CrossALUMoves int     // values fetched from another ALU's registers
+	MemoryReads   int     // operand fetches from memories
+	MemoryWrites  int     // spill/output writes to memories
+	PeakBusLoad   int     // worst per-cycle cross-ALU traffic
+	BusOverflows  int     // cycles whose traffic exceeded the bus count
+	MeanBusLoad   float64 // average per-cycle cross-ALU traffic
+}
+
+// NewTile builds a tile for the program's architecture and loads the
+// program, validating it against the configuration limits.
+func NewTile(p *alloc.Program) (*Tile, error) {
+	arch := p.Arch
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Schedule.Patterns.Len() > arch.MaxPatterns {
+		return nil, fmt.Errorf("montium: program uses %d patterns, configuration store holds %d",
+			p.Schedule.Patterns.Len(), arch.MaxPatterns)
+	}
+	if err := p.Schedule.Verify(); err != nil {
+		return nil, fmt.Errorf("montium: schedule does not verify: %w", err)
+	}
+	t := &Tile{arch: arch, prog: p}
+	t.regs = make([][]float64, arch.ALUs)
+	for i := range t.regs {
+		t.regs[i] = make([]float64, arch.RegsPerALU)
+	}
+	t.mem = make([][]float64, arch.Memories)
+	for i := range t.mem {
+		t.mem[i] = make([]float64, arch.MemWords)
+	}
+	return t, nil
+}
+
+// Run executes the loaded program on the given external inputs and returns
+// the named outputs. Every node must carry semantics (Op ≠ OpNone).
+func (t *Tile) Run(inputs map[string]float64) (map[string]float64, error) {
+	p := t.prog
+	d := p.Graph
+	t.stats = RunStats{}
+
+	// Load external inputs into the memories at their allocated addresses.
+	for name, addr := range p.InputAddr {
+		v, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("montium: missing input %q", name)
+		}
+		t.mem[addr/t.arch.MemWords][addr%t.arch.MemWords] = v
+		t.stats.MemoryWrites++
+	}
+
+	values := make([]float64, d.N()) // shadow copy for error reporting only
+	outputs := map[string]float64{}
+	totalBus := 0
+
+	for cyc, nodes := range p.Schedule.Cycles {
+		busLoad := 0
+		type write struct {
+			node int
+			val  float64
+		}
+		var writes []write
+		for _, n := range nodes {
+			node := d.Node(n)
+			if node.Op == dfg.OpNone {
+				return nil, fmt.Errorf("montium: node %s has no semantics; structural graphs cannot execute", node.Name)
+			}
+			args := make([]float64, len(node.Args))
+			for i, a := range node.Args {
+				v, cost, err := t.fetch(n, a)
+				if err != nil {
+					return nil, fmt.Errorf("montium: cycle %d, node %s: %w", cyc, node.Name, err)
+				}
+				args[i] = v
+				busLoad += cost
+			}
+			v, err := applyALUOp(node.Op, args)
+			if err != nil {
+				return nil, fmt.Errorf("montium: node %s: %w", node.Name, err)
+			}
+			t.stats.ALUOps++
+			writes = append(writes, write{n, v})
+		}
+		// Results commit at end of cycle — consumers in the same cycle
+		// cannot see them, matching the scheduler's strict precedence.
+		for _, w := range writes {
+			if err := t.store(w.node, w.val); err != nil {
+				return nil, err
+			}
+			values[w.node] = w.val
+			if name := d.Node(w.node).Output; name != "" {
+				outputs[name] = w.val
+			}
+		}
+		if busLoad > t.stats.PeakBusLoad {
+			t.stats.PeakBusLoad = busLoad
+		}
+		if busLoad > t.arch.Buses {
+			t.stats.BusOverflows++
+			if t.Strict {
+				return nil, fmt.Errorf("montium: cycle %d needs %d bus transfers, tile has %d buses",
+					cyc, busLoad, t.arch.Buses)
+			}
+		}
+		totalBus += busLoad
+	}
+	t.stats.Cycles = len(p.Schedule.Cycles)
+	if t.stats.Cycles > 0 {
+		t.stats.MeanBusLoad = float64(totalBus) / float64(t.stats.Cycles)
+	}
+	return outputs, nil
+}
+
+// fetch reads one operand for node n, returning the value and its global-
+// bus cost (1 for a cross-ALU register read or a memory read, 0 for a
+// local register or an immediate constant).
+func (t *Tile) fetch(n int, a dfg.Operand) (float64, int, error) {
+	switch a.Kind {
+	case dfg.OperandConst:
+		return a.Const, 0, nil
+	case dfg.OperandInput:
+		addr, ok := t.prog.InputAddr[a.Input]
+		if !ok {
+			return 0, 0, fmt.Errorf("input %q was never allocated", a.Input)
+		}
+		t.stats.MemoryReads++
+		return t.mem[addr/t.arch.MemWords][addr%t.arch.MemWords], 1, nil
+	case dfg.OperandNode:
+		src := a.Node
+		loc := t.prog.ResultLoc[src]
+		if loc.Reg < 0 {
+			if loc.Mem < 0 {
+				return 0, 0, fmt.Errorf("operand %s has no storage (dead value read?)",
+					t.prog.Graph.NameOf(src))
+			}
+			t.stats.MemoryReads++
+			return t.mem[loc.Mem][loc.Word], 1, nil
+		}
+		srcALU := t.prog.ALUOf[src]
+		cost := 0
+		if srcALU != t.prog.ALUOf[n] {
+			t.stats.CrossALUMoves++
+			cost = 1
+		}
+		return t.regs[srcALU][loc.Reg], cost, nil
+	}
+	return 0, 0, fmt.Errorf("unknown operand kind")
+}
+
+// store commits node n's result to its allocated location.
+func (t *Tile) store(n int, v float64) error {
+	loc := t.prog.ResultLoc[n]
+	switch {
+	case loc.Reg >= 0:
+		t.regs[t.prog.ALUOf[n]][loc.Reg] = v
+	case loc.Mem >= 0:
+		t.mem[loc.Mem][loc.Word] = v
+		t.stats.MemoryWrites++
+	default:
+		// Dead value: nothing reads it, nothing to store.
+	}
+	return nil
+}
+
+// Stats returns the statistics of the last Run.
+func (t *Tile) Stats() RunStats { return t.stats }
+
+// applyALUOp is the ALU function unit: the same semantics as the DFG
+// reference interpreter, restricted to what one ALU does in one cycle.
+func applyALUOp(op dfg.Op, args []float64) (float64, error) {
+	switch op {
+	case dfg.OpAdd:
+		s := 0.0
+		for _, a := range args {
+			s += a
+		}
+		return s, nil
+	case dfg.OpSub:
+		if len(args) == 0 {
+			return 0, fmt.Errorf("sub with no operands")
+		}
+		s := args[0]
+		for _, a := range args[1:] {
+			s -= a
+		}
+		return s, nil
+	case dfg.OpMul:
+		p := 1.0
+		for _, a := range args {
+			p *= a
+		}
+		return p, nil
+	case dfg.OpNeg:
+		return -args[0], nil
+	case dfg.OpPass:
+		return args[0], nil
+	default:
+		return 0, fmt.Errorf("ALU cannot execute op %v", op)
+	}
+}

@@ -1,0 +1,231 @@
+package montium
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"mpsched/internal/alloc"
+	"mpsched/internal/patsel"
+	"mpsched/internal/pattern"
+	"mpsched/internal/sched"
+	"mpsched/internal/workloads"
+)
+
+func allocated3DFT(t *testing.T) *alloc.Program {
+	t.Helper()
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	s, err := sched.MultiPattern(g, ps, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := alloc.Allocate(s, alloc.DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The headline integration: the scheduled, allocated 3DFT executed on the
+// modeled tile produces the same transform as the textbook DFT.
+func TestTileExecutes3DFT(t *testing.T) {
+	p := allocated3DFT(t)
+	tile, err := NewTile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []complex128{complex(1.5, -0.5), complex(-2.25, 3.0), complex(0.75, 1.25)}
+	out, err := tile.Run(workloads.DFTInputs(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := workloads.DFTOutputs(3, out)
+	want := workloads.ReferenceDFT(x)
+	for k := range want {
+		if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+			t.Errorf("X%d = %v, want %v", k, got[k], want[k])
+		}
+	}
+	st := tile.Stats()
+	if st.Cycles != 7 || st.ALUOps != 24 {
+		t.Errorf("stats %+v, want 7 cycles / 24 ops", st)
+	}
+	if st.BusOverflows != 0 {
+		t.Errorf("bus overflows: %d", st.BusOverflows)
+	}
+}
+
+// Simulated execution must agree with the reference interpreter on random
+// inputs — the simulator is the same function computed a very different way.
+func TestTileMatchesReferenceInterpreter(t *testing.T) {
+	p := allocated3DFT(t)
+	tile, err := NewTile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		inputs := map[string]float64{}
+		for _, name := range p.Graph.InputNames() {
+			inputs[name] = rng.NormFloat64()
+		}
+		simOut, err := tile.Run(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, refOut, err := p.Graph.Evaluate(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, want := range refOut {
+			if math.Abs(simOut[name]-want) > 1e-12 {
+				t.Errorf("trial %d: %s = %v, want %v", trial, name, simOut[name], want)
+			}
+		}
+	}
+}
+
+// End-to-end with the paper's own pipeline: pattern selection feeds the
+// scheduler, the allocator binds it, the tile runs it, the numbers check.
+func TestFullPipelineWithSelectedPatterns(t *testing.T) {
+	g := workloads.ThreeDFT()
+	sel, err := patsel.Select(g, patsel.Config{C: 5, Pdef: 3, MaxSpan: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.MultiPattern(g, sel.Patterns, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := alloc.Allocate(s, alloc.DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, err := NewTile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile.Strict = true // selected patterns should respect the buses too
+	x := []complex128{complex(2, 1), complex(-1, 0.5), complex(0.25, -3)}
+	out, err := tile.Run(workloads.DFTInputs(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := workloads.DFTOutputs(3, out)
+	want := workloads.ReferenceDFT(x)
+	for k := range want {
+		if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+			t.Errorf("X%d = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestFivePointDFTOnTile(t *testing.T) {
+	g, err := workloads.NPointDFT(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := patsel.Select(g, patsel.Config{C: 5, Pdef: 4, MaxSpan: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.MultiPattern(g, sel.Patterns, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := alloc.Allocate(s, alloc.DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, err := NewTile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []complex128{1, 2i, complex(3, -1), complex(-0.5, 0.25), complex(1, 1)}
+	out, err := tile.Run(workloads.DFTInputs(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := workloads.DFTOutputs(5, out)
+	want := workloads.ReferenceDFT(x)
+	for k := range want {
+		if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+			t.Errorf("X%d = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestTileRejectsMissingInput(t *testing.T) {
+	p := allocated3DFT(t)
+	tile, err := NewTile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tile.Run(map[string]float64{"x0r": 1}); err == nil {
+		t.Error("missing inputs not reported")
+	}
+}
+
+func TestTileRejectsStructuralGraph(t *testing.T) {
+	g := workloads.RandomColored(rand.New(rand.NewSource(3)), workloads.DefaultRandomColoredConfig())
+	ps := pattern.NewSet(pattern.New(g.Colors()...))
+	s, err := sched.MultiPattern(g, ps, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := alloc.Allocate(s, alloc.DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, err := NewTile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tile.Run(map[string]float64{}); err == nil {
+		t.Error("structural graph executed")
+	}
+}
+
+func TestTileRejectsPatternOverflow(t *testing.T) {
+	p := allocated3DFT(t)
+	small := *p
+	arch := p.Arch
+	arch.MaxPatterns = 1
+	small.Arch = arch
+	if _, err := NewTile(&small); err == nil {
+		t.Error("configuration store overflow not caught at load time")
+	}
+}
+
+func TestStrictBusModeTriggers(t *testing.T) {
+	// One-bus architecture: the 3DFT's parallel cycles must overflow.
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	s, err := sched.MultiPattern(g, ps, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := alloc.DefaultArch()
+	arch.Buses = 1
+	p, err := alloc.Allocate(s, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, err := NewTile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []complex128{1, 2, 3}
+	if _, err := tile.Run(workloads.DFTInputs(x)); err != nil {
+		t.Fatalf("non-strict run should succeed: %v", err)
+	}
+	if tile.Stats().BusOverflows == 0 {
+		t.Error("expected bus overflows on a 1-bus tile")
+	}
+	tile.Strict = true
+	if _, err := tile.Run(workloads.DFTInputs(x)); err == nil {
+		t.Error("strict mode did not fail on bus overflow")
+	}
+}

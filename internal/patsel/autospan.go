@@ -1,0 +1,50 @@
+package patsel
+
+import (
+	"fmt"
+
+	"mpsched/internal/antichain"
+	"mpsched/internal/dfg"
+	"mpsched/internal/sched"
+)
+
+// SelectBestSpan runs the selection algorithm once per span limit and
+// keeps the selection whose multi-pattern schedule is shortest (ties go to
+// the earlier listed limit). The span limit is the algorithm's only free
+// parameter — the paper presents it as a complexity/quality trade-off
+// without fixing a value — so a deployment sweeps a few small limits and
+// schedules each candidate set, which is cheap next to enumeration.
+//
+// Unlike Select, a span of 0 here means the literal limit 0 (Config's zero
+// value defaulting does not apply to the swept spans).
+//
+// Returns the winning selection, its schedule, and the winning span limit.
+func SelectBestSpan(d *dfg.Graph, cfg Config, spans []int, opts sched.Options) (*Selection, *sched.Schedule, int, error) {
+	if len(spans) == 0 {
+		spans = []int{0, 1, 2}
+	}
+	cfg = cfg.withDefaults()
+	var (
+		bestSel  *Selection
+		bestSch  *sched.Schedule
+		bestSpan int
+	)
+	for _, span := range spans {
+		res, err := antichain.Enumerate(d, antichain.Config{MaxSize: cfg.C, MaxSpan: span})
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("patsel: span %d: %w", span, err)
+		}
+		sel, err := SelectFrom(d, res, cfg)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("patsel: span %d: %w", span, err)
+		}
+		s, err := sched.MultiPattern(d, sel.Patterns, opts)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("patsel: span %d: %w", span, err)
+		}
+		if bestSch == nil || s.Length() < bestSch.Length() {
+			bestSel, bestSch, bestSpan = sel, s, span
+		}
+	}
+	return bestSel, bestSch, bestSpan, nil
+}

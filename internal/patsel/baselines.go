@@ -1,0 +1,162 @@
+package patsel
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mpsched/internal/antichain"
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+)
+
+// Random generates Pdef patterns of exactly C uniform-random colors from
+// the graph's color set, retrying until the set as a whole covers every
+// color (an uncoverable color would make scheduling impossible — the
+// paper's random baseline is always schedulable). Deterministic under rng.
+func Random(d *dfg.Graph, cfg Config, rng *rand.Rand) (*pattern.Set, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Pdef < 1 {
+		return nil, fmt.Errorf("patsel: Pdef %d < 1", cfg.Pdef)
+	}
+	colors := d.Colors()
+	if len(colors) == 0 {
+		return nil, fmt.Errorf("patsel: graph has no nodes")
+	}
+	if len(colors) > cfg.C*cfg.Pdef {
+		return nil, fmt.Errorf("patsel: %d colors cannot fit in %d patterns of %d slots",
+			len(colors), cfg.Pdef, cfg.C)
+	}
+	const maxTries = 10000
+	for try := 0; try < maxTries; try++ {
+		ps := pattern.NewSet()
+		for len(ps.Patterns()) < cfg.Pdef {
+			cs := make([]dfg.Color, cfg.C)
+			for i := range cs {
+				cs[i] = colors[rng.Intn(len(colors))]
+			}
+			ps.Add(pattern.New(cs...))
+		}
+		if ps.CoversColors(colors) {
+			return ps, nil
+		}
+	}
+	return nil, fmt.Errorf("patsel: could not cover %d colors in %d tries", len(colors), maxTries)
+}
+
+// GreedyFrequency is the ablation baseline that ranks candidate patterns
+// purely by antichain count (no balance term, no size bonus), still
+// respecting the color condition so the result is schedulable.
+func GreedyFrequency(d *dfg.Graph, cfg Config) (*Selection, error) {
+	cfg = cfg.withDefaults()
+	cfg.DisableBalance = true
+	cfg.DisableSizeBonus = true
+	return Select(d, cfg)
+}
+
+// NodeCoverage is an alternative greedy selector: each round it picks the
+// candidate covering the most not-yet-covered nodes (a set-cover
+// heuristic), with the color condition as a feasibility guard. It is not in
+// the paper; it serves as an independent comparison point in the benches.
+func NodeCoverage(d *dfg.Graph, cfg Config) (*Selection, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Pdef < 1 {
+		return nil, fmt.Errorf("patsel: Pdef %d < 1", cfg.Pdef)
+	}
+	res, err := antichain.Enumerate(d, antichain.Config{MaxSize: cfg.C, MaxSpan: cfg.MaxSpan})
+	if err != nil {
+		return nil, err
+	}
+	type candidate struct {
+		key   string
+		class *antichain.Class
+	}
+	var pool []candidate
+	for key, cl := range res.Classes {
+		pool = append(pool, candidate{key, cl})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].key < pool[j].key })
+	alive := make([]bool, len(pool))
+	for i := range alive {
+		alive[i] = true
+	}
+
+	completeColors := d.Colors()
+	coveredColors := map[dfg.Color]bool{}
+	coveredNodes := make([]bool, d.N())
+	selected := pattern.NewSet()
+	sel := &Selection{Patterns: selected, Enumerated: res}
+
+	for round := 0; round < cfg.Pdef; round++ {
+		uncovered := 0
+		for _, c := range completeColors {
+			if !coveredColors[c] {
+				uncovered++
+			}
+		}
+		minNew := uncovered - cfg.C*(cfg.Pdef-selected.Len()-1)
+
+		step := Step{Priorities: map[string]float64{}}
+		bestIdx, bestGain := -1, -1
+		for i, cand := range pool {
+			if !alive[i] {
+				continue
+			}
+			if newColorCount(cand.class.Pattern, coveredColors) < minNew {
+				continue
+			}
+			gain := 0
+			for nd, h := range cand.class.NodeFreq {
+				if h > 0 && !coveredNodes[nd] {
+					gain++
+				}
+			}
+			step.Priorities[cand.key] = float64(gain)
+			if gain > bestGain ||
+				(gain == bestGain && bestIdx >= 0 &&
+					betterCandidate(1, cand.class.Pattern, 1, pool[bestIdx].class.Pattern)) {
+				bestIdx, bestGain = i, gain
+			}
+		}
+
+		var chosen pattern.Pattern
+		if bestIdx >= 0 && bestGain > 0 {
+			chosen = pool[bestIdx].class.Pattern
+			step.Chosen = chosen
+			step.Priority = float64(bestGain)
+			for nd, h := range pool[bestIdx].class.NodeFreq {
+				if h > 0 {
+					coveredNodes[nd] = true
+				}
+			}
+		} else {
+			var missing []dfg.Color
+			for _, c := range completeColors {
+				if !coveredColors[c] {
+					missing = append(missing, c)
+				}
+			}
+			if len(missing) == 0 {
+				break
+			}
+			if len(missing) > cfg.C {
+				missing = missing[:cfg.C]
+			}
+			chosen = pattern.New(missing...)
+			step.Chosen = chosen
+			step.Synthesized = true
+		}
+		selected.Add(chosen)
+		for _, c := range chosen.Colors() {
+			coveredColors[c] = true
+		}
+		for i, cand := range pool {
+			if alive[i] && cand.class.Pattern.SubpatternOf(chosen) {
+				alive[i] = false
+				step.Deleted = append(step.Deleted, cand.key)
+			}
+		}
+		sel.Steps = append(sel.Steps, step)
+	}
+	return sel, nil
+}

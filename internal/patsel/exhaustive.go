@@ -1,0 +1,106 @@
+package patsel
+
+import (
+	"fmt"
+	"sort"
+
+	"mpsched/internal/antichain"
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+	"mpsched/internal/sched"
+)
+
+// Exhaustive searches every Pdef-subset of the candidate pattern classes
+// (those covering the graph's colors) and returns the set whose
+// multi-pattern schedule is shortest — the brute-force optimum over the
+// same candidate pool the greedy selection draws from. It exists to
+// measure the greedy algorithm's optimality gap on small inputs; the
+// number of evaluated subsets is capped by maxCombos (default 200k).
+func Exhaustive(d *dfg.Graph, cfg Config, opts sched.Options, maxCombos int) (*pattern.Set, *sched.Schedule, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Pdef < 1 {
+		return nil, nil, fmt.Errorf("patsel: Pdef %d < 1", cfg.Pdef)
+	}
+	if maxCombos <= 0 {
+		maxCombos = 200_000
+	}
+	res, err := antichain.Enumerate(d, antichain.Config{MaxSize: cfg.C, MaxSpan: cfg.MaxSpan})
+	if err != nil {
+		return nil, nil, err
+	}
+	var pool []pattern.Pattern
+	for _, cl := range res.Classes {
+		pool = append(pool, cl.Pattern)
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].Key() < pool[j].Key() })
+
+	combos := binomial(len(pool), cfg.Pdef)
+	if combos > maxCombos {
+		return nil, nil, fmt.Errorf("patsel: %d candidate subsets exceed cap %d (pool %d, Pdef %d)",
+			combos, maxCombos, len(pool), cfg.Pdef)
+	}
+
+	colors := d.Colors()
+	var bestSet *pattern.Set
+	var bestSched *sched.Schedule
+
+	idx := make([]int, cfg.Pdef)
+	var rec func(start, pos int)
+	rec = func(start, pos int) {
+		if pos == cfg.Pdef {
+			ps := pattern.NewSet()
+			for _, i := range idx {
+				ps.Add(pool[i])
+			}
+			if !ps.CoversColors(colors) {
+				return
+			}
+			s, err := sched.MultiPattern(d, ps, opts)
+			if err != nil {
+				return
+			}
+			if bestSched == nil || s.Length() < bestSched.Length() {
+				bestSet, bestSched = ps, s
+			}
+			return
+		}
+		for i := start; i <= len(pool)-(cfg.Pdef-pos); i++ {
+			idx[pos] = i
+			rec(i+1, pos+1)
+		}
+	}
+	if cfg.Pdef <= len(pool) {
+		rec(0, 0)
+	}
+	if bestSched == nil {
+		// No subset covers the colors (e.g. Fig. 4 with Pdef=1): fall
+		// back to the greedy algorithm, whose synthesis step handles it.
+		sel, err := Select(d, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, err := sched.MultiPattern(d, sel.Patterns, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sel.Patterns, s, nil
+	}
+	return bestSet, bestSched, nil
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1
+	for i := 0; i < k; i++ {
+		out = out * (n - i) / (i + 1)
+		if out < 0 || out > 1<<40 {
+			return 1 << 40 // saturate
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package patsel
+
+import (
+	"testing"
+
+	"mpsched/internal/sched"
+	"mpsched/internal/workloads"
+)
+
+func TestExhaustiveNeverWorseThanGreedy(t *testing.T) {
+	g := workloads.ThreeDFT()
+	for _, pdef := range []int{1, 2} {
+		cfg := Config{C: 5, Pdef: pdef, MaxSpan: 1}
+		_, exhaustive, err := Exhaustive(g, cfg, sched.Options{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := Select(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := sched.MultiPattern(g, sel.Patterns, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exhaustive.Length() > greedy.Length() {
+			t.Errorf("pdef=%d: exhaustive %d worse than greedy %d",
+				pdef, exhaustive.Length(), greedy.Length())
+		}
+		t.Logf("pdef=%d: greedy=%d exhaustive=%d (gap %d)",
+			pdef, greedy.Length(), exhaustive.Length(), greedy.Length()-exhaustive.Length())
+	}
+}
+
+func TestExhaustiveFig4(t *testing.T) {
+	g := workloads.Fig4Small()
+	ps, s, err := Exhaustive(g, Config{C: 2, Pdef: 2, MaxSpan: SpanUnlimited}, sched.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !ps.CoversColors(g.Colors()) {
+		t.Errorf("exhaustive set %s misses colors", ps)
+	}
+	// The greedy choice {aa},{bb} schedules Fig. 4 in 3 cycles; the
+	// exhaustive optimum cannot beat the 3-cycle critical path.
+	if s.Length() != 3 {
+		t.Errorf("exhaustive = %d cycles, want 3 (critical path)", s.Length())
+	}
+}
+
+func TestExhaustiveFallsBackToSynthesis(t *testing.T) {
+	// Pdef=1 on Fig. 4: no candidate class covers both colors, so the
+	// fallback must return the synthesised {ab}.
+	g := workloads.Fig4Small()
+	ps, s, err := Exhaustive(g, Config{C: 2, Pdef: 1, MaxSpan: SpanUnlimited}, sched.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.At(0).Key() != "a,b" {
+		t.Errorf("fallback pattern %s, want {a,b}", ps.At(0))
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustiveComboCap(t *testing.T) {
+	g := workloads.ThreeDFT()
+	if _, _, err := Exhaustive(g, Config{C: 5, Pdef: 4, MaxSpan: 2}, sched.Options{}, 10); err == nil {
+		t.Error("combo cap not enforced")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {6, 3, 20}, {4, 5, 0},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package patsel implements the paper's contribution: selecting the Pdef
+// patterns handed to the multi-pattern scheduler (§5, Figs. 6–7).
+//
+// Candidates are the patterns of the DFG's bounded-span antichains
+// (package antichain). Patterns are chosen greedily by the priority
+//
+//	f(p̄ⱼ) = Σ_n h(p̄ⱼ,n) / (Σ_{p̄ᵢ∈Ps} h(p̄ᵢ,n) + ε)  +  α·|p̄ⱼ|²     (Eq. 8)
+//
+// subject to the color number condition (inequality 9); after each choice
+// the subpatterns of the winner are deleted, and when no candidate
+// qualifies a pattern is synthesised from uncovered colors.
+package patsel
+
+import (
+	"fmt"
+	"sort"
+
+	"mpsched/internal/antichain"
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+)
+
+// Config parameterises Select. Zero values take the paper's defaults where
+// the paper names one (ε = 0.5, α = 20, C = 5).
+type Config struct {
+	// C is the number of reconfigurable resources (pattern capacity).
+	// Default 5 (the Montium).
+	C int
+	// Pdef is how many patterns to select. Must be ≥ 1.
+	Pdef int
+	// MaxSpan bounds the span of enumerated antichains; negative means
+	// unlimited. Default (zero value) is treated as span ≤ 1, the
+	// operating point §5.1 recommends. Use SpanUnlimited for no bound.
+	MaxSpan int
+	// Epsilon is the ε of Eq. 8 (default 0.5).
+	Epsilon float64
+	// Alpha is the α of Eq. 8 (default 20).
+	Alpha float64
+
+	// Ablation switches (all false = the paper's algorithm).
+
+	// DisableBalance replaces the balance denominator with 1, i.e. scores
+	// raw antichain frequency.
+	DisableBalance bool
+	// DisableSizeBonus drops the α·|p̄|² term.
+	DisableSizeBonus bool
+	// DisableColorCondition skips inequality (9); selection may then fail
+	// to cover all colors.
+	DisableColorCondition bool
+	// DisableSubpatternDeletion keeps subpatterns of selected patterns as
+	// candidates.
+	DisableSubpatternDeletion bool
+}
+
+// SpanUnlimited disables the span bound in Config.MaxSpan.
+const SpanUnlimited = -1
+
+func (c Config) withDefaults() Config {
+	if c.C == 0 {
+		c.C = 5
+	}
+	if c.MaxSpan == 0 {
+		c.MaxSpan = 1
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.5
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 20
+	}
+	return c
+}
+
+// Step logs one iteration of the selection loop.
+type Step struct {
+	// Chosen is the pattern selected this round.
+	Chosen pattern.Pattern
+	// Priority is the winning f(p̄) value (0 for synthesised patterns).
+	Priority float64
+	// Synthesized is true when no candidate had nonzero priority and the
+	// pattern was built from uncovered colors (Fig. 7 line 3).
+	Synthesized bool
+	// Priorities holds f(p̄) for every candidate considered this round,
+	// keyed by canonical pattern key (zero = failed the color condition).
+	Priorities map[string]float64
+	// Deleted lists the candidate keys removed as subpatterns of Chosen.
+	Deleted []string
+}
+
+// Selection is the result of Select.
+type Selection struct {
+	Patterns *pattern.Set
+	Steps    []Step
+	// Enumerated is the antichain census backing the candidate pool.
+	Enumerated *antichain.Result
+}
+
+// Select runs the paper's pattern selection algorithm on the graph.
+func Select(d *dfg.Graph, cfg Config) (*Selection, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Pdef < 1 {
+		return nil, fmt.Errorf("patsel: Pdef %d < 1", cfg.Pdef)
+	}
+	if cfg.C < 1 {
+		return nil, fmt.Errorf("patsel: C %d < 1", cfg.C)
+	}
+	res, err := antichain.Enumerate(d, antichain.Config{MaxSize: cfg.C, MaxSpan: cfg.MaxSpan})
+	if err != nil {
+		return nil, err
+	}
+	return selectFrom(d, res, cfg)
+}
+
+// SelectFrom runs the selection loop over a pre-computed antichain census,
+// letting callers amortise enumeration across many Pdef values. The census
+// must have been produced by antichain.Enumerate with MaxSize = cfg.C and
+// the span limit the caller wants; it is read, never mutated.
+func SelectFrom(d *dfg.Graph, res *antichain.Result, cfg Config) (*Selection, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Pdef < 1 {
+		return nil, fmt.Errorf("patsel: Pdef %d < 1", cfg.Pdef)
+	}
+	if res == nil {
+		return nil, fmt.Errorf("patsel: nil antichain census")
+	}
+	if res.NodeCount != d.N() {
+		return nil, fmt.Errorf("patsel: census covers %d nodes, graph has %d", res.NodeCount, d.N())
+	}
+	return selectFrom(d, res, cfg)
+}
+
+// selectFrom is the selection loop proper, reusable with a pre-computed
+// antichain census.
+func selectFrom(d *dfg.Graph, res *antichain.Result, cfg Config) (*Selection, error) {
+	cfg = cfg.withDefaults()
+	n := d.N()
+	completeColors := d.Colors() // the paper's L
+
+	// Candidate pool, sorted by key for deterministic iteration.
+	type candidate struct {
+		key   string
+		class *antichain.Class
+	}
+	var pool []candidate
+	for key, cl := range res.Classes {
+		pool = append(pool, candidate{key, cl})
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i].key < pool[j].key })
+	alive := make([]bool, len(pool))
+	for i := range alive {
+		alive[i] = true
+	}
+
+	selected := pattern.NewSet()
+	coveredFreq := make([]float64, n) // Σ_{p̄ᵢ∈Ps} h(p̄ᵢ, n)
+	coveredColors := map[dfg.Color]bool{}
+	sel := &Selection{Patterns: selected, Enumerated: res}
+
+	for round := 0; round < cfg.Pdef; round++ {
+		// Minimum new colors the next pattern must contribute (ineq. 9):
+		// |L| − |Ls| − C·(Pdef − |Ps| − 1).
+		uncovered := 0
+		for _, c := range completeColors {
+			if !coveredColors[c] {
+				uncovered++
+			}
+		}
+		minNew := uncovered - cfg.C*(cfg.Pdef-selected.Len()-1)
+
+		step := Step{Priorities: map[string]float64{}}
+		bestIdx := -1
+		bestPrio := 0.0
+		for i, cand := range pool {
+			if !alive[i] {
+				continue
+			}
+			prio := 0.0
+			if cfg.DisableColorCondition || newColorCount(cand.class.Pattern, coveredColors) >= minNew {
+				prio = priorityOf(cand.class, coveredFreq, cfg)
+			}
+			step.Priorities[cand.key] = prio
+			if prio <= 0 {
+				continue
+			}
+			if bestIdx < 0 || betterCandidate(prio, cand.class.Pattern, bestPrio, pool[bestIdx].class.Pattern) {
+				bestIdx = i
+				bestPrio = prio
+			}
+		}
+
+		var chosen pattern.Pattern
+		if bestIdx >= 0 {
+			chosen = pool[bestIdx].class.Pattern
+			step.Chosen = chosen
+			step.Priority = bestPrio
+			for nd := 0; nd < n; nd++ {
+				coveredFreq[nd] += float64(pool[bestIdx].class.NodeFreq[nd])
+			}
+		} else {
+			// Fig. 7 line 3: synthesise a pattern from up to C uncovered
+			// colors. If everything is covered and no candidate remains,
+			// selection stops early: extra patterns would be redundant.
+			var missing []dfg.Color
+			for _, c := range completeColors {
+				if !coveredColors[c] {
+					missing = append(missing, c)
+				}
+			}
+			if len(missing) == 0 {
+				if !anyAlive(alive) {
+					break
+				}
+				// Candidates remain but all fail the color condition with
+				// everything covered — impossible, since minNew ≤ 0 then.
+				return nil, fmt.Errorf("patsel: internal error, no choice with colors covered")
+			}
+			if len(missing) > cfg.C {
+				missing = missing[:cfg.C]
+			}
+			chosen = pattern.New(missing...)
+			step.Chosen = chosen
+			step.Synthesized = true
+		}
+
+		if !selected.Add(chosen) {
+			return nil, fmt.Errorf("patsel: internal error, duplicate selection %s", chosen)
+		}
+		for _, c := range chosen.Colors() {
+			coveredColors[c] = true
+		}
+		if !cfg.DisableSubpatternDeletion {
+			for i, cand := range pool {
+				if alive[i] && cand.class.Pattern.SubpatternOf(chosen) {
+					alive[i] = false
+					step.Deleted = append(step.Deleted, cand.key)
+				}
+			}
+		} else if bestIdx >= 0 {
+			alive[bestIdx] = false
+			step.Deleted = append(step.Deleted, pool[bestIdx].key)
+		}
+		sel.Steps = append(sel.Steps, step)
+	}
+	return sel, nil
+}
+
+// priorityOf evaluates Eq. 8 for one candidate class.
+func priorityOf(cl *antichain.Class, coveredFreq []float64, cfg Config) float64 {
+	sum := 0.0
+	for nd, h := range cl.NodeFreq {
+		if h == 0 {
+			continue
+		}
+		if cfg.DisableBalance {
+			sum += float64(h)
+		} else {
+			sum += float64(h) / (coveredFreq[nd] + cfg.Epsilon)
+		}
+	}
+	if !cfg.DisableSizeBonus {
+		size := float64(cl.Pattern.Size())
+		sum += cfg.Alpha * size * size
+	}
+	return sum
+}
+
+// betterCandidate orders candidates: higher priority wins; ties prefer the
+// larger pattern (more parallelism for free), then the smaller canonical
+// key — all deterministic, since the paper picks arbitrarily.
+func betterCandidate(prio float64, p pattern.Pattern, bestPrio float64, best pattern.Pattern) bool {
+	if prio != bestPrio {
+		return prio > bestPrio
+	}
+	if p.Size() != best.Size() {
+		return p.Size() > best.Size()
+	}
+	return p.Key() < best.Key()
+}
+
+func newColorCount(p pattern.Pattern, covered map[dfg.Color]bool) int {
+	cnt := 0
+	for _, c := range p.DistinctColors() {
+		if !covered[c] {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+func anyAlive(alive []bool) bool {
+	for _, a := range alive {
+		if a {
+			return true
+		}
+	}
+	return false
+}

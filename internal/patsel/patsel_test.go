@@ -1,0 +1,314 @@
+package patsel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/sched"
+	"mpsched/internal/workloads"
+)
+
+// fig4Config is the paper's worked example setting: C=2, ε=0.5, α=20,
+// unlimited span (the example enumerates all antichains).
+func fig4Config(pdef int) Config {
+	return Config{C: 2, Pdef: pdef, MaxSpan: SpanUnlimited, Epsilon: 0.5, Alpha: 20}
+}
+
+// §5.2's worked example, first round: f(p̄1)=26, f(p̄2)=24, f(p̄3)=88,
+// f(p̄4)=84; p̄3 = {aa} wins and deletes its subpattern {a}. Second round:
+// f(p̄2)=24, f(p̄4)=84 (unchanged — balance at work); p̄4 = {bb} wins.
+func TestFig4WorkedExample(t *testing.T) {
+	g := workloads.Fig4Small()
+	sel, err := Select(g, fig4Config(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2", len(sel.Steps))
+	}
+
+	round1 := sel.Steps[0].Priorities
+	wantR1 := map[string]float64{"a": 26, "b": 24, "a,a": 88, "b,b": 84}
+	for key, want := range wantR1 {
+		if got := round1[key]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("round 1 f(%s) = %v, want %v", key, got, want)
+		}
+	}
+	if sel.Steps[0].Chosen.Key() != "a,a" {
+		t.Errorf("round 1 chose %s, want {a,a}", sel.Steps[0].Chosen)
+	}
+	// {a} and {aa} itself disappear from the pool.
+	deleted := map[string]bool{}
+	for _, k := range sel.Steps[0].Deleted {
+		deleted[k] = true
+	}
+	if !deleted["a"] || !deleted["a,a"] {
+		t.Errorf("subpattern deletion wrong: %v", sel.Steps[0].Deleted)
+	}
+
+	round2 := sel.Steps[1].Priorities
+	wantR2 := map[string]float64{"b": 24, "b,b": 84}
+	for key, want := range wantR2 {
+		if got := round2[key]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("round 2 f(%s) = %v, want %v", key, got, want)
+		}
+	}
+	if sel.Steps[1].Chosen.Key() != "b,b" {
+		t.Errorf("round 2 chose %s, want {b,b}", sel.Steps[1].Chosen)
+	}
+	if sel.Patterns.String() != "{a,a} {b,b}" {
+		t.Errorf("selected %s", sel.Patterns)
+	}
+}
+
+// §5.2 continued: with Pdef = 1 no candidate satisfies the color condition
+// (every candidate has a single color; two new colors are required), so the
+// algorithm synthesises {ab}.
+func TestFig4Pdef1SynthesisesAB(t *testing.T) {
+	g := workloads.Fig4Small()
+	sel, err := Select(g, fig4Config(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Steps) != 1 || !sel.Steps[0].Synthesized {
+		t.Fatalf("expected one synthesised step, got %+v", sel.Steps)
+	}
+	if sel.Steps[0].Chosen.Key() != "a,b" {
+		t.Errorf("synthesised %s, want {a,b}", sel.Steps[0].Chosen)
+	}
+	// All candidate priorities must be zero that round.
+	for key, p := range sel.Steps[0].Priorities {
+		if p != 0 {
+			t.Errorf("candidate %s has nonzero priority %v under Pdef=1", key, p)
+		}
+	}
+}
+
+// Without the α|p̄|² bonus the example's f(p̄2) and f(p̄4) would tie at 4 —
+// verify the ablation switch produces exactly that.
+func TestSizeBonusAblation(t *testing.T) {
+	g := workloads.Fig4Small()
+	cfg := fig4Config(2)
+	cfg.DisableSizeBonus = true
+	sel, err := Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := sel.Steps[0].Priorities
+	if math.Abs(r1["b"]-4) > 1e-9 || math.Abs(r1["b,b"]-4) > 1e-9 {
+		t.Errorf("without size bonus f(b)=%v f(bb)=%v, want 4 and 4", r1["b"], r1["b,b"])
+	}
+}
+
+func TestSelectionCoversAllColors(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		g := workloads.RandomColored(rng, workloads.DefaultRandomColoredConfig())
+		for pdef := 1; pdef <= 4; pdef++ {
+			sel, err := Select(g, Config{C: 5, Pdef: pdef, MaxSpan: 1})
+			if err != nil {
+				t.Fatalf("trial %d pdef %d: %v", trial, pdef, err)
+			}
+			if !sel.Patterns.CoversColors(g.Colors()) {
+				t.Fatalf("trial %d pdef %d: colors not covered: %s vs %v",
+					trial, pdef, sel.Patterns, g.Colors())
+			}
+			if sel.Patterns.Len() > pdef {
+				t.Fatalf("selected %d patterns, Pdef %d", sel.Patterns.Len(), pdef)
+			}
+		}
+	}
+}
+
+// Selected pattern sets must always be schedulable — the whole point of the
+// color condition.
+func TestSelectionIsSchedulable(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 15; trial++ {
+		g := workloads.RandomColored(rng, workloads.DefaultRandomColoredConfig())
+		sel, err := Select(g, Config{C: 5, Pdef: 2, MaxSpan: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.MultiPattern(g, sel.Patterns, sched.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: selected patterns unschedulable: %v", trial, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSelectOn3DFT(t *testing.T) {
+	g := workloads.ThreeDFT()
+	for pdef := 1; pdef <= 5; pdef++ {
+		sel, err := Select(g, Config{C: 5, Pdef: pdef, MaxSpan: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sched.MultiPattern(g, sel.Patterns, sched.Options{})
+		if err != nil {
+			t.Fatalf("pdef %d: %v", pdef, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		// The paper's Selected column is 8,7,7,7,6: never worse than 9.
+		if s.Length() > 9 {
+			t.Errorf("pdef %d: %d cycles, suspiciously long", pdef, s.Length())
+		}
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	g := workloads.Fig4Small()
+	if _, err := Select(g, Config{C: 2, Pdef: 0}); err == nil {
+		t.Error("Pdef 0 accepted")
+	}
+	if _, err := Select(g, Config{C: -1, Pdef: 1}); err == nil {
+		t.Error("negative C accepted")
+	}
+}
+
+func TestSelectStopsEarlyWhenPoolExhausted(t *testing.T) {
+	// Two isolated same-color nodes: candidate classes are {a} and {aa}
+	// only; with Pdef=5 the pool runs dry after {aa} and selection stops.
+	g := dfg.NewGraph("tiny")
+	g.MustAddNode(dfg.Node{Name: "x", Color: "a"})
+	g.MustAddNode(dfg.Node{Name: "y", Color: "a"})
+	sel, err := Select(g, Config{C: 2, Pdef: 5, MaxSpan: SpanUnlimited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Patterns.Len() == 0 || sel.Patterns.Len() > 2 {
+		t.Errorf("selected %s", sel.Patterns)
+	}
+	if !sel.Patterns.CoversColors(g.Colors()) {
+		t.Error("colors not covered")
+	}
+}
+
+func TestRandomBaselineCoversColors(t *testing.T) {
+	g := workloads.ThreeDFT()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		ps, err := Random(g, Config{C: 5, Pdef: 2}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ps.CoversColors(g.Colors()) {
+			t.Fatalf("random set %s misses colors", ps)
+		}
+		if ps.Len() != 2 {
+			t.Fatalf("random set size %d, want 2", ps.Len())
+		}
+		for _, p := range ps.Patterns() {
+			if p.Size() != 5 {
+				t.Fatalf("random pattern %s has size %d, want 5", p, p.Size())
+			}
+		}
+	}
+}
+
+func TestRandomBaselineInfeasible(t *testing.T) {
+	g := workloads.ThreeDFT() // 3 colors
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Random(g, Config{C: 1, Pdef: 2}, rng); err == nil {
+		t.Error("2 single-slot patterns cannot cover 3 colors; should error")
+	}
+}
+
+func TestRandomBaselineDeterministic(t *testing.T) {
+	g := workloads.ThreeDFT()
+	ps1, err := Random(g, Config{C: 5, Pdef: 3}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps2, err := Random(g, Config{C: 5, Pdef: 3}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps1.String() != ps2.String() {
+		t.Errorf("same seed, different sets: %s vs %s", ps1, ps2)
+	}
+}
+
+func TestGreedyFrequencyAndNodeCoverage(t *testing.T) {
+	g := workloads.ThreeDFT()
+	for _, f := range []func(*dfg.Graph, Config) (*Selection, error){GreedyFrequency, NodeCoverage} {
+		sel, err := f(g, Config{C: 5, Pdef: 3, MaxSpan: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sel.Patterns.CoversColors(g.Colors()) {
+			t.Errorf("baseline selection %s misses colors", sel.Patterns)
+		}
+		s, err := sched.MultiPattern(g, sel.Patterns, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The balance denominator steers later rounds toward nodes whose current
+// coverage is *thin*, not just toward raw frequency. Construct a graph
+// where rounds 1–2 cover the a-side deeply ({a,a} over six parallel a's —
+// each a ends up in 5 selected antichains) and the c-side thinly ({c,c}
+// over three parallel c's — 2 each), and round 3 must choose between
+// {a,b} and {b,c} with *equal* raw scores (the raw ablation then falls to
+// the tie-break, picking {a,b} by key): the balance term discounts the
+// deeply-covered a's harder, flipping the full algorithm to {b,c}.
+func TestBalanceAblationChangesChoice(t *testing.T) {
+	g := dfg.NewGraph("bal")
+	for i := 1; i <= 6; i++ {
+		g.MustAddNode(dfg.Node{Name: nm("a", i), Color: "a"}) // ids 0..5
+	}
+	for i := 1; i <= 3; i++ {
+		g.MustAddNode(dfg.Node{Name: nm("c", i), Color: "c"}) // ids 6..8
+	}
+	b1 := g.MustAddNode(dfg.Node{Name: "b1", Color: "b"}) // id 9
+	// Every a precedes every c; b1 sits between a1..a4 and c3, leaving it
+	// parallel to exactly a5, a6, c1, c2.
+	for a := 0; a < 6; a++ {
+		for c := 6; c < 9; c++ {
+			g.MustAddDep(a, c)
+		}
+	}
+	for a := 0; a < 4; a++ {
+		g.MustAddDep(a, b1)
+	}
+	g.MustAddDep(b1, 8)
+
+	base := Config{C: 2, Pdef: 3, MaxSpan: SpanUnlimited}
+	withBalance, err := Select(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noBalance := base
+	noBalance.DisableBalance = true
+	without, err := Select(g, noBalance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sel := range []*Selection{withBalance, without} {
+		if sel.Steps[0].Chosen.Key() != "a,a" || sel.Steps[1].Chosen.Key() != "c,c" {
+			t.Fatalf("rounds 1-2 should pick {a,a},{c,c}: got %s", sel.Patterns)
+		}
+	}
+	if got := withBalance.Steps[2].Chosen.Key(); got != "b,c" {
+		t.Errorf("with balance, round 3 chose {%s}, want {b,c}", got)
+	}
+	if got := without.Steps[2].Chosen.Key(); got != "a,b" {
+		t.Errorf("without balance, round 3 chose {%s}, want {a,b}", got)
+	}
+}
+
+func nm(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}

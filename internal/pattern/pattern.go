@@ -1,0 +1,192 @@
+// Package pattern implements the paper's patterns: bags (multisets) of at
+// most C operation colors that a reconfigurable tile can execute in one
+// clock cycle. It provides canonical forms, the subpattern partial order,
+// parsing/formatting of the paper's "aabcc" notation, and pattern sets.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpsched/internal/dfg"
+)
+
+// Pattern is a multiset of colors. The zero value is the empty pattern.
+// Patterns are immutable once built; all "mutators" return new values.
+//
+// A pattern on a machine with C resources may hold fewer than C colors; the
+// remaining slots are dummies (idle ALUs) and are not stored.
+type Pattern struct {
+	colors []dfg.Color // sorted ascending — the canonical representation
+}
+
+// New builds a pattern from the given colors (any order, duplicates allowed).
+func New(colors ...dfg.Color) Pattern {
+	cs := make([]dfg.Color, len(colors))
+	copy(cs, colors)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return Pattern{colors: cs}
+}
+
+// Parse reads the paper's compact notation: either a string of single-rune
+// colors ("aabcc") or a comma-separated list for multi-rune colors
+// ("add,add,mul"). Braces and spaces are ignored, so "{a,b,c,b,c}" works.
+func Parse(s string) (Pattern, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "{")
+	s = strings.TrimSuffix(s, "}")
+	if s == "" {
+		return Pattern{}, nil
+	}
+	var colors []dfg.Color
+	if strings.Contains(s, ",") {
+		for _, part := range strings.Split(s, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return Pattern{}, fmt.Errorf("pattern: empty color in %q", s)
+			}
+			colors = append(colors, dfg.Color(part))
+		}
+	} else {
+		for _, r := range s {
+			if r == ' ' {
+				continue
+			}
+			colors = append(colors, dfg.Color(r))
+		}
+	}
+	return New(colors...), nil
+}
+
+// MustParse is Parse for literals known to be valid.
+func MustParse(s string) Pattern {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns |p̄|, the number of (non-dummy) colors in the pattern.
+func (p Pattern) Size() int { return len(p.colors) }
+
+// Colors returns the sorted colors. The caller must not mutate the slice.
+func (p Pattern) Colors() []dfg.Color { return p.colors }
+
+// Count returns the multiplicity of color c in the pattern.
+func (p Pattern) Count(c dfg.Color) int {
+	n := 0
+	for _, pc := range p.colors {
+		if pc == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Counts returns the multiplicity of every color.
+func (p Pattern) Counts() map[dfg.Color]int {
+	out := map[dfg.Color]int{}
+	for _, c := range p.colors {
+		out[c]++
+	}
+	return out
+}
+
+// DistinctColors returns the set of distinct colors, sorted.
+func (p Pattern) DistinctColors() []dfg.Color {
+	var out []dfg.Color
+	for i, c := range p.colors {
+		if i == 0 || c != p.colors[i-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Key returns the canonical comma-joined form, usable as a map key.
+func (p Pattern) Key() string {
+	parts := make([]string, len(p.colors))
+	for i, c := range p.colors {
+		parts[i] = string(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// String renders the paper's brace notation, e.g. "{a,a,b,c,c}".
+func (p Pattern) String() string { return "{" + p.Key() + "}" }
+
+// Compact renders single-rune color patterns as "aabcc"; multi-rune colors
+// fall back to the comma form.
+func (p Pattern) Compact() string {
+	var sb strings.Builder
+	for _, c := range p.colors {
+		if len(c) != 1 {
+			return p.Key()
+		}
+		sb.WriteString(string(c))
+	}
+	return sb.String()
+}
+
+// Equal reports whether two patterns are the same multiset.
+func (p Pattern) Equal(q Pattern) bool {
+	if len(p.colors) != len(q.colors) {
+		return false
+	}
+	for i := range p.colors {
+		if p.colors[i] != q.colors[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubpatternOf reports multiset inclusion p ⊆ q: every color of p occurs in
+// q with at least the same multiplicity. A pattern is a subpattern of
+// itself; the paper's "delete the subpatterns of the selected pattern" uses
+// exactly this relation.
+func (p Pattern) SubpatternOf(q Pattern) bool {
+	if len(p.colors) > len(q.colors) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(p.colors) && j < len(q.colors) {
+		switch {
+		case p.colors[i] == q.colors[j]:
+			i++
+			j++
+		case p.colors[i] > q.colors[j]:
+			j++
+		default: // p has a color q lacks
+			return false
+		}
+	}
+	return i == len(p.colors)
+}
+
+// ProperSubpatternOf reports p ⊂ q (inclusion and p ≠ q).
+func (p Pattern) ProperSubpatternOf(q Pattern) bool {
+	return !p.Equal(q) && p.SubpatternOf(q)
+}
+
+// Add returns a new pattern with c appended.
+func (p Pattern) Add(c dfg.Color) Pattern {
+	out := make([]dfg.Color, 0, len(p.colors)+1)
+	out = append(out, p.colors...)
+	out = append(out, c)
+	return New(out...)
+}
+
+// Fits reports whether the multiset of colors occurring in nodes can execute
+// under this pattern, i.e. for every color the demand does not exceed the
+// pattern's multiplicity.
+func (p Pattern) Fits(demand map[dfg.Color]int) bool {
+	for c, need := range demand {
+		if need > p.Count(c) {
+			return false
+		}
+	}
+	return true
+}

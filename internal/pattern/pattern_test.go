@@ -1,0 +1,232 @@
+package pattern
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mpsched/internal/dfg"
+)
+
+func TestNewSortsCanonically(t *testing.T) {
+	p := New("c", "a", "b", "a")
+	if p.Key() != "a,a,b,c" {
+		t.Errorf("Key = %q", p.Key())
+	}
+	if p.Size() != 4 {
+		t.Errorf("Size = %d", p.Size())
+	}
+}
+
+func TestParseCompact(t *testing.T) {
+	p, err := Parse("aabcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Key() != "a,a,b,c,c" {
+		t.Errorf("Key = %q", p.Key())
+	}
+	if p.Compact() != "aabcc" {
+		t.Errorf("Compact = %q", p.Compact())
+	}
+}
+
+func TestParseBraced(t *testing.T) {
+	p, err := Parse("{a,b,c,b,c}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Key() != "a,b,b,c,c" {
+		t.Errorf("Key = %q", p.Key())
+	}
+}
+
+func TestParseMultiRuneColors(t *testing.T) {
+	p, err := Parse("add,mul,add")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Key() != "add,add,mul" {
+		t.Errorf("Key = %q", p.Key())
+	}
+	// Compact falls back to comma form for multi-rune colors.
+	if p.Compact() != "add,add,mul" {
+		t.Errorf("Compact = %q", p.Compact())
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	p, err := Parse("")
+	if err != nil || p.Size() != 0 {
+		t.Errorf("empty parse: %v %v", p, err)
+	}
+	if _, err := Parse("a,,b"); err == nil {
+		t.Error("empty color accepted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	p := MustParse("aabcc")
+	if p.Count("a") != 2 || p.Count("b") != 1 || p.Count("c") != 2 || p.Count("z") != 0 {
+		t.Errorf("counts wrong: %v", p.Counts())
+	}
+	d := p.DistinctColors()
+	if len(d) != 3 || d[0] != "a" || d[1] != "b" || d[2] != "c" {
+		t.Errorf("DistinctColors = %v", d)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !MustParse("abc").Equal(MustParse("cba")) {
+		t.Error("order should not matter")
+	}
+	if MustParse("aab").Equal(MustParse("ab")) {
+		t.Error("multiplicity should matter")
+	}
+}
+
+func TestSubpattern(t *testing.T) {
+	cases := []struct {
+		sub, sup string
+		want     bool
+	}{
+		{"a", "aabcc", true},
+		{"aa", "aabcc", true},
+		{"aaa", "aabcc", false},
+		{"bc", "aabcc", true},
+		{"cc", "aabcc", true},
+		{"d", "aabcc", false},
+		{"", "aabcc", true},
+		{"aabcc", "aabcc", true},
+		{"abc", "ab", false},
+	}
+	for _, c := range cases {
+		got := MustParse(c.sub).SubpatternOf(MustParse(c.sup))
+		if got != c.want {
+			t.Errorf("SubpatternOf(%q,%q) = %v, want %v", c.sub, c.sup, got, c.want)
+		}
+	}
+	if MustParse("abc").ProperSubpatternOf(MustParse("abc")) {
+		t.Error("pattern proper subpattern of itself")
+	}
+	if !MustParse("ab").ProperSubpatternOf(MustParse("abc")) {
+		t.Error("ab should be proper subpattern of abc")
+	}
+}
+
+// Subpattern is a partial order on canonical patterns: reflexive,
+// antisymmetric, transitive. Verified over random small patterns.
+func TestSubpatternPartialOrderQuick(t *testing.T) {
+	gen := func(seed uint32) Pattern {
+		var colors []dfg.Color
+		alphabet := []dfg.Color{"a", "b", "c"}
+		for i := 0; i < 5; i++ {
+			pick := seed % 4
+			seed /= 4
+			if pick < 3 {
+				colors = append(colors, alphabet[pick])
+			}
+		}
+		return New(colors...)
+	}
+	f := func(s1, s2, s3 uint32) bool {
+		p, q, r := gen(s1), gen(s2), gen(s3)
+		if !p.SubpatternOf(p) {
+			return false // reflexive
+		}
+		if p.SubpatternOf(q) && q.SubpatternOf(p) && !p.Equal(q) {
+			return false // antisymmetric
+		}
+		if p.SubpatternOf(q) && q.SubpatternOf(r) && !p.SubpatternOf(r) {
+			return false // transitive
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdd(t *testing.T) {
+	p := MustParse("ac").Add("b")
+	if p.Key() != "a,b,c" {
+		t.Errorf("Add result %q", p.Key())
+	}
+}
+
+func TestFits(t *testing.T) {
+	p := MustParse("aabcc")
+	if !p.Fits(map[dfg.Color]int{"a": 2, "c": 1}) {
+		t.Error("feasible demand rejected")
+	}
+	if p.Fits(map[dfg.Color]int{"a": 3}) {
+		t.Error("infeasible demand accepted")
+	}
+	if p.Fits(map[dfg.Color]int{"z": 1}) {
+		t.Error("unknown color accepted")
+	}
+	if !p.Fits(nil) {
+		t.Error("empty demand rejected")
+	}
+}
+
+func TestSetDedupAndOrder(t *testing.T) {
+	s := NewSet(MustParse("ab"), MustParse("ba"), MustParse("cc"))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (ab == ba)", s.Len())
+	}
+	if s.At(0).Key() != "a,b" || s.At(1).Key() != "c,c" {
+		t.Errorf("insertion order lost: %s", s)
+	}
+	if !s.Contains(MustParse("ab")) || s.Contains(MustParse("abc")) {
+		t.Error("Contains wrong")
+	}
+	if s.Add(MustParse("ab")) {
+		t.Error("duplicate add reported growth")
+	}
+	if !s.Add(MustParse("abc")) {
+		t.Error("new pattern add not reported")
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	s, err := ParseSet("aabcc aaacc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s2, err := ParseSet("{a,b};{b,a};{c}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Errorf("semicolon parse Len = %d, want 2", s2.Len())
+	}
+}
+
+func TestSetColorCoverage(t *testing.T) {
+	s := NewSet(MustParse("aab"), MustParse("cc"))
+	cols := s.ColorSet()
+	want := []dfg.Color{"a", "b", "c"}
+	if len(cols) != len(want) {
+		t.Fatalf("ColorSet = %v", cols)
+	}
+	if !sort.SliceIsSorted(cols, func(i, j int) bool { return cols[i] < cols[j] }) {
+		t.Error("ColorSet not sorted")
+	}
+	if !s.CoversColors(want) {
+		t.Error("coverage of own colors failed")
+	}
+	if s.CoversColors([]dfg.Color{"a", "z"}) {
+		t.Error("coverage of foreign color claimed")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet(MustParse("ab"))
+	if s.String() != "{a,b}" {
+		t.Errorf("String = %q", s.String())
+	}
+}

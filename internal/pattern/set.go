@@ -1,0 +1,114 @@
+package pattern
+
+import (
+	"sort"
+	"strings"
+
+	"mpsched/internal/dfg"
+)
+
+// Set is an ordered collection of distinct patterns. Insertion order is
+// preserved (the scheduler reports which pattern index served each cycle),
+// and duplicates — by canonical key — are ignored.
+type Set struct {
+	patterns []Pattern
+	index    map[string]int
+}
+
+// NewSet builds a set from the given patterns, dropping duplicates.
+func NewSet(ps ...Pattern) *Set {
+	s := &Set{index: map[string]int{}}
+	for _, p := range ps {
+		s.Add(p)
+	}
+	return s
+}
+
+// ParseSet parses a comma-free, semicolon- or space-separated list of
+// compact patterns, e.g. "aabcc aaacc" or "{a,b,c};{a,a}".
+func ParseSet(s string) (*Set, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == ' ' })
+	set := NewSet()
+	for _, f := range fields {
+		if f == "" {
+			continue
+		}
+		p, err := Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		set.Add(p)
+	}
+	return set, nil
+}
+
+// Add inserts p if an equal pattern is not already present. It reports
+// whether the set grew.
+func (s *Set) Add(p Pattern) bool {
+	if s.index == nil {
+		s.index = map[string]int{}
+	}
+	key := p.Key()
+	if _, dup := s.index[key]; dup {
+		return false
+	}
+	s.index[key] = len(s.patterns)
+	s.patterns = append(s.patterns, p)
+	return true
+}
+
+// Len returns the number of patterns.
+func (s *Set) Len() int { return len(s.patterns) }
+
+// At returns the i-th pattern in insertion order.
+func (s *Set) At(i int) Pattern { return s.patterns[i] }
+
+// Patterns returns the patterns in insertion order. Callers must not mutate
+// the returned slice.
+func (s *Set) Patterns() []Pattern { return s.patterns }
+
+// Contains reports whether an equal pattern is in the set.
+func (s *Set) Contains(p Pattern) bool {
+	_, ok := s.index[p.Key()]
+	return ok
+}
+
+// ColorSet returns all colors appearing in any pattern of the set, sorted —
+// the paper's selected color set Ls.
+func (s *Set) ColorSet() []dfg.Color {
+	seen := map[dfg.Color]bool{}
+	for _, p := range s.patterns {
+		for _, c := range p.Colors() {
+			seen[c] = true
+		}
+	}
+	out := make([]dfg.Color, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CoversColors reports whether every color in want appears in some pattern.
+func (s *Set) CoversColors(want []dfg.Color) bool {
+	have := map[dfg.Color]bool{}
+	for _, c := range s.ColorSet() {
+		have[c] = true
+	}
+	for _, c := range want {
+		if !have[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as "{a,a,b,c,c} {a,a,a,c,c}".
+func (s *Set) String() string {
+	parts := make([]string, len(s.patterns))
+	for i, p := range s.patterns {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+)
+
+// SinglePattern schedules with classic resource-constrained list scheduling:
+// every cycle offers the same resource bag. It is MultiPattern with a
+// one-element pattern set and serves as the traditional baseline the paper
+// contrasts against.
+func SinglePattern(d *dfg.Graph, p pattern.Pattern, opts Options) (*Schedule, error) {
+	return MultiPattern(d, pattern.NewSet(p), opts)
+}
+
+// ASAPSchedule returns the unconstrained schedule that places every node at
+// its ASAP level — the fastest schedule any resource assignment can reach.
+// The pattern set is synthesised per cycle from the actual demand, so the
+// result verifies; it is a measurement device, not a Montium-feasible
+// configuration (the pattern count is unbounded).
+func ASAPSchedule(d *dfg.Graph) (*Schedule, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	lv := d.Levels()
+	cycles := make([][]int, lv.ASAPMax+1)
+	for n := 0; n < d.N(); n++ {
+		cycles[lv.ASAP[n]] = append(cycles[lv.ASAP[n]], n)
+	}
+	ps := pattern.NewSet()
+	patternOf := make([]int, len(cycles))
+	cycleOf := make([]int, d.N())
+	for cyc, nodes := range cycles {
+		var colors []dfg.Color
+		for _, n := range nodes {
+			colors = append(colors, d.ColorOf(n))
+			cycleOf[n] = cyc
+		}
+		p := pattern.New(colors...)
+		ps.Add(p)
+		// Find its index (Add dedups).
+		for i := 0; i < ps.Len(); i++ {
+			if ps.At(i).Equal(p) {
+				patternOf[cyc] = i
+				break
+			}
+		}
+	}
+	return &Schedule{
+		Graph:     d,
+		Patterns:  ps,
+		CycleOf:   cycleOf,
+		Cycles:    cycles,
+		PatternOf: patternOf,
+	}, nil
+}
+
+// LowerBound returns a provable minimum cycle count for scheduling d with
+// the given patterns: the maximum of
+//
+//   - the critical path length (ASAPmax + 1),
+//   - ⌈N / maxPatternSize⌉ — total capacity,
+//   - per color l: ⌈count(l) / max slots of l in any pattern⌉.
+//
+// A pattern set that lacks some color entirely yields an error, since no
+// schedule exists.
+func LowerBound(d *dfg.Graph, ps *pattern.Set) (int, error) {
+	lv := d.Levels()
+	bound := lv.ASAPMax + 1
+	maxSize := 0
+	for i := 0; i < ps.Len(); i++ {
+		if s := ps.At(i).Size(); s > maxSize {
+			maxSize = s
+		}
+	}
+	if maxSize == 0 {
+		return 0, fmt.Errorf("sched: pattern set is empty")
+	}
+	if b := ceilDiv(d.N(), maxSize); b > bound {
+		bound = b
+	}
+	for color, count := range d.ColorCounts() {
+		maxSlots := 0
+		for i := 0; i < ps.Len(); i++ {
+			if s := ps.At(i).Count(color); s > maxSlots {
+				maxSlots = s
+			}
+		}
+		if maxSlots == 0 {
+			return 0, fmt.Errorf("sched: no pattern provides color %q (needed by %d nodes)", color, count)
+		}
+		if b := ceilDiv(count, maxSlots); b > bound {
+			bound = b
+		}
+	}
+	return bound, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+)
+
+// ForceDirected implements force-directed scheduling (Paulin & Knight,
+// "Algorithms for High-Level Synthesis", 1989) — one of the two classic
+// heuristics the paper's related-work section names. FDS is inherently a
+// *single resource bag* method: every cycle offers the same slots, so it
+// cannot express the Montium's per-cycle pattern switching. It is included
+// as the traditional baseline the multi-pattern scheduler is compared
+// against.
+//
+// The resource-constrained variant used here searches the smallest
+// schedule length T ≥ the lower bound for which force-directed placement
+// succeeds: nodes are fixed one at a time into the cycle of minimal force
+// (distribution-graph self force plus the frame-shrinking effect on
+// predecessors and successors), never over-subscribing a color's slots.
+func ForceDirected(d *dfg.Graph, p pattern.Pattern, maxLength int) (*Schedule, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	ps := pattern.NewSet(p)
+	lb, err := LowerBound(d, ps)
+	if err != nil {
+		return nil, err
+	}
+	if maxLength <= 0 {
+		maxLength = lb + d.N() // generous default ceiling
+	}
+	for t := lb; t <= maxLength; t++ {
+		s, ok := forceDirectedAttempt(d, p, t)
+		if ok {
+			s.Patterns = ps
+			if err := s.Verify(); err != nil {
+				return nil, fmt.Errorf("sched: force-directed produced invalid schedule: %w", err)
+			}
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: force-directed found no schedule within %d cycles", maxLength)
+}
+
+// forceDirectedAttempt tries to place every node within T cycles.
+func forceDirectedAttempt(d *dfg.Graph, p pattern.Pattern, T int) (*Schedule, bool) {
+	n := d.N()
+	lv := d.Levels()
+	if lv.ASAPMax+1 > T {
+		return nil, false
+	}
+	// Time frames under the relaxed deadline T.
+	early := make([]int, n)
+	late := make([]int, n)
+	for i := 0; i < n; i++ {
+		early[i] = lv.ASAP[i]
+		late[i] = lv.ALAP[i] + (T - 1 - lv.ASAPMax)
+	}
+	slots := p.Counts()
+	usage := map[dfg.Color][]int{}
+	for c := range slots {
+		usage[c] = make([]int, T)
+	}
+	fixed := make([]int, n)
+	for i := range fixed {
+		fixed[i] = -1
+	}
+
+	// Distribution graph: expected demand per color per cycle.
+	dg := func(color dfg.Color, t int) float64 {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			if d.ColorOf(i) != color {
+				continue
+			}
+			if fixed[i] >= 0 {
+				if fixed[i] == t {
+					sum++
+				}
+				continue
+			}
+			if t >= early[i] && t <= late[i] {
+				sum += 1.0 / float64(late[i]-early[i]+1)
+			}
+		}
+		return sum
+	}
+
+	// selfForce of placing node i at cycle t (classic DG formulation).
+	selfForce := func(i, t int) float64 {
+		color := d.ColorOf(i)
+		width := float64(late[i] - early[i] + 1)
+		force := 0.0
+		for tt := early[i]; tt <= late[i]; tt++ {
+			x := -1.0 / width
+			if tt == t {
+				x += 1.0
+			}
+			force += dg(color, tt) * x
+		}
+		return force
+	}
+
+	type change struct{ node, oldEarly, oldLate int }
+	// propagate tightens frames after fixing node i at cycle t. Returns
+	// the undo log and false on an emptied frame.
+	var propagate func(i int, log *[]change) bool
+	propagate = func(i int, log *[]change) bool {
+		for _, s := range d.Succs(i) {
+			if fixed[s] >= 0 {
+				continue
+			}
+			if early[i]+1 > early[s] {
+				*log = append(*log, change{s, early[s], late[s]})
+				early[s] = early[i] + 1
+				if early[s] > late[s] {
+					return false
+				}
+				if !propagate(s, log) {
+					return false
+				}
+			}
+		}
+		for _, pr := range d.Preds(i) {
+			if fixed[pr] >= 0 {
+				continue
+			}
+			if late[i]-1 < late[pr] {
+				*log = append(*log, change{pr, early[pr], late[pr]})
+				late[pr] = late[i] - 1
+				if early[pr] > late[pr] {
+					return false
+				}
+				if !propagate(pr, log) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	banned := map[[2]int]bool{}
+	for placed := 0; placed < n; {
+		// Among unfixed nodes, pick the (node, cycle) pair with minimal
+		// force; nodes with single-cycle frames go first (they are forced).
+		bestNode, bestCycle := -1, -1
+		bestForce := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if fixed[i] >= 0 {
+				continue
+			}
+			color := d.ColorOf(i)
+			for t := early[i]; t <= late[i]; t++ {
+				if banned[[2]int{i, t}] {
+					continue
+				}
+				if usage[color][t] >= slots[color] {
+					continue // slot full — placement infeasible
+				}
+				// Predecessor/successor frames must stay non-empty.
+				feasible := true
+				for _, pr := range d.Preds(i) {
+					if fixed[pr] >= 0 && fixed[pr] >= t {
+						feasible = false
+						break
+					}
+					if fixed[pr] < 0 && early[pr] > t-1 {
+						feasible = false
+						break
+					}
+				}
+				if !feasible {
+					continue
+				}
+				for _, su := range d.Succs(i) {
+					if fixed[su] >= 0 && fixed[su] <= t {
+						feasible = false
+						break
+					}
+					if fixed[su] < 0 && late[su] < t+1 {
+						feasible = false
+						break
+					}
+				}
+				if !feasible {
+					continue
+				}
+				f := selfForce(i, t)
+				// Tighter frames are urgent: bias by frame width so
+				// forced moves happen before their options vanish.
+				f -= 1000.0 / float64(late[i]-early[i]+1)
+				if f < bestForce {
+					bestForce = f
+					bestNode, bestCycle = i, t
+				}
+			}
+		}
+		if bestNode < 0 {
+			return nil, false // no feasible placement remains under T
+		}
+		// Tentatively fix and propagate. The placement is rejected (undone
+		// and banned) if a frame collapses or if some unfixed node is left
+		// without any frame cycle that still has a free slot of its color —
+		// the resource-aware strengthening classic FDS lacks.
+		i, t := bestNode, bestCycle
+		fixed[i] = t
+		usage[d.ColorOf(i)][t]++
+		var log []change
+		oe, ol := early[i], late[i]
+		early[i], late[i] = t, t
+		if propagate(i, &log) && allFramesServable(d, fixed, early, late, usage, slots) {
+			placed++
+			continue
+		}
+		for j := len(log) - 1; j >= 0; j-- {
+			early[log[j].node] = log[j].oldEarly
+			late[log[j].node] = log[j].oldLate
+		}
+		early[i], late[i] = oe, ol
+		fixed[i] = -1
+		usage[d.ColorOf(i)][t]--
+		banned[[2]int{i, t}] = true
+	}
+
+	s := &Schedule{Graph: d, CycleOf: fixed}
+	maxCycle := 0
+	for _, t := range fixed {
+		if t > maxCycle {
+			maxCycle = t
+		}
+	}
+	s.Cycles = make([][]int, maxCycle+1)
+	s.PatternOf = make([]int, maxCycle+1)
+	for i, t := range fixed {
+		s.Cycles[t] = append(s.Cycles[t], i)
+	}
+	for t := range s.Cycles {
+		sortInts(s.Cycles[t])
+	}
+	return s, true
+}
+
+// allFramesServable reports whether every unfixed node still has at least
+// one cycle in its frame with a free slot of its color.
+func allFramesServable(d *dfg.Graph, fixed, early, late []int, usage map[dfg.Color][]int, slots map[dfg.Color]int) bool {
+	for j := 0; j < d.N(); j++ {
+		if fixed[j] >= 0 {
+			continue
+		}
+		c := d.ColorOf(j)
+		ok := false
+		for t := early[j]; t <= late[j]; t++ {
+			if usage[c][t] < slots[c] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

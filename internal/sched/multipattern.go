@@ -1,0 +1,272 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+)
+
+// PatternPriority selects between the paper's two pattern priority
+// functions (Eqs. 6 and 7).
+type PatternPriority int
+
+const (
+	// F2 sums the node priorities of the selected set (Eq. 7) — the
+	// paper's recommended function.
+	F2 PatternPriority = iota
+	// F1 counts the nodes of the selected set (Eq. 6).
+	F1
+)
+
+func (p PatternPriority) String() string {
+	if p == F1 {
+		return "F1"
+	}
+	return "F2"
+}
+
+// TieBreak fixes the order of equal-priority candidates, which the paper
+// leaves unspecified. TieIndexDesc reproduces the published Table 2 trace.
+type TieBreak int
+
+const (
+	// TieIndexDesc prefers the higher node id among equal priorities.
+	TieIndexDesc TieBreak = iota
+	// TieIndexAsc prefers the lower node id.
+	TieIndexAsc
+	// TieStable keeps candidate-list insertion order.
+	TieStable
+	// TieRandom shuffles equal-priority runs with Options.Seed.
+	TieRandom
+)
+
+func (t TieBreak) String() string {
+	switch t {
+	case TieIndexDesc:
+		return "index-desc"
+	case TieIndexAsc:
+		return "index-asc"
+	case TieStable:
+		return "stable"
+	default:
+		return "random"
+	}
+}
+
+// Options configures MultiPattern.
+type Options struct {
+	Priority  PatternPriority
+	TieBreak  TieBreak
+	Seed      int64 // rng seed for TieRandom
+	KeepTrace bool  // record the per-cycle decision log
+
+	// SwitchPenalty discourages changing the configured pattern between
+	// consecutive cycles: a pattern different from the previous cycle's
+	// loses this much pattern priority. Real reconfigurable fabrics pay
+	// for configuration switches; the paper's algorithm (penalty 0)
+	// ignores that cost. Units are node-priority points under F2 and
+	// node counts under F1.
+	SwitchPenalty int64
+}
+
+// MultiPattern schedules the DFG against the given pattern set with the
+// paper's multi-pattern list scheduling algorithm (Fig. 3):
+//
+//  1. compute node priorities (Eq. 4);
+//  2. start from the predecessor-free candidate list;
+//  3. each cycle, compute S(p, CL) for every pattern — the greedy
+//     highest-priority-first subset of candidates that fits p's slots;
+//  4. keep the pattern with the highest pattern priority (F1 or F2), ties
+//     to the lower pattern index;
+//  5. schedule its set, promote newly-ready successors, repeat.
+//
+// It returns an error if the graph is invalid or if the patterns cannot
+// make progress (no pattern covers any candidate's color).
+func MultiPattern(d *dfg.Graph, ps *pattern.Set, opts Options) (*Schedule, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if ps.Len() == 0 {
+		return nil, fmt.Errorf("sched: empty pattern set")
+	}
+	prio := ComputePriorities(d)
+	n := d.N()
+
+	var rng *rand.Rand
+	if opts.TieBreak == TieRandom {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+
+	s := &Schedule{
+		Graph:    d,
+		Patterns: ps,
+		CycleOf:  make([]int, n),
+	}
+	for i := range s.CycleOf {
+		s.CycleOf[i] = -1
+	}
+
+	unscheduledPreds := make([]int, n)
+	var cl []int // candidate list in insertion order
+	for i := 0; i < n; i++ {
+		unscheduledPreds[i] = len(d.Preds(i))
+		if unscheduledPreds[i] == 0 {
+			cl = append(cl, i)
+		}
+	}
+
+	scheduledCount := 0
+	prevPattern := -1
+	for len(cl) > 0 {
+		sorted := sortCandidates(cl, prio, opts.TieBreak, rng)
+
+		best := -1
+		bestScore := int64(-1) << 62
+		var bestSet []int
+		var perPattern [][]int
+		if opts.KeepTrace {
+			perPattern = make([][]int, ps.Len())
+		}
+		for pi := 0; pi < ps.Len(); pi++ {
+			sel := selectSet(d, ps.At(pi), sorted)
+			if opts.KeepTrace {
+				asc := append([]int(nil), sel...)
+				sort.Ints(asc)
+				perPattern[pi] = asc
+			}
+			var score int64
+			switch opts.Priority {
+			case F1:
+				score = int64(len(sel))
+			default: // F2
+				for _, nd := range sel {
+					score += prio.F[nd]
+				}
+			}
+			if opts.SwitchPenalty > 0 && prevPattern >= 0 && pi != prevPattern && len(sel) > 0 {
+				score -= opts.SwitchPenalty
+			}
+			if len(sel) > 0 && score > bestScore {
+				bestScore = score
+				best = pi
+				bestSet = sel
+			}
+		}
+		if len(bestSet) == 0 {
+			return nil, fmt.Errorf(
+				"sched: no pattern in %s can cover any of the %d candidates (colors %v) — scheduling cannot progress",
+				ps, len(cl), candidateColors(d, cl))
+		}
+
+		cycle := len(s.Cycles)
+		asc := append([]int(nil), bestSet...)
+		sort.Ints(asc)
+		s.Cycles = append(s.Cycles, asc)
+		s.PatternOf = append(s.PatternOf, best)
+		prevPattern = best
+		if opts.KeepTrace {
+			s.Trace = append(s.Trace, CycleTrace{
+				Cycle:      cycle,
+				Candidates: sorted,
+				PerPattern: perPattern,
+				Chosen:     best,
+			})
+		}
+
+		inSet := map[int]bool{}
+		for _, nd := range bestSet {
+			inSet[nd] = true
+			s.CycleOf[nd] = cycle
+			scheduledCount++
+		}
+		// Remove scheduled nodes, keeping insertion order for TieStable.
+		next := cl[:0]
+		for _, nd := range cl {
+			if !inSet[nd] {
+				next = append(next, nd)
+			}
+		}
+		cl = next
+		// Promote successors whose predecessors are now all scheduled,
+		// in ascending node order so candidate-list insertion order (and
+		// with it TieStable/TieRandom behaviour) is deterministic.
+		for _, nd := range asc {
+			for _, succ := range d.Succs(nd) {
+				unscheduledPreds[succ]--
+				if unscheduledPreds[succ] == 0 {
+					cl = append(cl, succ)
+				}
+			}
+		}
+	}
+	if scheduledCount != n {
+		return nil, fmt.Errorf("sched: internal error, scheduled %d of %d nodes", scheduledCount, n)
+	}
+	return s, nil
+}
+
+// sortCandidates orders the candidate list by descending priority under the
+// given tie-break policy, returning a fresh slice.
+func sortCandidates(cl []int, prio *NodePriorities, tb TieBreak, rng *rand.Rand) []int {
+	sorted := append([]int(nil), cl...)
+	switch tb {
+	case TieStable:
+		sort.SliceStable(sorted, func(i, j int) bool {
+			return prio.F[sorted[i]] > prio.F[sorted[j]]
+		})
+	case TieIndexAsc:
+		sort.Slice(sorted, func(i, j int) bool {
+			if prio.F[sorted[i]] != prio.F[sorted[j]] {
+				return prio.F[sorted[i]] > prio.F[sorted[j]]
+			}
+			return sorted[i] < sorted[j]
+		})
+	case TieRandom:
+		rng.Shuffle(len(sorted), func(i, j int) {
+			sorted[i], sorted[j] = sorted[j], sorted[i]
+		})
+		sort.SliceStable(sorted, func(i, j int) bool {
+			return prio.F[sorted[i]] > prio.F[sorted[j]]
+		})
+	default: // TieIndexDesc — reproduces the paper's Table 2
+		sort.Slice(sorted, func(i, j int) bool {
+			if prio.F[sorted[i]] != prio.F[sorted[j]] {
+				return prio.F[sorted[i]] > prio.F[sorted[j]]
+			}
+			return sorted[i] > sorted[j]
+		})
+	}
+	return sorted
+}
+
+// selectSet computes S(p, CL): walk the priority-sorted candidates and take
+// each node whose color still has a free slot in p.
+func selectSet(d *dfg.Graph, p pattern.Pattern, sorted []int) []int {
+	free := p.Counts()
+	var sel []int
+	for _, nd := range sorted {
+		c := d.ColorOf(nd)
+		if free[c] > 0 {
+			free[c]--
+			sel = append(sel, nd)
+		}
+	}
+	return sel
+}
+
+func candidateColors(d *dfg.Graph, cl []int) []dfg.Color {
+	seen := map[dfg.Color]bool{}
+	var out []dfg.Color
+	for _, nd := range cl {
+		c := d.ColorOf(nd)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

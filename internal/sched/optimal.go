@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+)
+
+// Optimal finds a provably minimal multi-pattern schedule by branch and
+// bound over per-cycle (pattern, node subset) choices. It exists to
+// validate the heuristic: graphs must have at most 64 nodes, and runtime
+// is worst-case exponential (fine for the paper's 24-node 3DFT; use
+// maxStates to cap the search on bigger inputs).
+//
+// Soundness of the "maximal subsets only" restriction: with unit-latency
+// operations and no deadlines, scheduling an extra ready node in a cycle
+// never delays anything (a standard exchange argument), so some optimal
+// schedule uses, each cycle, a subset that is maximal for its pattern.
+func Optimal(d *dfg.Graph, ps *pattern.Set, maxStates int) (*Schedule, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := d.N()
+	if n > 64 {
+		return nil, fmt.Errorf("sched: Optimal supports ≤64 nodes, graph has %d", n)
+	}
+	if ps.Len() == 0 {
+		return nil, fmt.Errorf("sched: empty pattern set")
+	}
+	lb, err := LowerBound(d, ps)
+	if err != nil {
+		return nil, err
+	}
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+
+	// A greedy schedule seeds the upper bound.
+	greedy, err := MultiPattern(d, ps, Options{})
+	if err != nil {
+		return nil, err
+	}
+	best := greedy.Length()
+	bestAssign := append([]int(nil), greedy.CycleOf...)
+	bestPat := append([]int(nil), greedy.PatternOf...)
+
+	lv := d.Levels()
+	full := uint64(1)<<uint(n) - 1
+	if n == 64 {
+		full = ^uint64(0)
+	}
+
+	// remainingLB bounds cycles still needed given the unscheduled set.
+	colorOf := make([]dfg.Color, n)
+	for i := 0; i < n; i++ {
+		colorOf[i] = d.ColorOf(i)
+	}
+	maxSlots := map[dfg.Color]int{}
+	maxSize := 0
+	for i := 0; i < ps.Len(); i++ {
+		p := ps.At(i)
+		if p.Size() > maxSize {
+			maxSize = p.Size()
+		}
+		for c, k := range p.Counts() {
+			if k > maxSlots[c] {
+				maxSlots[c] = k
+			}
+		}
+	}
+	remainingLB := func(unsched uint64) int {
+		if unsched == 0 {
+			return 0
+		}
+		count := 0
+		colorCount := map[dfg.Color]int{}
+		height := 0
+		for i := 0; i < n; i++ {
+			if unsched&(1<<uint(i)) != 0 {
+				count++
+				colorCount[colorOf[i]]++
+				if lv.Height[i] > height {
+					height = lv.Height[i]
+				}
+			}
+		}
+		bound := height // longest chain among unscheduled nodes
+		if b := ceilDiv(count, maxSize); b > bound {
+			bound = b
+		}
+		for c, k := range colorCount {
+			if b := ceilDiv(k, maxSlots[c]); b > bound {
+				bound = b
+			}
+		}
+		return bound
+	}
+
+	// seen[mask] = fewest cycles in which this scheduled set was reached.
+	seen := map[uint64]int{}
+	states := 0
+	assign := make([]int, n)
+	patOf := make([]int, 0, best)
+	var capped bool
+
+	var dfs func(scheduled uint64, depth int)
+	dfs = func(scheduled uint64, depth int) {
+		if scheduled == full {
+			if depth < best {
+				best = depth
+				copy(bestAssign, assign)
+				bestPat = append(bestPat[:0], patOf...)
+			}
+			return
+		}
+		if depth+remainingLB(^scheduled&full) >= best {
+			return
+		}
+		if prev, ok := seen[scheduled]; ok && prev <= depth {
+			return
+		}
+		seen[scheduled] = depth
+		states++
+		if states > maxStates {
+			capped = true
+			return
+		}
+
+		// Ready set: unscheduled nodes whose predecessors are scheduled.
+		var ready []int
+		for i := 0; i < n; i++ {
+			if scheduled&(1<<uint(i)) != 0 {
+				continue
+			}
+			ok := true
+			for _, p := range d.Preds(i) {
+				if scheduled&(1<<uint(p)) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, i)
+			}
+		}
+		// Sort ready by descending height so promising branches come first.
+		sort.Slice(ready, func(a, b int) bool { return lv.Height[ready[a]] > lv.Height[ready[b]] })
+
+		tried := map[uint64]bool{}
+		for pi := 0; pi < ps.Len(); pi++ {
+			p := ps.At(pi)
+			for _, subset := range maximalSubsets(ready, colorOf, p) {
+				if subset == 0 || tried[subset] {
+					continue
+				}
+				tried[subset] = true
+				for i := 0; i < n; i++ {
+					if subset&(1<<uint(i)) != 0 {
+						assign[i] = depth
+					}
+				}
+				patOf = append(patOf, pi)
+				dfs(scheduled|subset, depth+1)
+				patOf = patOf[:len(patOf)-1]
+				if capped {
+					return
+				}
+			}
+		}
+	}
+	dfs(0, 0)
+
+	s := &Schedule{
+		Graph:     d,
+		Patterns:  ps,
+		CycleOf:   bestAssign,
+		Cycles:    make([][]int, best),
+		PatternOf: bestPat[:best],
+	}
+	for i, t := range bestAssign {
+		s.Cycles[t] = append(s.Cycles[t], i)
+	}
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("sched: optimal search produced invalid schedule: %w", err)
+	}
+	if capped {
+		return s, fmt.Errorf("sched: state cap %d reached — %d cycles is an upper bound, not proven optimal (lower bound %d)", maxStates, best, lb)
+	}
+	return s, nil
+}
+
+// maximalSubsets enumerates every subset of ready that is maximal w.r.t.
+// pattern p: per color, either all ready nodes of the color (when they
+// fit) or every combination filling the color's slots exactly.
+func maximalSubsets(ready []int, colorOf []dfg.Color, p pattern.Pattern) []uint64 {
+	byColor := map[dfg.Color][]int{}
+	for _, r := range ready {
+		if p.Count(colorOf[r]) > 0 {
+			byColor[colorOf[r]] = append(byColor[colorOf[r]], r)
+		}
+	}
+	masks := []uint64{0}
+	for c, nodes := range byColor {
+		slots := p.Count(c)
+		var choices []uint64
+		if len(nodes) <= slots {
+			m := uint64(0)
+			for _, nd := range nodes {
+				m |= 1 << uint(nd)
+			}
+			choices = []uint64{m}
+		} else {
+			choices = combinations(nodes, slots)
+		}
+		next := make([]uint64, 0, len(masks)*len(choices))
+		for _, base := range masks {
+			for _, ch := range choices {
+				next = append(next, base|ch)
+			}
+		}
+		masks = next
+	}
+	return masks
+}
+
+// combinations returns the bitmasks of all k-element subsets of nodes.
+func combinations(nodes []int, k int) []uint64 {
+	var out []uint64
+	idx := make([]int, k)
+	var rec func(start, pos int, mask uint64)
+	rec = func(start, pos int, mask uint64) {
+		if pos == k {
+			out = append(out, mask)
+			return
+		}
+		for i := start; i <= len(nodes)-(k-pos); i++ {
+			idx[pos] = i
+			rec(i+1, pos+1, mask|1<<uint(nodes[i]))
+		}
+	}
+	rec(0, 0, 0)
+	return out
+}

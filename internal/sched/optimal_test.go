@@ -1,0 +1,165 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+	"mpsched/internal/workloads"
+)
+
+func TestOptimal3DFTPaperPatterns(t *testing.T) {
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	s, err := Optimal(g, ps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The heuristic's 7 cycles is in fact optimal for these patterns.
+	if s.Length() != 7 {
+		t.Errorf("optimal = %d cycles, expected 7", s.Length())
+	}
+}
+
+func TestOptimalNeverWorseThanHeuristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 15; trial++ {
+		cfg := workloads.DefaultRandomColoredConfig()
+		cfg.DAG.Layers = 4
+		cfg.DAG.WidthMax = 4
+		g := workloads.RandomColored(rng, cfg)
+		ps := pattern.NewSet(pattern.New(g.Colors()...), pattern.MustParse("aab"))
+		heuristic, err := MultiPattern(g, ps, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Optimal(g, ps, 500000)
+		if err != nil {
+			t.Logf("trial %d: %v (using upper bound)", trial, err)
+		}
+		if opt.Length() > heuristic.Length() {
+			t.Fatalf("trial %d: optimal %d worse than heuristic %d",
+				trial, opt.Length(), heuristic.Length())
+		}
+		if err := opt.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		lb, err := LowerBound(g, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Length() < lb {
+			t.Fatalf("trial %d: optimal %d beats lower bound %d", trial, opt.Length(), lb)
+		}
+	}
+}
+
+func TestOptimalMatchesExhaustiveTinyGraphs(t *testing.T) {
+	// On a tiny chain+parallel graph the optimum is computable by hand:
+	// 4 independent "a" nodes, pattern {aa} → 2 cycles.
+	g := workloads.RandomColored(rand.New(rand.NewSource(1)), workloads.DefaultRandomColoredConfig())
+	_ = g
+	tiny := pattern.NewSet(pattern.MustParse("aa"))
+	d := newAllA(4)
+	s, err := Optimal(d, tiny, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() != 2 {
+		t.Errorf("4 parallel nodes with 2 slots: %d cycles, want 2", s.Length())
+	}
+}
+
+func TestOptimalValidation(t *testing.T) {
+	d := newAllA(3)
+	if _, err := Optimal(d, pattern.NewSet(), 0); err == nil {
+		t.Error("empty pattern set accepted")
+	}
+	big := newAllA(65)
+	if _, err := Optimal(big, pattern.NewSet(pattern.MustParse("a")), 0); err == nil {
+		t.Error("65-node graph accepted")
+	}
+}
+
+func TestOptimalStateCapReported(t *testing.T) {
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	s, err := Optimal(g, ps, 1) // absurdly small cap
+	if err == nil {
+		t.Error("state cap not reported")
+	}
+	if s == nil || s.Verify() != nil {
+		t.Error("capped search must still return a valid schedule")
+	}
+}
+
+func TestForceDirected3DFT(t *testing.T) {
+	g := workloads.ThreeDFT()
+	p := pattern.MustParse("aabcc")
+	s, err := ForceDirected(g, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Single-bag list scheduling achieves 8 with this pattern; FDS should
+	// land in the same neighbourhood (within a couple of cycles).
+	list, err := SinglePattern(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() > list.Length()+2 {
+		t.Errorf("FDS %d cycles vs list %d — unexpectedly bad", s.Length(), list.Length())
+	}
+	lb, err := LowerBound(g, pattern.NewSet(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() < lb {
+		t.Fatalf("FDS %d beats lower bound %d", s.Length(), lb)
+	}
+}
+
+func TestForceDirectedRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 10; trial++ {
+		g := workloads.RandomColored(rng, workloads.DefaultRandomColoredConfig())
+		p := pattern.New(append(g.Colors(), g.Colors()...)...) // two slots per color
+		s, err := ForceDirected(g, p, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestForceDirectedInfeasibleColor(t *testing.T) {
+	g := workloads.ThreeDFT()
+	if _, err := ForceDirected(g, pattern.MustParse("ab"), 0); err == nil {
+		t.Error("pattern lacking color c accepted")
+	}
+}
+
+// newAllA builds n mutually independent nodes of color "a".
+func newAllA(n int) *dfg.Graph {
+	d := dfg.NewGraph("alla")
+	for i := 0; i < n; i++ {
+		d.MustAddNode(dfg.Node{Name: nm2("n", i), Color: "a"})
+	}
+	return d
+}
+
+func nm2(prefix string, i int) string {
+	out := prefix
+	if i >= 10 {
+		out += string(rune('0' + i/10))
+	}
+	return out + string(rune('0'+i%10))
+}

@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpsched/internal/pattern"
+	"mpsched/internal/workloads"
+)
+
+// Every cycle of every schedule is an antichain with span bounded by the
+// schedule structure — checked directly against reachability.
+func TestScheduledCyclesAreAntichains(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 20; trial++ {
+		g := workloads.RandomColored(rng, workloads.DefaultRandomColoredConfig())
+		ps, err := randomCoveringSet(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := MultiPattern(g, ps, Options{TieBreak: TieBreak(trial % 4), Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := g.Reach()
+		for cyc, nodes := range s.Cycles {
+			for i := 0; i < len(nodes); i++ {
+				for j := i + 1; j < len(nodes); j++ {
+					if r.Comparable(nodes[i], nodes[j]) {
+						t.Fatalf("trial %d cycle %d: %s and %s are ordered",
+							trial, cyc, g.NameOf(nodes[i]), g.NameOf(nodes[j]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// A superset pattern (strictly more slots) can never make the greedy
+// selected set smaller for the same candidate list — monotonicity of
+// S(p, CL) in the pattern lattice.
+func TestSelectSetMonotoneInPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	g := workloads.RandomColored(rng, workloads.DefaultRandomColoredConfig())
+	prio := ComputePriorities(g)
+	var cl []int
+	for i := 0; i < g.N(); i++ {
+		if len(g.Preds(i)) == 0 {
+			cl = append(cl, i)
+		}
+	}
+	sorted := sortCandidates(cl, prio, TieIndexDesc, nil)
+	small := pattern.MustParse("ab")
+	big := small.Add("a").Add("c")
+	selSmall := selectSet(g, small, sorted)
+	selBig := selectSet(g, big, sorted)
+	if len(selBig) < len(selSmall) {
+		t.Errorf("superset pattern selected fewer nodes: %d vs %d", len(selBig), len(selSmall))
+	}
+	// And everything small selects, big selects too (same greedy order).
+	inBig := map[int]bool{}
+	for _, n := range selBig {
+		inBig[n] = true
+	}
+	for _, n := range selSmall {
+		if !inBig[n] {
+			t.Errorf("node %s lost when pattern grew", g.NameOf(n))
+		}
+	}
+}
+
+// Determinism: identical options must produce identical schedules.
+func TestSchedulingDeterministic(t *testing.T) {
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	for _, opts := range []Options{
+		{},
+		{Priority: F1},
+		{TieBreak: TieRandom, Seed: 42},
+		{SwitchPenalty: 5},
+	} {
+		s1, err := MultiPattern(g, ps, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := MultiPattern(g, ps, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.Length() != s2.Length() {
+			t.Fatalf("opts %+v: lengths differ", opts)
+		}
+		for n := range s1.CycleOf {
+			if s1.CycleOf[n] != s2.CycleOf[n] {
+				t.Fatalf("opts %+v: node %d placed differently", opts, n)
+			}
+		}
+	}
+}
+
+// The ASAP schedule is a lower bound certificate: no pattern-constrained
+// schedule can beat it.
+func TestASAPIsFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	for trial := 0; trial < 10; trial++ {
+		g := workloads.RandomColored(rng, workloads.DefaultRandomColoredConfig())
+		asap, err := ASAPSchedule(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := randomCoveringSet(g, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := MultiPattern(g, ps, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Length() < asap.Length() {
+			t.Fatalf("trial %d: constrained %d beats ASAP %d", trial, s.Length(), asap.Length())
+		}
+	}
+}

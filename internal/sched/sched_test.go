@@ -1,0 +1,340 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+	"mpsched/internal/workloads"
+)
+
+func namesOf(d *dfg.Graph, ids []int) string {
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = d.NameOf(id)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// The paper's Table 2: scheduling the 3DFT with pattern1 = "aabcc" and
+// pattern2 = "aaacc" takes 7 cycles with the listed sets and choices.
+func TestTable2TraceReproduces(t *testing.T) {
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	s, err := MultiPattern(g, ps, Options{Priority: F2, TieBreak: TieIndexDesc, KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() != 7 {
+		t.Fatalf("length = %d cycles, want 7\n%s", s.Length(), s.Render())
+	}
+
+	wantScheduled := []string{
+		"a2,a4,b6",
+		"a24,a7,b3,c10,c11",
+		"a16,a8,b5,c12",
+		"a17,b1,c13,c14",
+		"a18,a20,a21,c9",
+		"a15,a22,a23",
+		"a19",
+	}
+	wantPattern := []int{0, 0, 0, 0, 1, 1, 0}
+	wantCandidates := []string{
+		"a2,a4,b1,b3,b5,b6",
+		"a16,a24,a7,b1,b3,b5,c10,c11",
+		"a16,a8,b1,b5,c12",
+		"a17,b1,c13,c14",
+		"a18,a20,a21,c9",
+		"a15,a22,a23",
+		"a19",
+	}
+	for cyc := 0; cyc < 7; cyc++ {
+		if got := namesOf(g, s.Cycles[cyc]); got != wantScheduled[cyc] {
+			t.Errorf("cycle %d scheduled %s, want %s", cyc+1, got, wantScheduled[cyc])
+		}
+		if s.PatternOf[cyc] != wantPattern[cyc] {
+			t.Errorf("cycle %d used pattern %d, want %d", cyc+1, s.PatternOf[cyc]+1, wantPattern[cyc]+1)
+		}
+		if got := namesOf(g, s.Trace[cyc].Candidates); got != wantCandidates[cyc] {
+			t.Errorf("cycle %d candidates %s, want %s", cyc+1, got, wantCandidates[cyc])
+		}
+	}
+
+	// Spot-check the per-pattern selected sets of Table 2 (cycle 2: the
+	// difference between the patterns is b3 vs a16).
+	tr := s.Trace[1]
+	if got := namesOf(g, tr.PerPattern[0]); got != "a24,a7,b3,c10,c11" {
+		t.Errorf("cycle 2 S(p1) = %s", got)
+	}
+	if got := namesOf(g, tr.PerPattern[1]); got != "a16,a24,a7,c10,c11" {
+		t.Errorf("cycle 2 S(p2) = %s", got)
+	}
+}
+
+// With F1 both patterns tie in cycle 2 (5 nodes each); F2 must prefer
+// pattern 1 because b3's priority (height 5) exceeds a16's — the paper's
+// §4.3 example.
+func TestF1VersusF2Cycle2(t *testing.T) {
+	g := workloads.ThreeDFT()
+	prio := ComputePriorities(g)
+	b3, a16 := g.MustID("b3"), g.MustID("a16")
+	if prio.F[b3] <= prio.F[a16] {
+		t.Fatalf("f(b3)=%d should exceed f(a16)=%d", prio.F[b3], prio.F[a16])
+	}
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	s, err := MultiPattern(g, ps, Options{Priority: F2, TieBreak: TieIndexDesc, KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trace[1].Chosen != 0 {
+		t.Errorf("cycle 2 chose pattern %d, want 1 under F2", s.Trace[1].Chosen+1)
+	}
+}
+
+func TestPriorityConditions(t *testing.T) {
+	g := workloads.ThreeDFT()
+	prio := ComputePriorities(g)
+	lv := g.Levels()
+	// Eq. (5)'s guarantee: higher height ⇒ strictly higher priority.
+	for i := 0; i < g.N(); i++ {
+		for j := 0; j < g.N(); j++ {
+			if lv.Height[i] > lv.Height[j] && prio.F[i] <= prio.F[j] {
+				t.Errorf("height dominance violated: %s(h=%d,f=%d) vs %s(h=%d,f=%d)",
+					g.NameOf(i), lv.Height[i], prio.F[i], g.NameOf(j), lv.Height[j], prio.F[j])
+			}
+			if lv.Height[i] == lv.Height[j] &&
+				prio.DirectSuccessors(i) > prio.DirectSuccessors(j) && prio.F[i] <= prio.F[j] {
+				t.Errorf("direct-successor dominance violated between %s and %s",
+					g.NameOf(i), g.NameOf(j))
+			}
+		}
+	}
+}
+
+func TestScheduleVerifyCatchesTampering(t *testing.T) {
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	s, err := MultiPattern(g, ps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Move a node before its predecessor.
+	victim := g.MustID("a19")
+	orig := s.CycleOf[victim]
+	s.CycleOf[victim] = 0
+	s.Cycles[orig] = removeInt(s.Cycles[orig], victim)
+	s.Cycles[0] = append(s.Cycles[0], victim)
+	if err := s.Verify(); err == nil {
+		t.Error("dependency violation not caught")
+	}
+}
+
+func removeInt(s []int, v int) []int {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func TestVerifyCatchesOverSubscription(t *testing.T) {
+	g := workloads.Fig4Small()
+	ps := pattern.NewSet(pattern.MustParse("ab"))
+	s, err := MultiPattern(g, ps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force two a-nodes into a cycle whose pattern has one a-slot.
+	a1, a3 := g.MustID("a1"), g.MustID("a3")
+	if s.CycleOf[a1] != s.CycleOf[a3] {
+		from := s.CycleOf[a3]
+		to := s.CycleOf[a1]
+		s.Cycles[from] = removeInt(s.Cycles[from], a3)
+		s.Cycles[to] = append(s.Cycles[to], a3)
+		s.CycleOf[a3] = to
+	}
+	if err := s.Verify(); err == nil {
+		t.Error("pattern over-subscription not caught")
+	}
+}
+
+func TestNoProgressError(t *testing.T) {
+	g := workloads.Fig4Small() // colors a and b
+	ps := pattern.NewSet(pattern.MustParse("cc"))
+	if _, err := MultiPattern(g, ps, Options{}); err == nil {
+		t.Error("uncoverable colors not reported")
+	}
+	// Progress possible at first, then stuck: pattern covers only "a".
+	ps2 := pattern.NewSet(pattern.MustParse("aa"))
+	if _, err := MultiPattern(g, ps2, Options{}); err == nil {
+		t.Error("mid-schedule starvation not reported")
+	}
+}
+
+func TestEmptyPatternSet(t *testing.T) {
+	g := workloads.Fig4Small()
+	if _, err := MultiPattern(g, pattern.NewSet(), Options{}); err == nil {
+		t.Error("empty pattern set accepted")
+	}
+}
+
+func TestSinglePatternEqualsClassicList(t *testing.T) {
+	g := workloads.ThreeDFT()
+	p := pattern.MustParse("aabcc")
+	s1, err := SinglePattern(g, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := MultiPattern(g, pattern.NewSet(p), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Length() != s2.Length() {
+		t.Errorf("single-pattern wrapper diverges: %d vs %d", s1.Length(), s2.Length())
+	}
+	if err := s1.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestASAPSchedule(t *testing.T) {
+	g := workloads.ThreeDFT()
+	s, err := ASAPSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() != g.Levels().CriticalPathLength() {
+		t.Errorf("ASAP length %d ≠ critical path %d", s.Length(), g.Levels().CriticalPathLength())
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	lb, err := LowerBound(g, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 14 adds / 3 a-slots = 5; 24 nodes / 5 = 5; critical path 5; muls 6/2=3.
+	if lb != 5 {
+		t.Errorf("LowerBound = %d, want 5", lb)
+	}
+	if _, err := LowerBound(g, pattern.NewSet(pattern.MustParse("ab"))); err == nil {
+		t.Error("missing color c not reported")
+	}
+}
+
+// Every schedule the algorithm produces verifies, across random workloads,
+// pattern sets, priorities and tie-breaks.
+func TestScheduleAlwaysVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 40; trial++ {
+		g := workloads.RandomColored(rng, workloads.DefaultRandomColoredConfig())
+		// Random pattern set guaranteed to cover all colors.
+		ps := pattern.NewSet()
+		colors := g.Colors()
+		var all []dfg.Color
+		all = append(all, colors...)
+		for ps.Len() < 3 {
+			var cs []dfg.Color
+			for i := 0; i < 5; i++ {
+				cs = append(cs, all[rng.Intn(len(all))])
+			}
+			ps.Add(pattern.New(cs...))
+		}
+		ps.Add(pattern.New(colors...)) // safety net: one slot of every color
+		opts := Options{
+			Priority: PatternPriority(trial % 2),
+			TieBreak: TieBreak(trial % 4),
+			Seed:     int64(trial),
+		}
+		s, err := MultiPattern(g, ps, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		lb, err := LowerBound(g, ps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Length() < lb {
+			t.Fatalf("trial %d: schedule %d beats lower bound %d", trial, s.Length(), lb)
+		}
+	}
+}
+
+func TestTieBreakPoliciesAllWork(t *testing.T) {
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	lengths := map[TieBreak]int{}
+	for _, tb := range []TieBreak{TieIndexDesc, TieIndexAsc, TieStable, TieRandom} {
+		s, err := MultiPattern(g, ps, Options{TieBreak: tb, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", tb, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("%v: %v", tb, err)
+		}
+		lengths[tb] = s.Length()
+	}
+	// All policies should land on the same 7-cycle result for this graph
+	// (the ties here don't change the cycle count).
+	for tb, l := range lengths {
+		if l != 7 {
+			t.Errorf("%v: %d cycles, want 7", tb, l)
+		}
+	}
+}
+
+func TestPatternUsageAndUtilization(t *testing.T) {
+	g := workloads.ThreeDFT()
+	ps := pattern.NewSet(pattern.MustParse("aabcc"), pattern.MustParse("aaacc"))
+	s, err := MultiPattern(g, ps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	usage := s.PatternUsage()
+	if usage[0]+usage[1] != s.Length() {
+		t.Errorf("usage %v doesn't sum to %d", usage, s.Length())
+	}
+	u := s.Utilization()
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization %v out of range", u)
+	}
+}
+
+func TestRenderContainsTrace(t *testing.T) {
+	g := workloads.Fig4Small()
+	ps := pattern.NewSet(pattern.MustParse("aab"), pattern.MustParse("bb"))
+	s, err := MultiPattern(g, ps, Options{KeepTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s.Render(), "cycle") {
+		t.Error("Render missing cycles")
+	}
+	if !strings.Contains(s.RenderTrace(), "pattern") {
+		t.Error("RenderTrace missing content")
+	}
+	s2, _ := MultiPattern(g, ps, Options{})
+	if !strings.Contains(s2.RenderTrace(), "no trace") {
+		t.Error("missing-trace message absent")
+	}
+}

@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/pattern"
+)
+
+// Schedule is the result of scheduling a DFG against a pattern set: an
+// assignment of every node to a clock cycle, plus the pattern serving each
+// cycle.
+type Schedule struct {
+	Graph    *dfg.Graph
+	Patterns *pattern.Set
+
+	CycleOf   []int   // node id → clock cycle (0-based)
+	Cycles    [][]int // clock cycle → node ids, each ascending
+	PatternOf []int   // clock cycle → index into Patterns
+
+	Trace []CycleTrace // per-cycle decision log (nil unless requested)
+}
+
+// CycleTrace records one iteration of the list scheduler — the data behind
+// the paper's Table 2.
+type CycleTrace struct {
+	Cycle      int
+	Candidates []int   // candidate list, sorted by descending priority
+	PerPattern [][]int // S(p, CL) for every pattern, ascending node ids
+	Chosen     int     // index of the winning pattern
+}
+
+// Length returns the number of clock cycles.
+func (s *Schedule) Length() int { return len(s.Cycles) }
+
+// Verify checks that the schedule is well formed:
+//  1. every node is scheduled exactly once;
+//  2. every dependency points to a strictly earlier cycle;
+//  3. each cycle's color demand fits its assigned pattern;
+//  4. every cycle's pattern index is valid.
+func (s *Schedule) Verify() error {
+	d := s.Graph
+	seen := make([]bool, d.N())
+	for cyc, nodes := range s.Cycles {
+		if s.PatternOf[cyc] < 0 || s.PatternOf[cyc] >= s.Patterns.Len() {
+			return fmt.Errorf("sched: cycle %d has invalid pattern index %d", cyc, s.PatternOf[cyc])
+		}
+		p := s.Patterns.At(s.PatternOf[cyc])
+		demand := map[dfg.Color]int{}
+		for _, n := range nodes {
+			if seen[n] {
+				return fmt.Errorf("sched: node %s scheduled twice", d.NameOf(n))
+			}
+			seen[n] = true
+			if s.CycleOf[n] != cyc {
+				return fmt.Errorf("sched: node %s cycle mismatch (%d vs %d)",
+					d.NameOf(n), s.CycleOf[n], cyc)
+			}
+			demand[d.ColorOf(n)]++
+		}
+		if !p.Fits(demand) {
+			return fmt.Errorf("sched: cycle %d demand %v exceeds pattern %s", cyc, demand, p)
+		}
+	}
+	for n := 0; n < d.N(); n++ {
+		if !seen[n] {
+			return fmt.Errorf("sched: node %s never scheduled", d.NameOf(n))
+		}
+		for _, p := range d.Preds(n) {
+			if s.CycleOf[p] >= s.CycleOf[n] {
+				return fmt.Errorf("sched: dependency %s→%s violated (cycles %d ≥ %d)",
+					d.NameOf(p), d.NameOf(n), s.CycleOf[p], s.CycleOf[n])
+			}
+		}
+	}
+	return nil
+}
+
+// Render prints the schedule as a cycle-by-cycle table, names ascending
+// within a cycle.
+func (s *Schedule) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schedule of %q: %d cycles, %d patterns\n",
+		s.Graph.Name, s.Length(), s.Patterns.Len())
+	for cyc, nodes := range s.Cycles {
+		names := make([]string, len(nodes))
+		for i, n := range nodes {
+			names[i] = s.Graph.NameOf(n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "  cycle %2d  pattern %d %-14s  %s\n",
+			cyc+1, s.PatternOf[cyc]+1, s.Patterns.At(s.PatternOf[cyc]).String(),
+			strings.Join(names, " "))
+	}
+	return sb.String()
+}
+
+// RenderTrace formats the decision log in the style of the paper's Table 2.
+func (s *Schedule) RenderTrace() string {
+	if s.Trace == nil {
+		return "(no trace recorded)\n"
+	}
+	var sb strings.Builder
+	sb.WriteString("cycle | candidate list | per-pattern selected sets | chosen\n")
+	for _, tr := range s.Trace {
+		fmt.Fprintf(&sb, "%5d | %s |", tr.Cycle+1, s.nameList(tr.Candidates))
+		for pi, sel := range tr.PerPattern {
+			fmt.Fprintf(&sb, " p%d=%s", pi+1, s.nameList(sel))
+		}
+		fmt.Fprintf(&sb, " | pattern %d\n", tr.Chosen+1)
+	}
+	return sb.String()
+}
+
+func (s *Schedule) nameList(nodes []int) string {
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = s.Graph.NameOf(n)
+	}
+	return strings.Join(names, ",")
+}
+
+// Switches counts the configuration changes: cycles whose pattern differs
+// from the previous cycle's. Real fabrics pay energy/latency for each.
+func (s *Schedule) Switches() int {
+	switches := 0
+	for i := 1; i < len(s.PatternOf); i++ {
+		if s.PatternOf[i] != s.PatternOf[i-1] {
+			switches++
+		}
+	}
+	return switches
+}
+
+// PatternUsage returns how many cycles each pattern serves.
+func (s *Schedule) PatternUsage() []int {
+	usage := make([]int, s.Patterns.Len())
+	for _, pi := range s.PatternOf {
+		usage[pi]++
+	}
+	return usage
+}
+
+// Utilization returns the fraction of pattern slots actually used, summed
+// over cycles: Σ|cycle| / Σ|pattern(cycle)|. Dummy slots (pattern size < C)
+// count as used capacity of the configured pattern only.
+func (s *Schedule) Utilization() float64 {
+	used, avail := 0, 0
+	for cyc, nodes := range s.Cycles {
+		used += len(nodes)
+		avail += s.Patterns.At(s.PatternOf[cyc]).Size()
+	}
+	if avail == 0 {
+		return 0
+	}
+	return float64(used) / float64(avail)
+}

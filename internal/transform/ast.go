@@ -1,0 +1,77 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an expression tree node.
+type Expr interface {
+	String() string
+}
+
+// Num is a numeric literal.
+type Num struct{ Value float64 }
+
+// Var references a name — either an earlier assignment or an external
+// input (resolved during lowering).
+type Var struct{ Name string }
+
+// Unary is unary minus.
+type Unary struct{ X Expr }
+
+// Binary is one of '+', '-', '*'.
+type Binary struct {
+	Op   byte // '+', '-', '*'
+	L, R Expr
+}
+
+func (n *Num) String() string { return trimFloat(n.Value) }
+func (v *Var) String() string { return v.Name }
+func (u *Unary) String() string {
+	return "-" + parenthesize(u.X)
+}
+func (b *Binary) String() string {
+	return fmt.Sprintf("%s %c %s", parenthesize(b.L), b.Op, parenthesize(b.R))
+}
+
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *Binary:
+		return "(" + e.String() + ")"
+	default:
+		return e.String()
+	}
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return strings.TrimSuffix(s, ".0")
+}
+
+// Stmt is one assignment. IsOutput marks "name: out = expr" statements,
+// whose results become DFG outputs.
+type Stmt struct {
+	Name     string
+	IsOutput bool
+	RHS      Expr
+	Line     int
+}
+
+// Program is a parsed source file.
+type Program struct {
+	Stmts []Stmt
+}
+
+// String reconstructs a canonical source rendering.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, s := range p.Stmts {
+		if s.IsOutput {
+			fmt.Fprintf(&sb, "%s: out = %s\n", s.Name, s.RHS)
+		} else {
+			fmt.Fprintf(&sb, "%s = %s\n", s.Name, s.RHS)
+		}
+	}
+	return sb.String()
+}

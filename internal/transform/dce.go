@@ -1,0 +1,91 @@
+package transform
+
+import (
+	"fmt"
+
+	"mpsched/internal/dfg"
+)
+
+// EliminateDead returns a copy of the graph containing only nodes from
+// which an output is reachable. Graphs without any output are returned
+// unchanged (every node is presumed observable). Node names, colors,
+// semantics and outputs are preserved; ids are renumbered densely.
+//
+// This is the dead-code-elimination leg of the Transformation phase: the
+// parser lowers entire programs, but only operations feeding a ": out"
+// result need to occupy ALU cycles.
+func EliminateDead(g *dfg.Graph) (*dfg.Graph, int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, 0, err
+	}
+	hasOutput := false
+	for i := 0; i < g.N(); i++ {
+		if g.Node(i).Output != "" {
+			hasOutput = true
+			break
+		}
+	}
+	if !hasOutput {
+		return g.Clone(), 0, nil
+	}
+	// Mark everything that reaches an output, walking predecessor edges.
+	live := make([]bool, g.N())
+	var stack []int
+	for i := 0; i < g.N(); i++ {
+		if g.Node(i).Output != "" {
+			live[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Preds(u) {
+			if !live[p] {
+				live[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+
+	remap := make([]int, g.N())
+	pruned := dfg.NewGraph(g.Name)
+	removed := 0
+	for i := 0; i < g.N(); i++ {
+		if !live[i] {
+			remap[i] = -1
+			removed++
+			continue
+		}
+		n := g.Node(i)
+		args := make([]dfg.Operand, len(n.Args))
+		for j, a := range n.Args {
+			if a.Kind == dfg.OperandNode {
+				if remap[a.Node] < 0 {
+					return nil, 0, fmt.Errorf("transform: live node %s depends on dead node %s",
+						n.Name, g.NameOf(a.Node))
+				}
+				a.Node = remap[a.Node]
+			}
+			args[j] = a
+		}
+		id, err := pruned.AddNode(dfg.Node{
+			Name: n.Name, Color: n.Color, Op: n.Op, Args: args, Output: n.Output,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		remap[i] = id
+	}
+	for _, e := range g.Digraph().Edges() {
+		if remap[e[0]] >= 0 && remap[e[1]] >= 0 {
+			if err := pruned.AddDep(remap[e[0]], remap[e[1]]); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if err := pruned.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return pruned, removed, nil
+}

@@ -1,0 +1,96 @@
+package transform
+
+import (
+	"testing"
+
+	"mpsched/internal/dfg"
+)
+
+func TestEliminateDeadPrunesUnusedChains(t *testing.T) {
+	// u feeds the output; v/w is a dead side computation.
+	g, err := Compile(`
+u = x + y
+v = x * 3
+w = v + 1
+r: out = u * u
+`, Options{Name: "dce", DisableFolding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, removed, err := EliminateDead(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2 (v and w)", removed)
+	}
+	if pruned.N() != g.N()-2 {
+		t.Errorf("pruned N = %d", pruned.N())
+	}
+	_, out, err := pruned.Evaluate(map[string]float64{"x": 3, "y": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["r"] != 16 {
+		t.Errorf("r = %v, want 16", out["r"])
+	}
+}
+
+func TestEliminateDeadKeepsEverythingLive(t *testing.T) {
+	g, err := Compile(`
+u = x + y
+r: out = u * 2
+s: out = u + 5
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, removed, err := EliminateDead(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 || pruned.N() != g.N() {
+		t.Errorf("live graph pruned: removed=%d", removed)
+	}
+}
+
+func TestEliminateDeadNoOutputsIsIdentity(t *testing.T) {
+	g := dfg.NewGraph("none")
+	g.MustAddNode(dfg.Node{Name: "x", Color: "a"})
+	g.MustAddNode(dfg.Node{Name: "y", Color: "b"})
+	g.MustAddDep(0, 1)
+	pruned, removed, err := EliminateDead(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 0 || pruned.N() != 2 {
+		t.Errorf("output-free graph modified: removed=%d N=%d", removed, pruned.N())
+	}
+}
+
+func TestEliminateDeadRenumbersOperands(t *testing.T) {
+	// Dead node first so live ids shift.
+	g := dfg.NewGraph("shift")
+	dead := g.MustAddNode(dfg.Node{Name: "dead", Color: "a", Op: dfg.OpAdd,
+		Args: []dfg.Operand{dfg.InputRef("p"), dfg.InputRef("q")}})
+	_ = dead
+	live1 := g.MustAddNode(dfg.Node{Name: "live1", Color: "a", Op: dfg.OpAdd,
+		Args: []dfg.Operand{dfg.InputRef("p"), dfg.ConstVal(1)}})
+	live2 := g.MustAddNode(dfg.Node{Name: "live2", Color: "c", Op: dfg.OpMul,
+		Args: []dfg.Operand{dfg.NodeRef(live1), dfg.ConstVal(2)}, Output: "r"})
+	g.MustAddDep(live1, live2)
+	pruned, removed, err := EliminateDead(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || pruned.N() != 2 {
+		t.Fatalf("removed=%d N=%d", removed, pruned.N())
+	}
+	_, out, err := pruned.Evaluate(map[string]float64{"p": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["r"] != 10 {
+		t.Errorf("r = %v, want 10", out["r"])
+	}
+}

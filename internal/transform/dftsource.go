@@ -1,0 +1,49 @@
+package transform
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DFTSource emits expression-language source for an N-point DFT written as
+// the direct textbook summation. The lowering pipeline (folding, CSE,
+// negation pushing) then discovers the structure a DSP engineer would write
+// by hand — a compact demonstration of the full compile flow.
+func DFTSource(n int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %d-point DFT, direct form\n", n)
+	for k := 0; k < n; k++ {
+		var re, im []string
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(t*k) / float64(n)
+			c := math.Cos(angle)
+			s := math.Sin(angle)
+			// X_k += x_t·(c + i·s): re += c·xr − s·xi ; im += c·xi + s·xr.
+			re = append(re, fmt.Sprintf("%s*x%dr - %s*x%di", lit(c), t, lit(s), t))
+			im = append(im, fmt.Sprintf("%s*x%di + %s*x%dr", lit(c), t, lit(s), t))
+		}
+		fmt.Fprintf(&sb, "X%dr: out = %s\n", k, strings.Join(re, " + "))
+		fmt.Fprintf(&sb, "X%di: out = %s\n", k, strings.Join(im, " + "))
+	}
+	return sb.String()
+}
+
+// lit renders a float as an expression-language literal (the language has
+// no scientific notation; snap near-integers to keep the source readable
+// and the folding rules effective).
+func lit(v float64) string {
+	if math.Abs(v) < 1e-12 {
+		return "0"
+	}
+	if math.Abs(v-math.Round(v)) < 1e-12 {
+		if v < 0 {
+			return fmt.Sprintf("(0 - %d)", int(math.Round(-v)))
+		}
+		return fmt.Sprintf("%d", int(math.Round(v)))
+	}
+	if v < 0 {
+		return fmt.Sprintf("(0 - %.12f)", -v)
+	}
+	return fmt.Sprintf("%.12f", v)
+}

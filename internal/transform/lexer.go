@@ -1,0 +1,197 @@
+// Package transform implements the Transformation phase of the Montium
+// compiler flow the paper builds on [3]: a small expression language is
+// parsed, simplified (constant folding, common-subexpression elimination,
+// negation pushing) and lowered to a data-flow graph whose node colors the
+// scheduler understands.
+//
+// The language is a list of assignments over float scalars:
+//
+//	ur = x1r + x2r
+//	vr = x1r - x2r
+//	X0r: out = x0r + ur          # ": out" marks a DFG output
+//	m   = 0.5 * (ur + vr)
+//
+// Identifiers not defined by an assignment are external inputs. '#' starts
+// a comment. Operators: + - * and unary minus; parentheses group.
+package transform
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPlus
+	tokMinus
+	tokStar
+	tokLParen
+	tokRParen
+	tokAssign
+	tokColon
+	tokNewline
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokAssign:
+		return "'='"
+	case tokColon:
+		return "':'"
+	case tokNewline:
+		return "newline"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer tokenises the expression language. Newlines are significant (they
+// terminate statements), everything else is free-form.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...interface{}) error {
+	return fmt.Errorf("transform: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '#': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+				l.col++
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+			l.col++
+		case c == '\n':
+			tok := token{tokNewline, "\n", l.line, l.col}
+			l.pos++
+			l.line++
+			l.col = 1
+			return tok, nil
+		case c == '+':
+			return l.punct(tokPlus), nil
+		case c == '-':
+			return l.punct(tokMinus), nil
+		case c == '*':
+			return l.punct(tokStar), nil
+		case c == '(':
+			return l.punct(tokLParen), nil
+		case c == ')':
+			return l.punct(tokRParen), nil
+		case c == '=':
+			return l.punct(tokAssign), nil
+		case c == ':':
+			return l.punct(tokColon), nil
+		case isIdentStart(rune(c)):
+			return l.ident(), nil
+		case c >= '0' && c <= '9' || c == '.':
+			return l.number()
+		default:
+			return token{}, l.errorf(l.line, l.col, "unexpected character %q", c)
+		}
+	}
+	return token{tokEOF, "", l.line, l.col}, nil
+}
+
+func (l *lexer) punct(kind tokenKind) token {
+	tok := token{kind, string(l.src[l.pos]), l.line, l.col}
+	l.pos++
+	l.col++
+	return tok
+}
+
+func (l *lexer) ident() token {
+	start := l.pos
+	col := l.col
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+		l.col++
+	}
+	return token{tokIdent, l.src[start:l.pos], l.line, col}
+}
+
+func (l *lexer) number() (token, error) {
+	start := l.pos
+	col := l.col
+	dots := 0
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			dots++
+			if dots > 1 {
+				return token{}, l.errorf(l.line, col, "malformed number")
+			}
+		} else if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+		l.col++
+	}
+	text := l.src[start:l.pos]
+	if text == "." {
+		return token{}, l.errorf(l.line, col, "malformed number")
+	}
+	return token{tokNumber, text, l.line, col}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// lexAll is a test helper: tokenise the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package transform
+
+import (
+	"fmt"
+
+	"mpsched/internal/dfg"
+)
+
+// Options steer the lowering pipeline.
+type Options struct {
+	// Name is the produced graph's name.
+	Name string
+	// DisableCSE keeps syntactically equal subexpressions as separate
+	// nodes (useful to study the clustering phase and for ablations).
+	DisableCSE bool
+	// DisableFolding keeps constant subexpressions as multiply/add nodes
+	// instead of folding them at compile time.
+	DisableFolding bool
+	// Colors maps operation kinds to scheduler colors. Defaults to the
+	// paper's a/b/c convention.
+	AddColor dfg.Color
+	SubColor dfg.Color
+	MulColor dfg.Color
+}
+
+func (o Options) withDefaults() Options {
+	if o.Name == "" {
+		o.Name = "program"
+	}
+	if o.AddColor == "" {
+		o.AddColor = "a"
+	}
+	if o.SubColor == "" {
+		o.SubColor = "b"
+	}
+	if o.MulColor == "" {
+		o.MulColor = "c"
+	}
+	return o
+}
+
+// Compile parses and lowers a program to a data-flow graph. See Lower.
+func Compile(src string, opts Options) (*dfg.Graph, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(prog, opts)
+}
+
+// Lower converts a parsed program to a DFG:
+//
+//  1. negation pushing rewrites unary minus into negated constants where a
+//     multiplication is available, or into operand-swapped subtractions —
+//     the idiom of the paper's 3DFT graph, which avoids late subtractions;
+//  2. constants fold;
+//  3. common subexpressions merge (hash-consing on canonical value keys);
+//  4. each remaining operation becomes a colored DFG node; names assigned
+//     by statements label the nodes, and output statements set outputs.
+//
+// Free identifiers become external inputs. A pure-constant output is
+// rejected (it would need no node at all).
+func Lower(prog *Program, opts Options) (*dfg.Graph, error) {
+	opts = opts.withDefaults()
+	lw := &lowerer{
+		opts:  opts,
+		g:     dfg.NewGraph(opts.Name),
+		env:   map[string]value{},
+		cse:   map[string]value{},
+		names: map[string]bool{},
+	}
+	for _, stmt := range prog.Stmts {
+		lw.names[stmt.Name] = true
+	}
+	for _, stmt := range prog.Stmts {
+		v, err := lw.eval(stmt.RHS, false)
+		if err != nil {
+			return nil, fmt.Errorf("transform: line %d (%s): %w", stmt.Line, stmt.Name, err)
+		}
+		lw.env[stmt.Name] = v
+		if stmt.IsOutput {
+			if v.kind != valNode {
+				return nil, fmt.Errorf("transform: line %d: output %q is the constant %g — nothing to schedule",
+					stmt.Line, stmt.Name, v.constant)
+			}
+			lw.g.SetOutput(v.node, stmt.Name)
+		}
+	}
+	if lw.g.N() == 0 {
+		return nil, fmt.Errorf("transform: program produced no operations")
+	}
+	if err := lw.g.Validate(); err != nil {
+		return nil, err
+	}
+	return lw.g, nil
+}
+
+type valueKind int
+
+const (
+	valConst valueKind = iota
+	valInput           // possibly negated external input
+	valNode            // result of a DFG node
+)
+
+// value is a lowered expression: a constant, an external input with a sign,
+// or a node reference.
+type value struct {
+	kind     valueKind
+	constant float64
+	input    string
+	neg      bool // for valInput: the input appears negated
+	node     int
+}
+
+func (v value) key() string {
+	switch v.kind {
+	case valConst:
+		return fmt.Sprintf("k%g", v.constant)
+	case valInput:
+		if v.neg {
+			return "-$" + v.input
+		}
+		return "$" + v.input
+	default:
+		return fmt.Sprintf("n%d", v.node)
+	}
+}
+
+type lowerer struct {
+	opts    Options
+	g       *dfg.Graph
+	env     map[string]value
+	cse     map[string]value
+	names   map[string]bool
+	counter int
+}
+
+// eval lowers an expression. neg requests the negated value (negation
+// pushing): constants negate for free; inputs flip their sign bit;
+// a−b becomes b−a; sums distribute the sign; products negate one factor.
+func (lw *lowerer) eval(e Expr, neg bool) (value, error) {
+	switch e := e.(type) {
+	case *Num:
+		v := e.Value
+		if neg {
+			v = -v
+		}
+		return value{kind: valConst, constant: v}, nil
+	case *Var:
+		if v, ok := lw.env[e.Name]; ok {
+			if !neg {
+				return v, nil
+			}
+			return lw.negate(v)
+		}
+		if lw.names[e.Name] {
+			return value{}, fmt.Errorf("%q used before its assignment", e.Name)
+		}
+		return value{kind: valInput, input: e.Name, neg: neg}, nil
+	case *Unary:
+		return lw.eval(e.X, !neg)
+	case *Binary:
+		return lw.binary(e, neg)
+	default:
+		return value{}, fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+// negate returns the negation of an already-lowered value, materialising a
+// node only when unavoidable (0 − v).
+func (lw *lowerer) negate(v value) (value, error) {
+	switch v.kind {
+	case valConst:
+		return value{kind: valConst, constant: -v.constant}, nil
+	case valInput:
+		return value{kind: valInput, input: v.input, neg: !v.neg}, nil
+	default:
+		// (−1) · node keeps the graph subtraction-free, matching the
+		// negated-constant-multiplication idiom of the paper's graphs.
+		return lw.node(dfg.OpMul, lw.opts.MulColor, "neg", v, value{kind: valConst, constant: -1})
+	}
+}
+
+func (lw *lowerer) binary(e *Binary, neg bool) (value, error) {
+	switch e.Op {
+	case '+', '-':
+		rNeg := e.Op == '-'
+		if neg {
+			rNeg = !rNeg
+		}
+		l, err := lw.eval(e.L, neg)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := lw.eval(e.R, rNeg)
+		if err != nil {
+			return value{}, err
+		}
+		return lw.addValues(l, r)
+	case '*':
+		l, err := lw.eval(e.L, neg) // push the sign into the left factor
+		if err != nil {
+			return value{}, err
+		}
+		r, err := lw.eval(e.R, false)
+		if err != nil {
+			return value{}, err
+		}
+		return lw.mulValues(l, r)
+	default:
+		return value{}, fmt.Errorf("unknown operator %q", e.Op)
+	}
+}
+
+// addValues lowers l + r (each side carrying its own sign already).
+func (lw *lowerer) addValues(l, r value) (value, error) {
+	if l.kind == valConst && r.kind == valConst && !lw.opts.DisableFolding {
+		return value{kind: valConst, constant: l.constant + r.constant}, nil
+	}
+	if !lw.opts.DisableFolding {
+		if l.kind == valConst && l.constant == 0 {
+			return r, nil
+		}
+		if r.kind == valConst && r.constant == 0 {
+			return l, nil
+		}
+	}
+	// A negated input on one side turns the addition into a subtraction
+	// with swapped operands, keeping inputs positive.
+	if r.kind == valInput && r.neg {
+		pos := r
+		pos.neg = false
+		return lw.node(dfg.OpSub, lw.opts.SubColor, "sub", l, pos)
+	}
+	if l.kind == valInput && l.neg {
+		pos := l
+		pos.neg = false
+		return lw.node(dfg.OpSub, lw.opts.SubColor, "sub", r, pos)
+	}
+	return lw.node(dfg.OpAdd, lw.opts.AddColor, "add", l, r)
+}
+
+// mulValues lowers l · r.
+func (lw *lowerer) mulValues(l, r value) (value, error) {
+	if l.kind == valConst && r.kind == valConst && !lw.opts.DisableFolding {
+		return value{kind: valConst, constant: l.constant * r.constant}, nil
+	}
+	if !lw.opts.DisableFolding {
+		for _, pair := range [][2]value{{l, r}, {r, l}} {
+			k, other := pair[0], pair[1]
+			if k.kind == valConst {
+				switch k.constant {
+				case 0:
+					return value{kind: valConst, constant: 0}, nil
+				case 1:
+					return other, nil
+				case -1:
+					return lw.negate(other)
+				}
+			}
+		}
+	}
+	// A negated input beside a constant folds its sign into the constant.
+	if l.kind == valInput && l.neg && r.kind == valConst {
+		l.neg = false
+		r.constant = -r.constant
+	}
+	if r.kind == valInput && r.neg && l.kind == valConst {
+		r.neg = false
+		l.constant = -l.constant
+	}
+	return lw.node(dfg.OpMul, lw.opts.MulColor, "mul", l, r)
+}
+
+// node materialises one operation, hash-consing on (op, operand keys)
+// unless CSE is disabled. Commutative ops canonicalise operand order.
+// Residual negated inputs are materialised as 0 − x subtraction nodes
+// first, so signs never silently drop.
+func (lw *lowerer) node(op dfg.Op, color dfg.Color, kind string, l, r value) (value, error) {
+	var err error
+	if l, err = lw.materializeNegInput(l); err != nil {
+		return value{}, err
+	}
+	if r, err = lw.materializeNegInput(r); err != nil {
+		return value{}, err
+	}
+	lk, rk := l.key(), r.key()
+	if op != dfg.OpSub && rk < lk { // commutative: canonical order
+		l, r = r, l
+		lk, rk = rk, lk
+	}
+	key := fmt.Sprintf("%d|%s|%s", op, lk, rk)
+	if !lw.opts.DisableCSE {
+		if v, ok := lw.cse[key]; ok {
+			return v, nil
+		}
+	}
+	name := fmt.Sprintf("%s%d", kind, lw.counter)
+	lw.counter++
+	id, err := lw.g.AddNode(dfg.Node{Name: name, Color: color, Op: op,
+		Args: []dfg.Operand{lw.operand(l), lw.operand(r)}})
+	if err != nil {
+		return value{}, err
+	}
+	for _, side := range []value{l, r} {
+		if side.kind == valNode {
+			if err := lw.g.AddDep(side.node, id); err != nil {
+				return value{}, err
+			}
+		}
+	}
+	v := value{kind: valNode, node: id}
+	lw.cse[key] = v
+	return v, nil
+}
+
+// materializeNegInput converts a negated external input into the node
+// 0 − x (a subtraction, matching how the paper's graphs negate inputs).
+// The node is hash-consed, so repeated −x references share it.
+func (lw *lowerer) materializeNegInput(v value) (value, error) {
+	if v.kind != valInput || !v.neg {
+		return v, nil
+	}
+	zero := value{kind: valConst, constant: 0}
+	pos := value{kind: valInput, input: v.input}
+	return lw.node(dfg.OpSub, lw.opts.SubColor, "sub", zero, pos)
+}
+
+func (lw *lowerer) operand(v value) dfg.Operand {
+	switch v.kind {
+	case valConst:
+		return dfg.ConstVal(v.constant)
+	case valInput:
+		return dfg.InputRef(v.input)
+	default:
+		return dfg.NodeRef(v.node)
+	}
+}

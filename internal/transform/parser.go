@@ -1,0 +1,201 @@
+package transform
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse reads a program: newline-separated assignments
+//
+//	name = expr
+//	name: out = expr
+//
+// with the usual precedence ('*' over '+'/'-', unary minus tightest).
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	defined := map[string]int{}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokNewline {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		stmt, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := defined[stmt.Name]; dup {
+			return nil, fmt.Errorf("transform: line %d: %q already assigned on line %d",
+				stmt.Line, stmt.Name, prev)
+		}
+		defined[stmt.Name] = stmt.Line
+		prog.Stmts = append(prog.Stmts, stmt)
+	}
+	if len(prog.Stmts) == 0 {
+		return nil, fmt.Errorf("transform: empty program")
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, fmt.Errorf("transform: %d:%d: expected %s, found %s (%q)",
+			p.tok.line, p.tok.col, kind, p.tok.kind, p.tok.text)
+	}
+	tok := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return tok, nil
+}
+
+func (p *parser) statement() (Stmt, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return Stmt{}, err
+	}
+	stmt := Stmt{Name: name.text, Line: name.line}
+	if p.tok.kind == tokColon {
+		if err := p.advance(); err != nil {
+			return Stmt{}, err
+		}
+		kw, err := p.expect(tokIdent)
+		if err != nil {
+			return Stmt{}, err
+		}
+		if kw.text != "out" {
+			return Stmt{}, fmt.Errorf("transform: %d:%d: expected 'out' after ':', found %q",
+				kw.line, kw.col, kw.text)
+		}
+		stmt.IsOutput = true
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return Stmt{}, err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return Stmt{}, err
+	}
+	stmt.RHS = rhs
+	switch p.tok.kind {
+	case tokNewline:
+		if err := p.advance(); err != nil {
+			return Stmt{}, err
+		}
+	case tokEOF:
+	default:
+		return Stmt{}, fmt.Errorf("transform: %d:%d: unexpected %s after expression",
+			p.tok.line, p.tok.col, p.tok.kind)
+	}
+	return stmt, nil
+}
+
+// expr := term (('+'|'-') term)*
+func (p *parser) expr() (Expr, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op := byte('+')
+		if p.tok.kind == tokMinus {
+			op = '-'
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+// term := factor ('*' factor)*
+func (p *parser) term() (Expr, error) {
+	left, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokStar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: '*', L: left, R: right}
+	}
+	return left, nil
+}
+
+// factor := '-' factor | number | ident | '(' expr ')'
+func (p *parser) factor() (Expr, error) {
+	switch p.tok.kind {
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{X: inner}, nil
+	case tokNumber:
+		v, err := parseFloat(p.tok.text)
+		if err != nil {
+			return nil, fmt.Errorf("transform: %d:%d: %v", p.tok.line, p.tok.col, err)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Num{Value: v}, nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Var{Name: name}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return nil, fmt.Errorf("transform: %d:%d: unexpected %s in expression",
+			p.tok.line, p.tok.col, p.tok.kind)
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

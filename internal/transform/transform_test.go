@@ -1,0 +1,301 @@
+package transform
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/workloads"
+)
+
+func TestLexer(t *testing.T) {
+	toks, err := lexAll("x = a1 + 2.5*(b - c) # comment\ny: out = x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []tokenKind{
+		tokIdent, tokAssign, tokIdent, tokPlus, tokNumber, tokStar,
+		tokLParen, tokIdent, tokMinus, tokIdent, tokRParen, tokNewline,
+		tokIdent, tokColon, tokIdent, tokAssign, tokIdent, tokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("token %d = %v (%q), want %v", i, toks[i].kind, toks[i].text, k)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"x = 1.2.3", "x = @"} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexed invalid input %q", src)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog, err := Parse("y = a + b*c - d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ((a + (b*c)) - d)
+	want := "(a + (b * c)) - d"
+	if got := prog.Stmts[0].RHS.String(); got != want {
+		t.Errorf("parse = %q, want %q", got, want)
+	}
+}
+
+func TestParseUnaryAndParens(t *testing.T) {
+	prog, err := Parse("y = -(a + b) * c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.Stmts[0].RHS.String(); got != "-(a + b) * c" {
+		t.Errorf("parse = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"= 3",          // missing name
+		"x 3",          // missing '='
+		"x = ",         // missing rhs
+		"x = (a + b",   // unbalanced
+		"x = a +",      // dangling op
+		"x: foo = a",   // bad keyword
+		"x = a\nx = b", // reassignment
+		"x = a b",      // junk after expr
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parsed invalid program %q", src)
+		}
+	}
+}
+
+func evalOutputs(t *testing.T, g *dfg.Graph, inputs map[string]float64) map[string]float64 {
+	t.Helper()
+	_, out, err := g.Evaluate(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompileBasic(t *testing.T) {
+	g, err := Compile(`
+u = x + y
+v = x - y
+p: out = u * v
+`, Options{Name: "basic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := evalOutputs(t, g, map[string]float64{"x": 7, "y": 3})
+	if out["p"] != 40 { // (7+3)(7−3)
+		t.Errorf("p = %v, want 40", out["p"])
+	}
+	counts := g.ColorCounts()
+	if counts["a"] != 1 || counts["b"] != 1 || counts["c"] != 1 {
+		t.Errorf("colors = %v", counts)
+	}
+}
+
+func TestCompileConstantFolding(t *testing.T) {
+	g, err := Compile("y: out = (2 + 3) * x + 0*z", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0*z folds away, (2+3) folds to 5: a single multiplication plus no
+	// spurious add of zero.
+	if g.N() != 1 {
+		t.Errorf("N = %d, want 1 (fold to 5*x):\n%s", g.N(), g.String())
+	}
+	out := evalOutputs(t, g, map[string]float64{"x": 4})
+	if out["y"] != 20 {
+		t.Errorf("y = %v, want 20", out["y"])
+	}
+}
+
+func TestCompileCSE(t *testing.T) {
+	src := `
+p: out = (x + y) * (x + y)
+q: out = (x + y) * 2
+`
+	g, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x+y must be computed once: nodes = add, mul, mul.
+	if g.N() != 3 {
+		t.Errorf("with CSE N = %d, want 3", g.N())
+	}
+	g2, err := Compile(src, Options{DisableCSE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() <= g.N() {
+		t.Errorf("CSE ablation did not grow the graph: %d vs %d", g2.N(), g.N())
+	}
+	out := evalOutputs(t, g, map[string]float64{"x": 2, "y": 3})
+	if out["p"] != 25 || out["q"] != 10 {
+		t.Errorf("outputs %v", out)
+	}
+}
+
+func TestNegationPushing(t *testing.T) {
+	// y = a − b and z = b − a share no node but need no multiplication:
+	// negation pushing rewrites −(a−b) as (b−a).
+	g, err := Compile(`
+y: out = a - b
+z: out = -(a - b)
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := g.ColorCounts()
+	if counts["c"] != 0 {
+		t.Errorf("negation materialised a multiplication: %v", counts)
+	}
+	out := evalOutputs(t, g, map[string]float64{"a": 10, "b": 4})
+	if out["y"] != 6 || out["z"] != -6 {
+		t.Errorf("outputs %v", out)
+	}
+}
+
+func TestNegatedInputUnderMul(t *testing.T) {
+	g, err := Compile("y: out = (-x) * 3", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := evalOutputs(t, g, map[string]float64{"x": 5})
+	if out["y"] != -15 {
+		t.Errorf("y = %v, want -15", out["y"])
+	}
+	// The sign folds into the constant: one multiplication, no subtraction.
+	if g.N() != 1 {
+		t.Errorf("N = %d, want 1:\n%s", g.N(), g.String())
+	}
+}
+
+func TestNegatedInputsUnderAdd(t *testing.T) {
+	g, err := Compile("y: out = (-x) + (-w)", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := evalOutputs(t, g, map[string]float64{"x": 5, "w": 2})
+	if out["y"] != -7 {
+		t.Errorf("y = %v, want -7", out["y"])
+	}
+}
+
+func TestNegatedProductOfVariables(t *testing.T) {
+	g, err := Compile(`
+u = a + b
+v = c + d
+y: out = -(u * v)
+`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := evalOutputs(t, g, map[string]float64{"a": 1, "b": 2, "c": 3, "d": 4})
+	if out["y"] != -21 {
+		t.Errorf("y = %v, want -21", out["y"])
+	}
+}
+
+func TestUseBeforeAssignment(t *testing.T) {
+	if _, err := Compile("y = z\nz = x", Options{}); err == nil {
+		t.Error("use-before-assignment accepted")
+	}
+}
+
+func TestConstantOutputRejected(t *testing.T) {
+	if _, err := Compile("y: out = 2 + 3", Options{}); err == nil {
+		t.Error("constant output accepted")
+	}
+}
+
+func TestCustomColors(t *testing.T) {
+	g, err := Compile("y: out = (a-b)*(a+b)", Options{
+		AddColor: "add", SubColor: "sub", MulColor: "mul",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := g.ColorCounts()
+	if counts["add"] != 1 || counts["sub"] != 1 || counts["mul"] != 1 {
+		t.Errorf("custom colors not applied: %v", counts)
+	}
+}
+
+// The flagship integration: compile the direct-form DFT source and check it
+// against the reference DFT. CSE and folding must shrink the direct form
+// substantially (shared cos/sin products).
+func TestCompiledDFTMatchesReference(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		src := DFTSource(n)
+		g, err := Compile(src, Options{Name: "dft"})
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(float64(i+1)*0.5, float64(n-i)*0.25)
+		}
+		out := evalOutputs(t, g, workloads.DFTInputs(x))
+		got := workloads.DFTOutputs(n, out)
+		want := workloads.ReferenceDFT(x)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-6 {
+				t.Errorf("N=%d X%d = %v, want %v", n, k, got[k], want[k])
+			}
+		}
+		bloated, err := Compile(src, Options{DisableCSE: true, DisableFolding: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bloated.N() <= g.N() {
+			t.Errorf("N=%d: optimisations did not shrink the graph (%d vs %d)",
+				n, g.N(), bloated.N())
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	prog, err := Parse("u = a + b\ny: out = u * u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.String()
+	if !strings.Contains(s, "y: out =") || !strings.Contains(s, "u = ") {
+		t.Errorf("Program.String = %q", s)
+	}
+}
+
+func TestLitRendering(t *testing.T) {
+	if lit(0) != "0" || lit(1) != "1" || lit(-1) != "(0 - 1)" {
+		t.Errorf("integer literals wrong: %q %q %q", lit(0), lit(1), lit(-1))
+	}
+	if !strings.Contains(lit(-0.5), "0 - 0.5") {
+		t.Errorf("negative literal = %q", lit(-0.5))
+	}
+	if math.Abs(mustParseFloat(t, lit(0.25))-0.25) > 1e-12 {
+		t.Errorf("fraction literal = %q", lit(0.25))
+	}
+}
+
+func mustParseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := parseFloat(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

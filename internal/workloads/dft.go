@@ -1,0 +1,178 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"mpsched/internal/dfg"
+)
+
+// NPointDFT generates the N-point DFT data-flow graph in the same idiom as
+// the paper's 3DFT (which this generator reproduces node-for-node at N=3):
+//
+//   - sums uⱼ = xⱼ + x_{N−j} and differences vⱼ = xⱼ − x_{N−j} (plus the
+//     negated differences, doubled by an addition, so that all later
+//     combining nodes are additions — subtractions appear only at level 0);
+//   - constant multiplications cos/sin twiddle products, with negated-
+//     constant twins instead of subtractions;
+//   - addition chains accumulating x0 and the products into each output.
+//
+// Colors follow the paper: "a" addition, "b" subtraction, "c" multiplication.
+// The graph carries full semantics; outputs are Xkr/Xki for k = 0..N−1 and
+// are validated against ReferenceDFT in the tests.
+func NPointDFT(n int) (*dfg.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workloads: DFT size %d < 2", n)
+	}
+	b := dfg.NewBuilder(fmt.Sprintf("%ddft", n))
+	m := (n - 1) / 2 // number of conjugate pairs
+	in := func(idx int, part string) dfg.BOperand {
+		return dfg.In(fmt.Sprintf("x%d%s", idx, part))
+	}
+
+	// Level 0/1: uⱼ, vⱼ, negated vⱼ and their doubling adds.
+	for j := 1; j <= m; j++ {
+		b.OpNode(name("u", j, "r"), "a", dfg.OpAdd, in(j, "r"), in(n-j, "r"))
+		b.OpNode(name("u", j, "i"), "a", dfg.OpAdd, in(j, "i"), in(n-j, "i"))
+		b.OpNode(name("v", j, "r"), "b", dfg.OpSub, in(j, "r"), in(n-j, "r"))
+		b.OpNode(name("v", j, "i"), "b", dfg.OpSub, in(j, "i"), in(n-j, "i"))
+		b.OpNode(name("w", j, "r"), "b", dfg.OpSub, in(n-j, "r"), in(j, "r")) // −vⱼr
+		b.OpNode(name("w", j, "i"), "b", dfg.OpSub, in(n-j, "i"), in(j, "i")) // −vⱼi
+		b.OpNode(name("d", j, "r"), "a", dfg.OpAdd, dfg.N(name("w", j, "r")), dfg.N(name("w", j, "r")))
+		b.OpNode(name("d", j, "i"), "a", dfg.OpAdd, dfg.N(name("w", j, "i")), dfg.N(name("w", j, "i")))
+	}
+
+	// X0 = x0 + Σ uⱼ (+ x_{N/2} for even N).
+	for _, part := range []string{"r", "i"} {
+		terms := []dfg.BOperand{in(0, part)}
+		for j := 1; j <= m; j++ {
+			terms = append(terms, dfg.N(name("u", j, part)))
+		}
+		if n%2 == 0 {
+			terms = append(terms, in(n/2, part))
+		}
+		sink := buildChain(b, fmt.Sprintf("s0%s", part), terms, nil)
+		b.Output(sink, fmt.Sprintf("X0%s", part))
+	}
+
+	// Twiddle products. For each (j,k) with k = 1..m:
+	//   cos products c·uⱼ (shared by X_k and X_{N−k}),
+	//   sin products ±s·vⱼ (positive from v, negative via the doubled w).
+	for k := 1; k <= m; k++ {
+		for j := 1; j <= m; j++ {
+			c := math.Cos(2 * math.Pi * float64(j*k) / float64(n))
+			s := math.Sin(2 * math.Pi * float64(j*k) / float64(n))
+			b.OpNode(pname("cu", j, k, "r"), "c", dfg.OpMul, dfg.N(name("u", j, "r")), dfg.K(c))
+			b.OpNode(pname("cu", j, k, "i"), "c", dfg.OpMul, dfg.N(name("u", j, "i")), dfg.K(c))
+			b.OpNode(pname("sv", j, k, "r"), "c", dfg.OpMul, dfg.N(name("v", j, "r")), dfg.K(s))
+			b.OpNode(pname("sv", j, k, "i"), "c", dfg.OpMul, dfg.N(name("v", j, "i")), dfg.K(s))
+			// Negated sin products from the doubled negated differences.
+			b.OpNode(pname("nv", j, k, "r"), "c", dfg.OpMul, dfg.N(name("d", j, "r")), dfg.K(s/2))
+			b.OpNode(pname("nv", j, k, "i"), "c", dfg.OpMul, dfg.N(name("d", j, "i")), dfg.K(s/2))
+		}
+	}
+
+	// Output accumulations for k and N−k.
+	for k := 1; k <= m; k++ {
+		// X_k real: Σ c·uⱼr + Σ s·vⱼi, then + x0r.
+		outputAccum(b, n, fmt.Sprintf("X%d", k), "r", k, m, "cu", "r", "sv", "i")
+		// X_k imag: Σ c·uⱼi − Σ s·vⱼr  (negated product nv…r).
+		outputAccum(b, n, fmt.Sprintf("X%d", k), "i", k, m, "cu", "i", "nv", "r")
+		// X_{N−k} real: Σ c·uⱼr − Σ s·vⱼi.
+		outputAccum(b, n, fmt.Sprintf("X%d", n-k), "r", k, m, "cu", "r", "nv", "i")
+		// X_{N−k} imag: Σ c·uⱼi + Σ s·vⱼr.
+		outputAccum(b, n, fmt.Sprintf("X%d", n-k), "i", k, m, "cu", "i", "sv", "r")
+	}
+
+	// Even N: the Nyquist output X_{N/2} = x0 − x_{N/2} alternating series,
+	// and every other output already handled the ±x_{N/2} term inside
+	// outputAccum via evenTerm.
+	if n%2 == 0 {
+		for _, part := range []string{"r", "i"} {
+			// X_{N/2} = Σ (−1)^j xⱼ = x0 − x1 + x2 … ; with the pair sums:
+			// x0 + Σⱼ (−1)^j(xⱼ + x_{N−j}) + (−1)^{N/2} x_{N/2}.
+			terms := []dfg.BOperand{in(0, part)}
+			var subs []bool
+			subs = append(subs, false)
+			for j := 1; j <= m; j++ {
+				terms = append(terms, dfg.N(name("u", j, part)))
+				subs = append(subs, j%2 == 1)
+			}
+			terms = append(terms, in(n/2, part))
+			subs = append(subs, (n/2)%2 == 1)
+			sink := buildChain(b, fmt.Sprintf("sny%s", part), terms, subs)
+			b.Output(sink, fmt.Sprintf("X%d%s", n/2, part))
+		}
+	}
+
+	return b.Build()
+}
+
+// outputAccum emits the addition chain for one output component. Term
+// order mirrors the paper's 3DFT: sin-products and cos-products pair up
+// first (the "mid" additions), then x0 joins last (the "sink" addition),
+// then any even-N Nyquist term.
+func outputAccum(b *dfg.Builder, n int, out, part string, k, m int, cosKind, cosPart, sinKind, sinPart string) {
+	var terms []dfg.BOperand
+	var subs []bool
+	for j := 1; j <= m; j++ {
+		terms = append(terms, dfg.N(pname(sinKind, j, k, sinPart)))
+		subs = append(subs, false)
+	}
+	for j := 1; j <= m; j++ {
+		terms = append(terms, dfg.N(pname(cosKind, j, k, cosPart)))
+		subs = append(subs, false)
+	}
+	terms = append(terms, dfg.In("x0"+part))
+	subs = append(subs, false)
+	if n%2 == 0 {
+		// (−1)^k · x_{N/2}: an extra additive (k even) or subtractive
+		// (k odd) input term. Outputs X_k and X_{N−k} need their own k.
+		kk := k
+		if out != fmt.Sprintf("X%d", k) {
+			kk = n - k
+		}
+		terms = append(terms, dfg.In(fmt.Sprintf("x%d%s", n/2, part)))
+		subs = append(subs, kk%2 == 1)
+	}
+	sink := buildChain(b, "s"+out+part, terms, subs)
+	b.Output(sink, out+part)
+}
+
+// buildChain emits a left-leaning chain of binary adds (or subs where
+// subs[i] is true) over the terms, returning the name of the final node.
+// Chains rather than balanced trees mirror the accumulator style of the
+// paper's 3DFT graph.
+func buildChain(b *dfg.Builder, prefix string, terms []dfg.BOperand, subs []bool) string {
+	if len(terms) == 1 {
+		// A single term still needs a node so the output exists: pass
+		// through an addition with zero (kept out of the critical path
+		// analysis by being a source node).
+		nm := prefix + "_0"
+		b.OpNode(nm, "a", dfg.OpAdd, terms[0], dfg.K(0))
+		return nm
+	}
+	acc := terms[0]
+	accName := ""
+	for i := 1; i < len(terms); i++ {
+		nm := fmt.Sprintf("%s_%d", prefix, i-1)
+		op := dfg.OpAdd
+		color := dfg.Color("a")
+		if subs != nil && subs[i] {
+			op = dfg.OpSub
+			color = "b"
+		}
+		b.OpNode(nm, color, op, acc, terms[i])
+		acc = dfg.N(nm)
+		accName = nm
+	}
+	return accName
+}
+
+func name(kind string, j int, part string) string {
+	return fmt.Sprintf("%s%d%s", kind, j, part)
+}
+
+func pname(kind string, j, k int, part string) string {
+	return fmt.Sprintf("%s%d_%d%s", kind, j, k, part)
+}

@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"mpsched/internal/dfg"
+)
+
+func randomComplex(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+func TestNPointDFTNumericallyCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 8, 9, 11, 16} {
+		g, err := NPointDFT(n)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			x := randomComplex(rng, n)
+			_, outputs, err := g.Evaluate(DFTInputs(x))
+			if err != nil {
+				t.Fatalf("N=%d: %v", n, err)
+			}
+			got := DFTOutputs(n, outputs)
+			want := ReferenceDFT(x)
+			for k := range want {
+				if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+					t.Fatalf("N=%d X%d = %v, want %v", n, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestNPointDFTRejectsTooSmall(t *testing.T) {
+	if _, err := NPointDFT(1); err == nil {
+		t.Error("N=1 accepted")
+	}
+}
+
+// At N=3 the generator must reproduce the paper's exact operation census
+// (though with generator-style names).
+func TestNPointDFT3MatchesPaperCensus(t *testing.T) {
+	g, err := NPointDFT(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := g.ColorCounts()
+	if counts["a"] != 14 || counts["b"] != 4 || counts["c"] != 6 {
+		t.Errorf("census %v, want a:14 b:4 c:6 (the paper's 3DFT)", counts)
+	}
+	if g.N() != 24 {
+		t.Errorf("N = %d, want 24", g.N())
+	}
+	lv := g.Levels()
+	if lv.CriticalPathLength() != 5 {
+		t.Errorf("critical path = %d, want 5", lv.CriticalPathLength())
+	}
+	// Same comparability census as the hand-built Fig. 2 graph.
+	if got := g.Reach().ComparablePairs(); got != 52 {
+		t.Errorf("comparable pairs = %d, want 52", got)
+	}
+}
+
+func TestNPointDFT5Census(t *testing.T) {
+	g, err := NPointDFT(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := g.ColorCounts()
+	// M=2: adds 8M²+6M = 44, subs 4M = 8, muls 6M² = 24.
+	if counts["a"] != 44 || counts["b"] != 8 || counts["c"] != 24 {
+		t.Errorf("census %v, want a:44 b:8 c:24", counts)
+	}
+	if g.N() != 76 {
+		t.Errorf("N = %d, want 76", g.N())
+	}
+}
+
+func TestFIRMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ taps, block int }{{1, 1}, {3, 4}, {5, 8}, {4, 1}} {
+		g, err := FIRFilter(tc.taps, tc.block)
+		if err != nil {
+			t.Fatalf("taps=%d block=%d: %v", tc.taps, tc.block, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		nSamples := tc.block + tc.taps - 1
+		xs := make([]float64, nSamples)
+		inputs := map[string]float64{}
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			inputs[sprintfX(i)] = xs[i]
+		}
+		_, outputs, err := g.Evaluate(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ReferenceFIR(tc.taps, tc.block, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < tc.block; n++ {
+			got := outputs[sprintfY(n)]
+			if diff := got - want[n]; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("taps=%d block=%d y%d = %v, want %v", tc.taps, tc.block, n, got, want[n])
+			}
+		}
+	}
+}
+
+func sprintfX(i int) string { return "x" + itoa2(i) }
+func sprintfY(i int) string { return "y" + itoa2(i) }
+
+func itoa2(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestFIRRejectsBadParams(t *testing.T) {
+	if _, err := FIRFilter(0, 3); err == nil {
+		t.Error("taps=0 accepted")
+	}
+	if _, err := FIRFilter(3, 0); err == nil {
+		t.Error("block=0 accepted")
+	}
+	if _, err := ReferenceFIR(3, 4, make([]float64, 2)); err == nil {
+		t.Error("short sample slice accepted")
+	}
+}
+
+func TestRandomColoredReproducible(t *testing.T) {
+	cfg := DefaultRandomColoredConfig()
+	g1 := RandomColored(rand.New(rand.NewSource(5)), cfg)
+	g2 := RandomColored(rand.New(rand.NewSource(5)), cfg)
+	if g1.N() != g2.N() || g1.M() != g2.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := 0; i < g1.N(); i++ {
+		if g1.ColorOf(i) != g2.ColorOf(i) {
+			t.Fatal("same seed produced different colors")
+		}
+	}
+	if err := g1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomColoredUsesAllWeights(t *testing.T) {
+	cfg := DefaultRandomColoredConfig()
+	cfg.DAG.Layers = 10
+	cfg.DAG.WidthMax = 10
+	g := RandomColored(rand.New(rand.NewSource(9)), cfg)
+	counts := g.ColorCounts()
+	for _, c := range []dfg.Color{"a", "b", "c"} {
+		if counts[c] == 0 {
+			t.Errorf("color %s never chosen in %d nodes", c, g.N())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"mpsched/internal/dfg"
+)
+
+// RadixTwoFFT generates a full decimation-in-time Cooley–Tukey FFT graph
+// for power-of-two N, with complex arithmetic lowered to real additions
+// ("a"), subtractions ("b") and constant multiplications ("c"). Unlike the
+// paper-idiom NPointDFT (odd-N, subtraction-free tail), this generator
+// produces the log₂N-stage butterfly structure DSP codes actually use —
+// deeper, with subtractions at every stage — giving the scheduler a
+// contrasting workload class. Outputs validate against ReferenceDFT.
+func RadixTwoFFT(n int) (*dfg.Graph, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("workloads: radix-2 FFT needs a power-of-two size ≥ 2, got %d", n)
+	}
+	b := dfg.NewBuilder(fmt.Sprintf("fft%d", n))
+	g := &fftGen{b: b, n: n}
+
+	// Values enter in natural order as external inputs; the recursion
+	// performs the decimation implicitly by index arithmetic.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	outs := g.fft(idx, "t")
+	for k, v := range outs {
+		reName := g.materialize(v.re, fmt.Sprintf("or%d", k))
+		imName := g.materialize(v.im, fmt.Sprintf("oi%d", k))
+		b.Output(reName, fmt.Sprintf("X%dr", k))
+		b.Output(imName, fmt.Sprintf("X%di", k))
+	}
+	return b.Build()
+}
+
+// cval is a lazily-materialised real value: either an external input name
+// or a node name.
+type cval struct {
+	name    string
+	isInput bool
+}
+
+type cplx struct{ re, im cval }
+
+type fftGen struct {
+	b   *dfg.Builder
+	n   int
+	ctr int
+}
+
+func (g *fftGen) operand(v cval) dfg.BOperand {
+	if v.isInput {
+		return dfg.In(v.name)
+	}
+	return dfg.N(v.name)
+}
+
+// materialize guarantees the value is a node (outputs must be nodes).
+func (g *fftGen) materialize(v cval, hint string) string {
+	if !v.isInput {
+		return v.name
+	}
+	name := g.fresh(hint)
+	g.b.OpNode(name, "a", dfg.OpAdd, dfg.In(v.name), dfg.K(0))
+	return name
+}
+
+func (g *fftGen) fresh(hint string) string {
+	g.ctr++
+	return fmt.Sprintf("%s_%d", hint, g.ctr)
+}
+
+func (g *fftGen) add(x, y cval) cval {
+	name := g.fresh("s")
+	g.b.OpNode(name, "a", dfg.OpAdd, g.operand(x), g.operand(y))
+	return cval{name: name}
+}
+
+func (g *fftGen) sub(x, y cval) cval {
+	name := g.fresh("d")
+	g.b.OpNode(name, "b", dfg.OpSub, g.operand(x), g.operand(y))
+	return cval{name: name}
+}
+
+func (g *fftGen) mulK(x cval, k float64) cval {
+	name := g.fresh("m")
+	g.b.OpNode(name, "c", dfg.OpMul, g.operand(x), dfg.K(k))
+	return cval{name: name}
+}
+
+// fft recursively transforms the samples at the given input indices.
+func (g *fftGen) fft(idx []int, tag string) []cplx {
+	m := len(idx)
+	if m == 1 {
+		i := idx[0]
+		return []cplx{{
+			re: cval{name: fmt.Sprintf("x%dr", i), isInput: true},
+			im: cval{name: fmt.Sprintf("x%di", i), isInput: true},
+		}}
+	}
+	var even, odd []int
+	for i, v := range idx {
+		if i%2 == 0 {
+			even = append(even, v)
+		} else {
+			odd = append(odd, v)
+		}
+	}
+	e := g.fft(even, tag+"e")
+	o := g.fft(odd, tag+"o")
+
+	out := make([]cplx, m)
+	for k := 0; k < m/2; k++ {
+		// t = W^k_m · o[k]; butterfly: out[k] = e[k]+t, out[k+m/2] = e[k]−t.
+		angle := -2 * math.Pi * float64(k) / float64(m)
+		wr, wi := math.Cos(angle), math.Sin(angle)
+		t := g.cmulK(o[k], wr, wi)
+		out[k] = cplx{re: g.add(e[k].re, t.re), im: g.add(e[k].im, t.im)}
+		out[k+m/2] = cplx{re: g.sub(e[k].re, t.re), im: g.sub(e[k].im, t.im)}
+	}
+	return out
+}
+
+// cmulK multiplies a complex value by the constant (wr + i·wi), skipping
+// degenerate twiddles (1 and −i-style axis factors) like a real code
+// generator would.
+func (g *fftGen) cmulK(v cplx, wr, wi float64) cplx {
+	const eps = 1e-12
+	switch {
+	case math.Abs(wr-1) < eps && math.Abs(wi) < eps: // ×1
+		return v
+	case math.Abs(wr) < eps && math.Abs(wi+1) < eps: // ×(−i): (re,im) → (im,−re)
+		return cplx{re: v.im, im: g.mulK(v.re, -1)}
+	case math.Abs(wr) < eps && math.Abs(wi-1) < eps: // ×(+i)
+		return cplx{re: g.mulK(v.im, -1), im: v.re}
+	case math.Abs(wr+1) < eps && math.Abs(wi) < eps: // ×(−1)
+		return cplx{re: g.mulK(v.re, -1), im: g.mulK(v.im, -1)}
+	}
+	// Full complex multiply: 4 real mults, 1 sub, 1 add.
+	rr := g.mulK(v.re, wr)
+	ii := g.mulK(v.im, wi)
+	ri := g.mulK(v.re, wi)
+	ir := g.mulK(v.im, wr)
+	return cplx{re: g.sub(rr, ii), im: g.add(ri, ir)}
+}

@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestRadixTwoFFTMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		g, err := RadixTwoFFT(n)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		x := randomComplex(rng, n)
+		_, outputs, err := g.Evaluate(DFTInputs(x))
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		got := DFTOutputs(n, outputs)
+		want := ReferenceDFT(x)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+				t.Fatalf("N=%d X%d = %v, want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestRadixTwoFFTRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 12} {
+		if _, err := RadixTwoFFT(n); err == nil {
+			t.Errorf("size %d accepted", n)
+		}
+	}
+}
+
+func TestRadixTwoFFTStructure(t *testing.T) {
+	g, err := RadixTwoFFT(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := g.ColorCounts()
+	// Subtractions appear at every stage (unlike NPointDFT's level-0-only).
+	if counts["b"] == 0 {
+		t.Error("no subtractions in radix-2 FFT")
+	}
+	// Twiddle skipping keeps the multiply count modest: N=8 has only two
+	// nontrivial twiddles (W⁸¹ and W⁸³), 4 mults each, plus axis factors.
+	if counts["c"] == 0 || counts["c"] > 20 {
+		t.Errorf("multiplications = %d, expected a small nonzero count", counts["c"])
+	}
+	// Depth grows with log N stages (two ops per stage here).
+	lv := g.Levels()
+	if lv.CriticalPathLength() < 3 {
+		t.Errorf("critical path %d too shallow for 3 stages", lv.CriticalPathLength())
+	}
+}
+
+func TestRadixTwoFFTSchedulable(t *testing.T) {
+	g, err := RadixTwoFFT(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structure sanity for the scheduler: colors are the paper's a/b/c.
+	for _, c := range g.Colors() {
+		if c != "a" && c != "b" && c != "c" {
+			t.Errorf("unexpected color %q", c)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package workloads provides the benchmark graphs of the paper — the
+// reconstructed Fig. 2 3-point DFT and the Fig. 4 five-node example — plus
+// generators for N-point DFTs, FIR filters and random colored DAGs used by
+// the wider evaluation and the property tests.
+package workloads
+
+import (
+	"math"
+
+	"mpsched/internal/dfg"
+)
+
+// Kappa is √3/2, the magnitude of the imaginary part of the primitive cube
+// root of unity — the multiplier constant of the 3-point DFT.
+var Kappa = math.Sqrt(3) / 2
+
+// ThreeDFT returns the paper's Fig. 2 data-flow graph of the 3-point DFT
+// (3DFT): 24 nodes — 14 additions ("a"), 4 subtractions ("b"),
+// 6 multiplications ("c").
+//
+// The figure itself is not present in the paper's text source; this graph is
+// reconstructed from Tables 1, 2 and 5 and reproduces all of them exactly
+// (see DESIGN.md §4). Node ids follow the paper's numbering, so id k holds
+// node k+1 (b1 is id 0 … a24 is id 23).
+//
+// Inputs are the three complex samples x0, x1, x2 as named scalars
+// x0r/x0i/x1r/x1i/x2r/x2i; outputs are X0r/X0i/X1r/X1i/X2r/X2i, verified
+// against ReferenceDFT.
+func ThreeDFT() *dfg.Graph {
+	b := dfg.NewBuilder("3dft")
+	// Level 0: sums and differences of x1, x2 (paper order = id order).
+	b.OpNode("b1", "b", dfg.OpSub, dfg.In("x1r"), dfg.In("x2r")) // vr
+	b.OpNode("a2", "a", dfg.OpAdd, dfg.In("x1r"), dfg.In("x2r")) // ur
+	b.OpNode("b3", "b", dfg.OpSub, dfg.In("x2r"), dfg.In("x1r")) // −vr
+	b.OpNode("a4", "a", dfg.OpAdd, dfg.In("x1i"), dfg.In("x2i")) // ui
+	b.OpNode("b5", "b", dfg.OpSub, dfg.In("x1i"), dfg.In("x2i")) // vi
+	b.OpNode("b6", "b", dfg.OpSub, dfg.In("x2i"), dfg.In("x1i")) // −vi
+	// Level 1: doubling adds on the negated differences (critical chains).
+	b.OpNode("a7", "a", dfg.OpAdd, dfg.N("b6"), dfg.N("b6")) // −2vi
+	b.OpNode("a8", "a", dfg.OpAdd, dfg.N("b3"), dfg.N("b3")) // −2vr
+	// Constant multiplications.
+	b.OpNode("c9", "c", dfg.OpMul, dfg.N("b1"), dfg.K(Kappa))    // κ·vr
+	b.OpNode("c10", "c", dfg.OpMul, dfg.N("a2"), dfg.K(-0.5))    // −ur/2
+	b.OpNode("c11", "c", dfg.OpMul, dfg.N("a4"), dfg.K(-0.5))    // −ui/2
+	b.OpNode("c12", "c", dfg.OpMul, dfg.N("a7"), dfg.K(Kappa/2)) // −κ·vi
+	b.OpNode("c13", "c", dfg.OpMul, dfg.N("b5"), dfg.K(Kappa))   // κ·vi
+	b.OpNode("c14", "c", dfg.OpMul, dfg.N("a8"), dfg.K(Kappa/2)) // −κ·vr
+	// Accumulations: mid adds pair the two products, sinks add x0.
+	b.OpNode("a15", "a", dfg.OpAdd, dfg.N("c9"), dfg.N("c11"))   // κvr − ui/2
+	b.OpNode("a16", "a", dfg.OpAdd, dfg.In("x0r"), dfg.N("a2"))  // X0r
+	b.OpNode("a17", "a", dfg.OpAdd, dfg.N("c12"), dfg.N("c10"))  // −κvi − ur/2
+	b.OpNode("a18", "a", dfg.OpAdd, dfg.N("c13"), dfg.N("c10"))  // κvi − ur/2
+	b.OpNode("a19", "a", dfg.OpAdd, dfg.N("a15"), dfg.In("x0i")) // X2i
+	b.OpNode("a20", "a", dfg.OpAdd, dfg.N("c14"), dfg.N("c11"))  // −κvr − ui/2
+	b.OpNode("a21", "a", dfg.OpAdd, dfg.N("a17"), dfg.In("x0r")) // X2r
+	b.OpNode("a22", "a", dfg.OpAdd, dfg.N("a18"), dfg.In("x0r")) // X1r
+	b.OpNode("a23", "a", dfg.OpAdd, dfg.N("a20"), dfg.In("x0i")) // X1i
+	b.OpNode("a24", "a", dfg.OpAdd, dfg.In("x0i"), dfg.N("a4"))  // X0i
+	b.Output("a16", "X0r")
+	b.Output("a24", "X0i")
+	b.Output("a22", "X1r")
+	b.Output("a23", "X1i")
+	b.Output("a21", "X2r")
+	b.Output("a19", "X2i")
+	return b.MustBuild()
+}
+
+// Fig4Small returns the paper's Fig. 4 five-node example: a1→a2→{b4,b5},
+// a3→{b4,b5}. Its antichain table (Table 4) and node-frequency table
+// (Table 6) are reproduced from this graph.
+func Fig4Small() *dfg.Graph {
+	b := dfg.NewBuilder("fig4")
+	b.OpNode("a1", "a", dfg.OpAdd, dfg.In("x"), dfg.In("y"))
+	b.OpNode("a2", "a", dfg.OpAdd, dfg.N("a1"), dfg.In("z"))
+	b.OpNode("a3", "a", dfg.OpAdd, dfg.In("u"), dfg.In("w"))
+	b.OpNode("b4", "b", dfg.OpSub, dfg.N("a2"), dfg.N("a3"))
+	b.OpNode("b5", "b", dfg.OpSub, dfg.N("a3"), dfg.N("a2"))
+	b.Output("b4", "d1")
+	b.Output("b5", "d2")
+	return b.MustBuild()
+}

@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// table1 is the paper's Table 1 verbatim: asap, alap, height per node.
+var table1 = map[string][3]int{
+	"b3": {0, 0, 5}, "b6": {0, 0, 5},
+	"b1": {0, 1, 4}, "b5": {0, 1, 4},
+	"a4": {0, 1, 4}, "a2": {0, 1, 4},
+	"a8": {1, 1, 4}, "a7": {1, 1, 4},
+	"c9": {1, 2, 3}, "c13": {1, 2, 3},
+	"c11": {1, 2, 3}, "c10": {1, 2, 3},
+	"a24": {1, 4, 1}, "a16": {1, 4, 1},
+	"a15": {2, 3, 2}, "a18": {2, 3, 2},
+	"a20": {3, 3, 2}, "a17": {3, 3, 2},
+	"a19": {3, 4, 1}, "a22": {3, 4, 1},
+	"a23": {4, 4, 1}, "a21": {4, 4, 1},
+}
+
+func TestThreeDFTMatchesTable1(t *testing.T) {
+	g := ThreeDFT()
+	lv := g.Levels()
+	for name, want := range table1 {
+		id, ok := g.ID(name)
+		if !ok {
+			t.Fatalf("node %s missing", name)
+		}
+		got := [3]int{lv.ASAP[id], lv.ALAP[id], lv.Height[id]}
+		if got != want {
+			t.Errorf("%s: got (asap,alap,height) = %v, want %v", name, got, want)
+		}
+	}
+	// The two nodes Table 1 omits come out as (2,2,3) — see DESIGN.md §4.
+	for _, name := range []string{"c12", "c14"} {
+		id := g.MustID(name)
+		got := [3]int{lv.ASAP[id], lv.ALAP[id], lv.Height[id]}
+		if got != [3]int{2, 2, 3} {
+			t.Errorf("%s: got %v, want (2,2,3)", name, got)
+		}
+	}
+}
+
+func TestThreeDFTCensus(t *testing.T) {
+	g := ThreeDFT()
+	if g.N() != 24 {
+		t.Fatalf("N = %d, want 24", g.N())
+	}
+	counts := g.ColorCounts()
+	if counts["a"] != 14 || counts["b"] != 4 || counts["c"] != 6 {
+		t.Errorf("color census %v, want a:14 b:4 c:6", counts)
+	}
+	if got := len(g.Digraph().Sinks()); got != 6 {
+		t.Errorf("sinks = %d, want 6 (the DFT outputs)", got)
+	}
+	// Ids follow the paper numbering: id k holds node k+1.
+	for i := 0; i < 24; i++ {
+		name := g.NameOf(i)
+		if name[0] != 'a' && name[0] != 'b' && name[0] != 'c' {
+			t.Fatalf("unexpected node name %q", name)
+		}
+		num := name[1:]
+		want := i + 1
+		if num != itoa(want) {
+			t.Errorf("id %d holds %q, want suffix %d", i, name, want)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v >= 10 {
+		return string([]byte{byte('0' + v/10), byte('0' + v%10)})
+	}
+	return string([]byte{byte('0' + v)})
+}
+
+// The comparability census that pins Table 5: exactly 52 comparable pairs,
+// so 276−52 = 224 parallelizable pairs.
+func TestThreeDFTComparablePairs(t *testing.T) {
+	g := ThreeDFT()
+	if got := g.Reach().ComparablePairs(); got != 52 {
+		t.Errorf("comparable pairs = %d, want 52", got)
+	}
+}
+
+func TestThreeDFTEvaluatesToDFT(t *testing.T) {
+	g := ThreeDFT()
+	x := []complex128{complex(0.7, -1.2), complex(2.5, 0.3), complex(-1.1, 0.9)}
+	_, outputs, err := g.Evaluate(DFTInputs(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DFTOutputs(3, outputs)
+	want := ReferenceDFT(x)
+	for k := range want {
+		if cmplx.Abs(got[k]-want[k]) > 1e-9 {
+			t.Errorf("X%d = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestThreeDFTValidates(t *testing.T) {
+	if err := ThreeDFT().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4Structure(t *testing.T) {
+	g := Fig4Small()
+	if g.N() != 5 || g.M() != 5 {
+		t.Fatalf("N=%d M=%d, want 5,5", g.N(), g.M())
+	}
+	r := g.Reach()
+	a1, a2, a3 := g.MustID("a1"), g.MustID("a2"), g.MustID("a3")
+	b4, b5 := g.MustID("b4"), g.MustID("b5")
+	// Table 4's antichains: {a1,a3},{a2,a3},{b4,b5} — and no a/b pair.
+	if !r.Parallelizable(a1, a3) || !r.Parallelizable(a2, a3) || !r.Parallelizable(b4, b5) {
+		t.Error("expected antichain pairs missing")
+	}
+	for _, a := range []int{a1, a2, a3} {
+		for _, bn := range []int{b4, b5} {
+			if r.Parallelizable(a, bn) {
+				t.Errorf("%s ∥ %s breaks Table 4 (no {ab} antichain exists)",
+					g.NameOf(a), g.NameOf(bn))
+			}
+		}
+	}
+}
+
+func TestFig4Evaluates(t *testing.T) {
+	g := Fig4Small()
+	_, out, err := g.Evaluate(map[string]float64{"x": 1, "y": 2, "z": 3, "u": 4, "w": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a2 = 1+2+3 = 6, a3 = 9 → d1 = −3, d2 = 3.
+	if out["d1"] != -3 || out["d2"] != 3 {
+		t.Errorf("outputs = %v", out)
+	}
+}
+
+func TestKappa(t *testing.T) {
+	if math.Abs(Kappa-math.Sin(2*math.Pi/3)) > 1e-12 {
+		t.Error("κ should equal sin(2π/3)")
+	}
+}

@@ -1,0 +1,65 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mpsched/internal/dfg"
+)
+
+// FIRFilter generates the data-flow graph of a block FIR filter:
+//
+//	y[n] = Σ_{i=0}^{taps−1} h_i · x[n−i]   for n = 0..block−1
+//
+// Each output is a multiply chain (color "c") feeding an addition chain
+// (color "a") — the archetypal DSP workload the Montium targets. The taps
+// h_i are compile-time constants 1/(i+1); inputs are x0..x_{block+taps−2}
+// (x index n−i maps to input x_{n−i+taps−1} so indices stay non-negative).
+func FIRFilter(taps, block int) (*dfg.Graph, error) {
+	if taps < 1 || block < 1 {
+		return nil, fmt.Errorf("workloads: FIR needs taps ≥ 1 and block ≥ 1, got %d, %d", taps, block)
+	}
+	b := dfg.NewBuilder(fmt.Sprintf("fir_t%d_b%d", taps, block))
+	for n := 0; n < block; n++ {
+		var terms []dfg.BOperand
+		for i := 0; i < taps; i++ {
+			h := 1.0 / float64(i+1)
+			mul := fmt.Sprintf("m%d_%d", n, i)
+			b.OpNode(mul, "c", dfg.OpMul, dfg.In(fmt.Sprintf("x%d", n-i+taps-1)), dfg.K(h))
+			terms = append(terms, dfg.N(mul))
+		}
+		var sink string
+		if taps == 1 {
+			sink = fmt.Sprintf("y%d_0", n)
+			b.OpNode(sink, "a", dfg.OpAdd, terms[0], dfg.K(0))
+		} else {
+			acc := terms[0]
+			for i := 1; i < taps; i++ {
+				nm := fmt.Sprintf("y%d_%d", n, i-1)
+				b.OpNode(nm, "a", dfg.OpAdd, acc, terms[i])
+				acc = dfg.N(nm)
+				sink = nm
+			}
+		}
+		b.Output(sink, fmt.Sprintf("y%d", n))
+	}
+	return b.Build()
+}
+
+// ReferenceFIR computes the block FIR filter directly, as the oracle for
+// the generated graph. xs must hold block+taps−1 samples; xs[j] is the
+// graph input x_j.
+func ReferenceFIR(taps, block int, xs []float64) ([]float64, error) {
+	if len(xs) != block+taps-1 {
+		return nil, fmt.Errorf("workloads: FIR wants %d samples, got %d", block+taps-1, len(xs))
+	}
+	out := make([]float64, block)
+	for n := 0; n < block; n++ {
+		sum := 0.0
+		for i := 0; i < taps; i++ {
+			h := 1.0 / float64(i+1)
+			sum += h * xs[n-i+taps-1]
+		}
+		out[n] = sum
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package workloads
+
+import (
+	"fmt"
+
+	"mpsched/internal/dfg"
+)
+
+// MatMul generates the data-flow graph of a dense n×n matrix product
+// C = A·B: n³ multiplications ("c") feeding n² addition chains ("a") —
+// wide, shallow parallelism complementary to the DFT's chain structure.
+// Inputs are a_ij/b_ij; outputs c_ij; all validated against
+// ReferenceMatMul.
+func MatMul(n int) (*dfg.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workloads: matmul size %d < 1", n)
+	}
+	b := dfg.NewBuilder(fmt.Sprintf("matmul%d", n))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var terms []dfg.BOperand
+			for k := 0; k < n; k++ {
+				mul := fmt.Sprintf("m_%d_%d_%d", i, j, k)
+				b.OpNode(mul, "c", dfg.OpMul,
+					dfg.In(fmt.Sprintf("a_%d_%d", i, k)),
+					dfg.In(fmt.Sprintf("b_%d_%d", k, j)))
+				terms = append(terms, dfg.N(mul))
+			}
+			var sink string
+			if n == 1 {
+				sink = fmt.Sprintf("s_%d_%d_0", i, j)
+				b.OpNode(sink, "a", dfg.OpAdd, terms[0], dfg.K(0))
+			} else {
+				acc := terms[0]
+				for k := 1; k < n; k++ {
+					nm := fmt.Sprintf("s_%d_%d_%d", i, j, k-1)
+					b.OpNode(nm, "a", dfg.OpAdd, acc, terms[k])
+					acc = dfg.N(nm)
+					sink = nm
+				}
+			}
+			b.Output(sink, fmt.Sprintf("c_%d_%d", i, j))
+		}
+	}
+	return b.Build()
+}
+
+// MatMulInputs flattens two matrices into the generator's named inputs.
+func MatMulInputs(a, bm [][]float64) map[string]float64 {
+	in := map[string]float64{}
+	for i := range a {
+		for j := range a[i] {
+			in[fmt.Sprintf("a_%d_%d", i, j)] = a[i][j]
+			in[fmt.Sprintf("b_%d_%d", i, j)] = bm[i][j]
+		}
+	}
+	return in
+}
+
+// ReferenceMatMul is the oracle for MatMul.
+func ReferenceMatMul(a, b [][]float64) [][]float64 {
+	n := len(a)
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				out[i][j] += a[i][k] * b[k][j]
+			}
+		}
+	}
+	return out
+}
+
+// Butterfly generates the structural graph of a radix-2 butterfly network
+// with 2^stages lanes: stage s connects lane i to lanes i and i XOR 2^s.
+// Each vertex is colored by its role cycle (a, b, c repeating per stage),
+// exercising the scheduler on the FFT's communication structure without
+// arithmetic semantics.
+func Butterfly(stages int) (*dfg.Graph, error) {
+	if stages < 1 || stages > 10 {
+		return nil, fmt.Errorf("workloads: butterfly stages %d out of range [1,10]", stages)
+	}
+	lanes := 1 << stages
+	colors := []dfg.Color{"a", "b", "c"}
+	d := dfg.NewGraph(fmt.Sprintf("butterfly%d", stages))
+	id := func(stage, lane int) int { return stage*lanes + lane }
+	for s := 0; s <= stages; s++ {
+		for l := 0; l < lanes; l++ {
+			d.MustAddNode(dfg.Node{
+				Name:  fmt.Sprintf("n%d_%d", s, l),
+				Color: colors[s%len(colors)],
+			})
+		}
+	}
+	for s := 1; s <= stages; s++ {
+		bit := 1 << (s - 1)
+		for l := 0; l < lanes; l++ {
+			d.MustAddDep(id(s-1, l), id(s, l))
+			d.MustAddDep(id(s-1, l^bit), id(s, l))
+		}
+	}
+	return d, nil
+}

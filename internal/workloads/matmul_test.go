@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatMulMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 4} {
+		g, err := MatMul(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		a := randomMatrix(rng, n)
+		bm := randomMatrix(rng, n)
+		_, out, err := g.Evaluate(MatMulInputs(a, bm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ReferenceMatMul(a, bm)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got := out[fmt.Sprintf("c_%d_%d", i, j)]
+				if math.Abs(got-want[i][j]) > 1e-9 {
+					t.Errorf("n=%d c[%d][%d] = %v, want %v", n, i, j, got, want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulCensus(t *testing.T) {
+	g, err := MatMul(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := g.ColorCounts()
+	if counts["c"] != 27 { // n³ multiplications
+		t.Errorf("muls = %d, want 27", counts["c"])
+	}
+	if counts["a"] != 18 { // n²(n−1) additions
+		t.Errorf("adds = %d, want 18", counts["a"])
+	}
+	if got := len(g.OutputNames()); got != 9 {
+		t.Errorf("outputs = %d, want 9", got)
+	}
+}
+
+func TestMatMulRejectsBadSize(t *testing.T) {
+	if _, err := MatMul(0); err == nil {
+		t.Error("size 0 accepted")
+	}
+}
+
+func randomMatrix(rng *rand.Rand, n int) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func TestButterflyStructure(t *testing.T) {
+	g, err := Butterfly(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4*8 { // (stages+1) × 2^stages
+		t.Errorf("N = %d, want 32", g.N())
+	}
+	lv := g.Levels()
+	if lv.CriticalPathLength() != 4 {
+		t.Errorf("critical path = %d, want 4", lv.CriticalPathLength())
+	}
+	// Every non-source vertex has exactly 2 predecessors.
+	for i := 0; i < g.N(); i++ {
+		if lv.ASAP[i] > 0 && len(g.Preds(i)) != 2 {
+			t.Fatalf("node %s has %d preds", g.NameOf(i), len(g.Preds(i)))
+		}
+	}
+	// The final stage depends on every input lane (full shuffle).
+	r := g.Reach()
+	last := g.MustID("n3_0")
+	for l := 0; l < 8; l++ {
+		src := g.MustID(fmt.Sprintf("n0_%d", l))
+		if !r.Follower(src, last) {
+			t.Errorf("lane %d does not reach the last stage", l)
+		}
+	}
+}
+
+func TestButterflyRejectsBadStages(t *testing.T) {
+	if _, err := Butterfly(0); err == nil {
+		t.Error("stages 0 accepted")
+	}
+	if _, err := Butterfly(11); err == nil {
+		t.Error("stages 11 accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/graph"
+)
+
+// RandomColoredConfig drives RandomColored. Weights pick colors with
+// probability proportional to the weight; a zero map defaults to the
+// paper's mix (adds twice as common as subs and muls).
+type RandomColoredConfig struct {
+	DAG    graph.RandomDAGConfig
+	Colors map[dfg.Color]int
+}
+
+// DefaultRandomColoredConfig mirrors the paper's workload: colors a/b/c
+// with additions dominating.
+func DefaultRandomColoredConfig() RandomColoredConfig {
+	return RandomColoredConfig{
+		DAG:    graph.DefaultRandomDAGConfig(),
+		Colors: map[dfg.Color]int{"a": 4, "b": 1, "c": 2},
+	}
+}
+
+// RandomColored generates a random layered DAG and assigns colors by
+// weighted choice. The graph is structural (no semantics); it feeds the
+// property tests and synthetic scheduling sweeps.
+func RandomColored(rng *rand.Rand, cfg RandomColoredConfig) *dfg.Graph {
+	if len(cfg.Colors) == 0 {
+		cfg.Colors = DefaultRandomColoredConfig().Colors
+	}
+	// Deterministic color order for reproducibility across map iteration.
+	var colors []dfg.Color
+	for c := range cfg.Colors {
+		colors = append(colors, c)
+	}
+	for i := 1; i < len(colors); i++ {
+		for j := i; j > 0 && colors[j] < colors[j-1]; j-- {
+			colors[j], colors[j-1] = colors[j-1], colors[j]
+		}
+	}
+	total := 0
+	for _, c := range colors {
+		total += cfg.Colors[c]
+	}
+	pick := func() dfg.Color {
+		r := rng.Intn(total)
+		for _, c := range colors {
+			r -= cfg.Colors[c]
+			if r < 0 {
+				return c
+			}
+		}
+		return colors[len(colors)-1]
+	}
+
+	structural := graph.RandomLayeredDAG(rng, cfg.DAG)
+	d := dfg.NewGraph(fmt.Sprintf("random_%d", structural.N()))
+	for i := 0; i < structural.N(); i++ {
+		d.MustAddNode(dfg.Node{Name: fmt.Sprintf("n%d", i), Color: pick()})
+	}
+	for _, e := range structural.Edges() {
+		d.MustAddDep(e[0], e[1])
+	}
+	return d
+}

@@ -1,0 +1,47 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ReferenceDFT computes the textbook N-point discrete Fourier transform
+// X_k = Σ_n x_n · e^{−2πi·nk/N}. It is the oracle the generated DFT graphs
+// are validated against.
+func ReferenceDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(t*k) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// DFTInputs flattens complex samples into the named scalar inputs the DFT
+// graphs expect (x0r, x0i, x1r, …).
+func DFTInputs(x []complex128) map[string]float64 {
+	inputs := make(map[string]float64, 2*len(x))
+	for i, v := range x {
+		inputs[fmt.Sprintf("x%dr", i)] = real(v)
+		inputs[fmt.Sprintf("x%di", i)] = imag(v)
+	}
+	return inputs
+}
+
+// DFTOutputs reassembles the graph's named outputs (X0r, X0i, …) into
+// complex values.
+func DFTOutputs(n int, outputs map[string]float64) []complex128 {
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		re := outputs[fmt.Sprintf("X%dr", k)]
+		im := outputs[fmt.Sprintf("X%di", k)]
+		out[k] = complex(re, im)
+	}
+	return out
+}

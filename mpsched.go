@@ -1,0 +1,197 @@
+// Package mpsched is a Go implementation of multi-pattern scheduling for
+// coarse-grained reconfigurable architectures, reproducing Guo, Hoede and
+// Smit, "A Pattern Selection Algorithm for Multi-Pattern Scheduling"
+// (IPPS 2006) and the compiler flow around it.
+//
+// A reconfigurable tile (the Montium) executes one *pattern* — a bag of at
+// most C operation colors — per clock cycle, and an application may use
+// only Pdef distinct patterns. This package selects those patterns from
+// the data-flow graph's antichain structure and schedules the graph
+// against them:
+//
+//	g := mpsched.ThreeDFT()                                  // or your own graph
+//	sel, _ := mpsched.SelectPatterns(g, mpsched.SelectConfig{C: 5, Pdef: 4})
+//	s, _ := mpsched.Schedule(g, sel.Patterns, mpsched.SchedOptions{})
+//	fmt.Println(s.Length(), "cycles")
+//
+// The facade re-exports the library's layers; import the internal packages
+// directly for the full surface:
+//
+//	internal/graph      DAG substrate (reachability, levels, DOT)
+//	internal/dfg        data-flow graphs, builder, serialisation, eval
+//	internal/pattern    pattern multiset algebra
+//	internal/antichain  bounded-span antichain enumeration (§5.1)
+//	internal/patsel     pattern selection (§5.2) + baselines + ablations
+//	internal/sched      multi-pattern list scheduling (§4) + baselines
+//	internal/transform  expression-language front end (compiler phase 1)
+//	internal/cluster    clustering phase (compiler phase 2)
+//	internal/alloc      ALU/register/memory allocation (compiler phase 4)
+//	internal/montium    Montium tile model + cycle simulator
+//	internal/workloads  paper graphs and workload generators
+//	internal/expmt      paper-table reproduction harness
+package mpsched
+
+import (
+	"math/rand"
+
+	"mpsched/internal/alloc"
+	"mpsched/internal/antichain"
+	"mpsched/internal/dfg"
+	"mpsched/internal/montium"
+	"mpsched/internal/patsel"
+	"mpsched/internal/pattern"
+	"mpsched/internal/sched"
+	"mpsched/internal/transform"
+	"mpsched/internal/workloads"
+)
+
+// Core data types, aliased so the facade and the internal packages
+// interoperate without conversions.
+type (
+	// Graph is a data-flow graph of colored operation nodes.
+	Graph = dfg.Graph
+	// Color is a node's function type (the paper's l(n)).
+	Color = dfg.Color
+	// GraphBuilder constructs graphs by node name.
+	GraphBuilder = dfg.Builder
+	// Pattern is a bag of colors one tile cycle can execute.
+	Pattern = pattern.Pattern
+	// PatternSet is an ordered set of distinct patterns.
+	PatternSet = pattern.Set
+	// ScheduleResult assigns every node a cycle and every cycle a pattern.
+	ScheduleResult = sched.Schedule
+	// SchedOptions configures the list scheduler.
+	SchedOptions = sched.Options
+	// SelectConfig parameterises pattern selection.
+	SelectConfig = patsel.Config
+	// Selection is the output of pattern selection.
+	Selection = patsel.Selection
+	// AntichainConfig bounds antichain enumeration.
+	AntichainConfig = antichain.Config
+	// AntichainResult is the census of enumerated antichains.
+	AntichainResult = antichain.Result
+	// Arch describes a reconfigurable tile.
+	Arch = alloc.Arch
+	// Program is an allocated schedule, executable on a Tile.
+	Program = alloc.Program
+	// Tile is the Montium hardware model.
+	Tile = montium.Tile
+)
+
+// Scheduler option re-exports.
+const (
+	// F1 counts covered nodes (Eq. 6); F2 sums their priorities (Eq. 7).
+	F1 = sched.F1
+	F2 = sched.F2
+	// Tie-break policies for equal-priority candidates.
+	TieIndexDesc = sched.TieIndexDesc
+	TieIndexAsc  = sched.TieIndexAsc
+	TieStable    = sched.TieStable
+	TieRandom    = sched.TieRandom
+	// SpanUnlimited disables the antichain span bound.
+	SpanUnlimited = patsel.SpanUnlimited
+)
+
+// NewGraph returns an empty data-flow graph.
+func NewGraph(name string) *Graph { return dfg.NewGraph(name) }
+
+// NewBuilder returns a by-name graph builder.
+func NewBuilder(name string) *GraphBuilder { return dfg.NewBuilder(name) }
+
+// ParsePattern reads "aabcc" or "{a,b,c}" notation.
+func ParsePattern(s string) (Pattern, error) { return pattern.Parse(s) }
+
+// ParsePatternSet reads a space- or semicolon-separated pattern list.
+func ParsePatternSet(s string) (*PatternSet, error) { return pattern.ParseSet(s) }
+
+// NewPatternSet builds a set from patterns, dropping duplicates.
+func NewPatternSet(ps ...Pattern) *PatternSet { return pattern.NewSet(ps...) }
+
+// SelectPatterns runs the paper's pattern selection algorithm (§5).
+func SelectPatterns(g *Graph, cfg SelectConfig) (*Selection, error) {
+	return patsel.Select(g, cfg)
+}
+
+// SelectPatternsBestSpan sweeps span limits and keeps the selection whose
+// schedule is shortest. Returns the selection, its schedule, and the span.
+func SelectPatternsBestSpan(g *Graph, cfg SelectConfig, spans []int, opts SchedOptions) (*Selection, *ScheduleResult, int, error) {
+	return patsel.SelectBestSpan(g, cfg, spans, opts)
+}
+
+// RandomPatterns is the paper's random baseline: Pdef patterns of C
+// uniform colors covering the graph's color set.
+func RandomPatterns(g *Graph, cfg SelectConfig, rng *rand.Rand) (*PatternSet, error) {
+	return patsel.Random(g, cfg, rng)
+}
+
+// Schedule runs multi-pattern list scheduling (§4) against the patterns.
+func Schedule(g *Graph, ps *PatternSet, opts SchedOptions) (*ScheduleResult, error) {
+	return sched.MultiPattern(g, ps, opts)
+}
+
+// ScheduleLowerBound returns a provable minimum cycle count.
+func ScheduleLowerBound(g *Graph, ps *PatternSet) (int, error) {
+	return sched.LowerBound(g, ps)
+}
+
+// EnumerateAntichains runs the bounded enumeration of §5.1.
+func EnumerateAntichains(g *Graph, cfg AntichainConfig) (*AntichainResult, error) {
+	return antichain.Enumerate(g, cfg)
+}
+
+// Allocate binds a schedule to a tile architecture (registers, memories,
+// ALU slots).
+func Allocate(s *ScheduleResult, arch Arch) (*Program, error) {
+	return alloc.Allocate(s, arch)
+}
+
+// DefaultArch is the Montium tile of the paper: 5 ALUs, 32-pattern
+// configuration store.
+func DefaultArch() Arch { return alloc.DefaultArch() }
+
+// NewTile loads an allocated program onto a simulated tile.
+func NewTile(p *Program) (*Tile, error) { return montium.NewTile(p) }
+
+// Compile lowers expression-language source to a data-flow graph
+// (lexing, parsing, folding, CSE, negation pushing).
+func Compile(src string, opts transform.Options) (*Graph, error) {
+	return transform.Compile(src, opts)
+}
+
+// ThreeDFT returns the paper's Fig. 2 graph — the 24-node 3-point DFT.
+func ThreeDFT() *Graph { return workloads.ThreeDFT() }
+
+// Fig4Example returns the paper's 5-node Fig. 4 example graph.
+func Fig4Example() *Graph { return workloads.Fig4Small() }
+
+// NPointDFT generates the N-point DFT graph in the paper's idiom.
+func NPointDFT(n int) (*Graph, error) { return workloads.NPointDFT(n) }
+
+// FIRFilter generates a block FIR filter graph (taps × block).
+func FIRFilter(taps, block int) (*Graph, error) { return workloads.FIRFilter(taps, block) }
+
+// MatMul generates a dense n×n matrix-product graph.
+func MatMul(n int) (*Graph, error) { return workloads.MatMul(n) }
+
+// Butterfly generates a structural radix-2 butterfly network.
+func Butterfly(stages int) (*Graph, error) { return workloads.Butterfly(stages) }
+
+// ScheduleOptimal finds a provably minimal schedule by branch and bound
+// (≤64 nodes; exponential worst case — a validation tool, not a planner).
+func ScheduleOptimal(g *Graph, ps *PatternSet, maxStates int) (*ScheduleResult, error) {
+	return sched.Optimal(g, ps, maxStates)
+}
+
+// ScheduleForceDirected runs the classic force-directed heuristic with a
+// single resource bag — the related-work baseline the paper contrasts.
+func ScheduleForceDirected(g *Graph, p Pattern, maxLength int) (*ScheduleResult, error) {
+	return sched.ForceDirected(g, p, maxLength)
+}
+
+// Width returns the size of the graph's largest antichain (Dilworth via
+// maximum matching) — the ceiling on per-cycle parallelism.
+func Width(g *Graph) int { return g.Reach().Width() }
+
+// EliminateDead removes operations that feed no output, returning the
+// pruned graph and the number of nodes removed.
+func EliminateDead(g *Graph) (*Graph, int, error) { return transform.EliminateDead(g) }

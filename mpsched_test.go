@@ -1,0 +1,100 @@
+package mpsched_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpsched"
+	"mpsched/internal/transform"
+	"mpsched/internal/workloads"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g := mpsched.ThreeDFT()
+	sel, err := mpsched.SelectPatterns(g, mpsched.SelectConfig{C: 5, Pdef: 4, MaxSpan: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := mpsched.Schedule(g, sel.Patterns, mpsched.SchedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	lb, err := mpsched.ScheduleLowerBound(g, sel.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Length() < lb {
+		t.Fatalf("schedule %d beats lower bound %d", s.Length(), lb)
+	}
+	prog, err := mpsched.Allocate(s, mpsched.DefaultArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, err := mpsched.NewTile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []complex128{1, 2, 3}
+	out, err := tile.Run(workloads.DFTInputs(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("outputs: %v", out)
+	}
+}
+
+func TestFacadeRandomBaseline(t *testing.T) {
+	g := mpsched.ThreeDFT()
+	ps, err := mpsched.RandomPatterns(g, mpsched.SelectConfig{C: 5, Pdef: 2}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Len() != 2 {
+		t.Fatalf("got %d patterns", ps.Len())
+	}
+}
+
+func TestFacadeCompile(t *testing.T) {
+	g, err := mpsched.Compile("y: out = (p+q)*(p-q)", transform.Options{Name: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 {
+		t.Fatalf("N = %d", g.N())
+	}
+}
+
+// ExampleSchedule demonstrates scheduling the paper's running example with
+// its two patterns — the Table 2 scenario.
+func ExampleSchedule() {
+	g := mpsched.ThreeDFT()
+	ps, _ := mpsched.ParsePatternSet("aabcc aaacc")
+	s, _ := mpsched.Schedule(g, ps, mpsched.SchedOptions{})
+	fmt.Println(s.Length(), "cycles")
+	// Output: 7 cycles
+}
+
+// ExampleSelectPatterns demonstrates the pattern selection algorithm on
+// the paper's Fig. 4 example: {aa} then {bb} are chosen.
+func ExampleSelectPatterns() {
+	g := mpsched.Fig4Example()
+	sel, _ := mpsched.SelectPatterns(g, mpsched.SelectConfig{
+		C: 2, Pdef: 2, MaxSpan: mpsched.SpanUnlimited,
+	})
+	fmt.Println(sel.Patterns)
+	// Output: {a,a} {b,b}
+}
+
+// ExampleEnumerateAntichains counts the 3DFT's parallelizable pairs under
+// a span limit, matching the paper's Table 5.
+func ExampleEnumerateAntichains() {
+	g := mpsched.ThreeDFT()
+	res, _ := mpsched.EnumerateAntichains(g, mpsched.AntichainConfig{MaxSize: 2, MaxSpan: 1})
+	fmt.Println(res.BySize[2])
+	// Output: 178
+}
