@@ -6,13 +6,16 @@
 package mpsched_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"mpsched"
 	"mpsched/internal/antichain"
 	"mpsched/internal/expmt"
 	"mpsched/internal/patsel"
+	"mpsched/internal/pipeline"
 	"mpsched/internal/sched"
 	"mpsched/internal/workloads"
 )
@@ -471,6 +474,136 @@ func BenchmarkParallelEnumeration(b *testing.B) {
 			}
 		}
 	})
+}
+
+// pipelineFleet builds the mixed ≥16-job batch the throughput benchmarks
+// compile: DFT sizes, FIR filters, matrix products and butterfly networks,
+// the fleet shape a production tile compiler would see under traffic.
+func pipelineFleet(b *testing.B) []pipeline.Job {
+	b.Helper()
+	specs := []struct {
+		name string
+		gen  func() (*mpsched.Graph, error)
+	}{
+		{"3dft", func() (*mpsched.Graph, error) { return mpsched.ThreeDFT(), nil }},
+		{"4dft", func() (*mpsched.Graph, error) { return mpsched.NPointDFT(4) }},
+		{"5dft", func() (*mpsched.Graph, error) { return mpsched.NPointDFT(5) }},
+		{"fir8x4", func() (*mpsched.Graph, error) { return mpsched.FIRFilter(8, 4) }},
+		{"fir12x2", func() (*mpsched.Graph, error) { return mpsched.FIRFilter(12, 2) }},
+		{"matmul3", func() (*mpsched.Graph, error) { return mpsched.MatMul(3) }},
+		{"butterfly3", func() (*mpsched.Graph, error) { return mpsched.Butterfly(3) }},
+		{"butterfly4", func() (*mpsched.Graph, error) { return mpsched.Butterfly(4) }},
+	}
+	var jobs []pipeline.Job
+	for _, pdef := range []int{3, 4} {
+		for _, s := range specs {
+			g, err := s.gen()
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs = append(jobs, pipeline.Job{
+				Name:   fmt.Sprintf("%s/pdef%d", s.name, pdef),
+				Graph:  g,
+				Select: patsel.Config{Pdef: pdef},
+			})
+		}
+	}
+	return jobs
+}
+
+func runFleet(b *testing.B, jobs []pipeline.Job, p *pipeline.Pipeline) {
+	b.Helper()
+	for _, r := range p.Run(jobs) {
+		if r.Err != nil {
+			b.Fatalf("job %s: %v", r.Job.Name, r.Err)
+		}
+	}
+}
+
+// BenchmarkPipelineBatch measures batch-compilation throughput over the
+// 16-job mixed fleet: sequential vs. pooled workers (cold cache each
+// round) and a warm shared cache. jobs/sec is reported per variant; the
+// cachespeedup variant times a cold round against a warm round inside
+// each iteration and reports the measured speedup and hit count.
+func BenchmarkPipelineBatch(b *testing.B) {
+	jobs := pipelineFleet(b)
+
+	reportThroughput := func(b *testing.B, start time.Time) {
+		b.Helper()
+		jobsPerSec := float64(len(jobs)*b.N) / time.Since(start).Seconds()
+		b.ReportMetric(jobsPerSec, "jobs/sec")
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		p := pipeline.New(pipeline.Options{Workers: 1})
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			runFleet(b, jobs, p)
+		}
+		reportThroughput(b, start)
+	})
+	b.Run("pooled", func(b *testing.B) {
+		p := pipeline.New(pipeline.Options{})
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			runFleet(b, jobs, p)
+		}
+		reportThroughput(b, start)
+	})
+	b.Run("warmcache", func(b *testing.B) {
+		p := pipeline.New(pipeline.Options{Cache: pipeline.NewCache(0)})
+		runFleet(b, jobs, p) // fill the cache outside the timer
+		filled := p.Cache().Stats()
+		b.ResetTimer()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			runFleet(b, jobs, p)
+		}
+		reportThroughput(b, start)
+		// Hit rate of the timed region only, excluding the fill round.
+		after := p.Cache().Stats()
+		hits, misses := after.Hits-filled.Hits, after.Misses-filled.Misses
+		b.ReportMetric(float64(hits)/float64(hits+misses), "hitRate")
+	})
+	b.Run("cachespeedup", func(b *testing.B) {
+		var coldSec, warmSec float64
+		var hits int64
+		for i := 0; i < b.N; i++ {
+			cache := pipeline.NewCache(0)
+			p := pipeline.New(pipeline.Options{Cache: cache})
+			coldStart := time.Now()
+			runFleet(b, jobs, p)
+			coldSec += time.Since(coldStart).Seconds()
+			warmStart := time.Now()
+			runFleet(b, jobs, p)
+			warmSec += time.Since(warmStart).Seconds()
+			hits = cache.Stats().Hits
+		}
+		b.ReportMetric(coldSec/warmSec, "coldOverWarm")
+		b.ReportMetric(float64(hits), "warmHits")
+	})
+}
+
+// BenchmarkPipelineSequentialVsPooled is the headline scaling check: the
+// same ≥16-job batch through 1 worker and through the full pool, reported
+// as paired metrics so a single run shows the speedup.
+func BenchmarkPipelineSequentialVsPooled(b *testing.B) {
+	jobs := pipelineFleet(b)
+	var seqSec, poolSec float64
+	seq := pipeline.New(pipeline.Options{Workers: 1})
+	pool := pipeline.New(pipeline.Options{})
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		runFleet(b, jobs, seq)
+		seqSec += time.Since(t0).Seconds()
+		t0 = time.Now()
+		runFleet(b, jobs, pool)
+		poolSec += time.Since(t0).Seconds()
+	}
+	n := float64(len(jobs) * b.N)
+	b.ReportMetric(n/seqSec, "seqJobs/sec")
+	b.ReportMetric(n/poolSec, "pooledJobs/sec")
+	b.ReportMetric(seqSec/poolSec, "poolSpeedup")
 }
 
 // BenchmarkAblationSwitchPenalty measures the reconfiguration-stability

@@ -1,97 +1,327 @@
-// Command mpsched schedules a data-flow graph onto a pattern-limited
+// Command mpsched schedules data-flow graphs onto a pattern-limited
 // reconfigurable tile — the paper's multi-pattern list scheduling — with
 // either an explicit pattern set or patterns chosen by the selection
-// algorithm.
+// algorithm. Single-graph mode compiles one workload; batch mode reads a
+// manifest of workloads and compiles them concurrently through the
+// pipeline engine with result caching.
 //
 // Usage:
 //
 //	mpsched -gen 3dft -patterns "aabcc aaacc" -trace    # Table 2
 //	mpsched -gen ndft:5 -select -pdef 4                 # selection + schedule
 //	mpsched -in graph.json -patterns "{a,b,c}" -tie asc
+//	mpsched -batch fleet.txt -jobs 8 -rounds 2          # concurrent batch
+//
+// A manifest is line oriented: each non-comment line names a workload
+// (generator spec or graph file) followed by optional key=value overrides
+// of the selection flags, e.g.
+//
+//	3dft
+//	ndft:4 pdef=3
+//	fir:8,4 c=5 span=2 name=fir-wide
+//	designs/my-graph.json pdef=2
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
 
 	"mpsched/internal/cliutil"
+	"mpsched/internal/dfg"
 	"mpsched/internal/patsel"
 	"mpsched/internal/pattern"
+	"mpsched/internal/pipeline"
 	"mpsched/internal/sched"
 )
 
 func main() {
-	var (
-		gen      = flag.String("gen", "", "workload (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
-		inFile   = flag.String("in", "", "graph JSON file")
-		patterns = flag.String("patterns", "", "explicit pattern set, e.g. \"aabcc aaacc\"")
-		doSelect = flag.Bool("select", false, "choose patterns with the selection algorithm")
-		pdef     = flag.Int("pdef", 4, "patterns to select (with -select)")
-		c        = flag.Int("C", 5, "resources per tile")
-		span     = flag.Int("span", 1, "span limit for selection (-1 unlimited)")
-		priority = flag.String("priority", "F2", "pattern priority: F1 (count) or F2 (priority sum)")
-		tie      = flag.String("tie", "desc", "tie-break: desc, asc, stable, random")
-		seed     = flag.Int64("seed", 1, "seed for -tie random")
-		trace    = flag.Bool("trace", false, "print the per-cycle decision trace (Table 2 style)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	g, err := cliutil.LoadGraph(*gen, *inFile)
+// config carries the parsed command line shared by both modes.
+type config struct {
+	gen, inFile string
+	patterns    string
+	doSelect    bool
+	pdef, c     int
+	span        int
+	priority    string
+	tie         string
+	seed        int64
+	trace       bool
+
+	batch  string
+	jobs   int
+	rounds int
+}
+
+// run is the command body, factored out of main so tests can drive it.
+// It returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.gen, "gen", "", "workload (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
+	fs.StringVar(&cfg.inFile, "in", "", "graph JSON file")
+	fs.StringVar(&cfg.patterns, "patterns", "", "explicit pattern set, e.g. \"aabcc aaacc\"")
+	fs.BoolVar(&cfg.doSelect, "select", false, "choose patterns with the selection algorithm")
+	fs.IntVar(&cfg.pdef, "pdef", 4, "patterns to select (with -select; batch default)")
+	fs.IntVar(&cfg.c, "C", 5, "resources per tile")
+	fs.IntVar(&cfg.span, "span", 1, "span limit for selection (-1 unlimited)")
+	fs.StringVar(&cfg.priority, "priority", "F2", "pattern priority: F1 (count) or F2 (priority sum)")
+	fs.StringVar(&cfg.tie, "tie", "desc", "tie-break: desc, asc, stable, random")
+	fs.Int64Var(&cfg.seed, "seed", 1, "seed for -tie random")
+	fs.BoolVar(&cfg.trace, "trace", false, "print the per-cycle decision trace (Table 2 style)")
+	fs.StringVar(&cfg.batch, "batch", "", "manifest file: compile many workloads through the pipeline")
+	fs.IntVar(&cfg.jobs, "jobs", 0, "batch worker pool size (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.rounds, "rounds", 1, "times to run the batch (later rounds hit the cache)")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	var err error
+	if cfg.batch != "" {
+		err = runBatch(cfg, stdout)
+	} else {
+		err = runSingle(cfg, stdout)
+	}
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "mpsched:", err)
+		return 1
+	}
+	return 0
+}
+
+// runSingle is the original one-graph flow.
+func runSingle(cfg config, stdout io.Writer) error {
+	g, err := cliutil.LoadGraph(cfg.gen, cfg.inFile)
+	if err != nil {
+		return err
 	}
 
 	var ps *pattern.Set
 	switch {
-	case *patterns != "" && *doSelect:
-		fatal(fmt.Errorf("use either -patterns or -select"))
-	case *patterns != "":
-		ps, err = pattern.ParseSet(*patterns)
+	case cfg.patterns != "" && cfg.doSelect:
+		return fmt.Errorf("use either -patterns or -select")
+	case cfg.patterns != "":
+		ps, err = pattern.ParseSet(cfg.patterns)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-	case *doSelect:
-		sel, err := patsel.Select(g, patsel.Config{C: *c, Pdef: *pdef, MaxSpan: *span})
+	case cfg.doSelect:
+		sel, err := patsel.Select(g, patsel.Config{C: cfg.c, Pdef: cfg.pdef, MaxSpan: cfg.span})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		ps = sel.Patterns
-		fmt.Printf("selected patterns: %s\n", ps)
+		fmt.Fprintf(stdout, "selected patterns: %s\n", ps)
 	default:
-		fatal(fmt.Errorf("provide -patterns or -select"))
+		return fmt.Errorf("provide -patterns, -select or -batch")
 	}
 
-	opts := sched.Options{KeepTrace: *trace, Seed: *seed}
-	prio, err := cliutil.ParsePriority(*priority)
+	opts, err := schedOptions(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	opts.Priority = prio
-	tb, err := cliutil.ParseTieBreak(*tie)
-	if err != nil {
-		fatal(err)
-	}
-	opts.TieBreak = tb
-
 	s, err := sched.MultiPattern(g, ps, opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := s.Verify(); err != nil {
-		fatal(fmt.Errorf("schedule failed verification: %w", err))
+		return fmt.Errorf("schedule failed verification: %w", err)
 	}
-	if *trace {
-		fmt.Print(s.RenderTrace())
+	if cfg.trace {
+		fmt.Fprint(stdout, s.RenderTrace())
 	}
-	fmt.Print(s.Render())
+	fmt.Fprint(stdout, s.Render())
 	lb, err := sched.LowerBound(g, ps)
 	if err == nil {
-		fmt.Printf("lower bound: %d cycles; utilisation %.0f%%\n", lb, 100*s.Utilization())
+		fmt.Fprintf(stdout, "lower bound: %d cycles; utilisation %.0f%%\n", lb, 100*s.Utilization())
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mpsched:", err)
-	os.Exit(1)
+func schedOptions(cfg config) (sched.Options, error) {
+	opts := sched.Options{KeepTrace: cfg.trace, Seed: cfg.seed}
+	prio, err := cliutil.ParsePriority(cfg.priority)
+	if err != nil {
+		return opts, err
+	}
+	opts.Priority = prio
+	tb, err := cliutil.ParseTieBreak(cfg.tie)
+	if err != nil {
+		return opts, err
+	}
+	opts.TieBreak = tb
+	return opts, nil
+}
+
+// runBatch reads the manifest, compiles every workload through the
+// pipeline (cfg.rounds times over a shared cache), and prints a results
+// table per round. Any failed job makes the command exit nonzero after
+// the full batch has run.
+func runBatch(cfg config, stdout io.Writer) error {
+	jobs, err := loadManifest(cfg)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("manifest %s has no workloads", cfg.batch)
+	}
+
+	cache := pipeline.NewCache(0)
+	p := pipeline.New(pipeline.Options{Workers: cfg.jobs, Cache: cache})
+	failures := 0
+	for round := 1; round <= cfg.rounds; round++ {
+		if cfg.rounds > 1 {
+			fmt.Fprintf(stdout, "round %d/%d\n", round, cfg.rounds)
+		}
+		results := p.Run(jobs)
+		failures += printResults(stdout, results)
+		fmt.Fprintln(stdout, cache.Stats())
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failures, len(jobs)*cfg.rounds)
+	}
+	return nil
+}
+
+// loadManifest parses the batch file into pipeline jobs, using the command
+// line flags as per-job defaults.
+func loadManifest(cfg config) ([]pipeline.Job, error) {
+	data, err := os.ReadFile(cfg.batch)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []pipeline.Job
+	for lineNo, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		job, err := parseManifestLine(line, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", cfg.batch, lineNo+1, err)
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, nil
+}
+
+// parseManifestLine reads "spec [key=value ...]" into a job. The spec is a
+// graph file when it looks like a path (contains a slash or a *.json/*.txt
+// extension), a generator spec otherwise.
+func parseManifestLine(line string, cfg config) (pipeline.Job, error) {
+	fields := strings.Fields(line)
+	spec := fields[0]
+	job := pipeline.Job{
+		Name:   spec,
+		Select: patsel.Config{C: cfg.c, Pdef: cfg.pdef, MaxSpan: cfg.span},
+	}
+	var err error
+	if job.Sched, err = schedOptions(cfg); err != nil {
+		return job, err
+	}
+	job.Sched.KeepTrace = false // traces are for single-graph mode
+
+	for _, kv := range fields[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return job, fmt.Errorf("bad option %q (want key=value)", kv)
+		}
+		switch key {
+		case "name":
+			job.Name = val
+		case "pdef":
+			job.Select.Pdef, err = strconv.Atoi(val)
+		case "c":
+			job.Select.C, err = strconv.Atoi(val)
+		case "span":
+			job.Select.MaxSpan, err = strconv.Atoi(val)
+		case "priority":
+			job.Sched.Priority, err = cliutil.ParsePriority(val)
+		case "tie":
+			job.Sched.TieBreak, err = cliutil.ParseTieBreak(val)
+		case "seed":
+			job.Sched.Seed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return job, fmt.Errorf("unknown option %q", key)
+		}
+		if err != nil {
+			return job, fmt.Errorf("option %q: %w", kv, err)
+		}
+	}
+
+	if isGraphFile(spec) {
+		job.Graph, err = cliutil.LoadGraph("", spec)
+	} else {
+		job.Graph, err = cliutil.Generate(spec)
+	}
+	if err != nil {
+		return job, err
+	}
+	return job, nil
+}
+
+func isGraphFile(spec string) bool {
+	return strings.ContainsRune(spec, '/') ||
+		strings.HasSuffix(spec, ".json") || strings.HasSuffix(spec, ".txt")
+}
+
+// printResults renders the per-job table and returns the failure count.
+func printResults(w io.Writer, results []pipeline.Result) int {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "job\tnodes\tpatterns\tcycles\tlb\tutil\tcache\tms\tstatus")
+	failures := 0
+	for _, r := range results {
+		name := r.Job.Label()
+		if r.Err != nil {
+			failures++
+			fmt.Fprintf(tw, "%s\t%s\t\t\t\t\t\t%.1f\terror: %v\n",
+				name, nodeCount(r.Job.Graph), r.Elapsed.Seconds()*1e3, r.Err)
+			continue
+		}
+		lb := "-"
+		if v, err := sched.LowerBound(r.Job.Graph, r.Schedule.Patterns); err == nil {
+			lb = strconv.Itoa(v)
+		}
+		cacheMark := ""
+		if r.CacheHit {
+			cacheMark = "hit"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%s\t%.0f%%\t%s\t%.1f\tok\n",
+			name, r.Job.Graph.N(), patternList(r.Schedule),
+			r.Schedule.Length(), lb, 100*r.Schedule.Utilization(),
+			cacheMark, r.Elapsed.Seconds()*1e3)
+	}
+	tw.Flush()
+	return failures
+}
+
+func nodeCount(g *dfg.Graph) string {
+	if g == nil {
+		return "-"
+	}
+	return strconv.Itoa(g.N())
+}
+
+// patternList renders the schedule's pattern set compactly, sorted for
+// stable output.
+func patternList(s *sched.Schedule) string {
+	var parts []string
+	for _, p := range s.Patterns.Patterns() {
+		parts = append(parts, p.Compact())
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
 }

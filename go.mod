@@ -1,0 +1,3 @@
+module mpsched
+
+go 1.24

@@ -1,0 +1,132 @@
+package antichain
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/workloads"
+)
+
+// determinismWorkloads is the mixed fleet the pipeline serves; the
+// parallel enumeration backend must agree with the sequential enumerator
+// on every one of them (run under -race, this also guards the worker
+// fan-out against data races).
+func determinismWorkloads(t testing.TB) map[string]*dfg.Graph {
+	t.Helper()
+	out := map[string]*dfg.Graph{
+		"3dft": workloads.ThreeDFT(),
+		"fig4": workloads.Fig4Small(),
+	}
+	for name, gen := range map[string]func() (*dfg.Graph, error){
+		"4dft":       func() (*dfg.Graph, error) { return workloads.NPointDFT(4) },
+		"fir6x3":     func() (*dfg.Graph, error) { return workloads.FIRFilter(6, 3) },
+		"matmul3":    func() (*dfg.Graph, error) { return workloads.MatMul(3) },
+		"butterfly3": func() (*dfg.Graph, error) { return workloads.Butterfly(3) },
+	} {
+		g, err := gen()
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		out[name] = g
+	}
+	return out
+}
+
+// requireSameCensus asserts two enumeration results agree on counts and
+// per-node frequency vectors.
+func requireSameCensus(t *testing.T, label string, seq, par *Result) {
+	t.Helper()
+	if seq.Total() != par.Total() {
+		t.Fatalf("%s: total %d vs %d", label, seq.Total(), par.Total())
+	}
+	for k := range seq.BySize {
+		if seq.BySize[k] != par.BySize[k] {
+			t.Fatalf("%s: size %d count %d vs %d", label, k, seq.BySize[k], par.BySize[k])
+		}
+	}
+	if len(seq.Classes) != len(par.Classes) {
+		t.Fatalf("%s: %d classes vs %d", label, len(seq.Classes), len(par.Classes))
+	}
+	for key, sc := range seq.Classes {
+		pc := par.Classes[key]
+		if pc == nil {
+			t.Fatalf("%s: class %q missing from parallel result", label, key)
+		}
+		if sc.Count != pc.Count {
+			t.Fatalf("%s: class %q count %d vs %d", label, key, sc.Count, pc.Count)
+		}
+		for i := range sc.NodeFreq {
+			if sc.NodeFreq[i] != pc.NodeFreq[i] {
+				t.Fatalf("%s: class %q node %d freq %d vs %d",
+					label, key, i, sc.NodeFreq[i], pc.NodeFreq[i])
+			}
+		}
+	}
+}
+
+// TestEnumerateParallelDeterministicAcrossWorkloads pins the pipeline's
+// parallel enumeration backend to the sequential reference across the
+// mixed workload fleet, several worker counts, and repeated runs.
+func TestEnumerateParallelDeterministicAcrossWorkloads(t *testing.T) {
+	cfg := Config{MaxSize: 5, MaxSpan: 1}
+	for name, g := range determinismWorkloads(t) {
+		seq, err := Enumerate(g, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, workers := range []int{2, 8} {
+			for rep := 0; rep < 2; rep++ {
+				par, err := EnumerateParallel(g, cfg, workers)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", name, workers, err)
+				}
+				requireSameCensus(t, name, seq, par)
+			}
+		}
+	}
+}
+
+// TestEnumerateParallelConcurrentGraphs runs parallel enumerations of
+// many graphs at once — the pipeline's actual usage pattern — to expose
+// cross-goroutine races under -race.
+func TestEnumerateParallelConcurrentGraphs(t *testing.T) {
+	cfg := Config{MaxSize: 5, MaxSpan: 1}
+	graphs := determinismWorkloads(t)
+	want := map[string]int{}
+	for name, g := range graphs {
+		seq, err := Enumerate(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = seq.Total()
+	}
+
+	// The sequential runs above forced each graph's lazy reachability and
+	// level caches, so the concurrent enumerations below only read them.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(graphs)*2)
+	for name, g := range graphs {
+		for rep := 0; rep < 2; rep++ {
+			wg.Add(1)
+			go func(name string, g *dfg.Graph) {
+				defer wg.Done()
+				par, err := EnumerateParallel(g, cfg, 4)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if par.Total() != want[name] {
+					errs <- fmt.Errorf("%s: concurrent enumeration diverged: %d vs %d",
+						name, par.Total(), want[name])
+				}
+			}(name, g)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

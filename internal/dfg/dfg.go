@@ -6,8 +6,11 @@
 package dfg
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"sync"
 
 	"mpsched/internal/graph"
 )
@@ -105,8 +108,11 @@ type Node struct {
 // Graph is a data-flow graph: a DAG of colored operation nodes. Construct
 // with NewGraph and AddNode/AddDep, or via the Builder.
 //
-// Level attributes and reachability are computed lazily and cached; any
-// mutation invalidates the caches.
+// Level attributes, reachability and the fingerprint are computed lazily
+// and cached; any mutation invalidates the caches. The lazy computation is
+// mutex-guarded, so a fully-built graph may be read from many goroutines
+// (the pipeline's worker pool relies on this); mutating concurrently with
+// readers remains the caller's race, as with any Go data structure.
 type Graph struct {
 	Name  string
 	nodes []Node
@@ -114,8 +120,10 @@ type Graph struct {
 
 	byName map[string]int
 
-	levels *graph.Levels
-	reach  *graph.Reachability
+	mu          sync.Mutex
+	levels      *graph.Levels
+	reach       *graph.Reachability
+	fingerprint string
 }
 
 // NewGraph returns an empty DFG with the given name.
@@ -175,16 +183,26 @@ func (d *Graph) MustAddDep(from, to int) {
 }
 
 func (d *Graph) invalidate() {
+	d.mu.Lock()
 	d.levels = nil
 	d.reach = nil
+	d.fingerprint = ""
+	d.mu.Unlock()
 }
 
 // Node returns the node with the given id.
 func (d *Graph) Node(id int) Node { return d.nodes[id] }
 
 // SetOutput marks node id as producing the named result (used by Evaluate
-// and the Montium simulator).
-func (d *Graph) SetOutput(id int, name string) { d.nodes[id].Output = name }
+// and the Montium simulator). Output labels are part of the fingerprint,
+// so the cached hash is invalidated; levels and reachability only depend
+// on structure and survive.
+func (d *Graph) SetOutput(id int, name string) {
+	d.nodes[id].Output = name
+	d.mu.Lock()
+	d.fingerprint = ""
+	d.mu.Unlock()
+}
 
 // ID looks a node up by name.
 func (d *Graph) ID(name string) (int, bool) {
@@ -220,6 +238,8 @@ func (d *Graph) Digraph() *graph.Digraph { return d.g }
 // first use. It panics if the graph is cyclic; use Validate first on
 // untrusted input.
 func (d *Graph) Levels() *graph.Levels {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.levels == nil {
 		lv, err := graph.ComputeLevels(d.g)
 		if err != nil {
@@ -234,6 +254,8 @@ func (d *Graph) Levels() *graph.Levels {
 // use. It panics if the graph is cyclic; use Validate first on untrusted
 // input.
 func (d *Graph) Reach() *graph.Reachability {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.reach == nil {
 		r, err := graph.NewReachability(d.g)
 		if err != nil {
@@ -299,6 +321,52 @@ func (d *Graph) Clone() *Graph {
 		c.MustAddDep(e[0], e[1])
 	}
 	return c
+}
+
+// replaceWith moves another graph's content into d (used by UnmarshalJSON;
+// field-wise so d's mutex is not copied), resetting the lazy caches.
+func (d *Graph) replaceWith(src *Graph) {
+	d.Name = src.Name
+	d.nodes = src.nodes
+	d.g = src.g
+	d.byName = src.byName
+	d.invalidate()
+}
+
+// Fingerprint returns a content hash of the graph: nodes (name, color,
+// semantics, operands, output) in id order plus the dependency edge list.
+// Two graphs share a fingerprint exactly when they are identical as
+// labelled DAGs, so every derived result — levels, antichain census,
+// selection, schedule, allocation — is interchangeable between them. The
+// graph-level Name is deliberately excluded: it never influences results.
+//
+// The hash is cached and invalidated on mutation, like Levels and Reach.
+func (d *Graph) Fingerprint() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fingerprint == "" {
+		h := sha256.New()
+		fmt.Fprintf(h, "v1 n=%d m=%d\n", d.N(), d.M())
+		for _, n := range d.nodes {
+			fmt.Fprintf(h, "node %q %q %d %q", n.Name, n.Color, n.Op, n.Output)
+			for _, a := range n.Args {
+				fmt.Fprintf(h, " %d:%d:%q:%g", a.Kind, a.Node, a.Input, a.Const)
+			}
+			fmt.Fprintln(h)
+		}
+		edges := d.g.Edges()
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i][0] != edges[j][0] {
+				return edges[i][0] < edges[j][0]
+			}
+			return edges[i][1] < edges[j][1]
+		})
+		for _, e := range edges {
+			fmt.Fprintf(h, "edge %d %d\n", e[0], e[1])
+		}
+		d.fingerprint = hex.EncodeToString(h.Sum(nil))
+	}
+	return d.fingerprint
 }
 
 // Validate checks structural well-formedness: acyclicity, operand/edge

@@ -2,6 +2,7 @@ package dfg
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -281,5 +282,102 @@ func TestFormatLevelTable(t *testing.T) {
 	// a1 (asap 0, alap 0) must precede b4 (asap 2).
 	if strings.Index(out, "a1") > strings.Index(out, "b4") {
 		t.Error("table not sorted by level")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	g := smallGraph(t)
+	fp := g.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", fp)
+	}
+	if g.Fingerprint() != fp {
+		t.Error("fingerprint not stable across calls")
+	}
+
+	// Clones and name changes preserve it; structural edits change it.
+	c := g.Clone()
+	if c.Fingerprint() != fp {
+		t.Error("clone fingerprint differs")
+	}
+	c.Name = "renamed"
+	if c.Fingerprint() != fp {
+		t.Error("graph-level name must not affect the fingerprint")
+	}
+	id := c.MustAddNode(Node{Name: "extra", Color: "c"})
+	if c.Fingerprint() == fp {
+		t.Error("adding a node must change the fingerprint")
+	}
+	before := c.Fingerprint()
+	c.MustAddDep(c.MustID("b5"), id)
+	if c.Fingerprint() == before {
+		t.Error("adding an edge must change the fingerprint")
+	}
+	before = c.Fingerprint()
+	c.SetOutput(id, "y")
+	if c.Fingerprint() == before {
+		t.Error("SetOutput must invalidate the fingerprint (outputs are hashed)")
+	}
+}
+
+func TestGraphLazyCachesConcurrentReads(t *testing.T) {
+	g := smallGraph(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Levels()
+			g.Reach()
+			g.Fingerprint()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFingerprintEdgeOrderCanonical(t *testing.T) {
+	// The same labelled DAG built with edges inserted in different orders
+	// must fingerprint identically.
+	build := func(edges [][2]string) *Graph {
+		g := NewGraph("g")
+		for _, n := range []string{"x", "y", "z"} {
+			g.MustAddNode(Node{Name: n, Color: "a"})
+		}
+		for _, e := range edges {
+			g.MustAddDep(g.MustID(e[0]), g.MustID(e[1]))
+		}
+		return g
+	}
+	g1 := build([][2]string{{"x", "y"}, {"x", "z"}, {"y", "z"}})
+	g2 := build([][2]string{{"y", "z"}, {"x", "z"}, {"x", "y"}})
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Error("edge insertion order must not affect the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesLabels(t *testing.T) {
+	base := smallGraph(t)
+	recolored := smallGraph(t)
+	// Rebuild with one color changed: fingerprints must differ.
+	g, err := NewBuilder("fig4").
+		Node("a1", "a").
+		Node("a2", "c"). // was "a"
+		Node("a3", "a").
+		Node("b4", "b").
+		Node("b5", "b").
+		Dep("a1", "a2").
+		Dep("a2", "b4").
+		Dep("a2", "b5").
+		Dep("a3", "b4").
+		Dep("a3", "b5").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fingerprint() != recolored.Fingerprint() {
+		t.Error("identical builds must share a fingerprint")
+	}
+	if base.Fingerprint() == g.Fingerprint() {
+		t.Error("a node color change must change the fingerprint")
 	}
 }

@@ -100,7 +100,7 @@ func (d *Graph) UnmarshalJSON(data []byte) error {
 	if err := fresh.Validate(); err != nil {
 		return err
 	}
-	*d = *fresh
+	d.replaceWith(fresh)
 	return nil
 }
 

@@ -55,6 +55,12 @@ type Config struct {
 // SpanUnlimited disables the span bound in Config.MaxSpan.
 const SpanUnlimited = -1
 
+// WithDefaults returns the config with zero-valued fields replaced by the
+// paper's defaults (C = 5, span ≤ 1, ε = 0.5, α = 20) — the normalisation
+// Select applies internally, exported so callers that precompute the
+// antichain census (package pipeline) agree on the effective parameters.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.C == 0 {
 		c.C = 5

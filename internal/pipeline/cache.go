@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"mpsched/internal/alloc"
+	"mpsched/internal/patsel"
+	"mpsched/internal/sched"
+)
+
+// Cache is a content-addressed compilation cache: graph fingerprint plus
+// the full configuration (selection, scheduling, architecture) maps to the
+// finished Selection/Schedule/Program. Repeated workloads — the common case
+// under traffic — skip antichain enumeration, selection and scheduling
+// entirely. Entries are evicted least-recently-used once MaxEntries is
+// exceeded. Safe for concurrent use.
+//
+// Cached results are shared, never deep-copied: hits return schedules whose
+// slices alias the cached entry. Treat compilation results as immutable —
+// everything downstream (verification, rendering, simulation) only reads
+// them.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+// DefaultCacheEntries bounds a NewCache(0) cache. A full entry for a
+// paper-sized workload is a few kilobytes, so the default costs megabytes
+// at worst while covering far more distinct workloads than a steady-state
+// fleet presents.
+const DefaultCacheEntries = 4096
+
+type cacheEntry struct {
+	key       string
+	selection *patsel.Selection
+	schedule  *sched.Schedule
+	program   *alloc.Program
+}
+
+// NewCache returns an empty cache holding at most maxEntries results.
+// maxEntries ≤ 0 selects DefaultCacheEntries.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &Cache{
+		max:     maxEntries,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+	}
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// HitRate returns hits / lookups, or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cache: %d entries, %d hits, %d misses (%.0f%% hit rate)",
+		s.Entries, s.Hits, s.Misses, 100*s.HitRate())
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = map[string]*list.Element{}
+	c.hits, c.misses = 0, 0
+}
+
+// get looks the key up, counting a hit or miss and refreshing recency.
+func (c *Cache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores the entry, evicting the least-recently-used on overflow.
+func (c *Cache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		el.Value = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.order.PushFront(e)
+	for len(c.entries) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}

@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func entryFor(key string) *cacheEntry { return &cacheEntry{key: key} }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3)
+	for i := 0; i < 3; i++ {
+		c.put(entryFor(fmt.Sprintf("k%d", i)))
+	}
+	if _, ok := c.get("k0"); !ok { // refresh k0: k1 is now oldest
+		t.Fatal("k0 should be cached")
+	}
+	c.put(entryFor("k3"))
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	if _, ok := c.get("k1"); ok {
+		t.Error("k1 should have been evicted as least recently used")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s should have survived", k)
+		}
+	}
+}
+
+func TestCacheOverwriteSameKey(t *testing.T) {
+	c := NewCache(2)
+	c.put(entryFor("k"))
+	c.put(entryFor("k"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheStatsAndReset(t *testing.T) {
+	c := NewCache(0)
+	c.put(entryFor("a"))
+	c.get("a")
+	c.get("missing")
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate())
+	}
+	c.Reset()
+	st = c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestCacheDefaultBound(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < DefaultCacheEntries+10; i++ {
+		c.put(entryFor(fmt.Sprintf("k%d", i)))
+	}
+	if c.Len() != DefaultCacheEntries {
+		t.Fatalf("len = %d, want %d", c.Len(), DefaultCacheEntries)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%100)
+				if _, ok := c.get(key); !ok {
+					c.put(entryFor(key))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("len = %d exceeds bound", c.Len())
+	}
+}

@@ -1,0 +1,280 @@
+// Package pipeline is the batch compilation engine: it runs the full
+// select → schedule → allocate flow for many data-flow graphs across a
+// bounded worker pool, with per-job error isolation, a content-addressed
+// result cache (package-level Cache), and the parallel antichain
+// enumeration backend for large graphs.
+//
+// This is the serving layer the ROADMAP's production goal asks for: a
+// fleet of compilation requests goes in, per-job results come out, and
+// repeated workloads — the common case under traffic — are answered from
+// the cache without touching the enumeration engine at all.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mpsched/internal/alloc"
+	"mpsched/internal/antichain"
+	"mpsched/internal/dfg"
+	"mpsched/internal/patsel"
+	"mpsched/internal/sched"
+)
+
+// Job is one compilation request: a graph plus the configuration of every
+// stage. Zero-valued Select fields take the paper's defaults where one
+// exists (C, span, ε, α — see patsel.Config); Select.Pdef has no default
+// and must be ≥ 1. A zero Sched is the paper's scheduler configuration.
+type Job struct {
+	// Name labels the job in results and reports; empty falls back to the
+	// graph's name.
+	Name string
+	// Graph is the data-flow graph to compile. Jobs may freely share a
+	// *Graph: its lazy caches are goroutine-safe.
+	Graph *dfg.Graph
+	// Select parameterises pattern selection (zero value = paper defaults).
+	Select patsel.Config
+	// Sched parameterises the multi-pattern list scheduler.
+	Sched sched.Options
+	// Arch, when non-nil, makes the job run allocation after scheduling,
+	// producing a Program executable on the Montium simulator.
+	Arch *alloc.Arch
+}
+
+// Label returns the job's display name.
+func (j Job) Label() string {
+	if j.Name != "" {
+		return j.Name
+	}
+	if j.Graph != nil {
+		return j.Graph.Name
+	}
+	return "?"
+}
+
+// Result is the outcome of one job. Either Err is non-nil, or Selection
+// and Schedule are set (and Program, when the job requested allocation).
+type Result struct {
+	Job       Job
+	Selection *patsel.Selection
+	Schedule  *sched.Schedule
+	Program   *alloc.Program
+	Err       error
+	// CacheHit reports that the result was served from the cache, skipping
+	// enumeration, selection and scheduling.
+	CacheHit bool
+	// Elapsed is the wall-clock cost of this job.
+	Elapsed time.Duration
+}
+
+// DefaultParallelEnumNodes is the graph size at which enumeration switches
+// to the worker-pool backend. Below it the sequential enumerator wins: the
+// fan-out costs more than the subtree work saves.
+const DefaultParallelEnumNodes = 48
+
+// Options configures a Pipeline.
+type Options struct {
+	// Workers bounds the job-level worker pool; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, serves repeated (graph, config) jobs without
+	// recompiling. Share one Cache across batches to stay warm.
+	Cache *Cache
+	// ParallelEnumNodes is the node count at which a graph's antichain
+	// enumeration uses antichain.EnumerateParallel instead of the
+	// sequential enumerator. 0 means DefaultParallelEnumNodes; negative
+	// disables the parallel backend.
+	ParallelEnumNodes int
+	// EnumWorkers bounds the per-graph enumeration pool; ≤ 0 means
+	// GOMAXPROCS. Only consulted when the parallel backend runs.
+	EnumWorkers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ParallelEnumNodes == 0 {
+		o.ParallelEnumNodes = DefaultParallelEnumNodes
+	}
+	return o
+}
+
+// Pipeline executes batches of compilation jobs. Construct with New; a
+// Pipeline is safe for concurrent use.
+type Pipeline struct {
+	opts Options
+}
+
+// New returns a pipeline with the given options.
+func New(opts Options) *Pipeline {
+	return &Pipeline{opts: opts.withDefaults()}
+}
+
+// Cache returns the pipeline's cache, or nil when caching is off.
+func (p *Pipeline) Cache() *Cache { return p.opts.Cache }
+
+// Run compiles every job, fanning the batch out over the worker pool.
+// Results are positionally aligned with jobs; one job failing never
+// aborts the others.
+func Run(jobs []Job, opts Options) []Result {
+	return New(opts).Run(jobs)
+}
+
+// Run compiles every job across the worker pool, returning one Result per
+// job in input order.
+func (p *Pipeline) Run(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	workers := p.opts.Workers
+	if workers <= 0 { // zero-value Pipeline, constructed without New
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = p.Compile(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// Compile runs one job synchronously (consulting the cache, if any). Used
+// by Run's workers and available directly for single-request serving;
+// concurrent Compile calls may share a *Graph — its lazy caches are
+// goroutine-safe.
+func (p *Pipeline) Compile(job Job) Result {
+	start := time.Now()
+	res := p.compile(job)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func (p *Pipeline) compile(job Job) Result {
+	res := Result{Job: job}
+	if job.Graph == nil {
+		res.Err = fmt.Errorf("pipeline: job %q has no graph", job.Label())
+		return res
+	}
+	if err := job.Graph.Validate(); err != nil {
+		res.Err = fmt.Errorf("pipeline: job %q: %w", job.Label(), err)
+		return res
+	}
+	if job.Arch != nil {
+		if err := job.Arch.Validate(); err != nil {
+			res.Err = fmt.Errorf("pipeline: job %q: %w", job.Label(), err)
+			return res
+		}
+	}
+	selCfg := job.Select.WithDefaults()
+
+	var key string
+	if p.opts.Cache != nil {
+		key = cacheKey(job.Graph, selCfg, job.Sched, job.Arch)
+		if e, ok := p.opts.Cache.get(key); ok {
+			return rebind(job, e)
+		}
+	}
+
+	sel, err := p.selectPatterns(job.Graph, selCfg)
+	if err != nil {
+		res.Err = fmt.Errorf("pipeline: job %q: select: %w", job.Label(), err)
+		return res
+	}
+	res.Selection = sel
+
+	s, err := sched.MultiPattern(job.Graph, sel.Patterns, job.Sched)
+	if err != nil {
+		res.Err = fmt.Errorf("pipeline: job %q: schedule: %w", job.Label(), err)
+		return res
+	}
+	if err := s.Verify(); err != nil {
+		res.Err = fmt.Errorf("pipeline: job %q: verify: %w", job.Label(), err)
+		return res
+	}
+	res.Schedule = s
+
+	if job.Arch != nil {
+		prog, err := alloc.Allocate(s, *job.Arch)
+		if err != nil {
+			res.Err = fmt.Errorf("pipeline: job %q: allocate: %w", job.Label(), err)
+			return res
+		}
+		res.Program = prog
+	}
+
+	if p.opts.Cache != nil {
+		p.opts.Cache.put(&cacheEntry{
+			key:       key,
+			selection: res.Selection,
+			schedule:  res.Schedule,
+			program:   res.Program,
+		})
+	}
+	return res
+}
+
+// selectPatterns runs pattern selection, delegating enumeration to the
+// parallel backend for graphs at or above the configured size.
+func (p *Pipeline) selectPatterns(g *dfg.Graph, cfg patsel.Config) (*patsel.Selection, error) {
+	acfg := antichain.Config{MaxSize: cfg.C, MaxSpan: cfg.MaxSpan}
+	var census *antichain.Result
+	var err error
+	if p.opts.ParallelEnumNodes > 0 && g.N() >= p.opts.ParallelEnumNodes {
+		census, err = antichain.EnumerateParallel(g, acfg, p.opts.EnumWorkers)
+	} else {
+		census, err = antichain.Enumerate(g, acfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return patsel.SelectFrom(g, census, cfg)
+}
+
+// cacheKey addresses a result by graph content and full configuration.
+// Keys from distinct graphs with identical structure collide on purpose:
+// the cached result is valid for both.
+func cacheKey(g *dfg.Graph, sel patsel.Config, so sched.Options, arch *alloc.Arch) string {
+	archKey := "-"
+	if arch != nil {
+		archKey = fmt.Sprintf("%+v", *arch)
+	}
+	return fmt.Sprintf("%s|%+v|%+v|%s", g.Fingerprint(), sel, so, archKey)
+}
+
+// rebind adapts a cached entry to the requesting job: the cached schedule
+// and program may reference a different (content-identical) *Graph, so
+// shallow copies are pointed at the job's own graph. Node ids agree by
+// construction — the fingerprint covers the full labelled structure.
+func rebind(job Job, e *cacheEntry) Result {
+	res := Result{Job: job, CacheHit: true, Selection: e.selection}
+	if e.schedule != nil {
+		s := *e.schedule
+		s.Graph = job.Graph
+		res.Schedule = &s
+	}
+	if e.program != nil {
+		prog := *e.program
+		prog.Graph = job.Graph
+		prog.Schedule = res.Schedule
+		res.Program = &prog
+	}
+	return res
+}

@@ -1,0 +1,306 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"mpsched/internal/alloc"
+	"mpsched/internal/dfg"
+	"mpsched/internal/patsel"
+	"mpsched/internal/sched"
+	"mpsched/internal/workloads"
+)
+
+// fleet builds a mixed batch of jobs over the workload generators.
+func fleet(t testing.TB) []Job {
+	t.Helper()
+	var jobs []Job
+	add := func(name string, g *dfg.Graph, err error) {
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		jobs = append(jobs, Job{Name: name, Graph: g, Select: patsel.Config{Pdef: 4}})
+	}
+	add("3dft", workloads.ThreeDFT(), nil)
+	g, err := workloads.NPointDFT(4)
+	add("4dft", g, err)
+	g, err = workloads.FIRFilter(6, 3)
+	add("fir6x3", g, err)
+	g, err = workloads.MatMul(3)
+	add("matmul3", g, err)
+	g, err = workloads.Butterfly(3)
+	add("butterfly3", g, err)
+	return jobs
+}
+
+func TestRunMixedBatch(t *testing.T) {
+	jobs := fleet(t)
+	results := Run(jobs, Options{Workers: 4})
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Job.Name != jobs[i].Name {
+			t.Errorf("result %d is for job %q, want %q", i, r.Job.Name, jobs[i].Name)
+		}
+		if r.Err != nil {
+			t.Errorf("job %s failed: %v", r.Job.Name, r.Err)
+			continue
+		}
+		if r.Schedule == nil || r.Selection == nil {
+			t.Errorf("job %s missing outputs", r.Job.Name)
+			continue
+		}
+		if err := r.Schedule.Verify(); err != nil {
+			t.Errorf("job %s schedule invalid: %v", r.Job.Name, err)
+		}
+		if r.CacheHit {
+			t.Errorf("job %s claims a cache hit with no cache configured", r.Job.Name)
+		}
+	}
+}
+
+func TestPooledMatchesSequential(t *testing.T) {
+	jobs := fleet(t)
+	seq := Run(jobs, Options{Workers: 1})
+	par := Run(jobs, Options{Workers: 8})
+	for i := range jobs {
+		if (seq[i].Err == nil) != (par[i].Err == nil) {
+			t.Fatalf("job %s: error mismatch %v vs %v", jobs[i].Name, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Err != nil {
+			continue
+		}
+		if s, p := seq[i].Schedule.Length(), par[i].Schedule.Length(); s != p {
+			t.Errorf("job %s: %d cycles sequential vs %d pooled", jobs[i].Name, s, p)
+		}
+		if s, p := seq[i].Selection.Patterns.String(), par[i].Selection.Patterns.String(); s != p {
+			t.Errorf("job %s: patterns %s vs %s", jobs[i].Name, s, p)
+		}
+	}
+}
+
+func TestParallelEnumBackendMatchesSequential(t *testing.T) {
+	jobs := fleet(t)
+	seq := Run(jobs, Options{ParallelEnumNodes: -1})
+	par := Run(jobs, Options{ParallelEnumNodes: 1, EnumWorkers: 4})
+	for i := range jobs {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("job %s: %v / %v", jobs[i].Name, seq[i].Err, par[i].Err)
+		}
+		if s, p := seq[i].Schedule.Length(), par[i].Schedule.Length(); s != p {
+			t.Errorf("job %s: %d cycles sequential enum vs %d parallel enum", jobs[i].Name, s, p)
+		}
+		if s, p := seq[i].Selection.Patterns.String(), par[i].Selection.Patterns.String(); s != p {
+			t.Errorf("job %s: patterns %s vs %s", jobs[i].Name, s, p)
+		}
+	}
+}
+
+func TestErrorIsolation(t *testing.T) {
+	cyclic := dfg.NewGraph("cyclic")
+	a := cyclic.MustAddNode(dfg.Node{Name: "a", Color: "a"})
+	b := cyclic.MustAddNode(dfg.Node{Name: "b", Color: "b"})
+	cyclic.MustAddDep(a, b)
+	cyclic.MustAddDep(b, a)
+
+	jobs := []Job{
+		{Name: "ok1", Graph: workloads.ThreeDFT(), Select: patsel.Config{Pdef: 4}},
+		{Name: "cyclic", Graph: cyclic, Select: patsel.Config{Pdef: 2}},
+		{Name: "nilgraph"},
+		{Name: "badcfg", Graph: workloads.ThreeDFT(), Select: patsel.Config{Pdef: -1}},
+		{Name: "ok2", Graph: workloads.Fig4Small(), Select: patsel.Config{Pdef: 2, C: 2, MaxSpan: patsel.SpanUnlimited}},
+	}
+	results := Run(jobs, Options{Workers: 3})
+	for _, name := range []string{"cyclic", "nilgraph", "badcfg"} {
+		r := resultByName(t, results, name)
+		if r.Err == nil {
+			t.Errorf("job %s: want error, got success", name)
+		}
+		if !strings.Contains(r.Err.Error(), name) {
+			t.Errorf("job %s: error %q does not name the job", name, r.Err)
+		}
+	}
+	for _, name := range []string{"ok1", "ok2"} {
+		r := resultByName(t, results, name)
+		if r.Err != nil {
+			t.Errorf("job %s: unexpected error %v (failures must not poison the batch)", name, r.Err)
+		}
+	}
+}
+
+func resultByName(t *testing.T, results []Result, name string) Result {
+	t.Helper()
+	for _, r := range results {
+		if r.Job.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no result named %s", name)
+	return Result{}
+}
+
+func TestCacheHitSkipsCompilation(t *testing.T) {
+	cache := NewCache(0)
+	p := New(Options{Workers: 2, Cache: cache})
+
+	jobs := fleet(t)
+	cold := p.Run(jobs)
+	for _, r := range cold {
+		if r.Err != nil {
+			t.Fatalf("cold job %s: %v", r.Job.Name, r.Err)
+		}
+		if r.CacheHit {
+			t.Fatalf("cold job %s: unexpected cache hit", r.Job.Name)
+		}
+	}
+	if st := cache.Stats(); st.Hits != 0 || st.Misses != int64(len(jobs)) || st.Entries != len(jobs) {
+		t.Fatalf("cold stats: %+v", st)
+	}
+
+	warm := p.Run(jobs)
+	for i, r := range warm {
+		if r.Err != nil {
+			t.Fatalf("warm job %s: %v", r.Job.Name, r.Err)
+		}
+		if !r.CacheHit {
+			t.Errorf("warm job %s: expected cache hit", r.Job.Name)
+		}
+		if r.Schedule.Length() != cold[i].Schedule.Length() {
+			t.Errorf("warm job %s: %d cycles vs cold %d", r.Job.Name, r.Schedule.Length(), cold[i].Schedule.Length())
+		}
+	}
+	if st := cache.Stats(); st.Hits != int64(len(jobs)) {
+		t.Fatalf("warm stats: %+v", st)
+	}
+}
+
+func TestCacheHitAcrossDistinctIdenticalGraphs(t *testing.T) {
+	cache := NewCache(0)
+	p := New(Options{Cache: cache})
+
+	g1 := workloads.ThreeDFT()
+	g2 := workloads.ThreeDFT() // distinct pointer, identical content
+	if g1 == g2 {
+		t.Fatal("generator returned a shared graph")
+	}
+	first := p.Compile(Job{Name: "first", Graph: g1, Select: patsel.Config{Pdef: 4}})
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	second := p.Compile(Job{Name: "second", Graph: g2, Select: patsel.Config{Pdef: 4}})
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if !second.CacheHit {
+		t.Fatal("identical graph content should hit the cache")
+	}
+	if second.Schedule.Graph != g2 {
+		t.Error("cached schedule not rebound to the requesting graph")
+	}
+	if err := second.Schedule.Verify(); err != nil {
+		t.Errorf("rebound schedule invalid: %v", err)
+	}
+	if second.Schedule.Length() != first.Schedule.Length() {
+		t.Errorf("rebound schedule %d cycles, original %d", second.Schedule.Length(), first.Schedule.Length())
+	}
+}
+
+func TestConfigChangesMissCache(t *testing.T) {
+	cache := NewCache(0)
+	p := New(Options{Cache: cache})
+	g := workloads.ThreeDFT()
+
+	r1 := p.Compile(Job{Graph: g, Select: patsel.Config{Pdef: 4}})
+	r2 := p.Compile(Job{Graph: g, Select: patsel.Config{Pdef: 3}})
+	r3 := p.Compile(Job{Graph: g, Select: patsel.Config{Pdef: 4}, Sched: sched.Options{Priority: sched.F1}})
+	for i, r := range []Result{r1, r2, r3} {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.CacheHit {
+			t.Errorf("job %d: distinct config must not hit the cache", i)
+		}
+	}
+	// Pdef 4 with explicit defaults equals the zero-config normalisation.
+	r4 := p.Compile(Job{Graph: g, Select: patsel.Config{Pdef: 4, C: 5, MaxSpan: 1, Epsilon: 0.5, Alpha: 20}})
+	if r4.Err != nil {
+		t.Fatal(r4.Err)
+	}
+	if !r4.CacheHit {
+		t.Error("normalised config should hit the zero-config entry")
+	}
+}
+
+func TestAllocationInPipeline(t *testing.T) {
+	arch := alloc.DefaultArch()
+	cache := NewCache(0)
+	p := New(Options{Cache: cache})
+	job := Job{Name: "3dft+alloc", Graph: workloads.ThreeDFT(), Select: patsel.Config{Pdef: 4}, Arch: &arch}
+
+	r := p.Compile(job)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Program == nil {
+		t.Fatal("job with Arch produced no program")
+	}
+	// An identical-content graph must hit and carry a rebound program.
+	job2 := job
+	job2.Graph = workloads.ThreeDFT()
+	r2 := p.Compile(job2)
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if !r2.CacheHit || r2.Program == nil {
+		t.Fatalf("hit=%v program=%v", r2.CacheHit, r2.Program != nil)
+	}
+	if r2.Program.Graph != job2.Graph || r2.Program.Schedule != r2.Schedule {
+		t.Error("cached program not rebound to the requesting job")
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	g1 := workloads.ThreeDFT()
+	g2 := workloads.ThreeDFT()
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("identical graphs must share a fingerprint")
+	}
+	g2.MustAddNode(dfg.Node{Name: "extra", Color: "a"})
+	if g1.Fingerprint() == g2.Fingerprint() {
+		t.Fatal("mutated graph must change fingerprint")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	if got := Run(nil, Options{}); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+func TestZeroValuePipelineDoesNotDeadlock(t *testing.T) {
+	var p Pipeline // constructed without New: no defaults applied
+	results := p.Run([]Job{{Name: "z", Graph: workloads.ThreeDFT(), Select: patsel.Config{Pdef: 4}}})
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+}
+
+func TestConcurrentCompileSharedGraph(t *testing.T) {
+	// Many jobs sharing one cold *Graph through the pool: the graph's
+	// goroutine-safe lazy caches must keep this race-free (run with -race).
+	shared := workloads.ThreeDFT()
+	p := New(Options{Workers: 8, Cache: NewCache(0)})
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Name: "shared", Graph: shared, Select: patsel.Config{Pdef: 3 + i%2}}
+	}
+	for _, r := range p.Run(jobs) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Schedule.Graph != shared {
+			t.Error("schedule not bound to the shared graph")
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"mpsched/internal/montium"
 	"mpsched/internal/patsel"
 	"mpsched/internal/pattern"
+	"mpsched/internal/pipeline"
 	"mpsched/internal/sched"
 	"mpsched/internal/transform"
 	"mpsched/internal/workloads"
@@ -76,6 +77,16 @@ type (
 	Program = alloc.Program
 	// Tile is the Montium hardware model.
 	Tile = montium.Tile
+	// Pipeline is the concurrent batch-compilation engine.
+	Pipeline = pipeline.Pipeline
+	// PipelineJob is one batch compilation request.
+	PipelineJob = pipeline.Job
+	// PipelineResult is the per-job outcome of a batch run.
+	PipelineResult = pipeline.Result
+	// PipelineOptions configures worker counts and caching.
+	PipelineOptions = pipeline.Options
+	// CompileCache is the content-addressed result cache shared by batches.
+	CompileCache = pipeline.Cache
 )
 
 // Scheduler option re-exports.
@@ -195,3 +206,20 @@ func Width(g *Graph) int { return g.Reach().Width() }
 // EliminateDead removes operations that feed no output, returning the
 // pruned graph and the number of nodes removed.
 func EliminateDead(g *Graph) (*Graph, int, error) { return transform.EliminateDead(g) }
+
+// NewPipeline returns a batch compilation engine running select →
+// schedule → allocate across a bounded worker pool, with optional result
+// caching (see NewCompileCache) and the parallel antichain-enumeration
+// backend for large graphs.
+func NewPipeline(opts PipelineOptions) *Pipeline { return pipeline.New(opts) }
+
+// NewCompileCache returns a content-addressed compilation cache holding at
+// most maxEntries results (≤ 0 for the default bound). Share one cache
+// across batches so repeated workloads skip enumeration entirely.
+func NewCompileCache(maxEntries int) *CompileCache { return pipeline.NewCache(maxEntries) }
+
+// CompileBatch compiles every job concurrently, returning one result per
+// job in input order; a failing job never aborts the rest of the batch.
+func CompileBatch(jobs []PipelineJob, opts PipelineOptions) []PipelineResult {
+	return pipeline.Run(jobs, opts)
+}
