@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -23,52 +24,70 @@ import (
 )
 
 func main() {
-	var (
-		gen    = flag.String("gen", "", "workload to generate (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
-		inFile = flag.String("in", "", "read a graph from a JSON (.json) or text file")
-		out    = flag.String("o", "", "write the graph as JSON to this file")
-		dot    = flag.Bool("dot", false, "print Graphviz DOT")
-		text   = flag.Bool("text", false, "print the text serialisation")
-		levels = flag.Bool("levels", false, "print the ASAP/ALAP/Height table (paper Table 1 format)")
-		stats  = flag.Bool("stats", false, "print a census of the graph")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	g, err := load(*gen, *inFile)
+// run is the command body, factored out of main so tests can drive it.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dfgtool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		gen    = fs.String("gen", "", "workload to generate (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
+		inFile = fs.String("in", "", "read a graph from a JSON (.json) or text file")
+		out    = fs.String("o", "", "write the graph as JSON to this file")
+		dot    = fs.Bool("dot", false, "print Graphviz DOT")
+		text   = fs.Bool("text", false, "print the text serialisation")
+		levels = fs.Bool("levels", false, "print the ASAP/ALAP/Height table (paper Table 1 format)")
+		stats  = fs.Bool("stats", false, "print a census of the graph")
+	)
+	if code, done := cliutil.ParseFlags(fs, argv); done {
+		return code
+	}
+
+	if err := realMain(stdout, *gen, *inFile, *out, *dot, *text, *levels, *stats); err != nil {
+		fmt.Fprintln(stderr, "dfgtool:", err)
+		return 1
+	}
+	return 0
+}
+
+func realMain(stdout io.Writer, gen, inFile, out string, dot, text, levels, stats bool) error {
+	g, err := load(gen, inFile)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	did := false
-	if *out != "" {
+	if out != "" {
 		data, err := json.Marshal(g)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fatal(err)
-		}
-		did = true
-	}
-	if *dot {
-		if err := dfg.WriteDOT(os.Stdout, g); err != nil {
-			fatal(err)
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
 		}
 		did = true
 	}
-	if *text {
-		if err := dfg.WriteText(os.Stdout, g); err != nil {
-			fatal(err)
+	if dot {
+		if err := dfg.WriteDOT(stdout, g); err != nil {
+			return err
 		}
 		did = true
 	}
-	if *levels {
-		fmt.Print(dfg.FormatLevelTable(g))
+	if text {
+		if err := dfg.WriteText(stdout, g); err != nil {
+			return err
+		}
 		did = true
 	}
-	if *stats || !did {
-		printStats(g)
+	if levels {
+		fmt.Fprint(stdout, dfg.FormatLevelTable(g))
+		did = true
 	}
+	if stats || !did {
+		printStats(stdout, g)
+	}
+	return nil
 }
 
 func load(gen, inFile string) (*dfg.Graph, error) {
@@ -78,26 +97,21 @@ func load(gen, inFile string) (*dfg.Graph, error) {
 	return cliutil.LoadGraph(gen, inFile)
 }
 
-func printStats(g *dfg.Graph) {
+func printStats(w io.Writer, g *dfg.Graph) {
 	lv := g.Levels()
-	fmt.Println(g.String())
-	fmt.Printf("critical path: %d cycles\n", lv.CriticalPathLength())
-	fmt.Printf("width (largest antichain): %d\n", g.Reach().Width())
-	fmt.Printf("comparable pairs: %d of %d\n", g.Reach().ComparablePairs(), g.N()*(g.N()-1)/2)
-	fmt.Print("color census:")
+	fmt.Fprintln(w, g.String())
+	fmt.Fprintf(w, "critical path: %d cycles\n", lv.CriticalPathLength())
+	fmt.Fprintf(w, "width (largest antichain): %d\n", g.Reach().Width())
+	fmt.Fprintf(w, "comparable pairs: %d of %d\n", g.Reach().ComparablePairs(), g.N()*(g.N()-1)/2)
+	fmt.Fprint(w, "color census:")
 	for color, count := range g.ColorCounts() {
-		fmt.Printf(" %s=%d", color, count)
+		fmt.Fprintf(w, " %s=%d", color, count)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	if ins := g.InputNames(); len(ins) > 0 {
-		fmt.Printf("inputs: %s\n", strings.Join(ins, " "))
+		fmt.Fprintf(w, "inputs: %s\n", strings.Join(ins, " "))
 	}
 	if outs := g.OutputNames(); len(outs) > 0 {
-		fmt.Printf("outputs: %s\n", strings.Join(outs, " "))
+		fmt.Fprintf(w, "outputs: %s\n", strings.Join(outs, " "))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dfgtool:", err)
-	os.Exit(1)
 }

@@ -11,49 +11,58 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"mpsched/internal/cliutil"
 	"mpsched/internal/expmt"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the command body, factored out of main so tests can drive it.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runID = flag.String("run", "", "experiment id to run (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
+		runID = fs.String("run", "", "experiment id to run (see -list)")
+		all   = fs.Bool("all", false, "run every experiment")
+		list  = fs.Bool("list", false, "list experiment ids")
 	)
-	flag.Parse()
+	if code, done := cliutil.ParseFlags(fs, argv); done {
+		return code
+	}
 
 	switch {
 	case *list:
-		fmt.Println(strings.Join(expmt.IDs(), "\n"))
+		fmt.Fprintln(stdout, strings.Join(expmt.IDs(), "\n"))
 	case *all:
 		reports, err := expmt.All()
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
 		}
 		totalMatch, totalCells := 0, 0
 		for _, r := range reports {
-			fmt.Println(r.Render())
+			fmt.Fprintln(stdout, r.Render())
 			m, t := r.Matched()
 			totalMatch += m
 			totalCells += t
 		}
-		fmt.Printf("overall: %d/%d paper cells reproduced exactly\n", totalMatch, totalCells)
+		fmt.Fprintf(stdout, "overall: %d/%d paper cells reproduced exactly\n", totalMatch, totalCells)
 	case *runID != "":
 		r, err := expmt.ByID(*runID)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
 		}
-		fmt.Println(r.Render())
+		fmt.Fprintln(stdout, r.Render())
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	return 0
 }

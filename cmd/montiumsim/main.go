@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -26,67 +27,93 @@ import (
 )
 
 func main() {
-	var (
-		gen    = flag.String("gen", "", "workload (3dft, ndft:N, fft:N, fir:T,B, matmul:N)")
-		srcF   = flag.String("src", "", "expression-language source file to compile")
-		pdef   = flag.Int("pdef", 4, "patterns to select")
-		c      = flag.Int("C", 5, "resources per tile")
-		span   = flag.Int("span", 1, "span limit for selection (-1 unlimited)")
-		inputs = flag.String("inputs", "", "comma-separated name=value inputs (default: 1,2,3,… per input)")
-		strict = flag.Bool("strict", false, "fail on global-bus over-subscription")
-		asm    = flag.Bool("asm", false, "print the allocated program listing")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	g, err := loadGraph(*gen, *srcF)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println(g.String())
+// options carries the parsed command line.
+type options struct {
+	gen, srcF string
+	pdef, c   int
+	span      int
+	inputs    string
+	strict    bool
+	asm       bool
+}
 
-	sel, err := patsel.Select(g, patsel.Config{C: *c, Pdef: *pdef, MaxSpan: *span})
-	if err != nil {
-		fatal(err)
+// run is the command body, factored out of main so tests can drive it.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("montiumsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.gen, "gen", "", "workload (3dft, ndft:N, fft:N, fir:T,B, matmul:N)")
+	fs.StringVar(&o.srcF, "src", "", "expression-language source file to compile")
+	fs.IntVar(&o.pdef, "pdef", 4, "patterns to select")
+	fs.IntVar(&o.c, "C", 5, "resources per tile")
+	fs.IntVar(&o.span, "span", 1, "span limit for selection (-1 unlimited)")
+	fs.StringVar(&o.inputs, "inputs", "", "comma-separated name=value inputs (default: 1,2,3,… per input)")
+	fs.BoolVar(&o.strict, "strict", false, "fail on global-bus over-subscription")
+	fs.BoolVar(&o.asm, "asm", false, "print the allocated program listing")
+	if code, done := cliutil.ParseFlags(fs, argv); done {
+		return code
 	}
-	fmt.Printf("patterns: %s\n", sel.Patterns)
+
+	if err := realMain(o, stdout); err != nil {
+		fmt.Fprintln(stderr, "montiumsim:", err)
+		return 1
+	}
+	return 0
+}
+
+func realMain(o options, stdout io.Writer) error {
+	g, err := loadGraph(o.gen, o.srcF)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, g.String())
+
+	sel, err := patsel.Select(g, patsel.Config{C: o.c, Pdef: o.pdef, MaxSpan: o.span})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "patterns: %s\n", sel.Patterns)
 
 	s, err := sched.MultiPattern(g, sel.Patterns, sched.Options{})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("schedule: %d cycles\n", s.Length())
+	fmt.Fprintf(stdout, "schedule: %d cycles\n", s.Length())
 
 	prog, err := alloc.Allocate(s, alloc.DefaultArch())
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("allocation: spills=%d crossALU=%d memReads=%d peakLiveRegs=%d\n",
+	fmt.Fprintf(stdout, "allocation: spills=%d crossALU=%d memReads=%d peakLiveRegs=%d\n",
 		prog.Stats.Spills, prog.Stats.CrossALUMoves, prog.Stats.MemoryReads, prog.Stats.MaxLiveRegs)
-	if *asm {
-		fmt.Print(prog.Disassemble())
+	if o.asm {
+		fmt.Fprint(stdout, prog.Disassemble())
 	}
 
 	tile, err := montium.NewTile(prog)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	tile.Strict = *strict
+	tile.Strict = o.strict
 
-	in, err := buildInputs(g, *inputs)
+	in, err := buildInputs(g, o.inputs)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	out, err := tile.Run(in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	st := tile.Stats()
-	fmt.Printf("simulated: %d cycles, %d ALU ops, peak bus load %d/%d, mean %.2f\n",
+	fmt.Fprintf(stdout, "simulated: %d cycles, %d ALU ops, peak bus load %d/%d, mean %.2f\n",
 		st.Cycles, st.ALUOps, st.PeakBusLoad, prog.Arch.Buses, st.MeanBusLoad)
 
 	_, ref, err := g.Evaluate(in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	names := g.OutputNames()
 	worst := 0.0
@@ -95,12 +122,13 @@ func main() {
 		if diff > worst {
 			worst = diff
 		}
-		fmt.Printf("  %-8s = %12.6f  (reference %12.6f)\n", name, out[name], ref[name])
+		fmt.Fprintf(stdout, "  %-8s = %12.6f  (reference %12.6f)\n", name, out[name], ref[name])
 	}
-	fmt.Printf("max |simulated − reference| = %g\n", worst)
+	fmt.Fprintf(stdout, "max |simulated − reference| = %g\n", worst)
 	if worst > 1e-9 {
-		fatal(fmt.Errorf("simulation diverged from the reference interpreter"))
+		return fmt.Errorf("simulation diverged from the reference interpreter")
 	}
+	return nil
 }
 
 func buildInputs(g *dfg.Graph, spec string) (map[string]float64, error) {
@@ -125,9 +153,4 @@ func loadGraph(gen, srcF string) (*dfg.Graph, error) {
 		gen = "3dft"
 	}
 	return cliutil.Generate(gen)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "montiumsim:", err)
-	os.Exit(1)
 }

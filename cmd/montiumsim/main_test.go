@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-pdef") {
+		t.Fatalf("usage text missing flags:\n%s", errOut.String())
+	}
+}
+
+func TestSimulate3DFT(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-gen", "3dft", "-pdef", "4"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "max |simulated − reference|") {
+		t.Fatalf("missing verification line:\n%s", out.String())
+	}
+}

@@ -23,7 +23,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -82,11 +81,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.batch, "batch", "", "manifest file: compile many workloads through the pipeline")
 	fs.IntVar(&cfg.jobs, "jobs", 0, "batch worker pool size (0 = GOMAXPROCS)")
 	fs.IntVar(&cfg.rounds, "rounds", 1, "times to run the batch (later rounds hit the cache)")
-	if err := fs.Parse(argv); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return 0
-		}
-		return 2
+	if code, done := cliutil.ParseFlags(fs, argv); done {
+		return code
 	}
 
 	var err error

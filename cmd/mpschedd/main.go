@@ -1,0 +1,115 @@
+// Command mpschedd is the multi-pattern scheduling compile daemon: an
+// HTTP/JSON service that runs the full select → schedule flow of
+// Guo/Hoede/Smit (IPPS 2006) for many concurrent clients, with an async
+// job queue, a sharded result cache and Prometheus metrics.
+//
+// Usage:
+//
+//	mpschedd -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/compile -d '{"workload":"fft:8"}'
+//
+// Endpoints: POST /v1/compile, POST /v1/jobs, GET /v1/jobs/{id},
+// GET /v1/workloads, GET /healthz, GET /metrics. See internal/server for
+// the wire format.
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains the job
+// queue (bounded by -drain-timeout) and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpsched/internal/cliutil"
+	"mpsched/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the daemon body, factored out of main so tests can drive it.
+// When ready is non-nil, the bound address is sent on it once the
+// listener is up (tests use :0 and need the real port).
+func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("mpschedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "async compile workers (0 = GOMAXPROCS)")
+		queueDepth   = fs.Int("queue", server.DefaultQueueDepth, "async queue admission bound")
+		cacheEntries = fs.Int("cache-entries", 0, "result cache capacity (0 = default, negative disables)")
+		cacheShards  = fs.Int("cache-shards", 0, "result cache shards (0 = auto)")
+		maxBody      = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
+		maxSync      = fs.Int("max-sync-nodes", server.DefaultMaxSyncNodes, "largest graph served synchronously on /v1/compile")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued jobs")
+	)
+	if code, done := cliutil.ParseFlags(fs, argv); done {
+		return code
+	}
+
+	logger := log.New(stderr, "mpschedd: ", log.LstdFlags)
+	srv := server.New(server.Options{
+		QueueWorkers: *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		CacheShards:  *cacheShards,
+		MaxBodyBytes: *maxBody,
+		MaxSyncNodes: *maxSync,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "mpschedd listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %v, draining (timeout %s)", sig, *drainTimeout)
+	case err := <-serveErr:
+		logger.Printf("serve: %v", err)
+		return 1
+	}
+
+	// Stop accepting new connections first, then drain the queue. Each
+	// phase gets its own -drain-timeout budget: a slow in-flight sync
+	// compile holding Shutdown open must not eat the window the flag
+	// promises to queued async jobs.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelHTTP()
+	if err := hs.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancelDrain()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		return 1
+	}
+	logger.Print("drained, bye")
+	return 0
+}

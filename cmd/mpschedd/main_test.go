@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"mpsched/internal/server"
+	"mpsched/internal/server/client"
+)
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut, nil); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-addr") {
+		t.Fatalf("usage text missing flags:\n%s", errOut.String())
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errOut, nil); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestBadAddrExitsOne(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-addr", "256.256.256.256:1"}, &out, &errOut, nil); code != 1 {
+		t.Fatalf("bad addr exited %d, want 1\nstderr: %s", code, errOut.String())
+	}
+}
+
+// TestServeCompileAndGracefulShutdown boots the real daemon on a random
+// port, compiles through it, then delivers SIGTERM and expects a clean
+// drain and exit 0.
+func TestServeCompileAndGracefulShutdown(t *testing.T) {
+	var out, errOut bytes.Buffer
+	ready := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	code := -1
+	go func() {
+		defer wg.Done()
+		code = run([]string{"-addr", "127.0.0.1:0"}, &out, &errOut, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+
+	c := client.New("http://" + addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp, err := c.Compile(ctx, server.CompileRequest{Workload: "3dft"})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if resp.Cycles <= 0 {
+		t.Fatalf("degenerate compile: %+v", resp)
+	}
+	job, err := c.SubmitJob(ctx, server.CompileRequest{Workload: "ndft:4"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := c.WaitJob(ctx, job.ID, 0)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.Status != server.JobDone {
+		t.Fatalf("job ended %q (%s)", final.Status, final.Error)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if code != 0 {
+		t.Fatalf("daemon exited %d after SIGTERM\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "drained") {
+		t.Fatalf("no drain log:\n%s", errOut.String())
+	}
+}

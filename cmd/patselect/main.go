@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -24,74 +25,102 @@ import (
 )
 
 func main() {
-	var (
-		gen      = flag.String("gen", "", "workload (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
-		inFile   = flag.String("in", "", "graph JSON file")
-		c        = flag.Int("C", 5, "resources per tile (pattern capacity)")
-		pdef     = flag.Int("pdef", 4, "number of patterns to select")
-		span     = flag.Int("span", 1, "antichain span limit (-1 unlimited)")
-		bestSpan = flag.Bool("best-span", false, "sweep span limits 0..2 and keep the best schedule")
-		baseline = flag.String("baseline", "", "use a baseline instead: random, greedy, coverage")
-		seed     = flag.Int64("seed", 1, "seed for -baseline random")
-		verbose  = flag.Bool("v", false, "print per-round priorities")
-		schedule = flag.Bool("schedule", true, "also schedule with the result and report cycles")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	g, err := cliutil.LoadGraph(*gen, *inFile)
-	if err != nil {
-		fatal(err)
+// options carries the parsed command line.
+type options struct {
+	gen, inFile string
+	c, pdef     int
+	span        int
+	bestSpan    bool
+	baseline    string
+	seed        int64
+	verbose     bool
+	schedule    bool
+}
+
+// run is the command body, factored out of main so tests can drive it.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("patselect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.gen, "gen", "", "workload (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
+	fs.StringVar(&o.inFile, "in", "", "graph JSON file")
+	fs.IntVar(&o.c, "C", 5, "resources per tile (pattern capacity)")
+	fs.IntVar(&o.pdef, "pdef", 4, "number of patterns to select")
+	fs.IntVar(&o.span, "span", 1, "antichain span limit (-1 unlimited)")
+	fs.BoolVar(&o.bestSpan, "best-span", false, "sweep span limits 0..2 and keep the best schedule")
+	fs.StringVar(&o.baseline, "baseline", "", "use a baseline instead: random, greedy, coverage")
+	fs.Int64Var(&o.seed, "seed", 1, "seed for -baseline random")
+	fs.BoolVar(&o.verbose, "v", false, "print per-round priorities")
+	fs.BoolVar(&o.schedule, "schedule", true, "also schedule with the result and report cycles")
+	if code, done := cliutil.ParseFlags(fs, argv); done {
+		return code
 	}
-	cfg := patsel.Config{C: *c, Pdef: *pdef, MaxSpan: *span}
+
+	if err := realMain(o, stdout); err != nil {
+		fmt.Fprintln(stderr, "patselect:", err)
+		return 1
+	}
+	return 0
+}
+
+func realMain(o options, stdout io.Writer) error {
+	g, err := cliutil.LoadGraph(o.gen, o.inFile)
+	if err != nil {
+		return err
+	}
+	cfg := patsel.Config{C: o.c, Pdef: o.pdef, MaxSpan: o.span}
 
 	var sel *patsel.Selection
-	switch *baseline {
+	switch o.baseline {
 	case "":
-		if *bestSpan {
+		if o.bestSpan {
 			s, schedResult, winSpan, err := patsel.SelectBestSpan(g, cfg, []int{0, 1, 2}, sched.Options{})
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			sel = s
-			fmt.Printf("best span limit: %d (%d cycles)\n", winSpan, schedResult.Length())
+			fmt.Fprintf(stdout, "best span limit: %d (%d cycles)\n", winSpan, schedResult.Length())
 		} else {
 			sel, err = patsel.Select(g, cfg)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 		}
 	case "random":
-		ps, err := patsel.Random(g, cfg, rand.New(rand.NewSource(*seed)))
+		ps, err := patsel.Random(g, cfg, rand.New(rand.NewSource(o.seed)))
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("random patterns: %s\n", ps)
-		if *schedule {
-			reportSchedule(g, ps)
+		fmt.Fprintf(stdout, "random patterns: %s\n", ps)
+		if o.schedule {
+			return reportSchedule(stdout, g, ps)
 		}
-		return
+		return nil
 	case "greedy":
 		sel, err = patsel.GreedyFrequency(g, cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	case "coverage":
 		sel, err = patsel.NodeCoverage(g, cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	default:
-		fatal(fmt.Errorf("unknown baseline %q", *baseline))
+		return fmt.Errorf("unknown baseline %q", o.baseline)
 	}
 
-	fmt.Printf("selected: %s\n", sel.Patterns)
+	fmt.Fprintf(stdout, "selected: %s\n", sel.Patterns)
 	for i, step := range sel.Steps {
 		tag := ""
 		if step.Synthesized {
 			tag = " (synthesised from uncovered colors)"
 		}
-		fmt.Printf("round %d: %s  f=%.3f%s\n", i+1, step.Chosen, step.Priority, tag)
-		if *verbose {
+		fmt.Fprintf(stdout, "round %d: %s  f=%.3f%s\n", i+1, step.Chosen, step.Priority, tag)
+		if o.verbose {
 			keys := make([]string, 0, len(step.Priorities))
 			for k := range step.Priorities {
 				keys = append(keys, k)
@@ -100,35 +129,32 @@ func main() {
 				return step.Priorities[keys[a]] > step.Priorities[keys[b]]
 			})
 			for _, k := range keys {
-				fmt.Printf("    f({%s}) = %.3f\n", k, step.Priorities[k])
+				fmt.Fprintf(stdout, "    f({%s}) = %.3f\n", k, step.Priorities[k])
 			}
 			if len(step.Deleted) > 0 {
-				fmt.Printf("    deleted subpatterns: %s\n", strings.Join(step.Deleted, " "))
+				fmt.Fprintf(stdout, "    deleted subpatterns: %s\n", strings.Join(step.Deleted, " "))
 			}
 		}
 	}
-	if *schedule {
-		reportSchedule(g, sel.Patterns)
+	if o.schedule {
+		return reportSchedule(stdout, g, sel.Patterns)
 	}
+	return nil
 }
 
-func reportSchedule(g *dfg.Graph, ps *pattern.Set) {
+func reportSchedule(stdout io.Writer, g *dfg.Graph, ps *pattern.Set) error {
 	s, err := sched.MultiPattern(g, ps, sched.Options{})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := s.Verify(); err != nil {
-		fatal(err)
+		return err
 	}
 	lb, err := sched.LowerBound(g, ps)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("schedule: %d cycles (lower bound %d, utilisation %.0f%%)\n",
+	fmt.Fprintf(stdout, "schedule: %d cycles (lower bound %d, utilisation %.0f%%)\n",
 		s.Length(), lb, 100*s.Utilization())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "patselect:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Fatalf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-pdef") {
+		t.Fatalf("usage text missing flags:\n%s", errOut.String())
+	}
+}
+
+func TestSelectFig4(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-gen", "fig4", "-pdef", "2", "-C", "2", "-span", "-1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "selected:") {
+		t.Fatalf("missing selection output:\n%s", out.String())
+	}
+}

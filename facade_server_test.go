@@ -1,0 +1,48 @@
+package mpsched_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mpsched"
+)
+
+// TestServeFacade exercises the serving layer exactly the way the README
+// snippet does: embed the server, point the typed client at it, compile.
+func TestServeFacade(t *testing.T) {
+	srv := mpsched.NewServer(mpsched.CompileServerOptions{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	}()
+
+	c := mpsched.NewClient(ts.URL)
+	resp, err := c.Compile(context.Background(), mpsched.CompileRequest{Workload: "ndft:4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cycles <= 0 || resp.Nodes <= 0 {
+		t.Fatalf("degenerate response: %+v", resp)
+	}
+
+	again, err := c.Compile(context.Background(), mpsched.CompileRequest{Workload: "ndft:4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("repeat compile missed the sharded cache")
+	}
+
+	ws, err := c.Workloads(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Error("empty workload catalog")
+	}
+}

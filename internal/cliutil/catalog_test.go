@@ -1,0 +1,64 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// TestCatalogMatchesGenerate keeps the catalog honest: every listed
+// example must generate, and every family Generate accepts must be listed.
+func TestCatalogMatchesGenerate(t *testing.T) {
+	listed := map[string]bool{}
+	for _, w := range Catalog() {
+		listed[w.Name] = true
+		g, err := Generate(w.Example)
+		if err != nil {
+			t.Errorf("catalog example %q does not generate: %v", w.Example, err)
+			continue
+		}
+		if g.N() == 0 {
+			t.Errorf("catalog example %q generated an empty graph", w.Example)
+		}
+	}
+	for _, family := range []string{"3dft", "fig4", "ndft", "fft", "fir", "matmul", "butterfly", "random"} {
+		if !listed[family] {
+			t.Errorf("family %q missing from Catalog", family)
+		}
+	}
+}
+
+// TestGenerateSizeBound: specs describing absurd graphs are rejected
+// before any allocation — the guard that keeps a hostile "matmul:2000"
+// request from OOMing the compile daemon.
+func TestGenerateSizeBound(t *testing.T) {
+	for _, spec := range []string{"matmul:2000", "ndft:100000", "fft:1048576", "fir:100000,1000"} {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("%s: accepted, want size-bound rejection", spec)
+		}
+	}
+	// Reasonable sizes still generate.
+	for _, spec := range []string{"matmul:3", "ndft:8", "fft:32", "fir:16,8"} {
+		if _, err := Generate(spec); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	mk := func() *flag.FlagSet {
+		fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		fs.Bool("x", false, "a flag")
+		return fs
+	}
+	if code, done := ParseFlags(mk(), []string{"-x"}); done || code != 0 {
+		t.Fatalf("valid args: code=%d done=%v, want 0,false", code, done)
+	}
+	if code, done := ParseFlags(mk(), []string{"-h"}); !done || code != 0 {
+		t.Fatalf("-h: code=%d done=%v, want 0,true", code, done)
+	}
+	if code, done := ParseFlags(mk(), []string{"-nope"}); !done || code != 2 {
+		t.Fatalf("bad flag: code=%d done=%v, want 2,true", code, done)
+	}
+}

@@ -5,7 +5,10 @@ package cliutil
 
 import (
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"strconv"
@@ -15,6 +18,47 @@ import (
 	"mpsched/internal/sched"
 	"mpsched/internal/workloads"
 )
+
+// ParseFlags parses argv with fs, mapping the help pseudo-error to a
+// successful exit: `tool -h` is a request the tool fulfilled, not a usage
+// error. done reports that the caller should stop and return code — either
+// help was printed (code 0) or parsing failed after the FlagSet already
+// printed its diagnostic (code 2). Callers construct fs with
+// flag.ContinueOnError and route output with fs.SetOutput.
+func ParseFlags(fs *flag.FlagSet, argv []string) (code int, done bool) {
+	switch err := fs.Parse(argv); {
+	case err == nil:
+		return 0, false
+	case errors.Is(err, flag.ErrHelp):
+		return 0, true
+	default:
+		return 2, true
+	}
+}
+
+// Workload describes one generator family for catalogs (the dfgtool help
+// text and the compile service's GET /v1/workloads endpoint).
+type Workload struct {
+	Name        string `json:"name"`        // family, e.g. "fft"
+	Spec        string `json:"spec"`        // spec grammar, e.g. "fft:N"
+	Description string `json:"description"` // one-line human description
+	Example     string `json:"example"`     // a concrete valid spec
+}
+
+// Catalog lists every workload family Generate accepts, in stable order.
+// Keep in sync with Generate's switch.
+func Catalog() []Workload {
+	return []Workload{
+		{Name: "3dft", Spec: "3dft", Description: "the paper's Fig. 2 graph: 24-node 3-point DFT", Example: "3dft"},
+		{Name: "fig4", Spec: "fig4", Description: "the paper's 5-node Fig. 4 example graph", Example: "fig4"},
+		{Name: "ndft", Spec: "ndft:N", Description: "N-point DFT in the paper's idiom", Example: "ndft:5"},
+		{Name: "fft", Spec: "fft:N", Description: "radix-2 FFT, N a power of two", Example: "fft:16"},
+		{Name: "fir", Spec: "fir:TAPS,BLOCK", Description: "block FIR filter (TAPS taps over a BLOCK-sample block)", Example: "fir:8,4"},
+		{Name: "matmul", Spec: "matmul:N", Description: "dense N×N matrix product", Example: "matmul:3"},
+		{Name: "butterfly", Spec: "butterfly:STAGES", Description: "structural radix-2 butterfly network", Example: "butterfly:3"},
+		{Name: "random", Spec: "random:SEED", Description: "seeded random colored DAG", Example: "random:42"},
+	}
+}
 
 // LoadGraph resolves a graph from either a generator spec or a file path
 // (exactly one must be non-empty; an empty pair defaults to the 3DFT).
@@ -49,7 +93,25 @@ func loadFile(path string) (*dfg.Graph, error) {
 	return dfg.ReadText(strings.NewReader(string(data)))
 }
 
-// Generate builds a workload graph from a spec string.
+// MaxGeneratedNodes bounds how large a graph a generator spec may
+// describe (estimated before building). Specs are accepted from untrusted
+// network clients via the mpschedd compile service, where an unbounded
+// "matmul:2000" (~10¹⁰ nodes) would OOM the daemon before any later size
+// check could run; the same guard saves a CLI user from a typo.
+const MaxGeneratedNodes = 1 << 20
+
+// checkGenSize rejects a spec whose estimated node count exceeds
+// MaxGeneratedNodes. Estimates are cheap closed forms computed from the
+// parameters, deliberately on the generous side.
+func checkGenSize(spec string, estimate float64) error {
+	if estimate > MaxGeneratedNodes {
+		return fmt.Errorf("workload %q would generate ~%.0f nodes, over the %d limit", spec, estimate, MaxGeneratedNodes)
+	}
+	return nil
+}
+
+// Generate builds a workload graph from a spec string. Specs describing
+// more than MaxGeneratedNodes nodes are rejected before any allocation.
 func Generate(spec string) (*dfg.Graph, error) {
 	name, arg, _ := strings.Cut(spec, ":")
 	switch name {
@@ -62,11 +124,17 @@ func Generate(spec string) (*dfg.Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ndft wants ndft:N, got %q", spec)
 		}
+		if err := checkGenSize(spec, 8*float64(n)*float64(n)); err != nil { // O(N²) multiplies
+			return nil, err
+		}
 		return workloads.NPointDFT(n)
 	case "fft":
 		n, err := strconv.Atoi(arg)
 		if err != nil {
 			return nil, fmt.Errorf("fft wants fft:N, got %q", spec)
+		}
+		if err := checkGenSize(spec, 8*float64(n)*math.Log2(math.Max(float64(n), 2))); err != nil { // O(N log N) butterflies
+			return nil, err
 		}
 		return workloads.RadixTwoFFT(n)
 	case "fir":
@@ -74,11 +142,17 @@ func Generate(spec string) (*dfg.Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fir wants fir:TAPS,BLOCK, got %q", spec)
 		}
+		if err := checkGenSize(spec, 4*float64(taps)*float64(block)); err != nil { // O(T·B) taps
+			return nil, err
+		}
 		return workloads.FIRFilter(taps, block)
 	case "matmul":
 		n, err := strconv.Atoi(arg)
 		if err != nil {
 			return nil, fmt.Errorf("matmul wants matmul:N, got %q", spec)
+		}
+		if err := checkGenSize(spec, 4*float64(n)*float64(n)*float64(n)); err != nil { // O(N³) multiply-adds
+			return nil, err
 		}
 		return workloads.MatMul(n)
 	case "butterfly":
@@ -86,7 +160,7 @@ func Generate(spec string) (*dfg.Graph, error) {
 		if err != nil {
 			return nil, fmt.Errorf("butterfly wants butterfly:STAGES, got %q", spec)
 		}
-		return workloads.Butterfly(n)
+		return workloads.Butterfly(n) // stages already capped at 10 by the generator
 	case "random":
 		seed, err := strconv.ParseInt(arg, 10, 64)
 		if err != nil {

@@ -8,11 +8,27 @@ package dfg
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"mpsched/internal/graph"
+)
+
+// Typed validation errors. Graphs arrive over the network (the mpschedd
+// compile service) as well as from trusted construction code, so decoding
+// and validation failures are classified for errors.Is: a server can map
+// them to 4xx responses and a fuzzer can assert that hostile input is
+// rejected rather than accepted or panicking.
+var (
+	// ErrDuplicateName reports two nodes sharing a name.
+	ErrDuplicateName = errors.New("duplicate node name")
+	// ErrIndexRange reports an edge or operand referencing a node id
+	// outside [0, N).
+	ErrIndexRange = errors.New("node index out of range")
+	// ErrCyclic reports a dependency cycle.
+	ErrCyclic = errors.New("dependency cycle")
 )
 
 // Color identifies the function type of a node — the paper's l(n). In the
@@ -147,7 +163,7 @@ func (d *Graph) AddNode(n Node) (int, error) {
 		return 0, fmt.Errorf("dfg: node %q with empty color", n.Name)
 	}
 	if _, dup := d.byName[n.Name]; dup {
-		return 0, fmt.Errorf("dfg: duplicate node name %q", n.Name)
+		return 0, fmt.Errorf("dfg: %w: %q", ErrDuplicateName, n.Name)
 	}
 	id := d.g.AddNode()
 	d.nodes = append(d.nodes, n)
@@ -166,8 +182,15 @@ func (d *Graph) MustAddNode(n Node) int {
 }
 
 // AddDep inserts the dependency edge from → to (from must execute before
-// to). Inserting a duplicate edge is a no-op.
+// to). Inserting a duplicate edge is a no-op. Failures are classified:
+// ids outside [0, N) wrap ErrIndexRange and a self-loop wraps ErrCyclic.
 func (d *Graph) AddDep(from, to int) error {
+	if from < 0 || from >= d.N() || to < 0 || to >= d.N() {
+		return fmt.Errorf("dfg: edge %d→%d: %w (graph has %d nodes)", from, to, ErrIndexRange, d.N())
+	}
+	if from == to {
+		return fmt.Errorf("dfg: edge %d→%d: %w (self-loop)", from, to, ErrCyclic)
+	}
 	if err := d.g.AddEdge(from, to); err != nil {
 		return fmt.Errorf("dfg: %w", err)
 	}
@@ -374,9 +397,19 @@ func (d *Graph) Fingerprint() string {
 // operand arity for nodes that carry semantics.
 func (d *Graph) Validate() error {
 	if _, err := graph.TopoSort(d.g); err != nil {
-		return fmt.Errorf("dfg %q: %w", d.Name, err)
+		return fmt.Errorf("dfg %q: %w: %v", d.Name, ErrCyclic, err)
 	}
 	for id, n := range d.nodes {
+		// Operand index range is checked for every node — including
+		// structural ones without semantics — because out-of-range ids
+		// in untrusted input would otherwise surface as panics far from
+		// the decode site.
+		for _, a := range n.Args {
+			if a.Kind == OperandNode && (a.Node < 0 || a.Node >= len(d.nodes)) {
+				return fmt.Errorf("dfg %q: node %s: %w: operand references node %d of %d",
+					d.Name, n.Name, ErrIndexRange, a.Node, len(d.nodes))
+			}
+		}
 		if n.Op == OpNone {
 			continue
 		}
@@ -395,10 +428,6 @@ func (d *Graph) Validate() error {
 		for _, a := range n.Args {
 			if a.Kind != OperandNode {
 				continue
-			}
-			if a.Node < 0 || a.Node >= len(d.nodes) {
-				return fmt.Errorf("dfg %q: node %s references unknown node %d",
-					d.Name, n.Name, a.Node)
 			}
 			if !d.g.HasEdge(a.Node, id) {
 				return fmt.Errorf("dfg %q: node %s uses n%d without a dependency edge",

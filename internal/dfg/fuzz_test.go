@@ -1,0 +1,85 @@
+package dfg
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzUnmarshalGraph feeds arbitrary bytes through the JSON decoder — the
+// path network clients reach via the mpschedd compile service. The decoder
+// must never panic; whatever it accepts must validate cleanly and survive a
+// marshal/unmarshal round trip with the fingerprint intact.
+func FuzzUnmarshalGraph(f *testing.F) {
+	// Well-formed seeds.
+	f.Add([]byte(`{"name":"g","nodes":[{"name":"n0","color":"a"},{"name":"n1","color":"b"}],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"name":"sem","nodes":[{"name":"n0","color":"a","op":"add","args":[{"input":"x"},{"const":2}],"output":"y"}],"edges":[]}`))
+	// Hostile seeds: out-of-range edge, out-of-range operand, duplicate
+	// names, cycle, empty operand, bad op, wrong shapes.
+	f.Add([]byte(`{"nodes":[{"name":"n0","color":"a"}],"edges":[[0,7]]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n0","color":"a"}],"edges":[[-1,0]]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n0","color":"a","op":"add","args":[{"node":99},{"node":-3}]}],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"dup","color":"a"},{"name":"dup","color":"b"}],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n0","color":"a"},{"name":"n1","color":"a"}],"edges":[[0,1],[1,0]]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n0","color":"a"}],"edges":[[0,0]]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n0","color":"a","op":"add","args":[{}]}],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"n0","color":"a","op":"frobnicate"}],"edges":[]}`))
+	f.Add([]byte(`{"nodes":[{"name":"","color":""}]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected — the only other acceptable outcome is below
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoder accepted a graph that fails Validate: %v\ninput: %s", err, data)
+		}
+		// Accepted graphs must round-trip: same labelled structure.
+		out, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var g2 Graph
+		if err := json.Unmarshal(out, &g2); err != nil {
+			t.Fatalf("round-trip decode failed: %v\nmarshaled: %s", err, out)
+		}
+		if g.Fingerprint() != g2.Fingerprint() {
+			t.Fatalf("fingerprint changed across round trip\nin:  %s\nout: %s", data, out)
+		}
+		// Lazy attributes must be computable (no panic) on accepted graphs.
+		g.Levels()
+		g.Reach()
+	})
+}
+
+// TestUnmarshalTypedErrors pins the error classification the compile
+// service relies on to map hostile input to 4xx responses.
+func TestUnmarshalTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want error
+	}{
+		{"edge out of range", `{"nodes":[{"name":"n0","color":"a"}],"edges":[[0,7]]}`, ErrIndexRange},
+		{"edge negative", `{"nodes":[{"name":"n0","color":"a"}],"edges":[[-2,0]]}`, ErrIndexRange},
+		{"operand out of range", `{"nodes":[{"name":"n0","color":"a","op":"add","args":[{"node":42},{"node":0}]}],"edges":[]}`, ErrIndexRange},
+		{"duplicate names", `{"nodes":[{"name":"x","color":"a"},{"name":"x","color":"b"}],"edges":[]}`, ErrDuplicateName},
+		{"two-cycle", `{"nodes":[{"name":"n0","color":"a"},{"name":"n1","color":"a"}],"edges":[[0,1],[1,0]]}`, ErrCyclic},
+		{"self-cycle", `{"nodes":[{"name":"n0","color":"a"}],"edges":[[0,0]]}`, ErrCyclic},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var g Graph
+			err := json.Unmarshal([]byte(tc.in), &g)
+			if err == nil {
+				t.Fatalf("decoded without error")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want errors.Is(err, %v)", err, tc.want)
+			}
+		})
+	}
+}

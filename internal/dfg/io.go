@@ -11,7 +11,30 @@ import (
 	"mpsched/internal/graph"
 )
 
-// jsonGraph is the on-disk JSON shape of a Graph.
+// jsonGraph is the wire/on-disk JSON shape of a Graph — the `dfg` format
+// accepted by the CLI tools (-in graph.json) and the mpschedd compile
+// service (the "dfg" field of POST /v1/compile and /v1/jobs bodies):
+//
+//	{
+//	  "name":  "my-graph",
+//	  "nodes": [
+//	    {"name": "a0", "color": "a",
+//	     "op": "add",                               // optional semantics
+//	     "args": [{"input": "x0"}, {"const": 2}],   // operands, see jsonOperand
+//	     "output": "y0"},                           // optional output label
+//	    ...
+//	  ],
+//	  "edges": [[0,1], [0,2], ...]                  // [from,to] node indices
+//	}
+//
+// Node order defines node ids: nodes[i] is node i, and edge/operand
+// references index into that order. "color" is the paper's l(n) function
+// type and is required; "op" is one of add, sub, mul, neg, pass and may be
+// omitted for structural nodes. Decoding is strict — duplicate node names
+// (ErrDuplicateName), edge or operand indices outside [0, N)
+// (ErrIndexRange), and dependency cycles (ErrCyclic) are rejected with
+// typed errors and never panic, so the format is safe to accept from
+// untrusted network clients.
 type jsonGraph struct {
 	Name  string     `json:"name"`
 	Nodes []jsonNode `json:"nodes"`
@@ -26,6 +49,10 @@ type jsonNode struct {
 	Output string        `json:"output,omitempty"`
 }
 
+// jsonOperand is one operand of a node's operation: exactly one of "node"
+// (the id of another node whose result feeds this one — a matching edge
+// must exist), "input" (a named external input), or "const" (a literal)
+// must be set.
 type jsonOperand struct {
 	Node  *int     `json:"node,omitempty"`
 	Input string   `json:"input,omitempty"`
@@ -91,7 +118,7 @@ func (d *Graph) UnmarshalJSON(data []byte) error {
 	}
 	for _, e := range jg.Edges {
 		if e[0] < 0 || e[0] >= fresh.N() || e[1] < 0 || e[1] >= fresh.N() {
-			return fmt.Errorf("dfg: edge %v out of range", e)
+			return fmt.Errorf("dfg: edge %v: %w (graph has %d nodes)", e, ErrIndexRange, fresh.N())
 		}
 		if err := fresh.AddDep(e[0], e[1]); err != nil {
 			return err

@@ -11,6 +11,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -79,8 +80,10 @@ type Options struct {
 	// Workers bounds the job-level worker pool; ≤ 0 means GOMAXPROCS.
 	Workers int
 	// Cache, when non-nil, serves repeated (graph, config) jobs without
-	// recompiling. Share one Cache across batches to stay warm.
-	Cache *Cache
+	// recompiling. Share one cache across batches to stay warm. Use a
+	// *Cache for single-consumer batches and a *ShardedCache when many
+	// goroutines hit the pipeline concurrently (the mpschedd server).
+	Cache ResultCache
 	// ParallelEnumNodes is the node count at which a graph's antichain
 	// enumeration uses antichain.EnumerateParallel instead of the
 	// sequential enumerator. 0 means DefaultParallelEnumNodes; negative
@@ -98,6 +101,19 @@ func (o Options) withDefaults() Options {
 	if o.ParallelEnumNodes == 0 {
 		o.ParallelEnumNodes = DefaultParallelEnumNodes
 	}
+	// A typed-nil *Cache (or *ShardedCache) boxed into the interface must
+	// mean "no caching", as it did when the field was a concrete pointer —
+	// not a nil-receiver panic on first lookup.
+	switch c := o.Cache.(type) {
+	case *Cache:
+		if c == nil {
+			o.Cache = nil
+		}
+	case *ShardedCache:
+		if c == nil {
+			o.Cache = nil
+		}
+	}
 	return o
 }
 
@@ -113,7 +129,7 @@ func New(opts Options) *Pipeline {
 }
 
 // Cache returns the pipeline's cache, or nil when caching is off.
-func (p *Pipeline) Cache() *Cache { return p.opts.Cache }
+func (p *Pipeline) Cache() ResultCache { return p.opts.Cache }
 
 // Run compiles every job, fanning the batch out over the worker pool.
 // Results are positionally aligned with jobs; one job failing never
@@ -125,6 +141,14 @@ func Run(jobs []Job, opts Options) []Result {
 // Run compiles every job across the worker pool, returning one Result per
 // job in input order.
 func (p *Pipeline) Run(jobs []Job) []Result {
+	return p.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled, in-flight
+// jobs stop at their next stage boundary and every not-yet-started job's
+// Result carries ctx's error. The mpschedd server threads each request's
+// context through here so a disconnected client stops costing CPU.
+func (p *Pipeline) RunContext(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -144,12 +168,22 @@ func (p *Pipeline) Run(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = p.Compile(jobs[i])
+				results[i] = p.CompileContext(ctx, jobs[i])
 			}
 		}()
 	}
+dispatch:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Mark everything not handed to a worker; in-flight jobs
+			// notice the cancellation themselves.
+			for j := i; j < len(jobs); j++ {
+				results[j] = Result{Job: jobs[j], Err: fmt.Errorf("pipeline: job %q: %w", jobs[j].Label(), ctx.Err())}
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -161,13 +195,20 @@ func (p *Pipeline) Run(jobs []Job) []Result {
 // concurrent Compile calls may share a *Graph — its lazy caches are
 // goroutine-safe.
 func (p *Pipeline) Compile(job Job) Result {
+	return p.CompileContext(context.Background(), job)
+}
+
+// CompileContext is Compile with cancellation. The check runs at stage
+// boundaries (before selection, scheduling and allocation) — a cancelled
+// job stops before its next expensive stage rather than mid-stage.
+func (p *Pipeline) CompileContext(ctx context.Context, job Job) Result {
 	start := time.Now()
-	res := p.compile(job)
+	res := p.compile(ctx, job)
 	res.Elapsed = time.Since(start)
 	return res
 }
 
-func (p *Pipeline) compile(job Job) Result {
+func (p *Pipeline) compile(ctx context.Context, job Job) Result {
 	res := Result{Job: job}
 	if job.Graph == nil {
 		res.Err = fmt.Errorf("pipeline: job %q has no graph", job.Label())
@@ -193,6 +234,10 @@ func (p *Pipeline) compile(job Job) Result {
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("pipeline: job %q: %w", job.Label(), err)
+		return res
+	}
 	sel, err := p.selectPatterns(job.Graph, selCfg)
 	if err != nil {
 		res.Err = fmt.Errorf("pipeline: job %q: select: %w", job.Label(), err)
@@ -200,6 +245,10 @@ func (p *Pipeline) compile(job Job) Result {
 	}
 	res.Selection = sel
 
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("pipeline: job %q: %w", job.Label(), err)
+		return res
+	}
 	s, err := sched.MultiPattern(job.Graph, sel.Patterns, job.Sched)
 	if err != nil {
 		res.Err = fmt.Errorf("pipeline: job %q: schedule: %w", job.Label(), err)
@@ -212,6 +261,10 @@ func (p *Pipeline) compile(job Job) Result {
 	res.Schedule = s
 
 	if job.Arch != nil {
+		if err := ctx.Err(); err != nil {
+			res.Err = fmt.Errorf("pipeline: job %q: %w", job.Label(), err)
+			return res
+		}
 		prog, err := alloc.Allocate(s, *job.Arch)
 		if err != nil {
 			res.Err = fmt.Errorf("pipeline: job %q: allocate: %w", job.Label(), err)

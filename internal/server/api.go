@@ -1,0 +1,218 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpsched/internal/cliutil"
+	"mpsched/internal/dfg"
+	"mpsched/internal/patsel"
+	"mpsched/internal/pipeline"
+	"mpsched/internal/sched"
+)
+
+// CompileRequest is the body of POST /v1/compile and POST /v1/jobs.
+// Exactly one graph source must be given: Workload (a generator spec such
+// as "fft:8" — see GET /v1/workloads) or DFG (an inline graph in the
+// `dfg` JSON wire format, see internal/dfg/io.go).
+type CompileRequest struct {
+	// Name labels the job in responses; defaults to the workload spec or
+	// the graph's own name.
+	Name string `json:"name,omitempty"`
+	// Workload is a generator spec, e.g. "fft:8" or "fir:8,4".
+	Workload string `json:"workload,omitempty"`
+	// DFG is an inline graph in the dfg JSON wire format.
+	DFG json.RawMessage `json:"dfg,omitempty"`
+	// Select parameterises pattern selection; nil takes the defaults
+	// (C=5, Pdef=4, span ≤ 1 — the paper's operating point).
+	Select *SelectConfig `json:"select,omitempty"`
+	// Sched parameterises the list scheduler; nil is the paper's
+	// configuration (F2 priority, descending-index tie-break).
+	Sched *SchedConfig `json:"sched,omitempty"`
+}
+
+// SelectConfig is the wire form of patsel.Config.
+type SelectConfig struct {
+	C    int `json:"c,omitempty"`    // pattern capacity (default 5)
+	Pdef int `json:"pdef,omitempty"` // patterns to select (default 4)
+	// Span bounds the antichain span: nil or 0 means the paper's span ≤ 1,
+	// -1 means unlimited.
+	Span    int     `json:"span,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"` // Eq. 8 ε (default 0.5)
+	Alpha   float64 `json:"alpha,omitempty"`   // Eq. 8 α (default 20)
+}
+
+// SchedConfig is the wire form of sched.Options.
+type SchedConfig struct {
+	Priority      string `json:"priority,omitempty"` // "F1" or "F2" (default)
+	Tie           string `json:"tie,omitempty"`      // desc (default), asc, stable, random
+	Seed          int64  `json:"seed,omitempty"`
+	SwitchPenalty int64  `json:"switch_penalty,omitempty"`
+}
+
+// CompileResponse is the result of a compile, inline from /v1/compile or
+// inside a finished job from /v1/jobs/{id}.
+type CompileResponse struct {
+	Name        string   `json:"name"`
+	Nodes       int      `json:"nodes"`
+	EdgesCount  int      `json:"edges"`
+	Patterns    []string `json:"patterns"` // compact notation, sorted
+	Cycles      int      `json:"cycles"`
+	LowerBound  int      `json:"lower_bound,omitempty"` // 0 when unavailable
+	Utilization float64  `json:"utilization"`
+	// CycleOf maps node id → 0-based clock cycle; PatternOf maps cycle →
+	// index into Patterns as returned by the scheduler (pre-sort order).
+	CycleOf   []int `json:"cycle_of"`
+	PatternOf []int `json:"pattern_of"`
+	// SchedulerPatterns is the pattern list in PatternOf's index order.
+	SchedulerPatterns []string `json:"scheduler_patterns"`
+	CacheHit          bool     `json:"cache_hit"`
+	ElapsedMS         float64  `json:"elapsed_ms"`
+}
+
+// Job lifecycle states reported by /v1/jobs/{id}.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobResponse is the body of POST /v1/jobs and GET /v1/jobs/{id}.
+type JobResponse struct {
+	ID     string           `json:"id"`
+	Status string           `json:"status"`
+	Error  string           `json:"error,omitempty"`
+	Result *CompileResponse `json:"result,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	QueueDepth    int     `json:"queue_depth"`
+	Draining      bool    `json:"draining"`
+}
+
+// WorkloadsResponse is the body of GET /v1/workloads.
+type WorkloadsResponse struct {
+	Workloads []cliutil.Workload `json:"workloads"`
+}
+
+// badRequestError marks request-shaped failures (malformed graph, unknown
+// workload, invalid config) so handlers map them to 400 rather than 422.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+// toJob resolves the request into a pipeline job. All failures are
+// badRequestError: nothing has been compiled yet, so the fault is in the
+// request.
+func toJob(req CompileRequest) (pipeline.Job, error) {
+	job := pipeline.Job{Name: req.Name}
+
+	switch {
+	case req.Workload != "" && len(req.DFG) > 0:
+		return job, badRequestError{fmt.Errorf("provide either workload or dfg, not both")}
+	case req.Workload != "":
+		g, err := cliutil.Generate(req.Workload)
+		if err != nil {
+			return job, badRequestError{err}
+		}
+		job.Graph = g
+		if job.Name == "" {
+			job.Name = req.Workload
+		}
+	case len(req.DFG) > 0:
+		var g dfg.Graph
+		if err := json.Unmarshal(req.DFG, &g); err != nil {
+			return job, badRequestError{err}
+		}
+		job.Graph = &g
+	default:
+		return job, badRequestError{fmt.Errorf("provide a graph: workload (see /v1/workloads) or inline dfg")}
+	}
+
+	sel := patsel.Config{Pdef: defaultPdef}
+	if c := req.Select; c != nil {
+		if c.C != 0 {
+			sel.C = c.C
+		}
+		if c.Pdef != 0 {
+			sel.Pdef = c.Pdef
+		}
+		sel.MaxSpan = c.Span
+		sel.Epsilon = c.Epsilon
+		sel.Alpha = c.Alpha
+	}
+	if sel.Pdef < 1 {
+		return job, badRequestError{fmt.Errorf("select.pdef %d < 1", sel.Pdef)}
+	}
+	if sel.C < 0 {
+		return job, badRequestError{fmt.Errorf("select.c %d < 0", sel.C)}
+	}
+	job.Select = sel
+
+	if c := req.Sched; c != nil {
+		opts := sched.Options{Seed: c.Seed, SwitchPenalty: c.SwitchPenalty}
+		if c.Priority != "" {
+			prio, err := cliutil.ParsePriority(c.Priority)
+			if err != nil {
+				return job, badRequestError{err}
+			}
+			opts.Priority = prio
+		}
+		if c.Tie != "" {
+			tb, err := cliutil.ParseTieBreak(c.Tie)
+			if err != nil {
+				return job, badRequestError{err}
+			}
+			opts.TieBreak = tb
+		}
+		job.Sched = opts
+	}
+	return job, nil
+}
+
+// defaultPdef matches the CLI default: select 4 patterns when the request
+// does not say otherwise.
+const defaultPdef = 4
+
+// toResponse converts a successful pipeline result to the wire shape.
+func toResponse(r pipeline.Result) *CompileResponse {
+	s := r.Schedule
+	resp := &CompileResponse{
+		Name:        r.Job.Label(),
+		Nodes:       r.Job.Graph.N(),
+		EdgesCount:  r.Job.Graph.M(),
+		Cycles:      s.Length(),
+		Utilization: s.Utilization(),
+		CycleOf:     s.CycleOf,
+		PatternOf:   s.PatternOf,
+		CacheHit:    r.CacheHit,
+		ElapsedMS:   r.Elapsed.Seconds() * 1e3,
+	}
+	for _, p := range s.Patterns.Patterns() {
+		resp.SchedulerPatterns = append(resp.SchedulerPatterns, p.Compact())
+	}
+	resp.Patterns = append([]string(nil), resp.SchedulerPatterns...)
+	sort.Strings(resp.Patterns)
+	if lb, err := sched.LowerBound(r.Job.Graph, s.Patterns); err == nil {
+		resp.LowerBound = lb
+	}
+	return resp
+}
+
+// errString compacts an error chain for the wire: internal package
+// prefixes are kept (they are useful), newlines are not.
+func errString(err error) string {
+	return strings.ReplaceAll(err.Error(), "\n", " ")
+}

@@ -1,0 +1,165 @@
+// Package client is the typed Go client for the mpschedd compile service
+// (internal/server). It speaks the /v1 JSON API and re-uses the server's
+// wire types, so a round trip is compile-time checked end to end.
+//
+//	c := client.New("http://localhost:8080")
+//	resp, err := c.Compile(ctx, server.CompileRequest{Workload: "fft:8"})
+//	fmt.Println(resp.Cycles, "cycles, cache hit:", resp.CacheHit)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mpsched/internal/cliutil"
+	"mpsched/internal/server"
+)
+
+// Client talks to one mpschedd base URL. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8080"). The underlying http.Client has no timeout —
+// bound calls with a context.
+func New(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+}
+
+// WithHTTPClient returns a derived client using hc as its transport
+// (custom timeouts, instrumentation). The receiver is not modified, so
+// deriving is safe even while other goroutines use the original.
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	cp := *c
+	cp.hc = hc
+	return &cp
+}
+
+// BaseURL returns the daemon base URL the client was built with.
+func (c *Client) BaseURL() string { return c.base }
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("mpschedd: %d: %s", e.StatusCode, e.Message)
+}
+
+// Compile runs one synchronous compile (POST /v1/compile).
+func (c *Client) Compile(ctx context.Context, req server.CompileRequest) (*server.CompileResponse, error) {
+	var resp server.CompileResponse
+	if err := c.post(ctx, "/v1/compile", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SubmitJob enqueues an async compile (POST /v1/jobs) and returns the
+// accepted job (status "queued").
+func (c *Client) SubmitJob(ctx context.Context, req server.CompileRequest) (*server.JobResponse, error) {
+	var resp server.JobResponse
+	if err := c.post(ctx, "/v1/jobs", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job fetches a job's current state (GET /v1/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (*server.JobResponse, error) {
+	var resp server.JobResponse
+	if err := c.get(ctx, "/v1/jobs/"+id, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state or ctx expires.
+// poll ≤ 0 selects a 25ms interval.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*server.JobResponse, error) {
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		resp, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status == server.JobDone || resp.Status == server.JobFailed {
+			return resp, nil
+		}
+		select {
+		case <-ctx.Done():
+			return resp, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Workloads fetches the generator catalog (GET /v1/workloads).
+func (c *Client) Workloads(ctx context.Context) ([]cliutil.Workload, error) {
+	var resp server.WorkloadsResponse
+	if err := c.get(ctx, "/v1/workloads", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Workloads, nil
+}
+
+// Healthz checks liveness (GET /healthz).
+func (c *Client) Healthz(ctx context.Context) (*server.HealthResponse, error) {
+	var resp server.HealthResponse
+	if err := c.get(ctx, "/healthz", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e server.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		if json.Unmarshal(data, &e) != nil || e.Error == "" {
+			e.Error = strings.TrimSpace(string(data))
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

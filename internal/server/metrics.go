@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the daemon's counters, exported in Prometheus text format
+// at GET /metrics. Counters are lock-free; the latency reservoir takes a
+// short mutex per observation.
+type metrics struct {
+	start time.Time
+
+	compiles      atomic.Int64 // compile attempts (sync + async)
+	compileErrors atomic.Int64 // attempts that returned an error
+
+	jobsSubmitted atomic.Int64 // async jobs accepted into the queue
+	jobsCompleted atomic.Int64 // async jobs finished successfully
+	jobsFailed    atomic.Int64 // async jobs finished with an error
+	jobsRejected  atomic.Int64 // async jobs refused at admission (queue full / draining)
+
+	mu       sync.Mutex
+	requests map[string]int64 // route pattern → request count
+	// latencies is a fixed-size reservoir of recent compile wall-clock
+	// seconds; quantiles are computed over it at scrape time.
+	latencies []float64
+	latIdx    int
+	latFull   bool
+}
+
+// latencyReservoirSize bounds the quantile window: large enough that p99
+// is meaningful, small enough that a scrape-time sort is trivial.
+const latencyReservoirSize = 2048
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:     time.Now(),
+		requests:  map[string]int64{},
+		latencies: make([]float64, latencyReservoirSize),
+	}
+}
+
+// incRequest counts one request against its route pattern.
+func (m *metrics) incRequest(route string) {
+	m.mu.Lock()
+	m.requests[route]++
+	m.mu.Unlock()
+}
+
+// observeCompile records one compile attempt's outcome and latency.
+func (m *metrics) observeCompile(d time.Duration, err error) {
+	m.compiles.Add(1)
+	if err != nil {
+		m.compileErrors.Add(1)
+		return
+	}
+	m.mu.Lock()
+	m.latencies[m.latIdx] = d.Seconds()
+	m.latIdx++
+	if m.latIdx == len(m.latencies) {
+		m.latIdx = 0
+		m.latFull = true
+	}
+	m.mu.Unlock()
+}
+
+// quantiles returns the requested quantiles over the reservoir snapshot,
+// or nil before the first successful compile.
+func (m *metrics) quantiles(qs ...float64) []float64 {
+	m.mu.Lock()
+	n := m.latIdx
+	if m.latFull {
+		n = len(m.latencies)
+	}
+	snap := append([]float64(nil), m.latencies[:n]...)
+	m.mu.Unlock()
+	if len(snap) == 0 {
+		return nil
+	}
+	sort.Float64s(snap)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(snap)-1))
+		out[i] = snap[idx]
+	}
+	return out
+}
+
+// render writes the Prometheus text exposition. queueDepth and cache
+// state are sampled by the caller so metrics stays decoupled from Server.
+func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cacheHits, cacheMisses int64, cacheEntries int) {
+	uptime := time.Since(m.start).Seconds()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.requests))
+	for r := range m.requests {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	counts := make([]int64, len(routes))
+	for i, r := range routes {
+		counts[i] = m.requests[r]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP mpschedd_requests_total HTTP requests by route.\n# TYPE mpschedd_requests_total counter\n")
+	for i, r := range routes {
+		fmt.Fprintf(w, "mpschedd_requests_total{route=%q} %d\n", r, counts[i])
+	}
+
+	counter("mpschedd_compiles_total", "Compile attempts (sync and async).", m.compiles.Load())
+	counter("mpschedd_compile_errors_total", "Compile attempts that failed.", m.compileErrors.Load())
+	counter("mpschedd_cache_hits_total", "Result-cache hits.", cacheHits)
+	counter("mpschedd_cache_misses_total", "Result-cache misses.", cacheMisses)
+	gauge("mpschedd_cache_entries", "Results currently cached.", float64(cacheEntries))
+
+	counter("mpschedd_jobs_submitted_total", "Async jobs accepted into the queue.", m.jobsSubmitted.Load())
+	counter("mpschedd_jobs_completed_total", "Async jobs finished successfully.", m.jobsCompleted.Load())
+	counter("mpschedd_jobs_failed_total", "Async jobs finished with an error.", m.jobsFailed.Load())
+	counter("mpschedd_jobs_rejected_total", "Async jobs refused at admission.", m.jobsRejected.Load())
+
+	gauge("mpschedd_queue_depth", "Async jobs waiting in the queue.", float64(queueDepth))
+	gauge("mpschedd_queue_capacity", "Async queue admission bound.", float64(queueCap))
+	gauge("mpschedd_uptime_seconds", "Seconds since the daemon started.", uptime)
+
+	// Every compile — sync or async — passes through observeCompile, so
+	// successful compiles is the jobs/sec numerator.
+	completed := m.compiles.Load() - m.compileErrors.Load()
+	jps := 0.0
+	if uptime > 0 {
+		jps = float64(completed) / uptime
+	}
+	gauge("mpschedd_jobs_per_second", "Successful compiles per second of uptime.", jps)
+
+	if q := m.quantiles(0.5, 0.99); q != nil {
+		fmt.Fprintf(w, "# HELP mpschedd_compile_latency_seconds Recent compile wall-clock latency.\n# TYPE mpschedd_compile_latency_seconds summary\n")
+		fmt.Fprintf(w, "mpschedd_compile_latency_seconds{quantile=\"0.5\"} %g\n", q[0])
+		fmt.Fprintf(w, "mpschedd_compile_latency_seconds{quantile=\"0.99\"} %g\n", q[1])
+	}
+}

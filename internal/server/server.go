@@ -1,0 +1,411 @@
+// Package server is the compile-as-a-service layer: an HTTP/JSON front
+// end over internal/pipeline, serving the pattern-selection compiler to
+// many concurrent clients. It adds what the batch pipeline does not have —
+// admission control, per-request cancellation, async jobs, and metrics —
+// while every actual compile goes through the same pipeline engine the
+// CLI uses.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/compile      synchronous compile of one graph
+//	POST /v1/jobs         enqueue an async compile, returns a job id
+//	GET  /v1/jobs/{id}    job status and, when done, the result
+//	GET  /v1/workloads    generator catalog
+//	GET  /healthz         liveness + queue depth
+//	GET  /metrics         Prometheus text exposition
+//
+// See CompileRequest in api.go for the request wire format and
+// internal/dfg/io.go for the graph wire format.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpsched/internal/cliutil"
+	"mpsched/internal/dfg"
+	"mpsched/internal/pipeline"
+)
+
+// Options configures a Server. The zero value serves with sensible
+// defaults for every field.
+type Options struct {
+	// PipelineWorkers bounds the pipeline's internal pool (used by batch
+	// compiles); ≤ 0 means GOMAXPROCS.
+	PipelineWorkers int
+	// QueueWorkers is how many async jobs compile concurrently; ≤ 0 means
+	// GOMAXPROCS.
+	QueueWorkers int
+	// QueueDepth bounds how many async jobs may wait beyond the ones
+	// running; admission fails with 429 once it is full. ≤ 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// MaxBodyBytes bounds request bodies; ≤ 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxSyncNodes bounds graph size on the synchronous /v1/compile
+	// endpoint — larger graphs must go through the job queue so slow
+	// compiles cannot pin HTTP handler goroutines. ≤ 0 means
+	// DefaultMaxSyncNodes.
+	MaxSyncNodes int
+	// CacheEntries sizes the sharded result cache; 0 means the pipeline
+	// default, negative disables caching.
+	CacheEntries int
+	// CacheShards sets the shard count; ≤ 0 means DefaultCacheShards().
+	CacheShards int
+	// MaxStoredJobs caps retained terminal jobs; ≤ 0 means
+	// DefaultMaxStoredJobs.
+	MaxStoredJobs int
+}
+
+// Defaults for Options' zero values.
+const (
+	DefaultQueueDepth    = 256
+	DefaultMaxBodyBytes  = 8 << 20 // 8 MiB of graph JSON is ~10⁵ nodes
+	DefaultMaxSyncNodes  = 2048
+	DefaultMaxStoredJobs = 4096
+)
+
+func (o Options) withDefaults() Options {
+	if o.QueueWorkers <= 0 {
+		o.QueueWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if o.MaxSyncNodes <= 0 {
+		o.MaxSyncNodes = DefaultMaxSyncNodes
+	}
+	if o.MaxStoredJobs <= 0 {
+		o.MaxStoredJobs = DefaultMaxStoredJobs
+	}
+	return o
+}
+
+// Server is the compile service. Construct with New; it is safe for
+// concurrent use and is an http.Handler.
+type Server struct {
+	opts    Options
+	pipe    *pipeline.Pipeline
+	cache   pipeline.ResultCache // nil when caching is disabled
+	metrics *metrics
+	store   *jobStore
+	mux     *http.ServeMux
+
+	queue   chan *asyncJob
+	wg      sync.WaitGroup // queue workers
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	drainCh chan struct{}
+	// drainMu orders admission against Drain: submitters hold the read
+	// lock across their draining-check + enqueue, Drain flips draining
+	// under the write lock. Once Drain holds the write lock, every
+	// in-flight enqueue has completed and every later submitter sees
+	// draining — no job can slip into the queue after the workers leave.
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	// drainDone closes when the first Drain call has fully completed, so
+	// concurrent Drain callers block until the server is actually drained
+	// (matching http.Server.Shutdown semantics) instead of returning early.
+	drainDone chan struct{}
+}
+
+// New returns a serving-ready Server with its queue workers running.
+func New(opts Options) *Server {
+	return newServer(opts, true)
+}
+
+// newServer is New with worker startup controllable, so tests can observe
+// admission control on a queue nothing drains.
+func newServer(opts Options, startWorkers bool) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:      opts,
+		metrics:   newMetrics(),
+		store:     newJobStore(opts.MaxStoredJobs),
+		queue:     make(chan *asyncJob, opts.QueueDepth),
+		drainCh:   make(chan struct{}),
+		drainDone: make(chan struct{}),
+	}
+	if opts.CacheEntries >= 0 {
+		s.cache = pipeline.NewShardedCache(opts.CacheEntries, opts.CacheShards)
+	}
+	s.pipe = pipeline.New(pipeline.Options{Workers: opts.PipelineWorkers, Cache: s.cache})
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+
+	s.mux = http.NewServeMux()
+	s.route("POST /v1/compile", s.handleCompile)
+	s.route("POST /v1/jobs", s.handleSubmitJob)
+	s.route("GET /v1/jobs/{id}", s.handleGetJob)
+	s.route("GET /v1/workloads", s.handleWorkloads)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+
+	if startWorkers {
+		for i := 0; i < opts.QueueWorkers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	}
+	return s
+}
+
+// route registers a handler and counts requests against the pattern.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.incRequest(pattern)
+		h(w, r)
+	})
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Cache exposes the result cache (nil when disabled) for stats reporting.
+func (s *Server) Cache() pipeline.ResultCache { return s.cache }
+
+// worker pulls async jobs until drain: after drainCh closes, it empties
+// the queue and exits, so SIGTERM finishes accepted work instead of
+// dropping it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.process(j)
+		case <-s.drainCh:
+			for {
+				select {
+				case j := <-s.queue:
+					s.process(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// process runs one async job through the pipeline under the server's base
+// context, so Drain's deadline can cut in-flight compiles short.
+func (s *Server) process(j *asyncJob) {
+	j.setRunning()
+	res := s.pipe.CompileContext(s.baseCtx, j.job)
+	s.metrics.observeCompile(res.Elapsed, res.Err)
+	if res.Err != nil {
+		s.metrics.jobsFailed.Add(1)
+		j.finish(nil, res.Err)
+		return
+	}
+	s.metrics.jobsCompleted.Add(1)
+	j.finish(toResponse(res), nil)
+}
+
+// Drain gracefully shuts the queue down: admission stops, queued and
+// running jobs finish, workers exit. If ctx expires first, in-flight
+// compiles are cancelled at their next stage boundary and any jobs still
+// queued are failed with a shutdown error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	already := s.draining.Swap(true)
+	s.drainMu.Unlock()
+	if already {
+		// Another Drain is in progress (or finished): wait for it so a
+		// caller never proceeds while workers are still running jobs.
+		select {
+		case <-s.drainDone:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	defer close(s.drainDone)
+	// Holding the write lock above ordered this after every in-flight
+	// enqueue, and the workers are still running here — each accepted
+	// job gets picked up before the drain sweep below lets them exit.
+	close(s.drainCh)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancel() // stop in-flight compiles at the next stage boundary
+		<-done
+		err = ctx.Err()
+	}
+	s.cancel()
+	// Workers are gone and admission is ordered before the drainCh close,
+	// so the queue should be empty — this sweep is defensive: if anything
+	// is left (e.g. a worker cut short by the deadline above re-queuing),
+	// fail it so no client waits on a job nothing will run.
+	for {
+		select {
+		case j := <-s.queue:
+			s.metrics.jobsFailed.Add(1)
+			j.finish(nil, errors.New("server: shut down before the job ran"))
+		default:
+			return err
+		}
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	job, err := toJob(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if n := job.Graph.N(); n > s.opts.MaxSyncNodes {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("graph has %d nodes, over the synchronous limit %d; submit it to POST /v1/jobs", n, s.opts.MaxSyncNodes))
+		return
+	}
+
+	res := s.pipe.CompileContext(r.Context(), job)
+	s.metrics.observeCompile(res.Elapsed, res.Err)
+	if res.Err != nil {
+		status := http.StatusUnprocessableEntity
+		if r.Context().Err() != nil {
+			// The client went away; the status is for the log only.
+			status = http.StatusRequestTimeout
+		}
+		s.writeError(w, status, res.Err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toResponse(res))
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	job, err := toJob(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j := &asyncJob{id: newJobID(), job: job, status: JobQueued}
+	s.drainMu.RLock()
+	if s.draining.Load() {
+		s.drainMu.RUnlock()
+		s.metrics.jobsRejected.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	accepted := false
+	select {
+	case s.queue <- j:
+		accepted = true
+	default:
+	}
+	s.drainMu.RUnlock()
+	if !accepted {
+		s.metrics.jobsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("job queue full (%d waiting); retry later", s.opts.QueueDepth))
+		return
+	}
+	s.store.add(j)
+	s.metrics.jobsSubmitted.Add(1)
+	s.writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, WorkloadsResponse{Workloads: cliutil.Catalog()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		QueueDepth:    len(s.queue),
+		Draining:      s.draining.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var hits, misses int64
+	entries := 0
+	if s.cache != nil {
+		st := s.cache.Stats()
+		hits, misses, entries = st.Hits, st.Misses, st.Entries
+	}
+	s.metrics.render(w, len(s.queue), s.opts.QueueDepth, hits, misses, entries)
+}
+
+// ---- plumbing ----
+
+// decodeRequest reads a size-limited JSON body. On failure it has already
+// written the error response.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (CompileRequest, bool) {
+	var req CompileRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body over %d bytes", tooLarge.Limit))
+		} else {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		}
+		return req, false
+	}
+	return req, true
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body) // the connection failing mid-response is the client's problem
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	// Typed dfg decode errors are client faults even when they surface
+	// from deeper layers.
+	if status >= 500 || status == http.StatusUnprocessableEntity {
+		if errors.Is(err, dfg.ErrCyclic) || errors.Is(err, dfg.ErrDuplicateName) || errors.Is(err, dfg.ErrIndexRange) {
+			status = http.StatusBadRequest
+		}
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: errString(err)})
+}

@@ -29,6 +29,10 @@
 //	internal/montium    Montium tile model + cycle simulator
 //	internal/workloads  paper graphs and workload generators
 //	internal/expmt      paper-table reproduction harness
+//	internal/pipeline   concurrent batch engine + result caches
+//	internal/server     HTTP/JSON compile service (mpschedd core)
+//	internal/server/client  typed client for the service
+//	internal/cliutil    shared CLI helpers + workload catalog
 package mpsched
 
 import (
@@ -42,6 +46,8 @@ import (
 	"mpsched/internal/pattern"
 	"mpsched/internal/pipeline"
 	"mpsched/internal/sched"
+	"mpsched/internal/server"
+	"mpsched/internal/server/client"
 	"mpsched/internal/transform"
 	"mpsched/internal/workloads"
 )
@@ -87,6 +93,19 @@ type (
 	PipelineOptions = pipeline.Options
 	// CompileCache is the content-addressed result cache shared by batches.
 	CompileCache = pipeline.Cache
+	// ShardedCompileCache is the N-way sharded result cache for highly
+	// concurrent serving (many goroutines hitting one pipeline).
+	ShardedCompileCache = pipeline.ShardedCache
+	// CompileServer is the HTTP/JSON compile service (the mpschedd core).
+	CompileServer = server.Server
+	// CompileServerOptions configures a CompileServer.
+	CompileServerOptions = server.Options
+	// CompileRequest is the /v1/compile and /v1/jobs request body.
+	CompileRequest = server.CompileRequest
+	// CompileResponse is a finished compile on the wire.
+	CompileResponse = server.CompileResponse
+	// Client is the typed client for a running mpschedd daemon.
+	Client = client.Client
 )
 
 // Scheduler option re-exports.
@@ -223,3 +242,22 @@ func NewCompileCache(maxEntries int) *CompileCache { return pipeline.NewCache(ma
 func CompileBatch(jobs []PipelineJob, opts PipelineOptions) []PipelineResult {
 	return pipeline.Run(jobs, opts)
 }
+
+// NewShardedCompileCache returns a result cache split into `shards`
+// independently-locked shards (≤ 0 for an automatic count) holding at
+// most maxEntries results in total (≤ 0 for the default bound). Prefer it
+// over NewCompileCache when many goroutines share one pipeline — the
+// mpschedd server uses it by default.
+func NewShardedCompileCache(maxEntries, shards int) *ShardedCompileCache {
+	return pipeline.NewShardedCache(maxEntries, shards)
+}
+
+// NewServer returns the embeddable compile service: an http.Handler
+// serving /v1/compile, /v1/jobs, /v1/workloads, /healthz and /metrics
+// over the batch pipeline. Run it under any http.Server, or use
+// cmd/mpschedd for the standalone daemon. Call Drain on shutdown.
+func NewServer(opts CompileServerOptions) *CompileServer { return server.New(opts) }
+
+// NewClient returns a typed client for the mpschedd daemon at baseURL,
+// e.g. "http://localhost:8080".
+func NewClient(baseURL string) *Client { return client.New(baseURL) }
