@@ -1,0 +1,250 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"mpsched/internal/antichain"
+	"mpsched/internal/cliutil"
+	"mpsched/internal/dfg"
+	"mpsched/internal/patsel"
+	"mpsched/internal/pipeline"
+)
+
+// benchResult is one benchmark's measurements, the unit of the repo's
+// machine-readable perf trajectory (BENCH_enumeration.json).
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// JobsPerSec is set for the pipeline throughput benches (ops scaled by
+	// batch size); zero elsewhere.
+	JobsPerSec float64 `json:"jobs_per_sec,omitempty"`
+	// Antichains is the census size for the enumeration benches, so a
+	// reader can normalise cost per enumerated object.
+	Antichains int `json:"antichains,omitempty"`
+}
+
+type benchReport struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Results   []benchResult `json:"results"`
+}
+
+// enumBenchSpecs are the core enumeration workloads, matching
+// internal/antichain's BenchmarkEnumerate* set.
+var enumBenchSpecs = []struct{ name, spec string }{
+	{"Enumerate/3dft", "3dft"},
+	{"Enumerate/5dft", "ndft:5"},
+	{"Enumerate/fir8x4", "fir:8,4"},
+	{"Enumerate/matmul3", "matmul:3"},
+	{"Enumerate/butterfly4", "butterfly:4"},
+}
+
+// runBenchJSON measures the core benchmarks via testing.Benchmark and
+// writes the JSON report to path, echoing a summary line per benchmark.
+func runBenchJSON(path string, stdout, stderr io.Writer) int {
+	report := benchReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "experiments:", err)
+		return 1
+	}
+
+	cfg := antichain.Config{MaxSize: 5, MaxSpan: 1}
+	// The 5DFT graph and census are reused by the parallel benchmark below.
+	var g5 *dfg.Graph
+	census5 := 0
+	for _, spec := range enumBenchSpecs {
+		g, err := cliutil.Generate(spec.spec)
+		if err != nil {
+			return fail(err)
+		}
+		census, err := antichain.Enumerate(g, cfg) // warm lazy graph caches
+		if err != nil {
+			return fail(err)
+		}
+		if spec.spec == "ndft:5" {
+			g5, census5 = g, census.Total()
+		}
+		r, err := measure(func(b *testing.B) error {
+			for i := 0; i < b.N; i++ {
+				if _, err := antichain.Enumerate(g, cfg); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		report.Results = append(report.Results, toResult(spec.name, r, census.Total()))
+	}
+
+	// Parallel backend on the largest catalog DFT.
+	r, err := measure(func(b *testing.B) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := antichain.EnumerateParallel(g5, cfg, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	report.Results = append(report.Results, toResult("EnumerateParallel/5dft", r, census5))
+
+	// CountTable: the paper's Table 5 span sweep, now single-pass.
+	g3, err := cliutil.Generate("3dft")
+	if err != nil {
+		return fail(err)
+	}
+	r, err = measure(func(b *testing.B) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := antichain.CountTable(g3, 5, 4); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	report.Results = append(report.Results, toResult("CountTable/3dft", r, 0))
+
+	// Pipeline throughput: the mixed batch, cold cache and warm cache.
+	jobs, err := benchFleet()
+	if err != nil {
+		return fail(err)
+	}
+	cold, err := measure(func(b *testing.B) error {
+		p := pipeline.New(pipeline.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := runBatch(p, jobs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	report.Results = append(report.Results, throughputResult("PipelineBatch/cold", cold, len(jobs)))
+
+	warm, err := measure(func(b *testing.B) error {
+		p := pipeline.New(pipeline.Options{Cache: pipeline.NewCache(0)})
+		if err := runBatch(p, jobs); err != nil { // fill the cache outside the timer
+			return err
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := runBatch(p, jobs); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	report.Results = append(report.Results, throughputResult("PipelineBatch/warm", warm, len(jobs)))
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fail(err)
+	}
+	for _, res := range report.Results {
+		line := fmt.Sprintf("%-26s %12.0f ns/op %10d allocs/op", res.Name, res.NsPerOp, res.AllocsPerOp)
+		if res.JobsPerSec > 0 {
+			line += fmt.Sprintf(" %10.0f jobs/s", res.JobsPerSec)
+		}
+		fmt.Fprintln(stdout, line)
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", path, len(report.Results))
+	return 0
+}
+
+// measure wraps testing.Benchmark and surfaces failures: a b.Fatal inside
+// the benchmark body only aborts the measurement goroutine, returning a
+// zeroed result the caller would otherwise serialise as a bogus 0 ns/op
+// entry with exit code 0. Bodies report errors instead of calling b.Fatal;
+// an empty result (no iterations) is also an error.
+func measure(fn func(b *testing.B) error) (testing.BenchmarkResult, error) {
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		if err := fn(b); err != nil {
+			benchErr = err
+			b.Fatal(err)
+		}
+	})
+	if benchErr != nil {
+		return r, benchErr
+	}
+	if r.N == 0 {
+		return r, fmt.Errorf("benchmark ran zero iterations")
+	}
+	return r, nil
+}
+
+func toResult(name string, r testing.BenchmarkResult, antichains int) benchResult {
+	return benchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Antichains:  antichains,
+	}
+}
+
+func throughputResult(name string, r testing.BenchmarkResult, batch int) benchResult {
+	out := toResult(name, r, 0)
+	if r.T > 0 {
+		out.JobsPerSec = float64(r.N*batch) / r.T.Seconds()
+	}
+	return out
+}
+
+// benchFleet is the 16-job mixed batch the top-level pipeline benchmarks
+// compile (DFTs, FIR, MatMul, butterflies × two Pdef values).
+func benchFleet() ([]pipeline.Job, error) {
+	specs := []string{"3dft", "ndft:4", "ndft:5", "fir:8,4", "fir:12,2", "matmul:3", "butterfly:3", "butterfly:4"}
+	var jobs []pipeline.Job
+	for _, pdef := range []int{3, 4} {
+		for _, spec := range specs {
+			g, err := cliutil.Generate(spec)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, pipeline.Job{
+				Name:   fmt.Sprintf("%s/pdef%d", spec, pdef),
+				Graph:  g,
+				Select: patsel.Config{Pdef: pdef},
+			})
+		}
+	}
+	return jobs, nil
+}
+
+func runBatch(p *pipeline.Pipeline, jobs []pipeline.Job) error {
+	for _, r := range p.Run(jobs) {
+		if r.Err != nil {
+			return fmt.Errorf("job %s: %w", r.Job.Name, r.Err)
+		}
+	}
+	return nil
+}

@@ -28,15 +28,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runID = fs.String("run", "", "experiment id to run (see -list)")
-		all   = fs.Bool("all", false, "run every experiment")
-		list  = fs.Bool("list", false, "list experiment ids")
+		runID     = fs.String("run", "", "experiment id to run (see -list)")
+		all       = fs.Bool("all", false, "run every experiment")
+		list      = fs.Bool("list", false, "list experiment ids")
+		benchJSON = fs.String("bench-json", "", "measure the core benchmarks and write machine-readable results to this file")
 	)
 	if code, done := cliutil.ParseFlags(fs, argv); done {
 		return code
 	}
 
 	switch {
+	case *benchJSON != "":
+		return runBenchJSON(*benchJSON, stdout, stderr)
 	case *list:
 		fmt.Fprintln(stdout, strings.Join(expmt.IDs(), "\n"))
 	case *all:

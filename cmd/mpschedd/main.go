@@ -10,8 +10,8 @@
 //	curl -s -X POST localhost:8080/v1/compile -d '{"workload":"fft:8"}'
 //
 // Endpoints: POST /v1/compile, POST /v1/jobs, GET /v1/jobs/{id},
-// GET /v1/workloads, GET /healthz, GET /metrics. See internal/server for
-// the wire format.
+// GET /v1/workloads, GET /healthz, GET /metrics, and — only with
+// -pprof — GET /debug/pprof/*. See internal/server for the wire format.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains the job
 // queue (bounded by -drain-timeout) and exits 0.
@@ -54,6 +54,7 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxBody      = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 		maxSync      = fs.Int("max-sync-nodes", server.DefaultMaxSyncNodes, "largest graph served synchronously on /v1/compile")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued jobs")
+		pprofOn      = fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints (off by default)")
 	)
 	if code, done := cliutil.ParseFlags(fs, argv); done {
 		return code
@@ -67,6 +68,7 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		CacheShards:  *cacheShards,
 		MaxBodyBytes: *maxBody,
 		MaxSyncNodes: *maxSync,
+		EnablePprof:  *pprofOn,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"net/http"
 	"strings"
 	"sync"
 	"syscall"
@@ -93,5 +94,41 @@ func TestServeCompileAndGracefulShutdown(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "drained") {
 		t.Fatalf("no drain log:\n%s", errOut.String())
+	}
+}
+
+// TestPprofFlag boots the daemon with -pprof and checks the debug
+// endpoints respond; the server-level tests pin that they 404 without it.
+func TestPprofFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	ready := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	code := -1
+	go func() {
+		defer wg.Done()
+		code = run([]string{"-addr", "127.0.0.1:0", "-pprof"}, &out, &errOut, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("-pprof daemon: GET /debug/pprof/heap = %d, want 200", resp.StatusCode)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if code != 0 {
+		t.Fatalf("daemon exited %d after SIGTERM\nstderr: %s", code, errOut.String())
 	}
 }

@@ -8,6 +8,13 @@
 // once. Two prunes keep it fast: candidate sets shrink by bitset
 // intersection, and the span bound is monotone (growing a set never shrinks
 // its span), so subtrees violating the limit are cut immediately.
+//
+// The census hot path is allocation-free per antichain: the pattern of the
+// growing set is maintained incrementally as an interned integer id (see
+// patternTable), class statistics live in a dense slice indexed by that id,
+// and candidate sets are drawn from a preallocated bitset stack instead of
+// cloned per DFS extension. The exported Result — keyed classes, pattern
+// values, string keys — is materialised once, after the walk.
 package antichain
 
 import (
@@ -40,6 +47,12 @@ func DefaultConfig() Config { return Config{MaxSize: 5, MaxSpan: 1} }
 // Class aggregates all antichains sharing one pattern (color multiset).
 type Class struct {
 	Pattern pattern.Pattern
+	// ID is the interned pattern id: the class's index in Result.ByID.
+	// Ids are dense and assigned in enumeration discovery order; they are
+	// stable only within one Result — Enumerate and EnumerateParallel
+	// (and different worker counts) may order the same classes
+	// differently, and ids never transfer across graphs.
+	ID int
 	// Count is the number of antichains with this pattern.
 	Count int
 	// NodeFreq[id] is h(p̄, id): how many of the class's antichains contain
@@ -56,6 +69,11 @@ type Result struct {
 	BySize []int
 	// Classes maps canonical pattern keys to their aggregate statistics.
 	Classes map[string]*Class
+	// ByID indexes the same classes by interned pattern id — the dense
+	// iteration view consumers on the hot path use instead of sorted map
+	// keys. Entries are nil for interned ids with no counted antichain
+	// (only id 0, the empty pattern).
+	ByID []*Class
 	// NodeCount is the number of nodes in the source graph.
 	NodeCount int
 }
@@ -69,6 +87,31 @@ func (r *Result) Total() int {
 	return t
 }
 
+// ClassList returns the classes ordered by interned pattern id. For
+// Results built by hand (no ByID), it falls back to ascending-key map
+// order, the historical iteration order.
+func (r *Result) ClassList() []*Class {
+	if r.ByID != nil {
+		out := make([]*Class, 0, len(r.ByID))
+		for _, cl := range r.ByID {
+			if cl != nil {
+				out = append(out, cl)
+			}
+		}
+		return out
+	}
+	keys := make([]string, 0, len(r.Classes))
+	for k := range r.Classes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Class, len(keys))
+	for i, k := range keys {
+		out[i] = r.Classes[k]
+	}
+	return out
+}
+
 // SortedClasses returns the classes ordered by descending count, breaking
 // ties by pattern key, for stable reporting.
 func (r *Result) SortedClasses() []*Class {
@@ -80,44 +123,89 @@ func (r *Result) SortedClasses() []*Class {
 		if out[i].Count != out[j].Count {
 			return out[i].Count > out[j].Count
 		}
-		return out[i].Pattern.Key() < out[j].Pattern.Key()
+		return out[i].Pattern.Compare(out[j].Pattern) < 0
 	})
 	return out
+}
+
+// finish materialises the exported views from the dense census: pads the
+// per-id class slice to the table, builds each class's pattern value, and
+// indexes the classes by canonical key.
+func (r *Result) finish(classes []*Class, t *patternTable, colors []dfg.Color) {
+	for len(classes) < t.len() {
+		classes = append(classes, nil)
+	}
+	r.ByID = classes
+	r.Classes = make(map[string]*Class, len(classes))
+	for id, cl := range classes {
+		if cl == nil {
+			continue
+		}
+		cl.Pattern = t.pattern(int32(id), colors)
+		r.Classes[cl.Pattern.Key()] = cl
+	}
+}
+
+// censusAccumulator aggregates the per-id class census for one
+// enumerator: size histogram, per-class counts, node frequencies, and
+// (optionally) retained sets. Both the sequential and the per-worker
+// parallel enumerations accumulate through it, so class accounting has
+// exactly one implementation.
+type censusAccumulator struct {
+	e        *enumerator
+	bySize   []int
+	classes  []*Class // indexed by pattern id; nil until first antichain
+	n        int      // nodes in the graph
+	keepSets bool
+}
+
+func newCensusAccumulator(e *enumerator, cfg Config, n int) *censusAccumulator {
+	a := &censusAccumulator{
+		e:        e,
+		bySize:   make([]int, cfg.MaxSize+1),
+		n:        n,
+		keepSets: cfg.KeepSets,
+	}
+	e.visit = a.visit
+	return a
+}
+
+func (a *censusAccumulator) visit(_ int, pid int32) bool {
+	a.bySize[len(a.e.current)]++
+	for int(pid) >= len(a.classes) {
+		a.classes = append(a.classes, nil)
+	}
+	cl := a.classes[pid]
+	if cl == nil {
+		cl = &Class{ID: int(pid), NodeFreq: make([]int, a.n)}
+		a.classes[pid] = cl
+	}
+	cl.Count++
+	for _, nd := range a.e.current {
+		cl.NodeFreq[nd]++
+	}
+	if a.keepSets {
+		cl.Sets = append(cl.Sets, append([]int(nil), a.e.current...))
+	}
+	return true
 }
 
 // Enumerate finds every antichain of size 1..cfg.MaxSize and span ≤
 // cfg.MaxSpan and returns the per-size census plus per-pattern classes.
 func Enumerate(d *dfg.Graph, cfg Config) (*Result, error) {
-	res := &Result{
-		BySize:    make([]int, cfg.MaxSize+1),
-		Classes:   map[string]*Class{},
-		NodeCount: d.N(),
-	}
-	err := ForEach(d, cfg, func(nodes []int) bool {
-		res.BySize[len(nodes)]++
-		colors := make([]dfg.Color, len(nodes))
-		for i, n := range nodes {
-			colors[i] = d.ColorOf(n)
-		}
-		p := pattern.New(colors...)
-		key := p.Key()
-		cl := res.Classes[key]
-		if cl == nil {
-			cl = &Class{Pattern: p, NodeFreq: make([]int, d.N())}
-			res.Classes[key] = cl
-		}
-		cl.Count++
-		for _, n := range nodes {
-			cl.NodeFreq[n]++
-		}
-		if cfg.KeepSets {
-			cl.Sets = append(cl.Sets, append([]int(nil), nodes...))
-		}
-		return true
-	})
+	e, err := newEnumerator(d, cfg, true)
 	if err != nil {
 		return nil, err
 	}
+	res := &Result{BySize: make([]int, cfg.MaxSize+1), NodeCount: d.N()}
+	if e == nil {
+		res.Classes = map[string]*Class{}
+		return res, nil
+	}
+	acc := newCensusAccumulator(e, cfg, d.N())
+	e.run()
+	res.BySize = acc.bySize
+	res.finish(acc.classes, e.table, e.colors)
 	return res, nil
 }
 
@@ -125,51 +213,99 @@ func Enumerate(d *dfg.Graph, cfg Config) (*Result, error) {
 // member, lexicographic) order. fn returning false stops the enumeration.
 // The slice passed to fn is reused; callers must copy to retain it.
 func ForEach(d *dfg.Graph, cfg Config, fn func(nodes []int) bool) error {
-	if cfg.MaxSize < 1 {
-		return fmt.Errorf("antichain: MaxSize %d < 1", cfg.MaxSize)
-	}
-	if err := d.Validate(); err != nil {
+	e, err := newEnumerator(d, cfg, false)
+	if err != nil {
 		return err
 	}
-	n := d.N()
-	if n == 0 {
+	if e == nil {
 		return nil
 	}
-	reach := d.Reach()
-	lv := d.Levels()
-	inc := reach.Incomparability()
-
-	e := &enumerator{
-		inc:     inc,
-		asap:    lv.ASAP,
-		alap:    lv.ALAP,
-		maxSize: cfg.MaxSize,
-		maxSpan: cfg.MaxSpan,
-		fn:      fn,
-		current: make([]int, 0, cfg.MaxSize),
-	}
-	for v := 0; v < n; v++ {
-		if !e.extend(v, nil, lv.ASAP[v], lv.ALAP[v]) {
-			break
-		}
-	}
+	e.visit = func(int, int32) bool { return fn(e.current) }
+	e.run()
 	return nil
 }
 
+// enumerator is the DFS state. The read-only analysis (incomparability
+// bitsets, levels) is shared — and cached on the graph — while the mutable
+// walk state (current set, candidate bitset stack, pattern table) is owned
+// by one enumeration.
 type enumerator struct {
 	inc     []*graph.BitSet
 	asap    []int
 	alap    []int
 	maxSize int
 	maxSpan int
-	fn      func([]int) bool
+	// visit is called for every emitted antichain (members in e.current)
+	// with its actual span and interned pattern id. False stops the walk.
+	visit func(span int, pid int32) bool
+	// current is the growing antichain, reused across the whole walk.
 	current []int
+	// stack[d] holds the candidate set entering depth d (d ≥ 1), replacing
+	// a BitSet.Clone per extension with one preallocated set per depth.
+	stack []*graph.BitSet
+	// table/colorOf/colors maintain the interned pattern; table is nil for
+	// pattern-free walks (ForEach, CountTable).
+	table   *patternTable
+	colorOf []int32
+	colors  []dfg.Color
+}
+
+// newWalkState assembles the mutable DFS state (current set, candidate
+// stack) over shared read-only analysis. Both the sequential enumerator
+// and each parallel worker build theirs here.
+func newWalkState(inc []*graph.BitSet, lv *graph.Levels, cfg Config, n int) *enumerator {
+	e := &enumerator{
+		inc:     inc,
+		asap:    lv.ASAP,
+		alap:    lv.ALAP,
+		maxSize: cfg.MaxSize,
+		maxSpan: cfg.MaxSpan,
+		current: make([]int, 0, cfg.MaxSize),
+		stack:   make([]*graph.BitSet, cfg.MaxSize),
+	}
+	for i := 1; i < cfg.MaxSize; i++ {
+		e.stack[i] = graph.NewBitSet(n)
+	}
+	return e
+}
+
+// newEnumerator validates the inputs and assembles the walk state. It
+// returns (nil, nil) for the empty graph — nothing to enumerate.
+func newEnumerator(d *dfg.Graph, cfg Config, needPatterns bool) (*enumerator, error) {
+	if cfg.MaxSize < 1 {
+		return nil, fmt.Errorf("antichain: MaxSize %d < 1", cfg.MaxSize)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	n := d.N()
+	if n == 0 {
+		return nil, nil
+	}
+	e := newWalkState(d.Incomparability(), d.Levels(), cfg, n)
+	if needPatterns {
+		ci := newColorIndex(d)
+		e.colorOf = ci.ofNode
+		e.colors = ci.colors
+		e.table = newPatternTable(len(ci.colors))
+	}
+	return e, nil
+}
+
+// run walks every root in ascending order.
+func (e *enumerator) run() {
+	for v := 0; v < len(e.inc); v++ {
+		if !e.extend(v, nil, e.asap[v], e.alap[v], 0) {
+			return
+		}
+	}
 }
 
 // extend adds v to the current antichain (cand is the candidate set valid
-// *before* adding v, nil at the root), emits it, and recurses. Returns
-// false to abort the whole enumeration.
-func (e *enumerator) extend(v int, cand *graph.BitSet, maxASAP, minALAP int) bool {
+// *before* adding v, nil at the root; pid the interned pattern id before
+// adding v), emits it, and recurses. Returns false to abort the whole
+// enumeration.
+func (e *enumerator) extend(v int, cand *graph.BitSet, maxASAP, minALAP int, pid int32) bool {
 	span := maxASAP - minALAP
 	if span < 0 {
 		span = 0
@@ -178,21 +314,21 @@ func (e *enumerator) extend(v int, cand *graph.BitSet, maxASAP, minALAP int) boo
 		// Span is monotone in set growth: every superset violates too.
 		return true
 	}
+	if e.table != nil {
+		pid = e.table.child(pid, e.colorOf[v])
+	}
 	e.current = append(e.current, v)
-	ok := e.fn(e.current)
+	ok := e.visit(span, pid)
 	if ok && len(e.current) < e.maxSize {
-		var next *graph.BitSet
+		next := e.stack[len(e.current)]
 		if cand == nil {
-			next = e.inc[v].Clone()
+			next.CopyFrom(e.inc[v])
 		} else {
-			next = cand.Clone()
-			next.And(e.inc[v])
+			next.IntersectOf(cand, e.inc[v])
 		}
-		// Enumerate in ascending order; only members > v keep canonicity.
-		next.ForEach(func(w int) bool {
-			if w <= v {
-				return true
-			}
+		// Enumerate in ascending order; only members > v keep canonicity,
+		// and the word-skipping scan never touches the prefix.
+		next.ForEachFrom(v+1, func(w int) bool {
 			ma, mi := maxASAP, minALAP
 			if e.asap[w] > ma {
 				ma = e.asap[w]
@@ -200,7 +336,7 @@ func (e *enumerator) extend(v int, cand *graph.BitSet, maxASAP, minALAP int) boo
 			if e.alap[w] < mi {
 				mi = e.alap[w]
 			}
-			ok = e.extend(w, next, ma, mi)
+			ok = e.extend(w, next, ma, mi, pid)
 			return ok
 		})
 	}
@@ -231,16 +367,35 @@ func IsAntichain(d *dfg.Graph, nodes []int) bool {
 // CountTable computes the paper's Table 5: rows are span limits 0..maxSpan,
 // columns antichain sizes 1..maxSize. Entry [s][k] is the number of
 // antichains of size k with Span ≤ s.
+//
+// One enumeration at the loosest limit produces the whole table: each
+// antichain is bucketed by its actual span, and rows are prefix-summed —
+// an antichain with span t counts for every limit s ≥ t. The old
+// implementation re-enumerated once per row, O(maxSpan) times the work.
 func CountTable(d *dfg.Graph, maxSize, maxSpan int) ([][]int, error) {
 	table := make([][]int, maxSpan+1)
-	for s := 0; s <= maxSpan; s++ {
-		res, err := Enumerate(d, Config{MaxSize: maxSize, MaxSpan: s})
-		if err != nil {
-			return nil, err
+	if maxSpan < 0 {
+		return table, nil
+	}
+	for s := range table {
+		table[s] = make([]int, maxSize+1)
+	}
+	e, err := newEnumerator(d, Config{MaxSize: maxSize, MaxSpan: maxSpan}, false)
+	if err != nil {
+		return nil, err
+	}
+	if e == nil {
+		return table, nil
+	}
+	e.visit = func(span int, _ int32) bool {
+		table[span][len(e.current)]++
+		return true
+	}
+	e.run()
+	for s := 1; s <= maxSpan; s++ {
+		for k := 1; k <= maxSize; k++ {
+			table[s][k] += table[s-1][k]
 		}
-		row := make([]int, maxSize+1)
-		copy(row, res.BySize)
-		table[s] = row
 	}
 	return table, nil
 }

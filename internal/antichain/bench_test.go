@@ -1,0 +1,98 @@
+package antichain
+
+import (
+	"testing"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/workloads"
+)
+
+// benchGraphs returns the catalog workloads the enumeration benchmarks
+// cover: the paper's DFTs plus the FIR, MatMul and Butterfly generators —
+// the fleet shape a production compile service sees.
+func benchGraphs(b *testing.B) map[string]*dfg.Graph {
+	b.Helper()
+	out := map[string]*dfg.Graph{
+		"3dft": workloads.ThreeDFT(),
+	}
+	gens := map[string]func() (*dfg.Graph, error){
+		"5dft":       func() (*dfg.Graph, error) { return workloads.NPointDFT(5) },
+		"fir8x4":     func() (*dfg.Graph, error) { return workloads.FIRFilter(8, 4) },
+		"matmul3":    func() (*dfg.Graph, error) { return workloads.MatMul(3) },
+		"butterfly4": func() (*dfg.Graph, error) { return workloads.Butterfly(4) },
+	}
+	for name, gen := range gens {
+		g, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[name] = g
+	}
+	return out
+}
+
+// benchEnumerate runs the default census (sizes 1..5, span ≤ 1) on one
+// graph, reporting allocations — the headline numbers for the
+// zero-allocation enumeration core.
+func benchEnumerate(b *testing.B, g *dfg.Graph) {
+	b.Helper()
+	cfg := Config{MaxSize: 5, MaxSpan: 1}
+	// Warm the graph's lazy caches (levels, reachability) so the benchmark
+	// measures enumeration, not one-time graph analysis.
+	if _, err := Enumerate(g, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		res, err := Enumerate(g, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.Total()
+	}
+	b.ReportMetric(float64(total), "antichains")
+}
+
+func BenchmarkEnumerate3DFT(b *testing.B)       { benchEnumerate(b, benchGraphs(b)["3dft"]) }
+func BenchmarkEnumerate5DFT(b *testing.B)       { benchEnumerate(b, benchGraphs(b)["5dft"]) }
+func BenchmarkEnumerateFIR8x4(b *testing.B)     { benchEnumerate(b, benchGraphs(b)["fir8x4"]) }
+func BenchmarkEnumerateMatMul3(b *testing.B)    { benchEnumerate(b, benchGraphs(b)["matmul3"]) }
+func BenchmarkEnumerateButterfly4(b *testing.B) { benchEnumerate(b, benchGraphs(b)["butterfly4"]) }
+
+// BenchmarkEnumerateParallel5DFT measures the worker-pool backend on the
+// largest catalog DFT.
+func BenchmarkEnumerateParallel5DFT(b *testing.B) {
+	g, err := workloads.NPointDFT(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{MaxSize: 5, MaxSpan: 1}
+	if _, err := EnumerateParallel(g, cfg, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EnumerateParallel(g, cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCountTable measures the Table 5 span sweep (sizes 1–5 × span
+// limits 0–4 on the 3DFT), the paper's census table.
+func BenchmarkCountTable(b *testing.B) {
+	g := workloads.ThreeDFT()
+	if _, err := CountTable(g, 5, 4); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CountTable(g, 5, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

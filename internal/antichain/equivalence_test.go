@@ -1,0 +1,269 @@
+package antichain
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/graph"
+	"mpsched/internal/pattern"
+	"mpsched/internal/workloads"
+)
+
+// This file pins the interned zero-allocation enumeration core to the
+// original implementation: a DFS that cloned a candidate bitset per
+// extension, materialised a pattern value (copy + sort) and string key per
+// antichain, and classified through a map lookup. The reference below is
+// that implementation, kept verbatim as test-only code; the census — and
+// everything selection derives from it — must be identical.
+
+// referenceEnumerator is the pre-interning DFS.
+type referenceEnumerator struct {
+	inc     []*graph.BitSet
+	asap    []int
+	alap    []int
+	maxSize int
+	maxSpan int
+	fn      func([]int) bool
+	current []int
+}
+
+func (e *referenceEnumerator) extend(v int, cand *graph.BitSet, maxASAP, minALAP int) bool {
+	span := maxASAP - minALAP
+	if span < 0 {
+		span = 0
+	}
+	if e.maxSpan >= 0 && span > e.maxSpan {
+		return true
+	}
+	e.current = append(e.current, v)
+	ok := e.fn(e.current)
+	if ok && len(e.current) < e.maxSize {
+		var next *graph.BitSet
+		if cand == nil {
+			next = e.inc[v].Clone()
+		} else {
+			next = cand.Clone()
+			next.And(e.inc[v])
+		}
+		next.ForEach(func(w int) bool {
+			if w <= v {
+				return true
+			}
+			ma, mi := maxASAP, minALAP
+			if e.asap[w] > ma {
+				ma = e.asap[w]
+			}
+			if e.alap[w] < mi {
+				mi = e.alap[w]
+			}
+			ok = e.extend(w, next, ma, mi)
+			return ok
+		})
+	}
+	e.current = e.current[:len(e.current)-1]
+	return ok
+}
+
+// enumerateReference is the original Enumerate: per-antichain pattern.New
+// + Key() + map[string] classification. It returns a Result without ByID,
+// exactly the shape hand-built censuses have.
+func enumerateReference(t *testing.T, d *dfg.Graph, cfg Config) *Result {
+	t.Helper()
+	res := &Result{
+		BySize:    make([]int, cfg.MaxSize+1),
+		Classes:   map[string]*Class{},
+		NodeCount: d.N(),
+	}
+	reach := d.Reach()
+	lv := d.Levels()
+	e := &referenceEnumerator{
+		inc:     reach.Incomparability(),
+		asap:    lv.ASAP,
+		alap:    lv.ALAP,
+		maxSize: cfg.MaxSize,
+		maxSpan: cfg.MaxSpan,
+		current: make([]int, 0, cfg.MaxSize),
+		fn: func(nodes []int) bool {
+			res.BySize[len(nodes)]++
+			colors := make([]dfg.Color, len(nodes))
+			for i, n := range nodes {
+				colors[i] = d.ColorOf(n)
+			}
+			p := pattern.New(colors...)
+			key := p.Key()
+			cl := res.Classes[key]
+			if cl == nil {
+				cl = &Class{Pattern: p, NodeFreq: make([]int, d.N())}
+				res.Classes[key] = cl
+			}
+			cl.Count++
+			for _, n := range nodes {
+				cl.NodeFreq[n]++
+			}
+			if cfg.KeepSets {
+				cl.Sets = append(cl.Sets, append([]int(nil), nodes...))
+			}
+			return true
+		},
+	}
+	for v := 0; v < d.N(); v++ {
+		if !e.extend(v, nil, lv.ASAP[v], lv.ALAP[v]) {
+			break
+		}
+	}
+	return res
+}
+
+// equivalenceWorkloads is the catalog fleet the equivalence suite covers.
+func equivalenceWorkloads(t testing.TB) map[string]*dfg.Graph {
+	t.Helper()
+	out := map[string]*dfg.Graph{
+		"3dft": workloads.ThreeDFT(),
+		"fig4": workloads.Fig4Small(),
+	}
+	for name, gen := range map[string]func() (*dfg.Graph, error){
+		"4dft":       func() (*dfg.Graph, error) { return workloads.NPointDFT(4) },
+		"fft8":       func() (*dfg.Graph, error) { return workloads.RadixTwoFFT(8) },
+		"fir8x4":     func() (*dfg.Graph, error) { return workloads.FIRFilter(8, 4) },
+		"matmul3":    func() (*dfg.Graph, error) { return workloads.MatMul(3) },
+		"butterfly3": func() (*dfg.Graph, error) { return workloads.Butterfly(3) },
+	} {
+		g, err := gen()
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		out[name] = g
+	}
+	return out
+}
+
+// requireEquivalentCensus asserts the interned result matches the
+// reference on every exported statistic.
+func requireEquivalentCensus(t *testing.T, label string, ref, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.BySize, got.BySize) {
+		t.Fatalf("%s: BySize %v vs %v", label, got.BySize, ref.BySize)
+	}
+	if got.NodeCount != ref.NodeCount {
+		t.Fatalf("%s: NodeCount %d vs %d", label, got.NodeCount, ref.NodeCount)
+	}
+	if len(got.Classes) != len(ref.Classes) {
+		t.Fatalf("%s: %d classes vs %d", label, len(got.Classes), len(ref.Classes))
+	}
+	for key, rc := range ref.Classes {
+		gc := got.Classes[key]
+		if gc == nil {
+			t.Fatalf("%s: class %q missing", label, key)
+		}
+		if gc.Count != rc.Count {
+			t.Fatalf("%s: class %q count %d vs %d", label, key, gc.Count, rc.Count)
+		}
+		if gc.Pattern.Key() != key {
+			t.Fatalf("%s: class %q carries pattern %q", label, key, gc.Pattern.Key())
+		}
+		if !reflect.DeepEqual(gc.NodeFreq, rc.NodeFreq) {
+			t.Fatalf("%s: class %q NodeFreq differs", label, key)
+		}
+	}
+	// The dense view must be consistent with the map: same classes, each
+	// at its own id.
+	seen := 0
+	for id, cl := range got.ByID {
+		if cl == nil {
+			continue
+		}
+		seen++
+		if cl.ID != id {
+			t.Fatalf("%s: class %q has ID %d at index %d", label, cl.Pattern.Key(), cl.ID, id)
+		}
+		if got.Classes[cl.Pattern.Key()] != cl {
+			t.Fatalf("%s: ByID[%d] not shared with Classes[%q]", label, id, cl.Pattern.Key())
+		}
+	}
+	if seen != len(got.Classes) {
+		t.Fatalf("%s: ByID holds %d classes, map %d", label, seen, len(got.Classes))
+	}
+}
+
+// TestEnumerateEquivalentToReference runs old and new cores over the
+// catalog workloads at the default operating point and an unlimited-span
+// variant.
+func TestEnumerateEquivalentToReference(t *testing.T) {
+	for name, g := range equivalenceWorkloads(t) {
+		for _, cfg := range []Config{
+			{MaxSize: 5, MaxSpan: 1},
+			{MaxSize: 4, MaxSpan: -1},
+			{MaxSize: 2, MaxSpan: 0},
+		} {
+			ref := enumerateReference(t, g, cfg)
+			got, err := Enumerate(g, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			requireEquivalentCensus(t, name, ref, got)
+		}
+	}
+}
+
+// TestEnumerateKeepSetsEquivalent checks the retained member lists agree,
+// order included (the sequential enumerators share a canonical order).
+func TestEnumerateKeepSetsEquivalent(t *testing.T) {
+	for _, name := range []string{"fig4", "3dft"} {
+		g := equivalenceWorkloads(t)[name]
+		cfg := Config{MaxSize: 3, MaxSpan: -1, KeepSets: true}
+		ref := enumerateReference(t, g, cfg)
+		got, err := Enumerate(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for key, rc := range ref.Classes {
+			if !reflect.DeepEqual(got.Classes[key].Sets, rc.Sets) {
+				t.Fatalf("%s: class %q sets differ", name, key)
+			}
+		}
+	}
+}
+
+// TestEnumerateEquivalentOnRandomGraphs fuzzes the equivalence over random
+// DAGs and every span regime.
+func TestEnumerateEquivalentOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	for trial := 0; trial < 15; trial++ {
+		g := randomSmallDFG(rng, 12)
+		for _, span := range []int{-1, 0, 1, 3} {
+			cfg := Config{MaxSize: 4, MaxSpan: span}
+			ref := enumerateReference(t, g, cfg)
+			got, err := Enumerate(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEquivalentCensus(t, "random", ref, got)
+		}
+	}
+}
+
+// TestCountTableSinglePassMatchesPerSpan pins the one-pass CountTable to
+// the per-span-row re-enumeration it replaced.
+func TestCountTableSinglePassMatchesPerSpan(t *testing.T) {
+	for _, name := range []string{"3dft", "fig4", "butterfly3"} {
+		g := equivalenceWorkloads(t)[name]
+		const maxSize, maxSpan = 5, 4
+		got, err := CountTable(g, maxSize, maxSpan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s <= maxSpan; s++ {
+			res, err := Enumerate(g, Config{MaxSize: maxSize, MaxSpan: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]int, maxSize+1)
+			copy(want, res.BySize)
+			if !reflect.DeepEqual(got[s], want) {
+				t.Fatalf("%s: span ≤ %d row %v, per-span enumeration %v", name, s, got[s], want)
+			}
+		}
+	}
+}

@@ -6,14 +6,22 @@ import (
 	"sync"
 
 	"mpsched/internal/dfg"
-	"mpsched/internal/pattern"
 )
+
+// partialCensus is one worker's share of the enumeration: an accumulated
+// census whose classes are keyed by the worker's own interned pattern ids.
+type partialCensus struct {
+	acc   *censusAccumulator
+	table *patternTable
+}
 
 // EnumerateParallel is Enumerate with the enumeration tree's root branches
 // fanned out over a worker pool. Each root node owns the canonical
 // antichains whose smallest member it is; those subtrees are independent,
 // so workers share nothing but the (read-only) reachability structures and
-// merge their partial censuses at the end.
+// the color index, intern patterns into private tables, and merge the
+// interned censuses at the end by re-interning each worker-local pattern
+// id into the combined table.
 //
 // Counts and frequency vectors are identical to Enumerate's. When
 // cfg.KeepSets is set, per-class set *order* may differ from the
@@ -37,78 +45,54 @@ func EnumerateParallel(d *dfg.Graph, cfg Config, workers int) (*Result, error) {
 		workers = n
 	}
 
-	// Shared read-only state, computed once up front.
-	reach := d.Reach()
+	// Shared read-only state, computed (or cache-loaded) once up front.
 	lv := d.Levels()
-	inc := reach.Incomparability()
-	colors := make([]dfg.Color, n)
-	for i := 0; i < n; i++ {
-		colors[i] = d.ColorOf(i)
-	}
+	inc := d.Incomparability()
+	ci := newColorIndex(d)
 
-	partials := make([]*Result, workers)
+	partials := make([]*partialCensus, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			res := &Result{
-				BySize:    make([]int, cfg.MaxSize+1),
-				Classes:   map[string]*Class{},
-				NodeCount: n,
-			}
-			e := &enumerator{
-				inc:     inc,
-				asap:    lv.ASAP,
-				alap:    lv.ALAP,
-				maxSize: cfg.MaxSize,
-				maxSpan: cfg.MaxSpan,
-				current: make([]int, 0, cfg.MaxSize),
-				fn: func(nodes []int) bool {
-					res.BySize[len(nodes)]++
-					cs := make([]dfg.Color, len(nodes))
-					for i, nd := range nodes {
-						cs[i] = colors[nd]
-					}
-					p := pattern.New(cs...)
-					key := p.Key()
-					cl := res.Classes[key]
-					if cl == nil {
-						cl = &Class{Pattern: p, NodeFreq: make([]int, n)}
-						res.Classes[key] = cl
-					}
-					cl.Count++
-					for _, nd := range nodes {
-						cl.NodeFreq[nd]++
-					}
-					if cfg.KeepSets {
-						cl.Sets = append(cl.Sets, append([]int(nil), nodes...))
-					}
-					return true
-				},
-			}
+			e := newWalkState(inc, lv, cfg, n)
+			e.table = newPatternTable(len(ci.colors))
+			e.colorOf = ci.ofNode
+			e.colors = ci.colors
+			acc := newCensusAccumulator(e, cfg, n)
 			// Static stride partition of the roots.
 			for v := w; v < n; v += workers {
-				e.extend(v, nil, lv.ASAP[v], lv.ALAP[v])
+				e.extend(v, nil, lv.ASAP[v], lv.ALAP[v], 0)
 			}
-			partials[w] = res
+			partials[w] = &partialCensus{acc: acc, table: e.table}
 		}(w)
 	}
 	wg.Wait()
 
-	merged := &Result{
-		BySize:    make([]int, cfg.MaxSize+1),
-		Classes:   map[string]*Class{},
-		NodeCount: n,
-	}
-	for _, res := range partials {
-		for k, c := range res.BySize {
+	// Merge. Worker-local pattern ids reflect each worker's discovery
+	// order, so classes are unified through a fresh table: the count
+	// vector of each local id re-interns to the merged id. Workers are
+	// merged in index order, keeping the result deterministic.
+	merged := &Result{BySize: make([]int, cfg.MaxSize+1), NodeCount: n}
+	mt := newPatternTable(len(ci.colors))
+	var classes []*Class
+	for _, p := range partials {
+		for k, c := range p.acc.bySize {
 			merged.BySize[k] += c
 		}
-		for key, cl := range res.Classes {
-			dst := merged.Classes[key]
+		for localID, cl := range p.acc.classes {
+			if cl == nil {
+				continue
+			}
+			id := mt.intern(p.table.counts[localID])
+			for int(id) >= len(classes) {
+				classes = append(classes, nil)
+			}
+			dst := classes[id]
 			if dst == nil {
-				merged.Classes[key] = cl
+				cl.ID = int(id)
+				classes[id] = cl
 				continue
 			}
 			dst.Count += cl.Count
@@ -118,5 +102,6 @@ func EnumerateParallel(d *dfg.Graph, cfg Config, workers int) (*Result, error) {
 			dst.Sets = append(dst.Sets, cl.Sets...)
 		}
 	}
+	merged.finish(classes, mt, ci.colors)
 	return merged, nil
 }

@@ -139,6 +139,7 @@ type Graph struct {
 	mu          sync.Mutex
 	levels      *graph.Levels
 	reach       *graph.Reachability
+	inc         []*graph.BitSet
 	fingerprint string
 }
 
@@ -209,6 +210,7 @@ func (d *Graph) invalidate() {
 	d.mu.Lock()
 	d.levels = nil
 	d.reach = nil
+	d.inc = nil
 	d.fingerprint = ""
 	d.mu.Unlock()
 }
@@ -279,6 +281,10 @@ func (d *Graph) Levels() *graph.Levels {
 func (d *Graph) Reach() *graph.Reachability {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.reachLocked()
+}
+
+func (d *Graph) reachLocked() *graph.Reachability {
 	if d.reach == nil {
 		r, err := graph.NewReachability(d.g)
 		if err != nil {
@@ -287,6 +293,21 @@ func (d *Graph) Reach() *graph.Reachability {
 		d.reach = r
 	}
 	return d.reach
+}
+
+// Incomparability returns the cached per-node parallelizability bitsets
+// (Reach().Incomparability()), computing them on first use. The antichain
+// enumerator walks these on every compile, so they are cached alongside
+// levels and reachability rather than rebuilt per enumeration. Callers
+// must treat the returned sets as read-only. Panics on cyclic graphs; use
+// Validate first on untrusted input.
+func (d *Graph) Incomparability() []*graph.BitSet {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.inc == nil {
+		d.inc = d.reachLocked().Incomparability()
+	}
+	return d.inc
 }
 
 // Colors returns the complete color set L of the graph, sorted.

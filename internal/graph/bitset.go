@@ -110,6 +110,23 @@ func (b *BitSet) Clone() *BitSet {
 	return c
 }
 
+// CopyFrom overwrites b with other's elements without allocating. The sets
+// must have equal capacity.
+func (b *BitSet) CopyFrom(other *BitSet) {
+	b.sameSize(other)
+	copy(b.words, other.words)
+}
+
+// IntersectOf sets b to x ∩ y in one pass, without allocating. All three
+// sets must have equal capacity; b may alias x or y.
+func (b *BitSet) IntersectOf(x, y *BitSet) {
+	b.sameSize(x)
+	b.sameSize(y)
+	for i := range b.words {
+		b.words[i] = x.words[i] & y.words[i]
+	}
+}
+
 // Reset removes all elements without reallocating.
 func (b *BitSet) Reset() {
 	for i := range b.words {
@@ -142,6 +159,36 @@ func (b *BitSet) ForEach(fn func(i int) bool) {
 			}
 			w &= w - 1
 		}
+	}
+}
+
+// ForEachFrom calls fn for every element ≥ start in ascending order,
+// skipping whole words below start. It stops early if fn returns false.
+// It is the word-skipping replacement for a ForEach that discards a
+// prefix by comparing every element against start.
+func (b *BitSet) ForEachFrom(start int, fn func(i int) bool) {
+	if start < 0 {
+		start = 0
+	}
+	if start >= b.n {
+		return
+	}
+	wi := start >> 6
+	// Mask off the bits below start in the first word.
+	w := b.words[wi] &^ ((1 << uint(start&63)) - 1)
+	for {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+		wi++
+		if wi >= len(b.words) {
+			return
+		}
+		w = b.words[wi]
 	}
 }
 

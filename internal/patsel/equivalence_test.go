@@ -1,0 +1,101 @@
+package patsel
+
+import (
+	"reflect"
+	"testing"
+
+	"mpsched/internal/antichain"
+	"mpsched/internal/dfg"
+	"mpsched/internal/workloads"
+)
+
+// stripIDs rebuilds a census in the pre-interning shape — Classes map
+// only, no dense ByID view — which makes SelectFrom take the historical
+// sorted-string-key iteration path. Selection over the interned dense
+// view must produce byte-identical steps.
+func stripIDs(res *antichain.Result) *antichain.Result {
+	legacy := &antichain.Result{
+		BySize:    res.BySize,
+		Classes:   map[string]*antichain.Class{},
+		NodeCount: res.NodeCount,
+	}
+	for key, cl := range res.Classes {
+		c := *cl
+		c.ID = 0
+		legacy.Classes[key] = &c
+	}
+	return legacy
+}
+
+func requireSameSelection(t *testing.T, label string, want, got *Selection) {
+	t.Helper()
+	if len(want.Steps) != len(got.Steps) {
+		t.Fatalf("%s: %d steps vs %d", label, len(got.Steps), len(want.Steps))
+	}
+	for i := range want.Steps {
+		w, g := want.Steps[i], got.Steps[i]
+		if !g.Chosen.Equal(w.Chosen) {
+			t.Fatalf("%s step %d: chose %s, want %s", label, i, g.Chosen, w.Chosen)
+		}
+		if g.Priority != w.Priority || g.Synthesized != w.Synthesized {
+			t.Fatalf("%s step %d: (prio %v, synth %v) vs (%v, %v)",
+				label, i, g.Priority, g.Synthesized, w.Priority, w.Synthesized)
+		}
+		if !reflect.DeepEqual(g.Priorities, w.Priorities) {
+			t.Fatalf("%s step %d: priorities differ:\n got %v\nwant %v", label, i, g.Priorities, w.Priorities)
+		}
+		if !reflect.DeepEqual(g.Deleted, w.Deleted) {
+			t.Fatalf("%s step %d: deleted %v vs %v", label, i, g.Deleted, w.Deleted)
+		}
+	}
+	if want.Patterns.String() != got.Patterns.String() {
+		t.Fatalf("%s: selected sets differ: %s vs %s", label, got.Patterns, want.Patterns)
+	}
+}
+
+// TestSelectStepsIdenticalOverInternedCensus runs the full selection loop
+// twice per workload — over the interned census (dense pattern-id
+// iteration) and over the same census stripped to the legacy map-only
+// shape (sorted-key iteration) — and requires identical steps: same
+// choices, priorities, deletions, synthesised patterns.
+func TestSelectStepsIdenticalOverInternedCensus(t *testing.T) {
+	graphs := map[string]*dfg.Graph{
+		"3dft": workloads.ThreeDFT(),
+		"fig4": workloads.Fig4Small(),
+	}
+	for name, gen := range map[string]func() (*dfg.Graph, error){
+		"4dft":       func() (*dfg.Graph, error) { return workloads.NPointDFT(4) },
+		"fir8x4":     func() (*dfg.Graph, error) { return workloads.FIRFilter(8, 4) },
+		"matmul3":    func() (*dfg.Graph, error) { return workloads.MatMul(3) },
+		"butterfly3": func() (*dfg.Graph, error) { return workloads.Butterfly(3) },
+	} {
+		g, err := gen()
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		graphs[name] = g
+	}
+	for name, g := range graphs {
+		for _, cfg := range []Config{
+			{Pdef: 2},
+			{Pdef: 4},
+			{Pdef: 3, MaxSpan: SpanUnlimited, C: 3},
+			{Pdef: 4, DisableSubpatternDeletion: true},
+		} {
+			eff := cfg.WithDefaults()
+			census, err := antichain.Enumerate(g, antichain.Config{MaxSize: eff.C, MaxSpan: eff.MaxSpan})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			want, err := SelectFrom(g, stripIDs(census), cfg)
+			if err != nil {
+				t.Fatalf("%s legacy: %v", name, err)
+			}
+			got, err := SelectFrom(g, census, cfg)
+			if err != nil {
+				t.Fatalf("%s interned: %v", name, err)
+			}
+			requireSameSelection(t, name, want, got)
+		}
+	}
+}

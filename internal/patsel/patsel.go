@@ -142,16 +142,23 @@ func selectFrom(d *dfg.Graph, res *antichain.Result, cfg Config) (*Selection, er
 	n := d.N()
 	completeColors := d.Colors() // the paper's L
 
-	// Candidate pool, sorted by key for deterministic iteration.
+	// Candidate pool: the census's dense per-pattern-id class list, put in
+	// canonical pattern order so iteration matches the historical
+	// sorted-string-key order without materialising keys for the sort.
+	// The keys themselves are built once per candidate — the exported
+	// Step.Priorities/Deleted fields are keyed by them.
 	type candidate struct {
 		key   string
 		class *antichain.Class
 	}
-	var pool []candidate
-	for key, cl := range res.Classes {
-		pool = append(pool, candidate{key, cl})
+	classes := res.ClassList()
+	sort.Slice(classes, func(i, j int) bool {
+		return classes[i].Pattern.Compare(classes[j].Pattern) < 0
+	})
+	pool := make([]candidate, len(classes))
+	for i, cl := range classes {
+		pool[i] = candidate{cl.Pattern.Key(), cl}
 	}
-	sort.Slice(pool, func(i, j int) bool { return pool[i].key < pool[j].key })
 	alive := make([]bool, len(pool))
 	for i := range alive {
 		alive[i] = true

@@ -29,6 +29,22 @@ func New(colors ...dfg.Color) Pattern {
 	return Pattern{colors: cs}
 }
 
+// FromSorted builds a pattern from colors already in ascending order,
+// skipping New's defensive sort — the constructor for producers that emit
+// canonical order by construction (the antichain interner materialises
+// classes from per-color count vectors walked in color order). The slice
+// is copied; if the input turns out unsorted it falls back to New.
+func FromSorted(colors []dfg.Color) Pattern {
+	for i := 1; i < len(colors); i++ {
+		if colors[i-1] > colors[i] {
+			return New(colors...)
+		}
+	}
+	cs := make([]dfg.Color, len(colors))
+	copy(cs, colors)
+	return Pattern{colors: cs}
+}
+
 // Parse reads the paper's compact notation: either a string of single-rune
 // colors ("aabcc") or a comma-separated list for multi-rune colors
 // ("add,add,mul"). Braces and spaces are ignored, so "{a,b,c,b,c}" works.
@@ -141,6 +157,55 @@ func (p Pattern) Equal(q Pattern) bool {
 		}
 	}
 	return true
+}
+
+// Compare orders patterns exactly as strings.Compare(p.Key(), q.Key())
+// would — the ordering pattern selection has always used for deterministic
+// iteration — but without materialising the key strings. It walks the
+// virtual comma-joined form byte by byte and returns -1, 0 or 1.
+func (p Pattern) Compare(q Pattern) int {
+	a := keyIter{colors: p.colors}
+	b := keyIter{colors: q.colors}
+	for {
+		ab, aok := a.next()
+		bb, bok := b.next()
+		switch {
+		case !aok && !bok:
+			return 0
+		case !aok:
+			return -1
+		case !bok:
+			return 1
+		case ab < bb:
+			return -1
+		case ab > bb:
+			return 1
+		}
+	}
+}
+
+// keyIter yields the bytes of a pattern's Key() — the colors joined by
+// commas — without building the string.
+type keyIter struct {
+	colors []dfg.Color
+	ci, bi int // current color, byte offset within it
+}
+
+func (it *keyIter) next() (byte, bool) {
+	for it.ci < len(it.colors) {
+		c := it.colors[it.ci]
+		if it.bi < len(c) {
+			b := c[it.bi]
+			it.bi++
+			return b, true
+		}
+		it.ci++
+		it.bi = 0
+		if it.ci < len(it.colors) {
+			return ',', true
+		}
+	}
+	return 0, false
 }
 
 // SubpatternOf reports multiset inclusion p ⊆ q: every color of p occurs in

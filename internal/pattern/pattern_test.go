@@ -2,6 +2,7 @@ package pattern
 
 import (
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -228,5 +229,54 @@ func TestSetString(t *testing.T) {
 	s := NewSet(MustParse("ab"))
 	if s.String() != "{a,b}" {
 		t.Errorf("String = %q", s.String())
+	}
+}
+
+// Compare must agree with strings.Compare over canonical keys for every
+// pattern pair, including multi-rune colors whose bytes sort around ','.
+func TestCompareMatchesKeyOrder(t *testing.T) {
+	pats := []Pattern{
+		{},
+		MustParse("a"),
+		MustParse("aa"),
+		MustParse("aabcc"),
+		MustParse("b"),
+		MustParse("add,add,mul"),
+		MustParse("add,mul"),
+		New("a+b"),        // '+' < ',' — the byte-order trap
+		New("a", "b"),     // key "a,b"
+		New("ab"),         // key "ab"
+		New("a.b"),        // '.' > ','
+		New("a", "c"),     // key "a,c"
+		New("mul", "add"), // canonicalised to add,mul
+	}
+	for _, p := range pats {
+		for _, q := range pats {
+			want := strings.Compare(p.Key(), q.Key())
+			if got := p.Compare(q); got != want {
+				t.Errorf("Compare(%q, %q) = %d, want %d", p.Key(), q.Key(), got, want)
+			}
+		}
+	}
+}
+
+func TestFromSorted(t *testing.T) {
+	sorted := []dfg.Color{"a", "a", "b", "c"}
+	p := FromSorted(sorted)
+	if !p.Equal(New(sorted...)) {
+		t.Fatalf("FromSorted(%v) = %v", sorted, p)
+	}
+	// The input slice must not be aliased.
+	sorted[0] = "z"
+	if p.Colors()[0] != "a" {
+		t.Error("FromSorted aliased its input slice")
+	}
+	// Unsorted input falls back to canonicalisation.
+	q := FromSorted([]dfg.Color{"c", "a", "b"})
+	if q.Key() != "a,b,c" {
+		t.Errorf("unsorted fallback key = %q, want a,b,c", q.Key())
+	}
+	if FromSorted(nil).Size() != 0 {
+		t.Error("empty FromSorted not empty")
 	}
 }

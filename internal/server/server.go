@@ -13,6 +13,7 @@
 //	GET  /v1/workloads    generator catalog
 //	GET  /healthz         liveness + queue depth
 //	GET  /metrics         Prometheus text exposition
+//	GET  /debug/pprof/*   profiling (only with Options.EnablePprof)
 //
 // See CompileRequest in api.go for the request wire format and
 // internal/dfg/io.go for the graph wire format.
@@ -24,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -62,6 +64,11 @@ type Options struct {
 	// MaxStoredJobs caps retained terminal jobs; ≤ 0 means
 	// DefaultMaxStoredJobs.
 	MaxStoredJobs int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ for CPU and
+	// heap profiling of a live daemon. Off by default: the profile
+	// endpoints expose internals and cost CPU, so they are opt-in
+	// (mpschedd -pprof) and belong behind the operator's firewall.
+	EnablePprof bool
 }
 
 // Defaults for Options' zero values.
@@ -149,6 +156,18 @@ func newServer(opts Options, startWorkers bool) *Server {
 	s.route("GET /v1/workloads", s.handleWorkloads)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
+	if opts.EnablePprof {
+		// Registered directly on the mux (not via route) so the debug
+		// subtree stays out of the request metrics. pprof.Index also
+		// dispatches the named runtime profiles (heap, goroutine, ...).
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		// Symbol takes POST too: `go tool pprof` POSTs hex PCs to it.
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	if startWorkers {
 		for i := 0; i < opts.QueueWorkers; i++ {

@@ -396,3 +396,66 @@ func TestCacheDisabled(t *testing.T) {
 		}
 	}
 }
+
+// TestPprofOffByDefault: the profiling endpoints must not exist unless
+// the operator opted in (mpschedd -pprof), and must work when they did.
+func TestPprofOffByDefault(t *testing.T) {
+	s := server.New(server.Options{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without EnablePprof = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	s := server.New(server.Options{EnablePprof: true})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap?debug=1"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s with EnablePprof = %d, want 200", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s returned an empty profile page", path)
+		}
+	}
+	// The debug subtree must stay out of the request metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "pprof") {
+		t.Error("/metrics mentions the pprof routes")
+	}
+}
+
+// go tool pprof POSTs to /symbol; the opt-in registration must accept it.
+func TestPprofSymbolAcceptsPost(t *testing.T) {
+	s := server.New(server.Options{EnablePprof: true})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/debug/pprof/symbol", "text/plain", strings.NewReader("0x1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /debug/pprof/symbol = %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# bench.sh — measure the core benchmarks and write machine-readable
+# results (ns/op, allocs/op, jobs/s) to BENCH_enumeration.json, seeding
+# the repo's perf trajectory. Usage:
+#
+#   scripts/bench.sh [output.json]
+#
+# The measurements run in-process via testing.Benchmark (no output
+# parsing); see cmd/experiments/benchjson.go for the benchmark set.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_enumeration.json}"
+exec go run ./cmd/experiments -bench-json "$out"
