@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -50,7 +51,9 @@ var enumBenchSpecs = []struct{ name, spec string }{
 
 // runBenchJSON measures the core benchmarks via testing.Benchmark and
 // writes the JSON report to path, echoing a summary line per benchmark.
-func runBenchJSON(path string, stdout, stderr io.Writer) int {
+// Smoke mode runs only the 3DFT subset — enough for CI to prove the
+// generation path still works, without paying for real measurement.
+func runBenchJSON(path string, smoke bool, stdout, stderr io.Writer) int {
 	report := benchReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 
 	fail := func(err error) int {
@@ -58,11 +61,16 @@ func runBenchJSON(path string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	enumSpecs := enumBenchSpecs
+	if smoke {
+		enumSpecs = enumSpecs[:1] // 3dft only
+	}
+
 	cfg := antichain.Config{MaxSize: 5, MaxSpan: 1}
 	// The 5DFT graph and census are reused by the parallel benchmark below.
 	var g5 *dfg.Graph
 	census5 := 0
-	for _, spec := range enumBenchSpecs {
+	for _, spec := range enumSpecs {
 		g, err := cliutil.Generate(spec.spec)
 		if err != nil {
 			return fail(err)
@@ -88,26 +96,29 @@ func runBenchJSON(path string, stdout, stderr io.Writer) int {
 		report.Results = append(report.Results, toResult(spec.name, r, census.Total()))
 	}
 
-	// Parallel backend on the largest catalog DFT.
-	r, err := measure(func(b *testing.B) error {
-		for i := 0; i < b.N; i++ {
-			if _, err := antichain.EnumerateParallel(g5, cfg, 0); err != nil {
-				return err
+	// Parallel backend on the largest catalog DFT (skipped in smoke mode,
+	// which does not build the 5DFT).
+	if !smoke {
+		r, err := measure(func(b *testing.B) error {
+			for i := 0; i < b.N; i++ {
+				if _, err := antichain.EnumerateParallel(g5, cfg, 0); err != nil {
+					return err
+				}
 			}
+			return nil
+		})
+		if err != nil {
+			return fail(err)
 		}
-		return nil
-	})
-	if err != nil {
-		return fail(err)
+		report.Results = append(report.Results, toResult("EnumerateParallel/5dft", r, census5))
 	}
-	report.Results = append(report.Results, toResult("EnumerateParallel/5dft", r, census5))
 
 	// CountTable: the paper's Table 5 span sweep, now single-pass.
 	g3, err := cliutil.Generate("3dft")
 	if err != nil {
 		return fail(err)
 	}
-	r, err = measure(func(b *testing.B) error {
+	r, err := measure(func(b *testing.B) error {
 		for i := 0; i < b.N; i++ {
 			if _, err := antichain.CountTable(g3, 5, 4); err != nil {
 				return err
@@ -120,10 +131,30 @@ func runBenchJSON(path string, stdout, stderr io.Writer) int {
 	}
 	report.Results = append(report.Results, toResult("CountTable/3dft", r, 0))
 
+	// Staged compiler: the full census → select → schedule flow through
+	// the Compiler API, cache bypassed so every iteration compiles.
+	comp := pipeline.NewCompiler(pipeline.Options{})
+	spec := pipeline.NewSpec(g3, pipeline.WithSelect(patsel.Config{Pdef: 4}), pipeline.WithoutCache())
+	r, err = measure(func(b *testing.B) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := comp.Compile(context.Background(), spec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fail(err)
+	}
+	report.Results = append(report.Results, toResult("Compiler/3dft", r, 0))
+
 	// Pipeline throughput: the mixed batch, cold cache and warm cache.
 	jobs, err := benchFleet()
 	if err != nil {
 		return fail(err)
+	}
+	if smoke {
+		jobs = jobs[:4] // a taste of the batch path, not a measurement
 	}
 	cold, err := measure(func(b *testing.B) error {
 		p := pipeline.New(pipeline.Options{})

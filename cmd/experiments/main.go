@@ -28,10 +28,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runID     = fs.String("run", "", "experiment id to run (see -list)")
-		all       = fs.Bool("all", false, "run every experiment")
-		list      = fs.Bool("list", false, "list experiment ids")
-		benchJSON = fs.String("bench-json", "", "measure the core benchmarks and write machine-readable results to this file")
+		runID      = fs.String("run", "", "experiment id to run (see -list)")
+		all        = fs.Bool("all", false, "run every experiment")
+		list       = fs.Bool("list", false, "list experiment ids")
+		benchJSON  = fs.String("bench-json", "", "measure the core benchmarks and write machine-readable results to this file")
+		benchSmoke = fs.Bool("bench-smoke", false, "with -bench-json: run the minimal benchmark subset (CI rot check, not a measurement)")
 	)
 	if code, done := cliutil.ParseFlags(fs, argv); done {
 		return code
@@ -39,7 +40,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	switch {
 	case *benchJSON != "":
-		return runBenchJSON(*benchJSON, stdout, stderr)
+		return runBenchJSON(*benchJSON, *benchSmoke, stdout, stderr)
 	case *list:
 		fmt.Fprintln(stdout, strings.Join(expmt.IDs(), "\n"))
 	case *all:

@@ -19,10 +19,12 @@
 //	3dft
 //	ndft:4 pdef=3
 //	fir:8,4 c=5 span=2 name=fir-wide
+//	matmul:3 spans=0,1,2
 //	designs/my-graph.json pdef=2
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -98,49 +100,53 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runSingle is the original one-graph flow.
+// runSingle is the one-graph flow, routed through the staged Compiler:
+// explicit patterns skip census and selection, -select runs the paper's
+// algorithm, and both stop after scheduling.
 func runSingle(cfg config, stdout io.Writer) error {
 	g, err := cliutil.LoadGraph(cfg.gen, cfg.inFile)
 	if err != nil {
 		return err
 	}
-
-	var ps *pattern.Set
-	switch {
-	case cfg.patterns != "" && cfg.doSelect:
-		return fmt.Errorf("use either -patterns or -select")
-	case cfg.patterns != "":
-		ps, err = pattern.ParseSet(cfg.patterns)
-		if err != nil {
-			return err
-		}
-	case cfg.doSelect:
-		sel, err := patsel.Select(g, patsel.Config{C: cfg.c, Pdef: cfg.pdef, MaxSpan: cfg.span})
-		if err != nil {
-			return err
-		}
-		ps = sel.Patterns
-		fmt.Fprintf(stdout, "selected patterns: %s\n", ps)
-	default:
-		return fmt.Errorf("provide -patterns, -select or -batch")
-	}
-
 	opts, err := schedOptions(cfg)
 	if err != nil {
 		return err
 	}
-	s, err := sched.MultiPattern(g, ps, opts)
+
+	specOpts := []pipeline.SpecOption{
+		pipeline.WithSchedule(opts),
+		pipeline.WithStopAfter(pipeline.StageSchedule),
+	}
+	switch {
+	case cfg.patterns != "" && cfg.doSelect:
+		return fmt.Errorf("use either -patterns or -select")
+	case cfg.patterns != "":
+		ps, err := pattern.ParseSet(cfg.patterns)
+		if err != nil {
+			return err
+		}
+		specOpts = append(specOpts, pipeline.WithPatterns(ps))
+	case cfg.doSelect:
+		specOpts = append(specOpts,
+			pipeline.WithSelect(patsel.Config{C: cfg.c, Pdef: cfg.pdef, MaxSpan: cfg.span}))
+	default:
+		return fmt.Errorf("provide -patterns, -select or -batch")
+	}
+
+	rep, err := pipeline.NewCompiler(pipeline.Options{}).
+		Compile(context.Background(), pipeline.NewSpec(g, specOpts...))
 	if err != nil {
 		return err
 	}
-	if err := s.Verify(); err != nil {
-		return fmt.Errorf("schedule failed verification: %w", err)
+	if rep.Selection != nil {
+		fmt.Fprintf(stdout, "selected patterns: %s\n", rep.Selection.Patterns)
 	}
+	s := rep.Schedule
 	if cfg.trace {
 		fmt.Fprint(stdout, s.RenderTrace())
 	}
 	fmt.Fprint(stdout, s.Render())
-	lb, err := sched.LowerBound(g, ps)
+	lb, err := sched.LowerBound(g, s.Patterns)
 	if err == nil {
 		fmt.Fprintf(stdout, "lower bound: %d cycles; utilisation %.0f%%\n", lb, 100*s.Utilization())
 	}
@@ -250,6 +256,8 @@ func parseManifestLine(line string, cfg config) (pipeline.Job, error) {
 			job.Sched.TieBreak, err = cliutil.ParseTieBreak(val)
 		case "seed":
 			job.Sched.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "spans":
+			job.Spans, err = parseSpans(val)
 		default:
 			return job, fmt.Errorf("unknown option %q", key)
 		}
@@ -267,6 +275,19 @@ func parseManifestLine(line string, cfg config) (pipeline.Job, error) {
 		return job, err
 	}
 	return job, nil
+}
+
+// parseSpans reads a comma-separated span-sweep list ("0,1,2").
+func parseSpans(val string) ([]int, error) {
+	var spans []int
+	for _, f := range strings.Split(val, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad span %q", f)
+		}
+		spans = append(spans, n)
+	}
+	return spans, nil
 }
 
 func isGraphFile(spec string) bool {

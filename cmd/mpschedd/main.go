@@ -8,10 +8,13 @@
 //	mpschedd -addr :8080
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/compile -d '{"workload":"fft:8"}'
+//	curl -s -X POST localhost:8080/v1/compile -d '{"workload":"3dft","stop_after":"select"}'
 //
 // Endpoints: POST /v1/compile, POST /v1/jobs, GET /v1/jobs/{id},
 // GET /v1/workloads, GET /healthz, GET /metrics, and — only with
-// -pprof — GET /debug/pprof/*. See internal/server for the wire format.
+// -pprof — GET /debug/pprof/*. Requests may stop the staged compile
+// partway (stop_after) or sweep span limits (spans); responses carry
+// per-stage timings. See internal/server for the wire format.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains the job
 // queue (bounded by -drain-timeout) and exits 0.

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"mpsched/internal/dfg"
 	"mpsched/internal/patsel"
 	"mpsched/internal/pattern"
+	"mpsched/internal/pipeline"
 	"mpsched/internal/sched"
 )
 
@@ -76,19 +78,33 @@ func realMain(o options, stdout io.Writer) error {
 	var sel *patsel.Selection
 	switch o.baseline {
 	case "":
-		if o.bestSpan {
-			s, schedResult, winSpan, err := patsel.SelectBestSpan(g, cfg, []int{0, 1, 2}, sched.Options{})
-			if err != nil {
-				return err
-			}
-			sel = s
-			fmt.Fprintf(stdout, "best span limit: %d (%d cycles)\n", winSpan, schedResult.Length())
-		} else {
-			sel, err = patsel.Select(g, cfg)
-			if err != nil {
-				return err
-			}
+		// The paper's algorithm runs through the staged Compiler: a
+		// span-sweep compile when -best-span is set, else a select-only
+		// (or select+schedule) compile.
+		specOpts := []pipeline.SpecOption{pipeline.WithSelect(cfg)}
+		switch {
+		case o.bestSpan:
+			specOpts = append(specOpts,
+				pipeline.WithSpans(0, 1, 2), pipeline.WithStopAfter(pipeline.StageSchedule))
+		case o.schedule:
+			specOpts = append(specOpts, pipeline.WithStopAfter(pipeline.StageSchedule))
+		default:
+			specOpts = append(specOpts, pipeline.WithStopAfter(pipeline.StageSelect))
 		}
+		rep, err := pipeline.NewCompiler(pipeline.Options{}).
+			Compile(context.Background(), pipeline.NewSpec(g, specOpts...))
+		if err != nil {
+			return err
+		}
+		sel = rep.Selection
+		if o.bestSpan {
+			fmt.Fprintf(stdout, "best span limit: %d (%d cycles)\n", rep.Span, rep.Schedule.Length())
+		}
+		printSelection(stdout, o, sel)
+		if o.schedule {
+			return reportScheduleResult(stdout, g, rep.Schedule)
+		}
+		return nil
 	case "random":
 		ps, err := patsel.Random(g, cfg, rand.New(rand.NewSource(o.seed)))
 		if err != nil {
@@ -113,6 +129,15 @@ func realMain(o options, stdout io.Writer) error {
 		return fmt.Errorf("unknown baseline %q", o.baseline)
 	}
 
+	printSelection(stdout, o, sel)
+	if o.schedule {
+		return reportSchedule(stdout, g, sel.Patterns)
+	}
+	return nil
+}
+
+// printSelection renders the chosen set and the per-round decisions.
+func printSelection(stdout io.Writer, o options, sel *patsel.Selection) {
 	fmt.Fprintf(stdout, "selected: %s\n", sel.Patterns)
 	for i, step := range sel.Steps {
 		tag := ""
@@ -136,12 +161,10 @@ func realMain(o options, stdout io.Writer) error {
 			}
 		}
 	}
-	if o.schedule {
-		return reportSchedule(stdout, g, sel.Patterns)
-	}
-	return nil
 }
 
+// reportSchedule schedules the pattern set (the baselines' path — the
+// compiler path reports its own schedule via reportScheduleResult).
 func reportSchedule(stdout io.Writer, g *dfg.Graph, ps *pattern.Set) error {
 	s, err := sched.MultiPattern(g, ps, sched.Options{})
 	if err != nil {
@@ -150,7 +173,12 @@ func reportSchedule(stdout io.Writer, g *dfg.Graph, ps *pattern.Set) error {
 	if err := s.Verify(); err != nil {
 		return err
 	}
-	lb, err := sched.LowerBound(g, ps)
+	return reportScheduleResult(stdout, g, s)
+}
+
+// reportScheduleResult prints the one-line schedule summary.
+func reportScheduleResult(stdout io.Writer, g *dfg.Graph, s *sched.Schedule) error {
+	lb, err := sched.LowerBound(g, s.Patterns)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,137 @@
+package mpsched_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"mpsched"
+	"mpsched/internal/alloc"
+	"mpsched/internal/antichain"
+	"mpsched/internal/cliutil"
+	"mpsched/internal/patsel"
+	"mpsched/internal/sched"
+)
+
+// TestCompilerEquivalentToLegacyPath pins the API redesign's core
+// guarantee: Compiler.Compile produces bit-identical Selection, Schedule
+// and Program to the pre-redesign facade path (direct census → SelectFrom
+// → MultiPattern → Allocate) for every workload in the catalog.
+func TestCompilerEquivalentToLegacyPath(t *testing.T) {
+	arch := alloc.DefaultArch()
+	cfg := patsel.Config{C: 5, Pdef: 4}
+	c := mpsched.NewCompiler(mpsched.PipelineOptions{})
+
+	for _, w := range cliutil.Catalog() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			g1, err := cliutil.Generate(w.Example)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g2, err := cliutil.Generate(w.Example) // independent instance for the new path
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The pre-redesign flow, spelled out stage by stage with the
+			// sequential enumerator (what patsel.Select always used).
+			eff := cfg.WithDefaults()
+			census, err := antichain.Enumerate(g1, antichain.Config{MaxSize: eff.C, MaxSpan: eff.MaxSpan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			oldSel, err := patsel.SelectFrom(g1, census, eff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oldSched, err := sched.MultiPattern(g1, oldSel.Patterns, sched.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			oldProg, err := alloc.Allocate(oldSched, arch)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The redesigned flow: one spec through the Compiler.
+			rep, err := c.Compile(context.Background(), mpsched.NewCompileSpec(g2,
+				mpsched.WithSelect(cfg), mpsched.WithArch(arch)))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := rep.Selection.Patterns.String(), oldSel.Patterns.String(); got != want {
+				t.Fatalf("selection differs:\n new %s\n old %s", got, want)
+			}
+			if !reflect.DeepEqual(rep.Schedule.CycleOf, oldSched.CycleOf) {
+				t.Fatalf("CycleOf differs:\n new %v\n old %v", rep.Schedule.CycleOf, oldSched.CycleOf)
+			}
+			if !reflect.DeepEqual(rep.Schedule.PatternOf, oldSched.PatternOf) {
+				t.Fatalf("PatternOf differs:\n new %v\n old %v", rep.Schedule.PatternOf, oldSched.PatternOf)
+			}
+			if !reflect.DeepEqual(rep.Program.ALUOf, oldProg.ALUOf) {
+				t.Fatalf("ALUOf differs:\n new %v\n old %v", rep.Program.ALUOf, oldProg.ALUOf)
+			}
+			if !reflect.DeepEqual(rep.Program.ResultLoc, oldProg.ResultLoc) {
+				t.Fatal("ResultLoc differs")
+			}
+			if !reflect.DeepEqual(rep.Program.InputAddr, oldProg.InputAddr) {
+				t.Fatal("InputAddr differs")
+			}
+			if rep.Program.Stats != oldProg.Stats {
+				t.Fatalf("allocation stats differ: new %+v old %+v", rep.Program.Stats, oldProg.Stats)
+			}
+		})
+	}
+}
+
+// TestFacadeShimsEquivalent pins the legacy one-call helpers against the
+// direct internal calls they used to be.
+func TestFacadeShimsEquivalent(t *testing.T) {
+	g1 := mpsched.ThreeDFT()
+	g2 := mpsched.ThreeDFT()
+	cfg := mpsched.SelectConfig{C: 5, Pdef: 4}
+
+	oldSel, err := patsel.Select(g1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSel, err := mpsched.SelectPatterns(g2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldSel.Patterns.String() != newSel.Patterns.String() {
+		t.Fatalf("SelectPatterns shim differs: %v vs %v", newSel.Patterns, oldSel.Patterns)
+	}
+	if len(oldSel.Steps) != len(newSel.Steps) {
+		t.Fatalf("selection steps differ: %d vs %d", len(newSel.Steps), len(oldSel.Steps))
+	}
+
+	oldS, err := sched.MultiPattern(g1, oldSel.Patterns, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newS, err := mpsched.Schedule(g2, newSel.Patterns, mpsched.SchedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(oldS.CycleOf, newS.CycleOf) || !reflect.DeepEqual(oldS.PatternOf, newS.PatternOf) {
+		t.Fatal("Schedule shim produced a different schedule")
+	}
+
+	oldBest, oldBestSched, oldSpan, err := patsel.SelectBestSpan(g1, cfg, []int{0, 1, 2}, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newBest, newBestSched, newSpan, err := mpsched.SelectPatternsBestSpan(g2, cfg, []int{0, 1, 2}, mpsched.SchedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldSpan != newSpan || oldBestSched.Length() != newBestSched.Length() ||
+		oldBest.Patterns.String() != newBest.Patterns.String() {
+		t.Fatalf("SelectPatternsBestSpan shim differs: span %d/%d, %d/%d cycles",
+			newSpan, oldSpan, newBestSched.Length(), oldBestSched.Length())
+	}
+}

@@ -1,15 +1,16 @@
 // customarch retargets the whole flow at a tile that is *not* the Montium:
 // a narrow 3-ALU machine with a tiny 4-entry configuration store, small
 // register files and few buses. The paper's algorithms are parameterised
-// by C and Pdef, so nothing else changes — this example shows the library
-// scheduling a FIR filter block onto the custom tile, watching spills and
-// bus pressure appear as the architecture shrinks, and verifying the
-// numerics still hold.
+// by C and Pdef, so the only change is the CompileSpec — this example
+// shows one staged compile scheduling a FIR filter block onto the custom
+// tile, watching spills and bus pressure appear as the architecture
+// shrinks, and verifying the numerics still hold.
 //
 // Run with: go run ./examples/customarch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -17,7 +18,6 @@ import (
 
 	"mpsched"
 	"mpsched/internal/alloc"
-	"mpsched/internal/sched"
 	"mpsched/internal/workloads"
 )
 
@@ -36,27 +36,27 @@ func main() {
 	fmt.Printf("target: %d ALUs, %d-pattern store, %d regs/ALU, %d buses\n\n",
 		tiny.ALUs, tiny.MaxPatterns, tiny.RegsPerALU, tiny.Buses)
 
-	// Select patterns for C=3, at most 4 of them.
-	sel, schedule, span, err := mpsched.SelectPatternsBestSpan(g,
-		mpsched.SelectConfig{C: tiny.ALUs, Pdef: tiny.MaxPatterns},
-		[]int{0, 1, 2}, sched.Options{})
+	// One spec: select ≤4 patterns for C=3, sweep span limits 0..2, keep
+	// the best schedule, and allocate it onto the tiny tile.
+	rep, err := mpsched.NewCompiler(mpsched.PipelineOptions{}).
+		Compile(context.Background(), mpsched.NewCompileSpec(g,
+			mpsched.WithSelect(mpsched.SelectConfig{C: tiny.ALUs, Pdef: tiny.MaxPatterns}),
+			mpsched.WithSpans(0, 1, 2),
+			mpsched.WithArch(tiny)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("patterns (span≤%d): %s\n", span, sel.Patterns)
+	fmt.Printf("patterns (span≤%d): %s\n", rep.Span, rep.Selection.Patterns)
 	fmt.Printf("schedule: %d cycles for %d ops on %d ALUs\n",
-		schedule.Length(), g.N(), tiny.ALUs)
-	lb, err := mpsched.ScheduleLowerBound(g, sel.Patterns)
+		rep.Schedule.Length(), g.N(), tiny.ALUs)
+	lb, err := mpsched.ScheduleLowerBound(g, rep.Selection.Patterns)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("lower bound: %d cycles (utilisation %.0f%%)\n\n",
-		lb, 100*schedule.Utilization())
+		lb, 100*rep.Schedule.Utilization())
 
-	prog, err := mpsched.Allocate(schedule, tiny)
-	if err != nil {
-		log.Fatal(err)
-	}
+	prog := rep.Program
 	fmt.Printf("allocation on the tiny tile: spills=%d crossALU=%d peakLiveRegs=%d/%d\n",
 		prog.Stats.Spills, prog.Stats.CrossALUMoves, prog.Stats.MaxLiveRegs, tiny.RegsPerALU)
 

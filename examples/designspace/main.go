@@ -6,20 +6,21 @@
 // It prints a Pdef × span matrix of schedule lengths for the 5-point DFT,
 // plus the random-selection baseline, reproducing the paper's observations
 // that (1) more patterns help monotonically and (2) selected patterns beat
-// random ones.
+// random ones. Every cell is one staged compile — a single-element span
+// sweep, so the literal limits 0..3 are expressible — through one shared
+// compiler whose cache makes the repeated pdef=1 row free.
 //
 // Run with: go run ./examples/designspace
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
 	"mpsched"
-	"mpsched/internal/antichain"
 	"mpsched/internal/patsel"
-	"mpsched/internal/sched"
 )
 
 func main() {
@@ -33,16 +34,25 @@ func main() {
 	spans := []int{0, 1, 2, 3}
 	const maxPdef = 6
 
-	// One antichain census per span, reused across the Pdef column.
-	censuses := make([]*antichain.Result, len(spans))
-	for i, span := range spans {
-		res, err := antichain.Enumerate(g, antichain.Config{MaxSize: 5, MaxSpan: span})
+	c := mpsched.NewCompiler(mpsched.PipelineOptions{Cache: mpsched.NewCompileCache(0)})
+	ctx := context.Background()
+
+	// cell compiles one (pdef, span) design point and returns its report.
+	cell := func(pdef, span int) (*mpsched.CompileReport, error) {
+		return c.Compile(ctx, mpsched.NewCompileSpec(g,
+			mpsched.WithSelect(mpsched.SelectConfig{C: 5, Pdef: pdef}),
+			mpsched.WithSpans(span), // a one-limit sweep: span 0 stays literal
+			mpsched.WithStopAfter(mpsched.StageSchedule)))
+	}
+
+	// The pdef=1 column pass doubles as the census report per span.
+	for _, span := range spans {
+		rep, err := cell(1, span)
 		if err != nil {
 			log.Fatal(err)
 		}
-		censuses[i] = res
 		fmt.Printf("span≤%d: %6d antichains in %4d pattern classes\n",
-			span, res.Total(), len(res.Classes))
+			span, rep.Census.Antichains, rep.Census.Classes)
 	}
 
 	fmt.Printf("\nschedule length (cycles), selected patterns:\n Pdef |")
@@ -53,16 +63,12 @@ func main() {
 	rng := rand.New(rand.NewSource(42))
 	for pdef := 1; pdef <= maxPdef; pdef++ {
 		fmt.Printf("  %2d  |", pdef)
-		for i := range spans {
-			sel, err := patsel.SelectFrom(g, censuses[i], patsel.Config{C: 5, Pdef: pdef})
+		for _, span := range spans {
+			rep, err := cell(pdef, span) // pdef=1 cells hit the cache
 			if err != nil {
 				log.Fatal(err)
 			}
-			s, err := sched.MultiPattern(g, sel.Patterns, sched.Options{})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf(" %6d", s.Length())
+			fmt.Printf(" %6d", rep.Schedule.Length())
 		}
 		mean, err := randomMean(g, pdef, rng)
 		if err != nil {
@@ -79,7 +85,7 @@ func randomMean(g *mpsched.Graph, pdef int, rng *rand.Rand) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		s, err := sched.MultiPattern(g, ps, sched.Options{})
+		s, err := mpsched.Schedule(g, ps, mpsched.SchedOptions{})
 		if err != nil {
 			return 0, err
 		}

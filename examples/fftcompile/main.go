@@ -1,24 +1,25 @@
-// fftcompile walks the complete Montium compiler flow on an FFT kernel:
+// fftcompile walks the complete Montium compiler flow on an FFT kernel,
+// end to end through one CompileSpec:
 //
-//	expression source ──transform──▶ DFG ──patsel──▶ patterns
-//	   ──sched──▶ schedule ──alloc──▶ program ──montium──▶ simulated run
+//	expression source ──parse──▶ DFG ──census+select──▶ patterns
+//	   ──schedule──▶ schedule ──allocate──▶ program ──montium──▶ run
 //
-// The direct-form 4-point DFT source is generated, compiled (constant
-// folding + CSE + negation pushing shrink it substantially), scheduled
-// with selected patterns, allocated onto the default Montium tile, and
-// executed; the simulated outputs are checked against the textbook DFT.
+// The direct-form 4-point DFT source is generated and handed to the
+// staged Compiler (which lexes, parses, folds, CSEs, selects patterns
+// over a span sweep, schedules and allocates onto the default Montium
+// tile); the allocated program is executed on the simulated tile and the
+// outputs are checked against the textbook DFT.
 //
 // Run with: go run ./examples/fftcompile
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/cmplx"
 
 	"mpsched"
-	"mpsched/internal/alloc"
-	"mpsched/internal/sched"
 	"mpsched/internal/transform"
 	"mpsched/internal/workloads"
 )
@@ -28,37 +29,39 @@ func main() {
 	src := transform.DFTSource(n)
 	fmt.Printf("generated %d-point DFT source (%d bytes)\n", n, len(src))
 
-	// Phase 1: transformation (lex, parse, fold, CSE, negation pushing).
-	bloated, err := mpsched.Compile(src, transform.Options{Name: "dft4", DisableCSE: true, DisableFolding: true})
-	if err != nil {
-		log.Fatal(err)
-	}
-	g, err := mpsched.Compile(src, transform.Options{Name: "dft4"})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("transformation: %d ops naive → %d ops optimised\n", bloated.N(), g.N())
+	c := mpsched.NewCompiler(mpsched.PipelineOptions{})
 
-	// Phase 3: pattern selection + multi-pattern scheduling (phase 2,
-	// clustering, is the identity at this granularity).
-	sel, schedule, span, err := mpsched.SelectPatternsBestSpan(g,
-		mpsched.SelectConfig{C: 5, Pdef: 4}, []int{0, 1, 2}, sched.Options{})
+	// A parse-only compile with the optimisations ablated, to show what
+	// the transformation phase buys.
+	bloated, err := c.Compile(context.Background(), mpsched.NewSourceCompileSpec(src,
+		mpsched.WithSourceOptions(transform.Options{Name: "dft4", DisableCSE: true, DisableFolding: true}),
+		mpsched.WithStopAfter(mpsched.StageParse)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("selection (span≤%d): %s\n", span, sel.Patterns)
-	fmt.Printf("schedule: %d cycles for %d ops\n", schedule.Length(), g.N())
 
-	// Phase 4: allocation onto the default Montium tile.
-	prog, err := mpsched.Allocate(schedule, alloc.DefaultArch())
+	// The real thing: source in, allocated program out, sweeping span
+	// limits 0..2 and keeping the best schedule.
+	rep, err := c.Compile(context.Background(), mpsched.NewSourceCompileSpec(src,
+		mpsched.WithSourceOptions(transform.Options{Name: "dft4"}),
+		mpsched.WithSelect(mpsched.SelectConfig{C: 5, Pdef: 4}),
+		mpsched.WithSpans(0, 1, 2),
+		mpsched.WithArch(mpsched.DefaultArch())))
 	if err != nil {
 		log.Fatal(err)
 	}
+	g := rep.Graph
+	fmt.Printf("transformation: %d ops naive → %d ops optimised\n", bloated.Graph.N(), g.N())
+	fmt.Printf("selection (span≤%d): %s\n", rep.Span, rep.Selection.Patterns)
+	fmt.Printf("schedule: %d cycles for %d ops\n", rep.Schedule.Length(), g.N())
 	fmt.Printf("allocation: spills=%d, cross-ALU operands=%d, peak live regs=%d\n",
-		prog.Stats.Spills, prog.Stats.CrossALUMoves, prog.Stats.MaxLiveRegs)
+		rep.Program.Stats.Spills, rep.Program.Stats.CrossALUMoves, rep.Program.Stats.MaxLiveRegs)
+	for _, st := range rep.Stages {
+		fmt.Printf("  stage %-8s %v\n", st.Stage, st.Elapsed)
+	}
 
 	// Execute on the tile model and verify against the textbook DFT.
-	tile, err := mpsched.NewTile(prog)
+	tile, err := mpsched.NewTile(rep.Program)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +82,7 @@ func main() {
 	}
 	st := tile.Stats()
 	fmt.Printf("tile: %d cycles, %d ALU ops, peak bus load %d/%d\n",
-		st.Cycles, st.ALUOps, st.PeakBusLoad, prog.Arch.Buses)
+		st.Cycles, st.ALUOps, st.PeakBusLoad, rep.Program.Arch.Buses)
 	fmt.Printf("max deviation from textbook DFT: %.2g\n", worst)
 	if worst > 1e-6 {
 		log.Fatal("simulation diverged")

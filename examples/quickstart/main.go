@@ -1,11 +1,12 @@
-// Quickstart: build a small data-flow graph with the public API, let the
-// pattern selection algorithm pick two patterns, and schedule the graph
-// onto a pattern-limited tile.
+// Quickstart: build a small data-flow graph with the public API and run
+// it through the staged Compiler — one CompileSpec in, one CompileReport
+// out, with per-stage timings observed by a stage hook.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,28 +32,31 @@ func main() {
 	}
 	fmt.Println(g.String())
 
-	// Ask the paper's algorithm for two patterns on a 3-ALU tile.
-	sel, err := mpsched.SelectPatterns(g, mpsched.SelectConfig{
-		C: 3, Pdef: 2, MaxSpan: mpsched.SpanUnlimited,
-	})
+	// One spec runs the whole paper flow: the selection algorithm picks
+	// two patterns for a 3-ALU tile, the list scheduler places the graph
+	// against them, and the hook watches each stage as it completes.
+	c := mpsched.NewCompiler(mpsched.PipelineOptions{})
+	rep, err := c.Compile(context.Background(), mpsched.NewCompileSpec(g,
+		mpsched.WithSelect(mpsched.SelectConfig{
+			C: 3, Pdef: 2, MaxSpan: mpsched.SpanUnlimited,
+		}),
+		mpsched.WithStageHook(func(si mpsched.StageInfo) {
+			fmt.Printf("stage %-8s done in %v\n", si.Stage, si.Elapsed)
+		}),
+	))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("selected patterns:", sel.Patterns)
 
-	// Schedule against them and show the per-cycle placement.
-	s, err := mpsched.Schedule(g, sel.Patterns, mpsched.SchedOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := s.Verify(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Print(s.Render())
+	fmt.Printf("census: %d antichains in %d pattern classes\n",
+		rep.Census.Antichains, rep.Census.Classes)
+	fmt.Println("selected patterns:", rep.Selection.Patterns)
+	fmt.Print(rep.Schedule.Render())
 
-	lb, err := mpsched.ScheduleLowerBound(g, sel.Patterns)
+	lb, err := mpsched.ScheduleLowerBound(g, rep.Selection.Patterns)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("lower bound %d cycles; achieved %d\n", lb, s.Length())
+	fmt.Printf("lower bound %d cycles; achieved %d (compile took %v)\n",
+		lb, rep.Schedule.Length(), rep.Elapsed)
 }

@@ -42,6 +42,12 @@ type cacheEntry struct {
 	selection *patsel.Selection
 	schedule  *sched.Schedule
 	program   *alloc.Program
+	// census/span/swept reconstruct the Report fields on a hit; the full
+	// antichain.Result is deliberately not cached (Selection.Enumerated
+	// still carries it for callers that need the classes).
+	census *CensusSummary
+	span   int
+	swept  bool
 }
 
 // NewCache returns an empty cache holding at most maxEntries results.

@@ -1,33 +1,36 @@
-// Package pipeline is the batch compilation engine: it runs the full
-// select → schedule → allocate flow for many data-flow graphs across a
-// bounded worker pool, with per-job error isolation, a content-addressed
-// result cache (package-level Cache), and the parallel antichain
-// enumeration backend for large graphs.
+// Package pipeline is the compilation engine behind every front end: the
+// staged Compiler (parse → census → select → schedule → allocate, with
+// per-stage timings, stage hooks, partial compiles and a content-addressed
+// result cache) and the batch Pipeline that fans many jobs out across a
+// bounded worker pool with per-job error isolation.
 //
-// This is the serving layer the ROADMAP's production goal asks for: a
-// fleet of compilation requests goes in, per-job results come out, and
-// repeated workloads — the common case under traffic — are answered from
-// the cache without touching the enumeration engine at all.
+// This is the serving layer the ROADMAP's production goal asks for: one
+// CompileSpec goes in, one CompileReport comes out, and every caller — the
+// CLIs, the examples, the mpschedd daemon — routes through the same staged
+// flow, so repeated workloads are answered from the cache without touching
+// the enumeration engine at all.
 package pipeline
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"mpsched/internal/alloc"
-	"mpsched/internal/antichain"
 	"mpsched/internal/dfg"
 	"mpsched/internal/patsel"
 	"mpsched/internal/sched"
 )
 
-// Job is one compilation request: a graph plus the configuration of every
-// stage. Zero-valued Select fields take the paper's defaults where one
-// exists (C, span, ε, α — see patsel.Config); Select.Pdef has no default
-// and must be ≥ 1. A zero Sched is the paper's scheduler configuration.
+// Job is one batch compilation request: a graph plus the configuration of
+// every stage. Zero-valued Select fields take the paper's defaults where
+// one exists (C, span, ε, α — see patsel.Config); Select.Pdef has no
+// default and must be ≥ 1. A zero Sched is the paper's scheduler
+// configuration. Job is the batch-oriented face of Spec — Spec() converts.
 type Job struct {
 	// Name labels the job in results and reports; empty falls back to the
 	// graph's name.
@@ -42,27 +45,62 @@ type Job struct {
 	// Arch, when non-nil, makes the job run allocation after scheduling,
 	// producing a Program executable on the Montium simulator.
 	Arch *alloc.Arch
+	// Spans, when non-empty, sweeps these span limits and keeps the
+	// candidate whose schedule is shortest (see Spec.Spans).
+	Spans []int
+	// StopAfter ends the compile after the named stage; StageAll (the
+	// zero value) runs everything the job asks for.
+	StopAfter Stage
 }
 
-// Label returns the job's display name.
+// Label returns the job's display name. A span sweep is part of the name
+// — two jobs differing only by their swept spans must stay
+// distinguishable in logs and metrics.
 func (j Job) Label() string {
-	if j.Name != "" {
-		return j.Name
+	name := j.Name
+	if name == "" {
+		if j.Graph != nil {
+			name = j.Graph.Name
+		}
+		if name == "" {
+			name = "?"
+		}
 	}
-	if j.Graph != nil {
-		return j.Graph.Name
+	if len(j.Spans) > 0 {
+		parts := make([]string, len(j.Spans))
+		for i, s := range j.Spans {
+			parts[i] = strconv.Itoa(s)
+		}
+		name += "[spans=" + strings.Join(parts, ",") + "]"
 	}
-	return "?"
+	return name
 }
 
-// Result is the outcome of one job. Either Err is non-nil, or Selection
-// and Schedule are set (and Program, when the job requested allocation).
+// Spec converts the job to the staged compiler's spec type.
+func (j Job) Spec() Spec {
+	return Spec{
+		Name:      j.Name,
+		Graph:     j.Graph,
+		Select:    j.Select,
+		Sched:     j.Sched,
+		Arch:      j.Arch,
+		Spans:     j.Spans,
+		StopAfter: j.StopAfter,
+	}
+}
+
+// Result is the outcome of one job. Either Err is non-nil, or Report is
+// set; Selection/Schedule/Program mirror the report's artifacts for the
+// common full-compile case.
 type Result struct {
 	Job       Job
 	Selection *patsel.Selection
 	Schedule  *sched.Schedule
 	Program   *alloc.Program
-	Err       error
+	// Report is the staged compiler's full output (timings, census
+	// summary, effective span); nil when Err is set.
+	Report *Report
+	Err    error
 	// CacheHit reports that the result was served from the cache, skipping
 	// enumeration, selection and scheduling.
 	CacheHit bool
@@ -75,7 +113,7 @@ type Result struct {
 // fan-out costs more than the subtree work saves.
 const DefaultParallelEnumNodes = 48
 
-// Options configures a Pipeline.
+// Options configures a Compiler and the Pipeline built on it.
 type Options struct {
 	// Workers bounds the job-level worker pool; ≤ 0 means GOMAXPROCS.
 	Workers int
@@ -117,19 +155,34 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Pipeline executes batches of compilation jobs. Construct with New; a
-// Pipeline is safe for concurrent use.
+// Pipeline executes batches of compilation jobs over the staged Compiler.
+// Construct with New; a Pipeline is safe for concurrent use.
 type Pipeline struct {
-	opts Options
+	c *Compiler
 }
 
 // New returns a pipeline with the given options.
 func New(opts Options) *Pipeline {
-	return &Pipeline{opts: opts.withDefaults()}
+	return &Pipeline{c: NewCompiler(opts)}
 }
 
+// zeroCompiler backs zero-valued Pipelines constructed without New.
+var zeroCompiler = NewCompiler(Options{})
+
+// compiler returns the pipeline's compiler, tolerating a zero-valued
+// Pipeline constructed without New.
+func (p *Pipeline) compiler() *Compiler {
+	if p.c == nil {
+		return zeroCompiler
+	}
+	return p.c
+}
+
+// Compiler exposes the staged compiler the pipeline runs jobs through.
+func (p *Pipeline) Compiler() *Compiler { return p.compiler() }
+
 // Cache returns the pipeline's cache, or nil when caching is off.
-func (p *Pipeline) Cache() ResultCache { return p.opts.Cache }
+func (p *Pipeline) Cache() ResultCache { return p.compiler().Cache() }
 
 // Run compiles every job, fanning the batch out over the worker pool.
 // Results are positionally aligned with jobs; one job failing never
@@ -154,10 +207,7 @@ func (p *Pipeline) RunContext(ctx context.Context, jobs []Job) []Result {
 		return results
 	}
 
-	workers := p.opts.Workers
-	if workers <= 0 { // zero-value Pipeline, constructed without New
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := p.compiler().opts.Workers // withDefaults guarantees > 0
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -199,135 +249,28 @@ func (p *Pipeline) Compile(job Job) Result {
 }
 
 // CompileContext is Compile with cancellation. The check runs at stage
-// boundaries (before selection, scheduling and allocation) — a cancelled
-// job stops before its next expensive stage rather than mid-stage.
+// boundaries (before parsing, enumeration, selection, scheduling and
+// allocation) — a cancelled job stops before its next expensive stage
+// rather than mid-stage.
 func (p *Pipeline) CompileContext(ctx context.Context, job Job) Result {
 	start := time.Now()
-	res := p.compile(ctx, job)
-	res.Elapsed = time.Since(start)
-	return res
-}
-
-func (p *Pipeline) compile(ctx context.Context, job Job) Result {
 	res := Result{Job: job}
 	if job.Graph == nil {
 		res.Err = fmt.Errorf("pipeline: job %q has no graph", job.Label())
+		res.Elapsed = time.Since(start)
 		return res
 	}
-	if err := job.Graph.Validate(); err != nil {
-		res.Err = fmt.Errorf("pipeline: job %q: %w", job.Label(), err)
-		return res
-	}
-	if job.Arch != nil {
-		if err := job.Arch.Validate(); err != nil {
-			res.Err = fmt.Errorf("pipeline: job %q: %w", job.Label(), err)
-			return res
-		}
-	}
-	selCfg := job.Select.WithDefaults()
-
-	var key string
-	if p.opts.Cache != nil {
-		key = cacheKey(job.Graph, selCfg, job.Sched, job.Arch)
-		if e, ok := p.opts.Cache.get(key); ok {
-			return rebind(job, e)
-		}
-	}
-
-	if err := ctx.Err(); err != nil {
-		res.Err = fmt.Errorf("pipeline: job %q: %w", job.Label(), err)
-		return res
-	}
-	sel, err := p.selectPatterns(job.Graph, selCfg)
+	rep, err := p.compiler().Compile(ctx, job.Spec())
 	if err != nil {
-		res.Err = fmt.Errorf("pipeline: job %q: select: %w", job.Label(), err)
-		return res
-	}
-	res.Selection = sel
-
-	if err := ctx.Err(); err != nil {
 		res.Err = fmt.Errorf("pipeline: job %q: %w", job.Label(), err)
+		res.Elapsed = time.Since(start)
 		return res
 	}
-	s, err := sched.MultiPattern(job.Graph, sel.Patterns, job.Sched)
-	if err != nil {
-		res.Err = fmt.Errorf("pipeline: job %q: schedule: %w", job.Label(), err)
-		return res
-	}
-	if err := s.Verify(); err != nil {
-		res.Err = fmt.Errorf("pipeline: job %q: verify: %w", job.Label(), err)
-		return res
-	}
-	res.Schedule = s
-
-	if job.Arch != nil {
-		if err := ctx.Err(); err != nil {
-			res.Err = fmt.Errorf("pipeline: job %q: %w", job.Label(), err)
-			return res
-		}
-		prog, err := alloc.Allocate(s, *job.Arch)
-		if err != nil {
-			res.Err = fmt.Errorf("pipeline: job %q: allocate: %w", job.Label(), err)
-			return res
-		}
-		res.Program = prog
-	}
-
-	if p.opts.Cache != nil {
-		p.opts.Cache.put(&cacheEntry{
-			key:       key,
-			selection: res.Selection,
-			schedule:  res.Schedule,
-			program:   res.Program,
-		})
-	}
-	return res
-}
-
-// selectPatterns runs pattern selection, delegating enumeration to the
-// parallel backend for graphs at or above the configured size.
-func (p *Pipeline) selectPatterns(g *dfg.Graph, cfg patsel.Config) (*patsel.Selection, error) {
-	acfg := antichain.Config{MaxSize: cfg.C, MaxSpan: cfg.MaxSpan}
-	var census *antichain.Result
-	var err error
-	if p.opts.ParallelEnumNodes > 0 && g.N() >= p.opts.ParallelEnumNodes {
-		census, err = antichain.EnumerateParallel(g, acfg, p.opts.EnumWorkers)
-	} else {
-		census, err = antichain.Enumerate(g, acfg)
-	}
-	if err != nil {
-		return nil, err
-	}
-	return patsel.SelectFrom(g, census, cfg)
-}
-
-// cacheKey addresses a result by graph content and full configuration.
-// Keys from distinct graphs with identical structure collide on purpose:
-// the cached result is valid for both.
-func cacheKey(g *dfg.Graph, sel patsel.Config, so sched.Options, arch *alloc.Arch) string {
-	archKey := "-"
-	if arch != nil {
-		archKey = fmt.Sprintf("%+v", *arch)
-	}
-	return fmt.Sprintf("%s|%+v|%+v|%s", g.Fingerprint(), sel, so, archKey)
-}
-
-// rebind adapts a cached entry to the requesting job: the cached schedule
-// and program may reference a different (content-identical) *Graph, so
-// shallow copies are pointed at the job's own graph. Node ids agree by
-// construction — the fingerprint covers the full labelled structure.
-func rebind(job Job, e *cacheEntry) Result {
-	res := Result{Job: job, CacheHit: true, Selection: e.selection}
-	if e.schedule != nil {
-		s := *e.schedule
-		s.Graph = job.Graph
-		res.Schedule = &s
-	}
-	if e.program != nil {
-		prog := *e.program
-		prog.Graph = job.Graph
-		prog.Schedule = res.Schedule
-		res.Program = &prog
-	}
+	res.Report = rep
+	res.Selection = rep.Selection
+	res.Schedule = rep.Schedule
+	res.Program = rep.Program
+	res.CacheHit = rep.CacheHit
+	res.Elapsed = time.Since(start)
 	return res
 }

@@ -2,13 +2,13 @@ package server
 
 import (
 	"encoding/json"
-	"fmt"
 	"sort"
 	"strings"
 
 	"mpsched/internal/cliutil"
 	"mpsched/internal/dfg"
 	"mpsched/internal/patsel"
+	"mpsched/internal/pattern"
 	"mpsched/internal/pipeline"
 	"mpsched/internal/sched"
 )
@@ -31,6 +31,15 @@ type CompileRequest struct {
 	// Sched parameterises the list scheduler; nil is the paper's
 	// configuration (F2 priority, descending-index tie-break).
 	Sched *SchedConfig `json:"sched,omitempty"`
+	// StopAfter ends the compile after the named stage: "census",
+	// "select" or "schedule" (empty = full compile). Partial compiles
+	// return partial responses — a select-only compile has patterns and
+	// census but no cycles.
+	StopAfter string `json:"stop_after,omitempty"`
+	// Spans, when non-empty, sweeps these antichain span limits and keeps
+	// the best schedule (response field "span" reports the winner).
+	// Unlike select.span, a literal 0 here means span ≤ 0.
+	Spans []int `json:"spans,omitempty"`
 }
 
 // SelectConfig is the wire form of patsel.Config.
@@ -53,23 +62,52 @@ type SchedConfig struct {
 }
 
 // CompileResponse is the result of a compile, inline from /v1/compile or
-// inside a finished job from /v1/jobs/{id}.
+// inside a finished job from /v1/jobs/{id}. Partial compiles
+// (stop_after) carry only the fields their stages produced: a
+// select-only response has patterns and census but no cycles.
 type CompileResponse struct {
 	Name        string   `json:"name"`
 	Nodes       int      `json:"nodes"`
 	EdgesCount  int      `json:"edges"`
-	Patterns    []string `json:"patterns"` // compact notation, sorted
-	Cycles      int      `json:"cycles"`
+	Patterns    []string `json:"patterns,omitempty"` // compact notation, sorted
+	Cycles      int      `json:"cycles,omitempty"`
 	LowerBound  int      `json:"lower_bound,omitempty"` // 0 when unavailable
-	Utilization float64  `json:"utilization"`
+	Utilization float64  `json:"utilization,omitempty"`
 	// CycleOf maps node id → 0-based clock cycle; PatternOf maps cycle →
 	// index into Patterns as returned by the scheduler (pre-sort order).
-	CycleOf   []int `json:"cycle_of"`
-	PatternOf []int `json:"pattern_of"`
+	CycleOf   []int `json:"cycle_of,omitempty"`
+	PatternOf []int `json:"pattern_of,omitempty"`
 	// SchedulerPatterns is the pattern list in PatternOf's index order.
-	SchedulerPatterns []string `json:"scheduler_patterns"`
-	CacheHit          bool     `json:"cache_hit"`
-	ElapsedMS         float64  `json:"elapsed_ms"`
+	SchedulerPatterns []string `json:"scheduler_patterns,omitempty"`
+	// StopAfter echoes the request's stop stage (empty = full compile).
+	StopAfter string `json:"stop_after,omitempty"`
+	// Span is the effective antichain span limit; with a "spans" sweep it
+	// is the winning limit.
+	Span int `json:"span"`
+	// SweptSpans reports that Span was chosen by a span sweep.
+	SweptSpans bool `json:"swept_spans,omitempty"`
+	// Census summarises the antichain census backing the selection (absent
+	// on cache hits served without re-enumerating, and for cached full
+	// compiles it is restored from the cache entry).
+	Census *CensusResponse `json:"census,omitempty"`
+	// Stages holds per-stage wall-clock timings in execution order
+	// (absent on cache hits: no stage ran).
+	Stages    []StageTimingResponse `json:"stages,omitempty"`
+	CacheHit  bool                  `json:"cache_hit"`
+	ElapsedMS float64               `json:"elapsed_ms"`
+}
+
+// CensusResponse is the wire form of the antichain census summary.
+type CensusResponse struct {
+	Antichains int `json:"antichains"`
+	Classes    int `json:"classes"`
+	Span       int `json:"span"`
+}
+
+// StageTimingResponse is one stage's wall-clock cost on the wire.
+type StageTimingResponse struct {
+	Stage string  `json:"stage"`
+	MS    float64 `json:"ms"`
 }
 
 // Job lifecycle states reported by /v1/jobs/{id}.
@@ -115,13 +153,15 @@ func (e badRequestError) Unwrap() error { return e.err }
 
 // toJob resolves the request into a pipeline job. All failures are
 // badRequestError: nothing has been compiled yet, so the fault is in the
-// request.
+// request. Shape checks live in validate(); this function only resolves
+// the graph and converts the wire configs.
 func toJob(req CompileRequest) (pipeline.Job, error) {
 	job := pipeline.Job{Name: req.Name}
+	if err := req.validate(); err != nil {
+		return job, badRequestError{err}
+	}
 
 	switch {
-	case req.Workload != "" && len(req.DFG) > 0:
-		return job, badRequestError{fmt.Errorf("provide either workload or dfg, not both")}
 	case req.Workload != "":
 		g, err := cliutil.Generate(req.Workload)
 		if err != nil {
@@ -131,14 +171,12 @@ func toJob(req CompileRequest) (pipeline.Job, error) {
 		if job.Name == "" {
 			job.Name = req.Workload
 		}
-	case len(req.DFG) > 0:
+	default:
 		var g dfg.Graph
 		if err := json.Unmarshal(req.DFG, &g); err != nil {
 			return job, badRequestError{err}
 		}
 		job.Graph = &g
-	default:
-		return job, badRequestError{fmt.Errorf("provide a graph: workload (see /v1/workloads) or inline dfg")}
 	}
 
 	sel := patsel.Config{Pdef: defaultPdef}
@@ -153,32 +191,21 @@ func toJob(req CompileRequest) (pipeline.Job, error) {
 		sel.Epsilon = c.Epsilon
 		sel.Alpha = c.Alpha
 	}
-	if sel.Pdef < 1 {
-		return job, badRequestError{fmt.Errorf("select.pdef %d < 1", sel.Pdef)}
-	}
-	if sel.C < 0 {
-		return job, badRequestError{fmt.Errorf("select.c %d < 0", sel.C)}
-	}
 	job.Select = sel
 
 	if c := req.Sched; c != nil {
 		opts := sched.Options{Seed: c.Seed, SwitchPenalty: c.SwitchPenalty}
 		if c.Priority != "" {
-			prio, err := cliutil.ParsePriority(c.Priority)
-			if err != nil {
-				return job, badRequestError{err}
-			}
-			opts.Priority = prio
+			opts.Priority, _ = cliutil.ParsePriority(c.Priority) // validated above
 		}
 		if c.Tie != "" {
-			tb, err := cliutil.ParseTieBreak(c.Tie)
-			if err != nil {
-				return job, badRequestError{err}
-			}
-			opts.TieBreak = tb
+			opts.TieBreak, _ = cliutil.ParseTieBreak(c.Tie) // validated above
 		}
 		job.Sched = opts
 	}
+
+	job.StopAfter = stopStages[req.StopAfter] // validated above
+	job.Spans = req.Spans
 	return job, nil
 }
 
@@ -187,26 +214,65 @@ func toJob(req CompileRequest) (pipeline.Job, error) {
 const defaultPdef = 4
 
 // toResponse converts a successful pipeline result to the wire shape.
+// Fields are filled stage by stage, so partial compiles (stop_after)
+// render exactly what they produced.
 func toResponse(r pipeline.Result) *CompileResponse {
-	s := r.Schedule
 	resp := &CompileResponse{
-		Name:        r.Job.Label(),
-		Nodes:       r.Job.Graph.N(),
-		EdgesCount:  r.Job.Graph.M(),
-		Cycles:      s.Length(),
-		Utilization: s.Utilization(),
-		CycleOf:     s.CycleOf,
-		PatternOf:   s.PatternOf,
-		CacheHit:    r.CacheHit,
-		ElapsedMS:   r.Elapsed.Seconds() * 1e3,
+		Name:       r.Job.Label(),
+		Nodes:      r.Job.Graph.N(),
+		EdgesCount: r.Job.Graph.M(),
+		CacheHit:   r.CacheHit,
+		ElapsedMS:  r.Elapsed.Seconds() * 1e3,
 	}
-	for _, p := range s.Patterns.Patterns() {
-		resp.SchedulerPatterns = append(resp.SchedulerPatterns, p.Compact())
+	if r.Job.StopAfter != pipeline.StageAll {
+		resp.StopAfter = r.Job.StopAfter.String()
 	}
-	resp.Patterns = append([]string(nil), resp.SchedulerPatterns...)
-	sort.Strings(resp.Patterns)
-	if lb, err := sched.LowerBound(r.Job.Graph, s.Patterns); err == nil {
-		resp.LowerBound = lb
+	if rep := r.Report; rep != nil {
+		resp.Span = rep.Span
+		resp.SweptSpans = rep.SweptSpans
+		if rep.Census != nil {
+			resp.Census = &CensusResponse{
+				Antichains: rep.Census.Antichains,
+				Classes:    rep.Census.Classes,
+				Span:       rep.Census.Span,
+			}
+		}
+		for _, st := range rep.Stages {
+			resp.Stages = append(resp.Stages, StageTimingResponse{
+				Stage: st.Stage.String(),
+				MS:    st.Elapsed.Seconds() * 1e3,
+			})
+		}
+	}
+
+	// The pattern set: from the schedule when one exists (its index order
+	// is what pattern_of references), else from a bare selection.
+	var ps *pattern.Set
+	if r.Schedule != nil {
+		ps = r.Schedule.Patterns
+	} else if r.Selection != nil {
+		ps = r.Selection.Patterns
+	}
+	if ps != nil {
+		var compact []string
+		for _, p := range ps.Patterns() {
+			compact = append(compact, p.Compact())
+		}
+		resp.Patterns = append([]string(nil), compact...)
+		sort.Strings(resp.Patterns)
+		if r.Schedule != nil {
+			resp.SchedulerPatterns = compact
+		}
+	}
+
+	if s := r.Schedule; s != nil {
+		resp.Cycles = s.Length()
+		resp.Utilization = s.Utilization()
+		resp.CycleOf = s.CycleOf
+		resp.PatternOf = s.PatternOf
+		if lb, err := sched.LowerBound(r.Job.Graph, s.Patterns); err == nil {
+			resp.LowerBound = lb
+		}
 	}
 	return resp
 }

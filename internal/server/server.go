@@ -1,9 +1,10 @@
 // Package server is the compile-as-a-service layer: an HTTP/JSON front
-// end over internal/pipeline, serving the pattern-selection compiler to
-// many concurrent clients. It adds what the batch pipeline does not have —
-// admission control, per-request cancellation, async jobs, and metrics —
-// while every actual compile goes through the same pipeline engine the
-// CLI uses.
+// end over internal/pipeline, serving the staged pattern-selection
+// compiler to many concurrent clients. It adds what the compiler does
+// not have — admission control, per-request cancellation, async jobs,
+// and metrics — while every actual compile goes through the same staged
+// engine the CLIs use, including partial compiles (stop_after), span
+// sweeps (spans) and per-stage timings on the wire.
 //
 // Endpoints (all JSON):
 //

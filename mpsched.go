@@ -5,14 +5,36 @@
 //
 // A reconfigurable tile (the Montium) executes one *pattern* — a bag of at
 // most C operation colors — per clock cycle, and an application may use
-// only Pdef distinct patterns. This package selects those patterns from
-// the data-flow graph's antichain structure and schedules the graph
-// against them:
+// only Pdef distinct patterns. The paper's flow is a fixed pipeline —
+// antichain census (§5.1) → pattern selection (§5.2) → multi-pattern
+// scheduling (§4) → allocation — and the Compiler is the single way to run
+// it: build a CompileSpec, get a CompileReport back.
 //
-//	g := mpsched.ThreeDFT()                                  // or your own graph
+//	c := mpsched.NewCompiler(mpsched.PipelineOptions{})
+//	rep, _ := c.Compile(ctx, mpsched.NewCompileSpec(mpsched.ThreeDFT(),
+//	        mpsched.WithSelect(mpsched.SelectConfig{C: 5, Pdef: 4})))
+//	fmt.Println(rep.Schedule.Length(), "cycles in", rep.Elapsed)
+//
+// A spec can stop partway (select-only, census-only) and observe every
+// stage — the partial compiles that previously required importing the
+// internal packages:
+//
+//	rep, _ = c.Compile(ctx, mpsched.NewCompileSpec(g,
+//	        mpsched.WithSelect(cfg),
+//	        mpsched.WithStopAfter(mpsched.StageSelect),     // skip scheduling
+//	        mpsched.WithStageHook(func(si mpsched.StageInfo) {
+//	                log.Printf("%-8s %8v", si.Stage, si.Elapsed)
+//	        })))
+//	fmt.Println(rep.Selection.Patterns, rep.Census.Antichains)
+//
+// Specs also carry expression source (WithSourceOptions), span sweeps
+// (WithSpans), architectures (WithArch → rep.Program) and per-spec cache
+// policy (WithoutCache). The one-call helpers below (SelectPatterns,
+// Schedule, Compile, ...) are thin shims over the same Compiler and remain
+// the quickest path for scripts:
+//
 //	sel, _ := mpsched.SelectPatterns(g, mpsched.SelectConfig{C: 5, Pdef: 4})
 //	s, _ := mpsched.Schedule(g, sel.Patterns, mpsched.SchedOptions{})
-//	fmt.Println(s.Length(), "cycles")
 //
 // The facade re-exports the library's layers; import the internal packages
 // directly for the full surface:
@@ -137,15 +159,30 @@ func ParsePatternSet(s string) (*PatternSet, error) { return pattern.ParseSet(s)
 // NewPatternSet builds a set from patterns, dropping duplicates.
 func NewPatternSet(ps ...Pattern) *PatternSet { return pattern.NewSet(ps...) }
 
-// SelectPatterns runs the paper's pattern selection algorithm (§5).
+// SelectPatterns runs the paper's pattern selection algorithm (§5). It is
+// a shim over Compiler: a select-only compile of the graph.
 func SelectPatterns(g *Graph, cfg SelectConfig) (*Selection, error) {
-	return patsel.Select(g, cfg)
+	rep, err := facadeCompile(NewCompileSpec(g, WithSelect(cfg), WithStopAfter(StageSelect)))
+	if err != nil {
+		return nil, err
+	}
+	return rep.Selection, nil
 }
 
 // SelectPatternsBestSpan sweeps span limits and keeps the selection whose
 // schedule is shortest. Returns the selection, its schedule, and the span.
+// It is a shim over Compiler: a span-sweep compile stopped after
+// scheduling.
 func SelectPatternsBestSpan(g *Graph, cfg SelectConfig, spans []int, opts SchedOptions) (*Selection, *ScheduleResult, int, error) {
-	return patsel.SelectBestSpan(g, cfg, spans, opts)
+	if len(spans) == 0 {
+		spans = []int{0, 1, 2}
+	}
+	rep, err := facadeCompile(NewCompileSpec(g,
+		WithSelect(cfg), WithSchedule(opts), WithSpans(spans...), WithStopAfter(StageSchedule)))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return rep.Selection, rep.Schedule, rep.Span, nil
 }
 
 // RandomPatterns is the paper's random baseline: Pdef patterns of C
@@ -155,8 +192,15 @@ func RandomPatterns(g *Graph, cfg SelectConfig, rng *rand.Rand) (*PatternSet, er
 }
 
 // Schedule runs multi-pattern list scheduling (§4) against the patterns.
+// It is a shim over Compiler: an explicit-pattern compile stopped after
+// scheduling.
 func Schedule(g *Graph, ps *PatternSet, opts SchedOptions) (*ScheduleResult, error) {
-	return sched.MultiPattern(g, ps, opts)
+	rep, err := facadeCompile(NewCompileSpec(g,
+		WithPatterns(ps), WithSchedule(opts), WithStopAfter(StageSchedule)))
+	if err != nil {
+		return nil, err
+	}
+	return rep.Schedule, nil
 }
 
 // ScheduleLowerBound returns a provable minimum cycle count.
@@ -183,9 +227,15 @@ func DefaultArch() Arch { return alloc.DefaultArch() }
 func NewTile(p *Program) (*Tile, error) { return montium.NewTile(p) }
 
 // Compile lowers expression-language source to a data-flow graph
-// (lexing, parsing, folding, CSE, negation pushing).
+// (lexing, parsing, folding, CSE, negation pushing). It is a shim over
+// Compiler: a parse-only compile of the source.
 func Compile(src string, opts transform.Options) (*Graph, error) {
-	return transform.Compile(src, opts)
+	rep, err := facadeCompile(NewSourceCompileSpec(src,
+		WithSourceOptions(opts), WithStopAfter(StageParse)))
+	if err != nil {
+		return nil, err
+	}
+	return rep.Graph, nil
 }
 
 // ThreeDFT returns the paper's Fig. 2 graph — the 24-node 3-point DFT.

@@ -1,0 +1,120 @@
+package mpsched_test
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite the facade API golden file")
+
+const apiGolden = "testdata/mpsched_api.golden"
+
+// TestFacadeAPISurface snapshots the exported identifiers of package
+// mpsched so a future change cannot silently drop or rename part of the
+// public API. On an intentional change, regenerate with:
+//
+//	go test -run FacadeAPISurface -update-api .
+func TestFacadeAPISurface(t *testing.T) {
+	got := strings.Join(exportedIdentifiers(t), "\n") + "\n"
+
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(apiGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", apiGolden)
+		return
+	}
+
+	want, err := os.ReadFile(apiGolden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-api to create it): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotSet := toSet(got)
+	wantSet := toSet(string(want))
+	for id := range wantSet {
+		if !gotSet[id] {
+			t.Errorf("exported identifier removed from package mpsched: %s", id)
+		}
+	}
+	for id := range gotSet {
+		if !wantSet[id] {
+			t.Errorf("new exported identifier (add it to %s via -update-api): %s", apiGolden, id)
+		}
+	}
+}
+
+func toSet(s string) map[string]bool {
+	set := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		if line != "" {
+			set[line] = true
+		}
+	}
+	return set
+}
+
+// exportedIdentifiers parses the package's non-test files in this
+// directory and lists every exported top-level identifier, tagged by
+// kind, in sorted order.
+func exportedIdentifiers(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["mpsched"]
+	if !ok {
+		t.Fatalf("package mpsched not found in .; got %v", pkgs)
+	}
+
+	var ids []string
+	add := func(kind, name string) {
+		if ast.IsExported(name) {
+			ids = append(ids, fmt.Sprintf("%-5s %s", kind, name))
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil { // methods belong to their type's surface
+					add("func", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						add("type", s.Name.Name)
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, n := range s.Names {
+							add(kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
