@@ -8,7 +8,9 @@
 //	dfgtool -in graph.json -stats           # node/edge/color census
 //	dfgtool -gen fir:4,8 -text              # text serialisation
 //
-// Generators: 3dft, fig4, ndft:N, fft:N, fir:TAPS,BLOCK, matmul:N, butterfly:S, random:SEED.
+// Generators: 3dft, fig4, ndft:N, fft:N, fir:TAPS,BLOCK, matmul:N,
+// butterfly:S, random:SEED (or random:seed=S,n=N,colors=K),
+// chain:depth=D,width=W, wide:stages=S,lanes=L.
 package main
 
 import (
@@ -32,7 +34,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dfgtool", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		gen    = fs.String("gen", "", "workload to generate (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
+		gen    = fs.String("gen", "", "workload to generate (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:..., chain:..., wide:...)")
 		inFile = fs.String("in", "", "read a graph from a JSON (.json) or text file")
 		out    = fs.String("o", "", "write the graph as JSON to this file")
 		dot    = fs.Bool("dot", false, "print Graphviz DOT")

@@ -2,42 +2,17 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"runtime"
 	"testing"
 
 	"mpsched/internal/antichain"
+	"mpsched/internal/benchfmt"
 	"mpsched/internal/cliutil"
 	"mpsched/internal/dfg"
 	"mpsched/internal/patsel"
 	"mpsched/internal/pipeline"
 )
-
-// benchResult is one benchmark's measurements, the unit of the repo's
-// machine-readable perf trajectory (BENCH_enumeration.json).
-type benchResult struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	// JobsPerSec is set for the pipeline throughput benches (ops scaled by
-	// batch size); zero elsewhere.
-	JobsPerSec float64 `json:"jobs_per_sec,omitempty"`
-	// Antichains is the census size for the enumeration benches, so a
-	// reader can normalise cost per enumerated object.
-	Antichains int `json:"antichains,omitempty"`
-}
-
-type benchReport struct {
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	Results   []benchResult `json:"results"`
-}
 
 // enumBenchSpecs are the core enumeration workloads, matching
 // internal/antichain's BenchmarkEnumerate* set.
@@ -50,11 +25,12 @@ var enumBenchSpecs = []struct{ name, spec string }{
 }
 
 // runBenchJSON measures the core benchmarks via testing.Benchmark and
-// writes the JSON report to path, echoing a summary line per benchmark.
-// Smoke mode runs only the 3DFT subset — enough for CI to prove the
-// generation path still works, without paying for real measurement.
+// writes the JSON report (the benchfmt schema) to path, echoing a summary
+// line per benchmark. Smoke mode runs only the 3DFT subset — enough for CI
+// to prove the generation path still works, without paying for real
+// measurement.
 func runBenchJSON(path string, smoke bool, stdout, stderr io.Writer) int {
-	report := benchReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	report := benchfmt.NewReport()
 
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "experiments:", err)
@@ -189,12 +165,7 @@ func runBenchJSON(path string, smoke bool, stdout, stderr io.Writer) int {
 	}
 	report.Results = append(report.Results, throughputResult("PipelineBatch/warm", warm, len(jobs)))
 
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return fail(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := report.WriteFile(path); err != nil {
 		return fail(err)
 	}
 	for _, res := range report.Results {
@@ -231,8 +202,8 @@ func measure(fn func(b *testing.B) error) (testing.BenchmarkResult, error) {
 	return r, nil
 }
 
-func toResult(name string, r testing.BenchmarkResult, antichains int) benchResult {
-	return benchResult{
+func toResult(name string, r testing.BenchmarkResult, antichains int) benchfmt.Result {
+	return benchfmt.Result{
 		Name:        name,
 		Iterations:  r.N,
 		NsPerOp:     float64(r.NsPerOp()),
@@ -242,7 +213,7 @@ func toResult(name string, r testing.BenchmarkResult, antichains int) benchResul
 	}
 }
 
-func throughputResult(name string, r testing.BenchmarkResult, batch int) benchResult {
+func throughputResult(name string, r testing.BenchmarkResult, batch int) benchfmt.Result {
 	out := toResult(name, r, 0)
 	if r.T > 0 {
 		out.JobsPerSec = float64(r.N*batch) / r.T.Seconds()

@@ -69,7 +69,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mpsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var cfg config
-	fs.StringVar(&cfg.gen, "gen", "", "workload (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
+	fs.StringVar(&cfg.gen, "gen", "", "workload (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:..., chain:..., wide:...)")
 	fs.StringVar(&cfg.inFile, "in", "", "graph JSON file")
 	fs.StringVar(&cfg.patterns, "patterns", "", "explicit pattern set, e.g. \"aabcc aaacc\"")
 	fs.BoolVar(&cfg.doSelect, "select", false, "choose patterns with the selection algorithm")

@@ -1,0 +1,180 @@
+// Command mpschedbench is the load-generation front end: it storms a
+// compile target — the in-process staged compiler by default, or a live
+// mpschedd via -addr — with a scenario-corpus workload and reports
+// latency quantiles, throughput, error/backpressure counts and the cache
+// hit ratio as machine-readable JSON in the repo's BENCH_*.json schema
+// (internal/benchfmt), so load results land in the same perf trajectory
+// as the micro-benchmarks and are gated by the same scripts/benchcheck.
+//
+// Usage:
+//
+//	mpschedbench -scenario random:seed=1,n=64 -mode closed -clients 8 -duration 5s
+//	mpschedbench -scenario mix:seed=1,count=8 -mode open -rps 200 -arrivals poisson -duration 10s
+//	mpschedbench -addr http://localhost:8080 -scenario wide:stages=4,lanes=16 -duration 5s
+//
+// Scenario specs are any workload spec (see GET /v1/workloads or dfgtool
+// -h) or a mix:seed=S,count=N[,tiers=...] blend. The same spec string
+// always generates byte-identical graphs, locally and remotely.
+//
+// The JSON report goes to -out (default stdout); a human summary goes to
+// stderr. With -strict the exit code is 1 when any request failed with a
+// non-2xx/non-429 outcome or the latency histogram came back empty — the
+// contract the CI loadgen smoke gate relies on.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"mpsched/internal/benchfmt"
+	"mpsched/internal/cliutil"
+	"mpsched/internal/loadgen"
+	"mpsched/internal/patsel"
+	"mpsched/internal/pipeline"
+	"mpsched/internal/server/client"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpschedbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scenario = fs.String("scenario", "mix:seed=1,count=8", "scenario spec: a workload spec or mix:seed=S,count=N[,tiers=...]")
+		mode     = fs.String("mode", "closed", "generator shape: closed (N clients back-to-back) or open (fixed arrival rate)")
+		clients  = fs.Int("clients", 8, "closed-loop workers / open-loop in-flight cap")
+		rps      = fs.Float64("rps", 100, "open-loop target arrivals per second")
+		arrivals = fs.String("arrivals", "poisson", "open-loop inter-arrival distribution: poisson or uniform")
+		duration = fs.Duration("duration", 5*time.Second, "how long to issue requests")
+		addr     = fs.String("addr", "", "mpschedd base URL (e.g. http://localhost:8080); empty storms the in-process compiler")
+		pdef     = fs.Int("pdef", 4, "patterns to select per compile")
+		cRes     = fs.Int("C", 0, "resources per tile (0 = the paper's 5)")
+		span     = fs.Int("span", 0, "antichain span limit (0 = the paper's span ≤ 1, -1 unlimited)")
+		noCache  = fs.Bool("no-cache", false, "bypass the result cache (in-process target only): every request pays a full compile")
+		seed     = fs.Int64("seed", 1, "arrival-schedule seed (open loop)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request timeout against a remote daemon")
+		out      = fs.String("out", "", "write the JSON report here (empty = stdout)")
+		name     = fs.String("name", "", "result name (default loadgen/<scenario>/<mode>)")
+		strict   = fs.Bool("strict", false, "exit 1 on any hard failure or an empty latency histogram (the CI gate)")
+	)
+	if code, done := cliutil.ParseFlags(fs, argv); done {
+		return code
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mpschedbench:", err)
+		return 1
+	}
+
+	m, err := loadgen.ParseMode(*mode)
+	if err != nil {
+		return fail(err)
+	}
+	arr, err := loadgen.ParseArrival(*arrivals)
+	if err != nil {
+		return fail(err)
+	}
+	sc, err := loadgen.ParseScenario(*scenario)
+	if err != nil {
+		return fail(err)
+	}
+	items, err := sc.Resolve(patsel.Config{Pdef: *pdef, C: *cRes, MaxSpan: *span})
+	if err != nil {
+		return fail(err)
+	}
+	if *noCache && *addr != "" {
+		return fail(fmt.Errorf("-no-cache only applies to the in-process target"))
+	}
+
+	var target loadgen.Target
+	if *addr != "" {
+		c := client.New(*addr).WithHTTPClient(&http.Client{Timeout: *timeout})
+		if _, err := c.Healthz(context.Background()); err != nil {
+			return fail(fmt.Errorf("daemon at %s not healthy: %w", *addr, err))
+		}
+		target = loadgen.NewRemoteTarget(c)
+	} else {
+		target = loadgen.NewLocalTarget(pipeline.Options{}, *noCache)
+	}
+
+	cfg := loadgen.Config{
+		Scenario: sc.Spec,
+		Mode:     m,
+		Clients:  *clients,
+		RPS:      *rps,
+		Arrival:  arr,
+		Duration: *duration,
+		Seed:     *seed,
+	}
+	fmt.Fprintf(stderr, "mpschedbench: %s storm of %q (%d members) against %s for %s\n",
+		cfg.Mode, sc.Spec, len(items), target.Name(), *duration)
+	res, err := loadgen.Run(context.Background(), target, items, cfg)
+	if err != nil {
+		return fail(err)
+	}
+
+	label := *name
+	if label == "" {
+		label = fmt.Sprintf("loadgen/%s/%s", sc.Spec, cfg.Mode)
+	}
+	report := benchfmt.NewReport()
+	report.Results = append(report.Results, toBenchResult(label, res))
+
+	if *out == "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, string(data))
+	} else if err := report.WriteFile(*out); err != nil {
+		return fail(err)
+	}
+
+	fmt.Fprintf(stderr,
+		"mpschedbench: %d requests in %.1fs: %.1f compiles/s, p50 %s p90 %s p99 %s p999 %s, %d errors, %d rejected, cache %.0f%%\n",
+		res.Requests, res.Elapsed.Seconds(), res.Throughput,
+		res.Hist.Quantile(0.50), res.Hist.Quantile(0.90), res.Hist.Quantile(0.99), res.Hist.Quantile(0.999),
+		res.Errors, res.Rejected, 100*res.CacheHitRatio())
+	for _, s := range res.ErrorSamples {
+		fmt.Fprintf(stderr, "mpschedbench: sample error: %s\n", s)
+	}
+
+	if *strict {
+		if res.Errors > 0 {
+			fmt.Fprintf(stderr, "mpschedbench: strict: %d hard failures\n", res.Errors)
+			return 1
+		}
+		if res.Hist.Count() == 0 {
+			fmt.Fprintln(stderr, "mpschedbench: strict: empty latency histogram")
+			return 1
+		}
+	}
+	return 0
+}
+
+// toBenchResult maps a load Result onto the shared benchmark schema:
+// ns_per_op is the mean latency, jobs_per_sec the successful throughput,
+// and the quantile/counter extensions carry the load-specific profile.
+func toBenchResult(name string, res *loadgen.Result) benchfmt.Result {
+	return benchfmt.Result{
+		Name:          name,
+		Iterations:    int(res.Requests),
+		NsPerOp:       float64(res.Hist.Mean()),
+		JobsPerSec:    res.Throughput,
+		P50Ns:         float64(res.Hist.Quantile(0.50)),
+		P90Ns:         float64(res.Hist.Quantile(0.90)),
+		P99Ns:         float64(res.Hist.Quantile(0.99)),
+		P999Ns:        float64(res.Hist.Quantile(0.999)),
+		Requests:      res.Requests,
+		Errors:        res.Errors,
+		Rejected:      res.Rejected,
+		CacheHitRatio: res.CacheHitRatio(),
+	}
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpsched/internal/benchfmt"
+	"mpsched/internal/server"
+)
+
+// runBench drives run() and returns (code, stdout, stderr).
+func runBench(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// checkLoadResult asserts the acceptance-criteria shape: non-zero
+// throughput and p50/p99 latency, no hard failures.
+func checkLoadResult(t *testing.T, rep *benchfmt.Report, wantPrefix string) *benchfmt.Result {
+	t.Helper()
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(rep.Results))
+	}
+	r := &rep.Results[0]
+	if !strings.HasPrefix(r.Name, wantPrefix) {
+		t.Errorf("result name %q, want prefix %q", r.Name, wantPrefix)
+	}
+	if r.JobsPerSec <= 0 {
+		t.Errorf("zero throughput: %+v", r)
+	}
+	if r.P50Ns <= 0 || r.P99Ns <= 0 || r.P99Ns < r.P50Ns {
+		t.Errorf("implausible latency quantiles: p50=%v p99=%v", r.P50Ns, r.P99Ns)
+	}
+	if r.Errors != 0 {
+		t.Errorf("hard failures: %d", r.Errors)
+	}
+	if r.Requests == 0 || r.Iterations == 0 {
+		t.Errorf("no requests recorded: %+v", r)
+	}
+	return r
+}
+
+func TestClosedLoopInProcess(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "load.json")
+	code, _, stderr := runBench(t,
+		"-scenario", "random:seed=1,n=32,colors=2",
+		"-mode", "closed", "-clients", "4", "-duration", "300ms",
+		"-strict", "-out", out)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	rep, err := benchfmt.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := checkLoadResult(t, rep, "loadgen/random:seed=1,n=32,colors=2/closed")
+	if r.CacheHitRatio <= 0 {
+		t.Errorf("closed-loop repeats never warmed the cache: %+v", r)
+	}
+	if !strings.Contains(stderr, "compiles/s") {
+		t.Errorf("missing human summary on stderr: %s", stderr)
+	}
+}
+
+func TestOpenLoopInProcessStdout(t *testing.T) {
+	code, stdout, stderr := runBench(t,
+		"-scenario", "chain:depth=16,width=2",
+		"-mode", "open", "-rps", "150", "-arrivals", "uniform",
+		"-clients", "4", "-duration", "300ms", "-strict")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	var rep benchfmt.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatalf("stdout is not a benchfmt report: %v\n%s", err, stdout)
+	}
+	checkLoadResult(t, &rep, "loadgen/chain:depth=16,width=2/open")
+}
+
+func TestRemoteDaemon(t *testing.T) {
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	out := filepath.Join(t.TempDir(), "remote.json")
+	code, _, stderr := runBench(t,
+		"-scenario", "random:seed=1,n=64",
+		"-mode", "closed", "-clients", "4", "-duration", "300ms",
+		"-addr", ts.URL, "-strict", "-out", out, "-name", "loadgen/ci-smoke")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	rep, err := benchfmt.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLoadResult(t, rep, "loadgen/ci-smoke")
+}
+
+func TestMixScenario(t *testing.T) {
+	code, stdout, stderr := runBench(t,
+		"-scenario", "mix:seed=2,count=4,tiers=small+chain",
+		"-mode", "closed", "-clients", "2", "-duration", "200ms", "-strict")
+	if code != 0 {
+		t.Fatalf("exit %d\n%s", code, stderr)
+	}
+	var rep benchfmt.Report
+	if err := json.Unmarshal([]byte(stdout), &rep); err != nil {
+		t.Fatal(err)
+	}
+	checkLoadResult(t, &rep, "loadgen/mix:seed=2,count=4,tiers=small+chain/closed")
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "nonsense:1"},
+		{"-mode", "sideways"},
+		{"-arrivals", "fractal"},
+		{"-mode", "open", "-rps", "0", "-duration", "100ms"},
+		{"-no-cache", "-addr", "http://localhost:1"},
+		{"-addr", "http://127.0.0.1:1", "-duration", "100ms"}, // nothing listening
+	}
+	for _, args := range cases {
+		if code, _, _ := runBench(t, args...); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+	if code, _, _ := runBench(t, "-h"); code != 0 {
+		t.Errorf("-h: non-zero exit")
+	}
+}
+
+func TestStrictFailsOnErrors(t *testing.T) {
+	// A daemon that 500s everything: strict mode must exit non-zero.
+	ts := httptest.NewServer(nil)
+	ts.Close() // immediately closed → transport errors
+	code, _, _ := runBench(t,
+		"-scenario", "random:seed=1,n=16",
+		"-duration", "100ms", "-addr", ts.URL, "-strict")
+	if code == 0 {
+		t.Fatal("strict run against a dead daemon exited 0")
+	}
+}

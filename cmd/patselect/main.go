@@ -47,7 +47,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("patselect", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var o options
-	fs.StringVar(&o.gen, "gen", "", "workload (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:SEED)")
+	fs.StringVar(&o.gen, "gen", "", "workload (3dft, fig4, ndft:N, fft:N, fir:T,B, matmul:N, butterfly:S, random:..., chain:..., wide:...)")
 	fs.StringVar(&o.inFile, "in", "", "graph JSON file")
 	fs.IntVar(&o.c, "C", 5, "resources per tile (pattern capacity)")
 	fs.IntVar(&o.pdef, "pdef", 4, "number of patterns to select")

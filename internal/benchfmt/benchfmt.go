@@ -1,0 +1,96 @@
+// Package benchfmt is the repo's machine-readable benchmark schema: the
+// JSON shape of BENCH_*.json, shared by the in-process benchmark runner
+// (cmd/experiments -bench-json, via scripts/bench.sh), the load-generation
+// harness (cmd/mpschedbench) and the CI regression gate
+// (scripts/benchcheck). One schema means one checker: every perf artifact
+// the repo produces can be compared against every baseline it has ever
+// checked in.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// Result is one benchmark's measurements. The core fields (ns_per_op,
+// allocs_per_op, ...) come from testing.Benchmark-style runs; the latency
+// and counter fields are filled by load-generation runs and are zero
+// (omitted) elsewhere. Field names and JSON keys are frozen — checked-in
+// BENCH_*.json baselines parse against this struct.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// JobsPerSec is throughput for batch/load runs (ops scaled by batch
+	// size, or successful requests per second); zero elsewhere.
+	JobsPerSec float64 `json:"jobs_per_sec,omitempty"`
+	// Antichains is the census size for the enumeration benches, so a
+	// reader can normalise cost per enumerated object.
+	Antichains int `json:"antichains,omitempty"`
+
+	// Load-generation extensions (cmd/mpschedbench).
+
+	// P50Ns..P999Ns are latency quantiles in nanoseconds.
+	P50Ns  float64 `json:"p50_ns,omitempty"`
+	P90Ns  float64 `json:"p90_ns,omitempty"`
+	P99Ns  float64 `json:"p99_ns,omitempty"`
+	P999Ns float64 `json:"p999_ns,omitempty"`
+	// Requests counts every issued request; Errors the non-2xx/non-429
+	// failures; Rejected the 429 backpressure responses, which are
+	// expected under overload and not failures.
+	Requests int64 `json:"requests,omitempty"`
+	Errors   int64 `json:"errors,omitempty"`
+	Rejected int64 `json:"rejected,omitempty"`
+	// CacheHitRatio is hits over successful compiles, in [0, 1].
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+}
+
+// Report is a BENCH_*.json document.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// NewReport returns a Report stamped with the running toolchain/platform.
+func NewReport() Report {
+	return Report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+}
+
+// Find returns the named result, or nil.
+func (r *Report) Find(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// ReadFile parses a BENCH_*.json document.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// WriteFile writes the report as indented JSON with a trailing newline
+// (the checked-in baseline format).
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,63 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSchemaRoundTrip pins the wire keys: a checked-in baseline written by
+// an older PR must keep parsing, so the JSON names are part of the schema.
+func TestSchemaRoundTrip(t *testing.T) {
+	rep := NewReport()
+	rep.Results = []Result{
+		{Name: "Enumerate/3dft", Iterations: 10, NsPerOp: 1234.5, AllocsPerOp: 7, BytesPerOp: 99, Antichains: 3430},
+		{Name: "loadgen/x/closed", Iterations: 100, NsPerOp: 5e5, JobsPerSec: 1000,
+			P50Ns: 4e5, P90Ns: 6e5, P99Ns: 9e5, P999Ns: 1e6,
+			Requests: 100, Errors: 0, Rejected: 3, CacheHitRatio: 0.5},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&rep, back) {
+		t.Fatalf("round trip changed the report:\n%+v\n%+v", rep, back)
+	}
+
+	data, err := json.Marshal(rep.Results[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]any
+	if err := json.Unmarshal(data, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"name", "ns_per_op", "jobs_per_sec", "p50_ns", "p99_ns", "requests", "cache_hit_ratio"} {
+		if _, ok := keys[want]; !ok {
+			t.Errorf("wire key %q missing from %s", want, data)
+		}
+	}
+}
+
+// TestReadsCheckedInBaseline: the repo's live baseline must parse with a
+// non-empty result set — benchcheck gates CI on exactly this.
+func TestReadsCheckedInBaseline(t *testing.T) {
+	rep, err := ReadFile("../../BENCH_enumeration.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("baseline has no results")
+	}
+	if rep.Find("Enumerate/3dft") == nil {
+		t.Fatal("baseline lost Enumerate/3dft")
+	}
+	if r := rep.Find("nope"); r != nil {
+		t.Fatalf("Find invented a result: %+v", r)
+	}
+}

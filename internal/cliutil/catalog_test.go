@@ -21,7 +21,7 @@ func TestCatalogMatchesGenerate(t *testing.T) {
 			t.Errorf("catalog example %q generated an empty graph", w.Example)
 		}
 	}
-	for _, family := range []string{"3dft", "fig4", "ndft", "fft", "fir", "matmul", "butterfly", "random"} {
+	for _, family := range []string{"3dft", "fig4", "ndft", "fft", "fir", "matmul", "butterfly", "random", "chain", "wide"} {
 		if !listed[family] {
 			t.Errorf("family %q missing from Catalog", family)
 		}

@@ -56,7 +56,9 @@ func Catalog() []Workload {
 		{Name: "fir", Spec: "fir:TAPS,BLOCK", Description: "block FIR filter (TAPS taps over a BLOCK-sample block)", Example: "fir:8,4"},
 		{Name: "matmul", Spec: "matmul:N", Description: "dense N×N matrix product", Example: "matmul:3"},
 		{Name: "butterfly", Spec: "butterfly:STAGES", Description: "structural radix-2 butterfly network", Example: "butterfly:3"},
-		{Name: "random", Spec: "random:SEED", Description: "seeded random colored DAG", Example: "random:42"},
+		{Name: "random", Spec: "random:SEED | random:seed=S,n=N[,colors=K][,layers=L][,fanin=F]", Description: "seeded random layered DAG; the keyed form pins the exact node count, color mix and shape", Example: "random:seed=7,n=96,colors=3"},
+		{Name: "chain", Spec: "chain:depth=D[,width=W][,colors=K]", Description: "W parallel dependency chains of depth D merged into one sink (serial-latency tier)", Example: "chain:depth=48,width=2"},
+		{Name: "wide", Spec: "wide:stages=S[,lanes=L][,colors=K]", Description: "butterfly network over L lanes (power of two), every level L wide (width-stress tier)", Example: "wide:stages=4,lanes=16"},
 	}
 }
 
@@ -64,7 +66,9 @@ func Catalog() []Workload {
 // (exactly one must be non-empty; an empty pair defaults to the 3DFT).
 //
 // Generator specs: 3dft, fig4, ndft:N, fft:N (radix-2, power of two),
-// fir:TAPS,BLOCK, matmul:N, butterfly:STAGES, random:SEED.
+// fir:TAPS,BLOCK, matmul:N, butterfly:STAGES, random:SEED (legacy) or
+// random:seed=S,n=N[,colors=K][,layers=L][,fanin=F],
+// chain:depth=D[,width=W][,colors=K], wide:stages=S[,lanes=L][,colors=K].
 // Files: *.json (the dfg JSON schema) or the line-oriented text format.
 func LoadGraph(gen, file string) (*dfg.Graph, error) {
 	switch {
@@ -162,15 +166,97 @@ func Generate(spec string) (*dfg.Graph, error) {
 		}
 		return workloads.Butterfly(n) // stages already capped at 10 by the generator
 	case "random":
-		seed, err := strconv.ParseInt(arg, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("random wants random:SEED, got %q", spec)
+		if !strings.Contains(arg, "=") {
+			// Legacy form random:SEED — the pre-corpus default-shaped DAG.
+			seed, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("random wants random:SEED or random:seed=S,n=N,..., got %q", spec)
+			}
+			return workloads.RandomColored(rand.New(rand.NewSource(seed)),
+				workloads.DefaultRandomColoredConfig()), nil
 		}
-		return workloads.RandomColored(rand.New(rand.NewSource(seed)),
-			workloads.DefaultRandomColoredConfig()), nil
+		kv, err := parseKV(arg, "seed", "n", "colors", "layers", "fanin")
+		if err != nil {
+			return nil, fmt.Errorf("random: %v in %q", err, spec)
+		}
+		n := kv.get("n", 64)
+		if err := checkGenSize(spec, float64(n)); err != nil {
+			return nil, err
+		}
+		return workloads.RandomTiered(workloads.TierConfig{
+			Seed:   kv.get("seed", 1),
+			N:      int(n),
+			Colors: int(kv.get("colors", 0)),
+			Layers: int(kv.get("layers", 0)),
+			FanIn:  int(kv.get("fanin", 0)),
+		})
+	case "chain":
+		kv, err := parseKV(arg, "depth", "width", "colors")
+		if err != nil {
+			return nil, fmt.Errorf("chain: %v in %q", err, spec)
+		}
+		depth, width := kv.get("depth", 32), kv.get("width", 1)
+		if err := checkGenSize(spec, float64(depth)*float64(width)+1); err != nil {
+			return nil, err
+		}
+		return workloads.DeepChain(int(depth), int(width), int(kv.get("colors", 2)))
+	case "wide":
+		kv, err := parseKV(arg, "stages", "lanes", "colors")
+		if err != nil {
+			return nil, fmt.Errorf("wide: %v in %q", err, spec)
+		}
+		stages, lanes := kv.get("stages", 4), kv.get("lanes", 8)
+		if err := checkGenSize(spec, (float64(stages)+1)*float64(lanes)); err != nil {
+			return nil, err
+		}
+		return workloads.WideButterfly(int(stages), int(lanes), int(kv.get("colors", 2)))
 	default:
 		return nil, fmt.Errorf("unknown workload %q", spec)
 	}
+}
+
+// kvArgs is a parsed key=value spec argument list.
+type kvArgs map[string]int64
+
+// get returns the value for key, or def when the spec did not set it.
+func (kv kvArgs) get(key string, def int64) int64 {
+	if v, ok := kv[key]; ok {
+		return v
+	}
+	return def
+}
+
+// parseKV parses "k=v,k=v" integer arguments, rejecting keys outside
+// `allowed` and repeated keys — a typo in a scenario spec must fail loudly,
+// not silently fall back to a default and measure the wrong workload.
+func parseKV(arg string, allowed ...string) (kvArgs, error) {
+	ok := func(k string) bool {
+		for _, a := range allowed {
+			if k == a {
+				return true
+			}
+		}
+		return false
+	}
+	kv := kvArgs{}
+	for _, part := range strings.Split(arg, ",") {
+		k, v, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found || k == "" {
+			return nil, fmt.Errorf("bad parameter %q (want key=value)", part)
+		}
+		if !ok(k) {
+			return nil, fmt.Errorf("unknown parameter %q (want one of %s)", k, strings.Join(allowed, ", "))
+		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("parameter %q given twice", k)
+		}
+		x, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %q is not an integer", k, v)
+		}
+		kv[k] = x
+	}
+	return kv, nil
 }
 
 func twoInts(s string) (int, int, error) {

@@ -1,0 +1,99 @@
+package cliutil
+
+import (
+	"testing"
+
+	"mpsched/internal/antichain"
+)
+
+// corpusPins hardcodes the fingerprint of one member of each corpus tier.
+// The pins hold across processes, machines and Go releases (math/rand's
+// sequence and sha256 are both stable), so a drift here means a generator
+// changed behaviour — which silently invalidates every BENCH_*.json ever
+// recorded against these specs. If you change a generator on purpose,
+// regenerate the pins and say so in the commit.
+var corpusPins = []struct {
+	spec        string
+	nodes       int
+	fingerprint string
+}{
+	{"random:seed=7,n=96,colors=3", 96, "5293498ad5305f60c4df1f2859ee7f6666ab37f0ff256f8a3a68ef6458ab71f6"},
+	{"random:seed=1,n=64", 64, "c2f5759795d15dd6fd7ef9a6f8462fccffa42eab3c0ec8e3bed756271f4040af"},
+	{"chain:depth=48,width=2", 97, "936a131e065f74aac2c93b224e6031e843a2cb65a78f26868b9f32a3c0371e64"},
+	{"wide:stages=4,lanes=16", 80, "5f7c22c064eb62034bbbf82a3b59c5ceff660392955a5adf4f5ecffd1b12371d"},
+	{"random:42", 24, "74198f261db18ecbc7ae60d3f601788d18fe092ce993b095ddd56e739841c296"},
+}
+
+// TestCorpusSpecDeterminism pins the scenario corpus: the same spec string
+// must yield a byte-identical graph fingerprint on every run — the
+// property that makes a remote mpschedd and a local compiler comparable
+// under load, and BENCH_*.json results comparable across PRs.
+func TestCorpusSpecDeterminism(t *testing.T) {
+	for _, pin := range corpusPins {
+		t.Run(pin.spec, func(t *testing.T) {
+			g, err := Generate(pin.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != pin.nodes {
+				t.Fatalf("generated %d nodes, pinned %d", g.N(), pin.nodes)
+			}
+			if fp := g.Fingerprint(); fp != pin.fingerprint {
+				t.Fatalf("fingerprint drifted:\n got %s\nwant %s", fp, pin.fingerprint)
+			}
+			again, err := Generate(pin.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Fingerprint() != pin.fingerprint {
+				t.Fatalf("second generation differs from the first")
+			}
+		})
+	}
+}
+
+// TestCorpusEnumerationWorkerInvariance: the census of a corpus graph is
+// identical whatever the EnumerateParallel worker count — same totals,
+// same class multiset — and enumeration leaves the graph (and so its
+// fingerprint) untouched. Scheduling decisions derived from the census are
+// therefore reproducible whether a load test runs single-threaded or
+// saturates every core.
+func TestCorpusEnumerationWorkerInvariance(t *testing.T) {
+	cfg := antichain.Config{MaxSize: 5, MaxSpan: 1}
+	for _, pin := range corpusPins[:4] { // the four corpus tiers
+		t.Run(pin.spec, func(t *testing.T) {
+			g, err := Generate(pin.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := antichain.Enumerate(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				par, err := antichain.EnumerateParallel(g, cfg, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if par.Total() != seq.Total() {
+					t.Fatalf("workers=%d: %d antichains, sequential found %d", workers, par.Total(), seq.Total())
+				}
+				if len(par.Classes) != len(seq.Classes) {
+					t.Fatalf("workers=%d: %d classes, sequential found %d", workers, len(par.Classes), len(seq.Classes))
+				}
+				for key, cl := range seq.Classes {
+					pc, ok := par.Classes[key]
+					if !ok {
+						t.Fatalf("workers=%d: class %q missing", workers, key)
+					}
+					if pc.Count != cl.Count {
+						t.Fatalf("workers=%d: class %q count %d, sequential %d", workers, key, pc.Count, cl.Count)
+					}
+				}
+			}
+			if fp := g.Fingerprint(); fp != pin.fingerprint {
+				t.Fatalf("enumeration mutated the graph: fingerprint %s, pinned %s", fp, pin.fingerprint)
+			}
+		})
+	}
+}

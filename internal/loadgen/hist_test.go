@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 5, 15, 16, 17, 31, 32, 33, 63, 64, 100, 1000, 1e6, 1e9, 1e12} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+	}
+	// Every value falls in the bucket whose midpoint approximates it.
+	for v := int64(1); v < 1<<40; v = v*3 + 1 {
+		idx := bucketIndex(v)
+		mid := bucketMid(idx)
+		if relErr := math.Abs(float64(mid-v)) / float64(v); relErr > 1.0/subBuckets {
+			t.Fatalf("bucketMid(bucketIndex(%d)) = %d, relative error %.3f > %.3f",
+				v, mid, relErr, 1.0/subBuckets)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zero")
+	}
+	// 1..1000 µs uniformly: p50 ≈ 500µs, p99 ≈ 990µs within bucket error.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d, want 1000", h.Count())
+	}
+	check := func(q float64, want time.Duration) {
+		got := h.Quantile(q)
+		tol := float64(want) / subBuckets * 2 // bucket width + rank rounding
+		if math.Abs(float64(got-want)) > tol {
+			t.Errorf("Quantile(%g) = %v, want %v ± %v", q, got, want, time.Duration(tol))
+		}
+	}
+	check(0.5, 500*time.Microsecond)
+	check(0.9, 900*time.Microsecond)
+	check(0.99, 990*time.Microsecond)
+	check(0.999, 999*time.Microsecond)
+	if h.Min() != time.Microsecond {
+		t.Errorf("Min = %v, want 1µs", h.Min())
+	}
+	if h.Max() != time.Millisecond {
+		t.Errorf("Max = %v, want 1ms", h.Max())
+	}
+	if mean := h.Mean(); mean < 480*time.Microsecond || mean > 520*time.Microsecond {
+		t.Errorf("Mean = %v, want ~500µs", mean)
+	}
+	// Quantile extremes clamp to the recorded range.
+	if h.Quantile(0) < h.Min() || h.Quantile(1) > h.Max() {
+		t.Errorf("quantile extremes escape [min, max]: %v %v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+// TestHistogramSkewed: quantiles stay within bucket error on a heavily
+// skewed distribution (the shape real latency storms produce).
+func TestHistogramSkewed(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(1_000_000)) * time.Nanosecond
+		if i%100 == 0 {
+			d *= 1000 // 1% slow tail
+		}
+		h.Record(d)
+	}
+	if p50, p999 := h.Quantile(0.5), h.Quantile(0.999); p999 < 100*p50 {
+		t.Errorf("tail invisible: p50=%v p999=%v", p50, p999)
+	}
+	if h.Quantile(0.5) > h.Quantile(0.9) || h.Quantile(0.9) > h.Quantile(0.99) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative record mishandled: count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+}

@@ -1,0 +1,341 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpsched/internal/patsel"
+	"mpsched/internal/pipeline"
+	"mpsched/internal/server"
+	"mpsched/internal/server/client"
+)
+
+// stubTarget answers instantly with a scripted reply sequence.
+type stubTarget struct {
+	calls   atomic.Int64
+	replies []Reply // cycled; empty means all-success
+	delay   time.Duration
+}
+
+func (s *stubTarget) Name() string { return "stub" }
+
+func (s *stubTarget) Do(ctx context.Context, it Item) Reply {
+	n := s.calls.Add(1)
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	if len(s.replies) == 0 {
+		return Reply{}
+	}
+	return s.replies[int(n-1)%len(s.replies)]
+}
+
+func testItems() []Item {
+	return []Item{{Spec: "stub:1"}, {Spec: "stub:2"}}
+}
+
+func TestClosedLoopCounts(t *testing.T) {
+	st := &stubTarget{replies: []Reply{
+		{},                             // success
+		{CacheHit: true},               // success, cached
+		{Rejected: true},               // backpressure
+		{Err: errors.New("boom such")}, // hard failure
+	}}
+	res, err := Run(context.Background(), st, testItems(), Config{
+		Scenario: "stub-mix",
+		Mode:     Closed,
+		Clients:  4,
+		Duration: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if got := res.Success + res.Errors + res.Rejected; got != res.Requests {
+		t.Fatalf("outcome classes sum to %d, issued %d", got, res.Requests)
+	}
+	if res.Errors == 0 || res.Rejected == 0 || res.CacheHits == 0 {
+		t.Fatalf("scripted outcomes missing: %+v", res)
+	}
+	if res.Hist.Count() != uint64(res.Success+res.Rejected) {
+		t.Fatalf("histogram holds %d, want successes+rejections %d", res.Hist.Count(), res.Success+res.Rejected)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if res.Scenario != "stub-mix" || res.Target != "stub" || res.Mode != "closed" {
+		t.Fatalf("labels wrong: %+v", res)
+	}
+	if len(res.ErrorSamples) == 0 || !strings.Contains(res.ErrorSamples[0], "boom") {
+		t.Fatalf("error samples missing: %v", res.ErrorSamples)
+	}
+	if r := res.CacheHitRatio(); r <= 0 || r > 1 {
+		t.Fatalf("cache hit ratio %v out of range", r)
+	}
+}
+
+func TestOpenLoopUniformRate(t *testing.T) {
+	st := &stubTarget{}
+	cfg := Config{
+		Mode:     Open,
+		Arrival:  Uniform,
+		RPS:      200,
+		Clients:  8,
+		Duration: 500 * time.Millisecond,
+	}
+	res, err := Run(context.Background(), st, testItems(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~100 arrivals scheduled; allow wide slack for CI jitter but reject
+	// order-of-magnitude drift in either direction.
+	if res.Requests < 50 || res.Requests > 150 {
+		t.Fatalf("uniform 200 rps for 500ms issued %d requests, want ~100", res.Requests)
+	}
+	if res.Errors != 0 || res.Success != res.Requests {
+		t.Fatalf("stub run had failures: %+v", res)
+	}
+}
+
+func TestOpenLoopPoissonIssues(t *testing.T) {
+	st := &stubTarget{}
+	res, err := Run(context.Background(), st, testItems(), Config{
+		Mode: Open, Arrival: Poisson, RPS: 500, Clients: 8, Seed: 7,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("poisson schedule issued nothing")
+	}
+	if res.Hist.Quantile(0.5) <= 0 {
+		t.Fatal("empty latency histogram")
+	}
+}
+
+func TestOpenLoopChargesQueueing(t *testing.T) {
+	// One slot, slow target, fast arrivals: intended-arrival accounting
+	// must charge the queueing delay, so p99 ≫ the per-request delay.
+	st := &stubTarget{delay: 20 * time.Millisecond}
+	res, err := Run(context.Background(), st, testItems(), Config{
+		Mode: Open, Arrival: Uniform, RPS: 200, Clients: 1,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hist.Max() < 50*time.Millisecond {
+		t.Fatalf("max latency %v does not include queueing delay", res.Hist.Max())
+	}
+}
+
+// TestOpenLoopOverloadBounded: when the target falls a full queue behind
+// the arrival schedule, excess arrivals are recorded as hard failures
+// instead of buffering without bound — the harness must not hoard a
+// goroutine (or queue entry) per scheduled arrival forever.
+func TestOpenLoopOverloadBounded(t *testing.T) {
+	st := &stubTarget{delay: 100 * time.Millisecond}
+	res, err := Run(context.Background(), st, testItems(), Config{
+		Mode: Open, Arrival: Uniform, RPS: 1000, Clients: 1,
+		Duration: 1300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatalf("no overload errors despite a saturated 1-client target: %+v", res)
+	}
+	if got := res.Success + res.Errors + res.Rejected; got != res.Requests {
+		t.Fatalf("outcome classes sum to %d, issued %d", got, res.Requests)
+	}
+	if len(res.ErrorSamples) == 0 || !strings.Contains(res.ErrorSamples[0], "queue full") {
+		t.Fatalf("overload not surfaced in samples: %v", res.ErrorSamples)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	st := &stubTarget{}
+	if _, err := Run(context.Background(), st, testItems(), Config{Mode: Open, Duration: time.Second}); err == nil {
+		t.Error("open loop without RPS accepted")
+	}
+	if _, err := Run(context.Background(), st, testItems(), Config{}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Run(context.Background(), st, nil, Config{Duration: time.Second}); err == nil {
+		t.Error("empty item list accepted")
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(ctx, &stubTarget{}, testItems(), Config{Clients: 2, Duration: 10 * time.Second})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not stop the run")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if m, err := ParseMode("closed"); err != nil || m != Closed {
+		t.Errorf("ParseMode closed: %v %v", m, err)
+	}
+	if m, err := ParseMode("open"); err != nil || m != Open {
+		t.Errorf("ParseMode open: %v %v", m, err)
+	}
+	if _, err := ParseMode("sideways"); err == nil {
+		t.Error("ParseMode accepted sideways")
+	}
+	if a, err := ParseArrival("poisson"); err != nil || a != Poisson {
+		t.Errorf("ParseArrival poisson: %v %v", a, err)
+	}
+	if a, err := ParseArrival("uniform"); err != nil || a != Uniform {
+		t.Errorf("ParseArrival uniform: %v %v", a, err)
+	}
+	if _, err := ParseArrival("fractal"); err == nil {
+		t.Error("ParseArrival accepted fractal")
+	}
+}
+
+// TestLocalTargetStorm drives the real staged compiler through a short
+// closed-loop storm over a mixed scenario — the in-process half of the
+// mpschedbench acceptance path.
+func TestLocalTargetStorm(t *testing.T) {
+	sc, err := ParseScenario("mix:seed=3,count=4,tiers=small+chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := sc.Resolve(patsel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), NewLocalTarget(pipeline.Options{}, false), items, Config{
+		Scenario: sc.Spec,
+		Mode:     Closed,
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("compile errors under storm: %v", res.ErrorSamples)
+	}
+	if res.Success == 0 || res.Throughput <= 0 {
+		t.Fatalf("no successful compiles: %+v", res)
+	}
+	if res.CacheHits == 0 {
+		t.Fatalf("warm repeats never hit the cache: %+v", res)
+	}
+	if res.Hist.Quantile(0.5) <= 0 || res.Hist.Quantile(0.99) < res.Hist.Quantile(0.5) {
+		t.Fatalf("implausible quantiles: p50=%v p99=%v", res.Hist.Quantile(0.5), res.Hist.Quantile(0.99))
+	}
+}
+
+// TestLocalTargetCacheBypass: with bypass every request pays the full
+// compile, so no cache hits appear even on repeats.
+func TestLocalTargetCacheBypass(t *testing.T) {
+	sc, err := ParseScenario("random:seed=5,n=24,colors=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := sc.Resolve(patsel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), NewLocalTarget(pipeline.Options{}, true), items, Config{
+		Mode: Closed, Clients: 2, Duration: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 {
+		t.Fatalf("bypass still hit the cache %d times", res.CacheHits)
+	}
+	if res.Success == 0 {
+		t.Fatal("no successful compiles")
+	}
+}
+
+// TestRemoteTargetStorm runs the same storm against a real server over
+// HTTP — the remote half of the mpschedbench acceptance path, minus the
+// TCP daemon (CI covers that).
+func TestRemoteTargetStorm(t *testing.T) {
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	sc, err := ParseScenario("random:seed=1,n=32,colors=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := sc.Resolve(patsel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), NewRemoteTarget(client.New(ts.URL)), items, Config{
+		Scenario: sc.Spec,
+		Mode:     Closed,
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("remote storm errors: %v", res.ErrorSamples)
+	}
+	if res.Success == 0 {
+		t.Fatal("no successful remote compiles")
+	}
+	if res.CacheHits == 0 {
+		t.Fatal("server cache never warmed over repeats")
+	}
+	if res.Target != ts.URL {
+		t.Fatalf("target label %q, want %q", res.Target, ts.URL)
+	}
+}
+
+// TestRemoteTargetClassifies429 pins the backpressure classification: a
+// 429 from the daemon is Rejected, not an error.
+func TestRemoteTargetClassifies429(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"queue full"}`))
+	}))
+	defer ts.Close()
+	rt := NewRemoteTarget(client.New(ts.URL))
+	rep := rt.Do(context.Background(), Item{Spec: "3dft"})
+	if rep.Err != nil || !rep.Rejected {
+		t.Fatalf("429 classified as %+v, want Rejected", rep)
+	}
+	// Every other non-2xx — including 503 from a draining daemon — stays a
+	// hard failure, per the CI gate's non-2xx/non-429 contract.
+	for _, status := range []int{http.StatusBadRequest, http.StatusServiceUnavailable, http.StatusInternalServerError} {
+		ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(status)
+			_, _ = w.Write([]byte(`{"error":"nope"}`))
+		}))
+		rep = NewRemoteTarget(client.New(ts2.URL)).Do(context.Background(), Item{Spec: "3dft"})
+		ts2.Close()
+		if rep.Err == nil || rep.Rejected {
+			t.Fatalf("%d classified as %+v, want Err", status, rep)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"mpsched/internal/cliutil"
+	"mpsched/internal/patsel"
+)
+
+// Scenario is a resolved load scenario: an ordered list of workload specs
+// the generators cycle through. Every member is individually a valid
+// cliutil.Generate spec, so a remote daemon regenerates exactly the graphs
+// a local run compiles.
+type Scenario struct {
+	// Spec is the scenario spec string the scenario was parsed from.
+	Spec string
+	// Members are the workload specs, in replay order.
+	Members []string
+}
+
+// mix tier templates: each tier maps a drawn seed to one member spec.
+// Deterministic in the draw — the member lists below must never depend on
+// map iteration or wall-clock state.
+var mixTiers = map[string]func(rng *rand.Rand) string{
+	"small": func(rng *rand.Rand) string {
+		return fmt.Sprintf("random:seed=%d,n=%d,colors=2", rng.Intn(1<<16), 16+rng.Intn(17))
+	},
+	"medium": func(rng *rand.Rand) string {
+		return fmt.Sprintf("random:seed=%d,n=%d,colors=3", rng.Intn(1<<16), 48+rng.Intn(49))
+	},
+	"large": func(rng *rand.Rand) string {
+		return fmt.Sprintf("random:seed=%d,n=%d,colors=3,fanin=3", rng.Intn(1<<16), 128+rng.Intn(65))
+	},
+	"chain": func(rng *rand.Rand) string {
+		return fmt.Sprintf("chain:depth=%d,width=2,colors=2", 24+rng.Intn(41))
+	},
+	"wide": func(rng *rand.Rand) string {
+		return fmt.Sprintf("wide:stages=%d,lanes=8,colors=2", 3+rng.Intn(3))
+	},
+}
+
+// mixTierOrder fixes the tier iteration order (maps are unordered; the
+// blend must not be).
+var mixTierOrder = []string{"small", "medium", "large", "chain", "wide"}
+
+// DefaultMixTiers is the tier blend "mix:" uses when the spec names none.
+const DefaultMixTiers = "small+medium+chain+wide"
+
+// ParseScenario parses a scenario spec. Any single workload spec
+// (see cliutil.Generate) is a one-member scenario; the mix family
+//
+//	mix:seed=S[,count=N][,tiers=small+medium+large+chain+wide]
+//
+// expands to a deterministic blend of N members drawn from the named
+// tiers — the "mixed fleet" the batch benchmarks model, addressable by one
+// string. Parsing never builds graphs; use Resolve for that.
+func ParseScenario(spec string) (*Scenario, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	if name != "mix" {
+		// Validate the family eagerly (cheap — no graph is built; Resolve
+		// surfaces parameter errors) so a typo fails at parse time.
+		known := false
+		for _, w := range cliutil.Catalog() {
+			if w.Name == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown workload family %q in scenario %q", name, spec)
+		}
+		return &Scenario{Spec: spec, Members: []string{spec}}, nil
+	}
+
+	seed, count := int64(1), 8
+	tiers := DefaultMixTiers
+	seen := map[string]bool{}
+	for _, part := range strings.Split(arg, ",") {
+		k, v, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			return nil, fmt.Errorf("mix: bad parameter %q (want key=value) in %q", part, spec)
+		}
+		// A repeated key is a typo that would measure a different fleet
+		// than intended — fail loudly, like cliutil's key=value parser.
+		if seen[k] {
+			return nil, fmt.Errorf("mix: parameter %q given twice in %q", k, spec)
+		}
+		seen[k] = true
+		switch k {
+		case "seed":
+			x, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mix: seed %q is not an integer in %q", v, spec)
+			}
+			seed = x
+		case "count":
+			x, err := strconv.Atoi(v)
+			if err != nil || x < 1 || x > 4096 {
+				return nil, fmt.Errorf("mix: count %q out of range 1..4096 in %q", v, spec)
+			}
+			count = x
+		case "tiers":
+			tiers = v
+		default:
+			return nil, fmt.Errorf("mix: unknown parameter %q (want seed, count, tiers) in %q", k, spec)
+		}
+	}
+
+	var draw []func(*rand.Rand) string
+	for _, tier := range strings.Split(tiers, "+") {
+		gen, ok := mixTiers[tier]
+		if !ok {
+			return nil, fmt.Errorf("mix: unknown tier %q (want one of %s) in %q",
+				tier, strings.Join(mixTierOrder, ", "), spec)
+		}
+		draw = append(draw, gen)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	members := make([]string, count)
+	for i := range members {
+		members[i] = draw[rng.Intn(len(draw))](rng)
+	}
+	return &Scenario{Spec: spec, Members: members}, nil
+}
+
+// Resolve generates every member graph, returning the items the
+// generators replay. sel applies to every item (Pdef defaults to 4 when
+// unset, matching the daemon).
+func (s *Scenario) Resolve(sel patsel.Config) ([]Item, error) {
+	if sel.Pdef == 0 {
+		sel.Pdef = 4
+	}
+	items := make([]Item, len(s.Members))
+	for i, m := range s.Members {
+		g, err := cliutil.Generate(m)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q member %q: %w", s.Spec, m, err)
+		}
+		items[i] = Item{Spec: m, Graph: g, Select: sel}
+	}
+	return items, nil
+}

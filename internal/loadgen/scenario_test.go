@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpsched/internal/patsel"
+)
+
+func TestParseScenarioSingleton(t *testing.T) {
+	sc, err := ParseScenario("random:seed=1,n=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Members) != 1 || sc.Members[0] != "random:seed=1,n=64" {
+		t.Fatalf("singleton members = %v", sc.Members)
+	}
+	if _, err := ParseScenario("nonsense:1"); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	// Parameter errors pass the cheap parse-time family check and surface
+	// at Resolve, before any storm starts.
+	sc, err = ParseScenario("random:seed=x")
+	if err != nil {
+		t.Fatalf("family-valid spec rejected at parse time: %v", err)
+	}
+	if _, err := sc.Resolve(patsel.Config{}); err == nil {
+		t.Fatal("bad parameter accepted at Resolve")
+	}
+}
+
+func TestParseScenarioMixDeterministic(t *testing.T) {
+	a, err := ParseScenario("mix:seed=1,count=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseScenario("mix:seed=1,count=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Members, b.Members) {
+		t.Fatalf("same mix spec, different members:\n%v\n%v", a.Members, b.Members)
+	}
+	if len(a.Members) != 8 {
+		t.Fatalf("count=8 produced %d members", len(a.Members))
+	}
+	c, err := ParseScenario("mix:seed=2,count=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Members, c.Members) {
+		t.Fatal("different seeds drew identical blends")
+	}
+	// Every member must itself be a resolvable workload spec.
+	items, err := a.Resolve(patsel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if it.Graph == nil || it.Graph.N() == 0 {
+			t.Fatalf("member %d (%s) resolved empty", i, it.Spec)
+		}
+		if it.Select.Pdef != 4 {
+			t.Fatalf("member %d: Pdef defaulted to %d, want 4", i, it.Select.Pdef)
+		}
+	}
+}
+
+func TestParseScenarioMixTiers(t *testing.T) {
+	sc, err := ParseScenario("mix:seed=3,count=12,tiers=chain+wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sc.Members {
+		if !strings.HasPrefix(m, "chain:") && !strings.HasPrefix(m, "wide:") {
+			t.Fatalf("tiers=chain+wide drew member %q", m)
+		}
+	}
+	for _, bad := range []string{
+		"mix:seed=x",
+		"mix:count=0",
+		"mix:count=99999",
+		"mix:tiers=enormous",
+		"mix:flavor=salty",
+		"mix:seed",
+		"mix:seed=1,count=8,count=100", // silent last-wins would measure the wrong fleet
+	} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Errorf("%q accepted, want error", bad)
+		}
+	}
+}
+
+// TestMixMembersDeterministicFingerprints: resolving the same mix twice
+// yields byte-identical graphs, member by member — the property that makes
+// a remote daemon and a local run compile the same fleet.
+func TestMixMembersDeterministicFingerprints(t *testing.T) {
+	resolve := func() []string {
+		sc, err := ParseScenario("mix:seed=9,count=6")
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, err := sc.Resolve(patsel.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps := make([]string, len(items))
+		for i, it := range items {
+			fps[i] = it.Graph.Fingerprint()
+		}
+		return fps
+	}
+	if a, b := resolve(), resolve(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("mix fingerprints drifted:\n%v\n%v", a, b)
+	}
+}

@@ -331,6 +331,29 @@ func TestHealthzAndWorkloads(t *testing.T) {
 	if len(ws) != len(cliutil.Catalog()) {
 		t.Errorf("workloads = %d entries, want %d", len(ws), len(cliutil.Catalog()))
 	}
+
+	// The scenario-corpus families must be served, and their examples must
+	// compile remotely — the property that lets mpschedbench replay the
+	// same corpus against a daemon that a local run compiles in-process.
+	families := map[string]string{}
+	for _, w := range ws {
+		families[w.Name] = w.Example
+	}
+	for _, corpus := range []string{"random", "chain", "wide"} {
+		example, ok := families[corpus]
+		if !ok {
+			t.Errorf("corpus family %q missing from /v1/workloads", corpus)
+			continue
+		}
+		resp, err := c.Compile(ctx, server.CompileRequest{Workload: example})
+		if err != nil {
+			t.Errorf("corpus example %q does not compile remotely: %v", example, err)
+			continue
+		}
+		if resp.Cycles == 0 {
+			t.Errorf("corpus example %q compiled to zero cycles", example)
+		}
+	}
 }
 
 func TestMetricsExposition(t *testing.T) {

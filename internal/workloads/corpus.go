@@ -1,0 +1,230 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpsched/internal/dfg"
+)
+
+// This file is the scenario corpus: parameterized generator families that
+// give the load-generation harness (internal/loadgen, cmd/mpschedbench) a
+// reproducible population of graphs at several size/shape/color-mix tiers.
+// Every generator here is strictly deterministic in its config — no map
+// iteration, no global state — so the same spec string produces a
+// byte-identical dfg.Graph.Fingerprint() on every run, on every machine.
+// That determinism is what lets a remote mpschedd and a local compiler
+// provably chew on identical graphs: both sides resolve the same spec.
+
+// palette is the corpus color alphabet. Colors[i] for i < TierConfig.Colors
+// are used, cycling the paper-flavoured weights below.
+var palette = [...]dfg.Color{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+// MaxCorpusColors bounds the color-mix parameter of every corpus family.
+const MaxCorpusColors = len(palette)
+
+// tierWeights echo the paper's workload mix (adds dominate): color i gets
+// weight tierWeights[i % len(tierWeights)].
+var tierWeights = [...]int{4, 2, 1}
+
+// TierConfig parameterises RandomTiered, the corpus's random layered DAG
+// family. The zero value of every optional knob picks a sensible default;
+// only N must be set.
+type TierConfig struct {
+	// Seed drives every random choice. Same seed, same graph.
+	Seed int64
+	// N is the exact node count of the generated graph (required, ≥ 1).
+	N int
+	// Colors is how many distinct colors appear (default 3, ≤ MaxCorpusColors).
+	Colors int
+	// Layers is the number of levels; 0 picks ~√N (min 2 when N ≥ 2).
+	Layers int
+	// FanIn bounds the predecessors drawn per node from the previous layer
+	// (each node gets 1..FanIn, default 2).
+	FanIn int
+}
+
+func (c TierConfig) withDefaults() (TierConfig, error) {
+	if c.N < 1 {
+		return c, fmt.Errorf("workloads: tier n %d < 1", c.N)
+	}
+	if c.Colors == 0 {
+		c.Colors = 3
+	}
+	if c.Colors < 1 || c.Colors > MaxCorpusColors {
+		return c, fmt.Errorf("workloads: tier colors %d out of range 1..%d", c.Colors, MaxCorpusColors)
+	}
+	if c.FanIn == 0 {
+		c.FanIn = 2
+	}
+	if c.FanIn < 1 {
+		return c, fmt.Errorf("workloads: tier fanin %d < 1", c.FanIn)
+	}
+	if c.Layers == 0 {
+		c.Layers = int(math.Round(math.Sqrt(float64(c.N))))
+		if c.Layers < 2 {
+			c.Layers = 2
+		}
+	}
+	if c.Layers < 1 {
+		return c, fmt.Errorf("workloads: tier layers %d < 1", c.Layers)
+	}
+	if c.Layers > c.N {
+		c.Layers = c.N
+	}
+	return c, nil
+}
+
+// longEdgeProb is the chance a node also picks one predecessor from a
+// layer at least two levels up — enough cross-layer structure to keep
+// level widths from being the whole story, rare enough to keep the graphs
+// layered.
+const longEdgeProb = 0.05
+
+// RandomTiered generates a layered random DAG with exactly cfg.N nodes,
+// weighted colors, and bounded fan-in. It is the corpus's workhorse: tier
+// specs like random:seed=7,n=96,colors=3 resolve here.
+func RandomTiered(cfg TierConfig) (*dfg.Graph, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Exact-N layer widths: N/Layers each, remainder spread over the
+	// earliest layers. Deterministic, every layer non-empty.
+	widths := make([]int, cfg.Layers)
+	base, rem := cfg.N/cfg.Layers, cfg.N%cfg.Layers
+	for l := range widths {
+		widths[l] = base
+		if l < rem {
+			widths[l]++
+		}
+	}
+
+	totalWeight := 0
+	for i := 0; i < cfg.Colors; i++ {
+		totalWeight += tierWeights[i%len(tierWeights)]
+	}
+	pickColor := func() dfg.Color {
+		r := rng.Intn(totalWeight)
+		for i := 0; i < cfg.Colors; i++ {
+			r -= tierWeights[i%len(tierWeights)]
+			if r < 0 {
+				return palette[i]
+			}
+		}
+		return palette[cfg.Colors-1]
+	}
+
+	d := dfg.NewGraph(fmt.Sprintf("random_s%d_n%d_c%d", cfg.Seed, cfg.N, cfg.Colors))
+	starts := make([]int, cfg.Layers) // first node id of each layer
+	id := 0
+	for l := 0; l < cfg.Layers; l++ {
+		starts[l] = id
+		for i := 0; i < widths[l]; i++ {
+			d.MustAddNode(dfg.Node{Name: fmt.Sprintf("n%d", id), Color: pickColor()})
+			id++
+		}
+	}
+	for l := 1; l < cfg.Layers; l++ {
+		prevStart, prevWidth := starts[l-1], widths[l-1]
+		for i := 0; i < widths[l]; i++ {
+			v := starts[l] + i
+			k := 1 + rng.Intn(cfg.FanIn)
+			if k > prevWidth {
+				k = prevWidth
+			}
+			for e := 0; e < k; e++ {
+				// Duplicates are ignored by the graph layer, so drawing
+				// with replacement still yields 1..k distinct edges.
+				d.MustAddDep(prevStart+rng.Intn(prevWidth), v)
+			}
+			if l >= 2 && rng.Float64() < longEdgeProb {
+				ll := rng.Intn(l - 1)
+				d.MustAddDep(starts[ll]+rng.Intn(widths[ll]), v)
+			}
+		}
+	}
+	return d, nil
+}
+
+// DeepChain generates width parallel dependency chains of the given depth,
+// merged into a single sink node — the corpus's serial-latency tier. With
+// width 1 the schedule length is forced to depth+1 regardless of pattern
+// choice, which makes chains the control group of any scheduling claim.
+// Colors cycle deterministically over the first `colors` palette entries;
+// no randomness is involved, so the fingerprint depends on (depth, width,
+// colors) alone.
+func DeepChain(depth, width, colors int) (*dfg.Graph, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("workloads: chain depth %d < 1", depth)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("workloads: chain width %d < 1", width)
+	}
+	if colors < 1 || colors > MaxCorpusColors {
+		return nil, fmt.Errorf("workloads: chain colors %d out of range 1..%d", colors, MaxCorpusColors)
+	}
+	d := dfg.NewGraph(fmt.Sprintf("chain_d%d_w%d_c%d", depth, width, colors))
+	for w := 0; w < width; w++ {
+		for i := 0; i < depth; i++ {
+			d.MustAddNode(dfg.Node{
+				Name:  fmt.Sprintf("c%d_%d", w, i),
+				Color: palette[(w+i)%colors],
+			})
+			if i > 0 {
+				id := w*depth + i
+				d.MustAddDep(id-1, id)
+			}
+		}
+	}
+	sink := width * depth
+	d.MustAddNode(dfg.Node{Name: "sink", Color: palette[0]})
+	for w := 0; w < width; w++ {
+		d.MustAddDep(w*depth+depth-1, sink)
+	}
+	return d, nil
+}
+
+// WideButterfly generates a structural butterfly network over the given
+// number of lanes (a power of two) with the given number of exchange
+// stages — the corpus's width-stress tier: every level is `lanes` wide, so
+// the antichain census and the scheduler both face maximal per-level
+// choice. Node (s, l) with s ≥ 1 depends on (s-1, l) and its stage
+// partner (s-1, l XOR 2^((s-1) mod log2(lanes))). Deterministic; no
+// randomness.
+func WideButterfly(stages, lanes, colors int) (*dfg.Graph, error) {
+	if stages < 1 || stages > 16 {
+		return nil, fmt.Errorf("workloads: wide stages %d out of range 1..16", stages)
+	}
+	if lanes < 2 || lanes > 1024 || lanes&(lanes-1) != 0 {
+		return nil, fmt.Errorf("workloads: wide lanes %d must be a power of two in 2..1024", lanes)
+	}
+	if colors < 1 || colors > MaxCorpusColors {
+		return nil, fmt.Errorf("workloads: wide colors %d out of range 1..%d", colors, MaxCorpusColors)
+	}
+	logLanes := 0
+	for 1<<logLanes < lanes {
+		logLanes++
+	}
+	d := dfg.NewGraph(fmt.Sprintf("wide_s%d_l%d_c%d", stages, lanes, colors))
+	for s := 0; s <= stages; s++ {
+		for l := 0; l < lanes; l++ {
+			d.MustAddNode(dfg.Node{
+				Name:  fmt.Sprintf("b%d_%d", s, l),
+				Color: palette[(s+l)%colors],
+			})
+		}
+	}
+	node := func(s, l int) int { return s*lanes + l }
+	for s := 1; s <= stages; s++ {
+		bit := (s - 1) % logLanes
+		for l := 0; l < lanes; l++ {
+			d.MustAddDep(node(s-1, l), node(s, l))
+			d.MustAddDep(node(s-1, l^(1<<bit)), node(s, l))
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"testing"
+
+	"mpsched/internal/dfg"
+)
+
+func TestRandomTieredExactSize(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 24, 64, 96, 160} {
+		g, err := RandomTiered(TierConfig{Seed: 11, N: n})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.N() != n {
+			t.Errorf("n=%d: generated %d nodes", n, g.N())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("n=%d: invalid graph: %v", n, err)
+		}
+	}
+}
+
+func TestRandomTieredDeterministic(t *testing.T) {
+	cfg := TierConfig{Seed: 7, N: 96, Colors: 3}
+	a, err := RandomTiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomTiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same config, different fingerprints:\n%s\n%s", a.Fingerprint(), b.Fingerprint())
+	}
+	c, err := RandomTiered(TierConfig{Seed: 8, N: 96, Colors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different seeds produced the same graph")
+	}
+}
+
+func TestRandomTieredColorsBounded(t *testing.T) {
+	g, err := RandomTiered(TierConfig{Seed: 3, N: 64, Colors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range g.Colors() {
+		if c != "a" && c != "b" {
+			t.Fatalf("colors=2 produced color %q", c)
+		}
+	}
+}
+
+func TestRandomTieredRejects(t *testing.T) {
+	for _, cfg := range []TierConfig{
+		{N: 0},
+		{N: 10, Colors: MaxCorpusColors + 1},
+		{N: 10, Colors: -1},
+		{N: 10, FanIn: -2},
+		{N: 10, Layers: -3},
+	} {
+		if _, err := RandomTiered(cfg); err == nil {
+			t.Errorf("%+v: accepted, want error", cfg)
+		}
+	}
+}
+
+func TestDeepChain(t *testing.T) {
+	g, err := DeepChain(48, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 48*2 + 1; g.N() != want {
+		t.Fatalf("got %d nodes, want %d", g.N(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A chain's deepest level is its depth (the sink, one past the chains).
+	if max := g.Levels().ASAPMax; max != 48 {
+		t.Fatalf("deepest level %d, want 48", max)
+	}
+	g2, err := DeepChain(48, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("DeepChain is not deterministic")
+	}
+	for _, bad := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {1, 1, MaxCorpusColors + 1}} {
+		if _, err := DeepChain(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("DeepChain%v: accepted, want error", bad)
+		}
+	}
+}
+
+func TestWideButterfly(t *testing.T) {
+	g, err := WideButterfly(4, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * 16; g.N() != want {
+		t.Fatalf("got %d nodes, want %d", g.N(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := WideButterfly(4, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Fingerprint() != g2.Fingerprint() {
+		t.Fatal("WideButterfly is not deterministic")
+	}
+	for _, bad := range [][3]int{{0, 8, 2}, {17, 8, 2}, {2, 6, 2}, {2, 1, 2}, {2, 2048, 2}, {2, 8, 0}} {
+		if _, err := WideButterfly(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("WideButterfly%v: accepted, want error", bad)
+		}
+	}
+}
+
+// TestCorpusFamiliesValid builds a small member of every corpus family
+// and checks it is a well-formed, non-empty DAG.
+func TestCorpusFamiliesValid(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() (*dfg.Graph, error)
+	}{
+		{"random", func() (*dfg.Graph, error) { return RandomTiered(TierConfig{Seed: 1, N: 24, Colors: 2}) }},
+		{"chain", func() (*dfg.Graph, error) { return DeepChain(12, 2, 2) }},
+		{"wide", func() (*dfg.Graph, error) { return WideButterfly(3, 4, 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.N() == 0 {
+				t.Fatal("empty graph")
+			}
+		})
+	}
+}

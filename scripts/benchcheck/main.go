@@ -1,0 +1,171 @@
+// Command benchcheck is the CI perf gate: it validates BENCH_*.json
+// artifacts (the internal/benchfmt schema) and compares them against a
+// checked-in baseline with a generous tolerance, replacing the inline
+// python3 JSON assertion the workflow used to carry — CI has no Python
+// dependency left.
+//
+// Usage:
+//
+//	go run ./scripts/benchcheck -current /tmp/bench.json \
+//	    [-baseline BENCH_enumeration.json] [-tol 3.0] \
+//	    [-require Enumerate/3dft] [-loadgen loadgen/ci-smoke]
+//
+// Checks, in order:
+//
+//   - -current must parse as a benchfmt report with ≥ 1 result, every
+//     result named and non-negative.
+//   - With -baseline: for every benchmark name present in both files,
+//     current ns_per_op and allocs_per_op must be ≤ tol × baseline
+//     (results only in one file are ignored — smoke runs measure a
+//     subset). At least one name must overlap.
+//   - Each -require name (repeatable) must exist in -current.
+//   - The -loadgen name must exist with requests > 0, jobs_per_sec > 0,
+//     p50/p99 > 0 and errors == 0 — the load-smoke contract: any
+//     non-2xx/non-429 response or an empty histogram fails the gate.
+//
+// Exit code 0 when every check passes, 1 otherwise, with one line per
+// comparison so a CI log shows what moved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mpsched/internal/benchfmt"
+	"mpsched/internal/cliutil"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// repeatable collects a repeatable string flag.
+type repeatable []string
+
+func (r *repeatable) String() string { return fmt.Sprint(*r) }
+func (r *repeatable) Set(s string) error {
+	*r = append(*r, s)
+	return nil
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		current  = fs.String("current", "", "bench JSON to validate (required)")
+		baseline = fs.String("baseline", "", "checked-in baseline to compare against")
+		tol      = fs.Float64("tol", 3.0, "regression tolerance: current must be <= tol x baseline")
+		loadgen  = fs.String("loadgen", "", "name of a load-test result that must be healthy")
+		require  repeatable
+	)
+	fs.Var(&require, "require", "result name that must exist in -current (repeatable)")
+	if code, done := cliutil.ParseFlags(fs, argv); done {
+		return code
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "benchcheck: FAIL: "+format+"\n", args...)
+		return 1
+	}
+	if *current == "" {
+		return fail("-current is required")
+	}
+	if *tol <= 0 {
+		return fail("-tol must be positive, got %g", *tol)
+	}
+
+	cur, err := benchfmt.ReadFile(*current)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if len(cur.Results) == 0 {
+		return fail("%s has no results", *current)
+	}
+	for _, r := range cur.Results {
+		if r.Name == "" {
+			return fail("%s contains an unnamed result", *current)
+		}
+		if r.NsPerOp < 0 || r.AllocsPerOp < 0 || r.JobsPerSec < 0 {
+			return fail("result %q has negative measurements", r.Name)
+		}
+	}
+	fmt.Fprintf(stdout, "benchcheck: %s: %d results, schema ok\n", *current, len(cur.Results))
+
+	bad := 0
+	if *baseline != "" {
+		base, err := benchfmt.ReadFile(*baseline)
+		if err != nil {
+			return fail("%v", err)
+		}
+		overlap := 0
+		for _, b := range base.Results {
+			c := cur.Find(b.Name)
+			if c == nil {
+				continue // smoke runs measure a subset of the baseline
+			}
+			overlap++
+			bad += compare(stdout, b.Name, "ns/op", c.NsPerOp, b.NsPerOp, *tol)
+			bad += compare(stdout, b.Name, "allocs/op", float64(c.AllocsPerOp), float64(b.AllocsPerOp), *tol)
+		}
+		if overlap == 0 {
+			return fail("no benchmark name overlaps between %s and %s", *current, *baseline)
+		}
+	}
+
+	for _, name := range require {
+		if cur.Find(name) == nil {
+			bad++
+			fmt.Fprintf(stdout, "benchcheck: FAIL %-40s missing from %s\n", name, *current)
+		}
+	}
+
+	if *loadgen != "" {
+		r := cur.Find(*loadgen)
+		switch {
+		case r == nil:
+			bad++
+			fmt.Fprintf(stdout, "benchcheck: FAIL %-40s load result missing\n", *loadgen)
+		case r.Requests <= 0:
+			bad++
+			fmt.Fprintf(stdout, "benchcheck: FAIL %-40s issued no requests\n", *loadgen)
+		case r.Errors > 0:
+			bad++
+			fmt.Fprintf(stdout, "benchcheck: FAIL %-40s %d non-2xx/non-429 responses\n", *loadgen, r.Errors)
+		case r.JobsPerSec <= 0:
+			bad++
+			fmt.Fprintf(stdout, "benchcheck: FAIL %-40s zero throughput\n", *loadgen)
+		case r.P50Ns <= 0 || r.P99Ns <= 0:
+			bad++
+			fmt.Fprintf(stdout, "benchcheck: FAIL %-40s empty latency histogram (p50=%g p99=%g)\n", *loadgen, r.P50Ns, r.P99Ns)
+		default:
+			fmt.Fprintf(stdout, "benchcheck: ok   %-40s %.0f compiles/s, p50 %.3fms p99 %.3fms, %d rejected\n",
+				*loadgen, r.JobsPerSec, r.P50Ns/1e6, r.P99Ns/1e6, r.Rejected)
+		}
+	}
+
+	if bad > 0 {
+		return fail("%d check(s) failed", bad)
+	}
+	fmt.Fprintln(stdout, "benchcheck: all checks passed")
+	return 0
+}
+
+// compare prints one metric comparison and returns 1 when it regressed
+// past tolerance. A zero baseline is skipped — nothing meaningful to
+// gate on, and smoke iterations can legitimately round to zero.
+func compare(w io.Writer, name, metric string, cur, base, tol float64) int {
+	if base <= 0 {
+		return 0
+	}
+	ratio := cur / base
+	status := "ok  "
+	verdict := 0
+	if ratio > tol {
+		status = "FAIL"
+		verdict = 1
+	}
+	fmt.Fprintf(w, "benchcheck: %s %-40s %-10s %12.0f vs %12.0f (%.2fx, tol %.1fx)\n",
+		status, name, metric, cur, base, ratio, tol)
+	return verdict
+}

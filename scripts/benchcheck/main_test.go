@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpsched/internal/benchfmt"
+)
+
+func write(t *testing.T, name string, rep benchfmt.Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func check(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var out bytes.Buffer
+	code := run(args, &out, &out)
+	return code, out.String()
+}
+
+func microReport(ns float64, allocs int64) benchfmt.Report {
+	rep := benchfmt.NewReport()
+	rep.Results = []benchfmt.Result{
+		{Name: "Enumerate/3dft", Iterations: 100, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: 1},
+		{Name: "OnlyInCurrent", Iterations: 1, NsPerOp: 5},
+	}
+	return rep
+}
+
+func loadReport(errors int64, p50 float64) benchfmt.Report {
+	rep := benchfmt.NewReport()
+	rep.Results = []benchfmt.Result{{
+		Name: "loadgen/ci", Iterations: 50, NsPerOp: 2e6, JobsPerSec: 100,
+		P50Ns: p50, P90Ns: p50 * 1.5, P99Ns: p50 * 2, P999Ns: p50 * 3,
+		Requests: 50, Errors: errors, Rejected: 2, CacheHitRatio: 0.9,
+	}}
+	return rep
+}
+
+func TestSchemaOnly(t *testing.T) {
+	cur := write(t, "cur.json", microReport(1000, 10))
+	if code, out := check(t, "-current", cur); code != 0 {
+		t.Fatalf("valid report rejected:\n%s", out)
+	}
+	if code, _ := check(t); code == 0 {
+		t.Fatal("missing -current accepted")
+	}
+	empty := write(t, "empty.json", benchfmt.NewReport())
+	if code, _ := check(t, "-current", empty); code == 0 {
+		t.Fatal("empty result set accepted")
+	}
+	if code, _ := check(t, "-current", filepath.Join(t.TempDir(), "missing.json")); code == 0 {
+		t.Fatal("unreadable file accepted")
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	base := write(t, "base.json", microReport(1000, 10))
+	within := write(t, "within.json", microReport(2500, 25)) // 2.5x, under 3x
+	if code, out := check(t, "-current", within, "-baseline", base); code != 0 {
+		t.Fatalf("2.5x flagged under 3x tolerance:\n%s", out)
+	}
+	over := write(t, "over.json", microReport(4000, 10)) // 4x ns/op
+	code, out := check(t, "-current", over, "-baseline", base)
+	if code == 0 {
+		t.Fatalf("4x regression passed the 3x gate:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "ns/op") {
+		t.Fatalf("failure output unreadable:\n%s", out)
+	}
+	// Allocs regress too.
+	allocUp := write(t, "allocs.json", microReport(1000, 100))
+	if code, _ := check(t, "-current", allocUp, "-baseline", base); code == 0 {
+		t.Fatal("10x allocs passed the 3x gate")
+	}
+	// Wider tolerance lets the same file through.
+	if code, out := check(t, "-current", over, "-baseline", base, "-tol", "5"); code != 0 {
+		t.Fatalf("4x flagged under 5x tolerance:\n%s", out)
+	}
+	// Disjoint names: nothing to compare must fail loudly, not pass silently.
+	disjoint := benchfmt.NewReport()
+	disjoint.Results = []benchfmt.Result{{Name: "Unrelated", Iterations: 1, NsPerOp: 1}}
+	dj := write(t, "disjoint.json", disjoint)
+	if code, _ := check(t, "-current", dj, "-baseline", base); code == 0 {
+		t.Fatal("zero-overlap comparison passed")
+	}
+}
+
+func TestRequire(t *testing.T) {
+	cur := write(t, "cur.json", microReport(1000, 10))
+	if code, _ := check(t, "-current", cur, "-require", "Enumerate/3dft"); code != 0 {
+		t.Fatal("present -require failed")
+	}
+	if code, _ := check(t, "-current", cur, "-require", "Enumerate/3dft", "-require", "Ghost"); code == 0 {
+		t.Fatal("missing -require passed")
+	}
+}
+
+func TestLoadgenGate(t *testing.T) {
+	good := write(t, "good.json", loadReport(0, 2e6))
+	if code, out := check(t, "-current", good, "-loadgen", "loadgen/ci"); code != 0 {
+		t.Fatalf("healthy load result rejected:\n%s", out)
+	}
+	witherrs := write(t, "errs.json", loadReport(3, 2e6))
+	if code, _ := check(t, "-current", witherrs, "-loadgen", "loadgen/ci"); code == 0 {
+		t.Fatal("load result with hard failures passed")
+	}
+	empty := write(t, "emptyhist.json", loadReport(0, 0))
+	if code, _ := check(t, "-current", empty, "-loadgen", "loadgen/ci"); code == 0 {
+		t.Fatal("empty histogram passed")
+	}
+	if code, _ := check(t, "-current", good, "-loadgen", "loadgen/ghost"); code == 0 {
+		t.Fatal("missing load result passed")
+	}
+}
+
+// TestRealBaseline: the gate accepts the repo's checked-in baseline
+// compared against itself (ratio 1.0 everywhere) — the self-consistency
+// CI relies on.
+func TestRealBaseline(t *testing.T) {
+	base := "../../BENCH_enumeration.json"
+	if code, out := check(t, "-current", base, "-baseline", base); code != 0 {
+		t.Fatalf("baseline does not pass against itself:\n%s", out)
+	}
+}
