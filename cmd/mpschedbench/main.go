@@ -11,6 +11,11 @@
 //	mpschedbench -scenario random:seed=1,n=64 -mode closed -clients 8 -duration 5s
 //	mpschedbench -scenario mix:seed=1,count=8 -mode open -rps 200 -arrivals poisson -duration 10s
 //	mpschedbench -addr http://localhost:8080 -scenario wide:stages=4,lanes=16 -duration 5s
+//	mpschedbench -addr http://localhost:8080 -codec binary -batch 8 -clients 8 -duration 5s
+//
+// Against a remote daemon, -codec selects the wire format (json or the
+// compact binary framing) and -batch N coalesces concurrent requests
+// into /v1/batch envelopes of up to N jobs — the high-throughput path.
 //
 // Scenario specs are any workload spec (see GET /v1/workloads or dfgtool
 // -h) or a mix:seed=S,count=N[,tiers=...] blend. The same spec string
@@ -28,8 +33,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"mpsched/internal/benchfmt"
@@ -38,6 +43,7 @@ import (
 	"mpsched/internal/patsel"
 	"mpsched/internal/pipeline"
 	"mpsched/internal/server/client"
+	"mpsched/internal/wire"
 )
 
 func main() {
@@ -59,9 +65,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cRes     = fs.Int("C", 0, "resources per tile (0 = the paper's 5)")
 		span     = fs.Int("span", 0, "antichain span limit (0 = the paper's span ≤ 1, -1 unlimited)")
 		noCache  = fs.Bool("no-cache", false, "bypass the result cache (in-process target only): every request pays a full compile")
+		codec    = fs.String("codec", "json", "wire codec against a remote daemon: json or binary")
+		batch    = fs.Int("batch", 1, "coalesce up to N compiles per /v1/batch envelope (remote target only; 1 = plain /v1/compile)")
 		seed     = fs.Int64("seed", 1, "arrival-schedule seed (open loop)")
 		timeout  = fs.Duration("timeout", 30*time.Second, "per-request timeout against a remote daemon")
 		out      = fs.String("out", "", "write the JSON report here (empty = stdout)")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the storm here (pprof format)")
 		name     = fs.String("name", "", "result name (default loadgen/<scenario>/<mode>)")
 		strict   = fs.Bool("strict", false, "exit 1 on any hard failure or an empty latency histogram (the CI gate)")
 	)
@@ -92,14 +101,35 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *noCache && *addr != "" {
 		return fail(fmt.Errorf("-no-cache only applies to the in-process target"))
 	}
+	wc, ok := wire.ByName(*codec)
+	if !ok {
+		return fail(fmt.Errorf("unknown codec %q (have json, binary)", *codec))
+	}
+	if *addr == "" && wc != wire.JSON {
+		return fail(fmt.Errorf("-codec only applies to a remote daemon (-addr)"))
+	}
+	if *addr == "" && *batch > 1 {
+		return fail(fmt.Errorf("-batch only applies to a remote daemon (-addr)"))
+	}
+	if *batch < 1 {
+		return fail(fmt.Errorf("-batch must be at least 1"))
+	}
 
 	var target loadgen.Target
 	if *addr != "" {
-		c := client.New(*addr).WithHTTPClient(&http.Client{Timeout: *timeout})
+		c := client.New(*addr).WithCodec(wc).WithTimeout(*timeout)
 		if _, err := c.Healthz(context.Background()); err != nil {
 			return fail(fmt.Errorf("daemon at %s not healthy: %w", *addr, err))
 		}
-		target = loadgen.NewRemoteTarget(c)
+		if *batch > 1 {
+			// Enough dispatchers that one slow envelope never idles the
+			// storm's clients.
+			bt := loadgen.NewBatchTarget(c, *batch, 2*max(1, *clients / *batch))
+			defer bt.Close()
+			target = bt
+		} else {
+			target = loadgen.NewRemoteTarget(c)
+		}
 	} else {
 		target = loadgen.NewLocalTarget(pipeline.Options{}, *noCache)
 	}
@@ -115,6 +145,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "mpschedbench: %s storm of %q (%d members) against %s for %s\n",
 		cfg.Mode, sc.Spec, len(items), target.Name(), *duration)
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	res, err := loadgen.Run(context.Background(), target, items, cfg)
 	if err != nil {
 		return fail(err)

@@ -10,11 +10,14 @@
 //	curl -s -X POST localhost:8080/v1/compile -d '{"workload":"fft:8"}'
 //	curl -s -X POST localhost:8080/v1/compile -d '{"workload":"3dft","stop_after":"select"}'
 //
-// Endpoints: POST /v1/compile, POST /v1/jobs, GET /v1/jobs/{id},
-// GET /v1/workloads, GET /healthz, GET /metrics, and — only with
-// -pprof — GET /debug/pprof/*. Requests may stop the staged compile
-// partway (stop_after) or sweep span limits (spans); responses carry
-// per-stage timings. See internal/server for the wire format.
+// Endpoints: POST /v1/compile, POST /v1/batch, POST /v1/jobs,
+// GET /v1/jobs/{id}, GET /v1/workloads, GET /healthz, GET /metrics, and
+// — only with -pprof — GET /debug/pprof/*. Requests may stop the staged
+// compile partway (stop_after) or sweep span limits (spans); responses
+// carry per-stage timings. Compile and batch bodies may be JSON or the
+// compact binary framing (Content-Type/Accept negotiation); /v1/batch
+// streams up to -max-batch results per envelope in completion order. See
+// internal/server and internal/wire for the wire formats.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains the job
 // queue (bounded by -drain-timeout) and exits 0.
@@ -56,6 +59,7 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		cacheShards  = fs.Int("cache-shards", 0, "result cache shards (0 = auto)")
 		maxBody      = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 		maxSync      = fs.Int("max-sync-nodes", server.DefaultMaxSyncNodes, "largest graph served synchronously on /v1/compile")
+		maxBatch     = fs.Int("max-batch", server.DefaultMaxBatchJobs, "most jobs accepted per /v1/batch envelope")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued jobs")
 		pprofOn      = fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints (off by default)")
 	)
@@ -71,6 +75,7 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		CacheShards:  *cacheShards,
 		MaxBodyBytes: *maxBody,
 		MaxSyncNodes: *maxSync,
+		MaxBatchJobs: *maxBatch,
 		EnablePprof:  *pprofOn,
 	})
 

@@ -46,3 +46,38 @@ func TestServeFacade(t *testing.T) {
 		t.Error("empty workload catalog")
 	}
 }
+
+// TestServeFacadeBinaryBatch pins the README's codec example: the facade
+// re-exports are enough to select the binary wire and batch compiles —
+// no internal imports needed.
+func TestServeFacadeBinaryBatch(t *testing.T) {
+	srv := mpsched.NewServer(mpsched.CompileServerOptions{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	}()
+
+	bc := mpsched.NewClient(ts.URL).WithCodec(mpsched.BinaryCodec)
+	items, err := bc.CompileBatch(context.Background(), []mpsched.CompileRequest{
+		{Workload: "fft:8"}, {Workload: "3dft"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("got %d items, want 2", len(items))
+	}
+	seen := map[int]bool{}
+	for _, it := range items {
+		seen[it.Index] = true
+		if it.Status != 200 || it.Result == nil || it.Result.Cycles <= 0 {
+			t.Fatalf("degenerate item: %+v", it)
+		}
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("missing indices: %+v", items)
+	}
+}

@@ -141,6 +141,7 @@ type Graph struct {
 	reach       *graph.Reachability
 	inc         []*graph.BitSet
 	fingerprint string
+	validated   bool
 }
 
 // NewGraph returns an empty DFG with the given name.
@@ -212,6 +213,7 @@ func (d *Graph) invalidate() {
 	d.reach = nil
 	d.inc = nil
 	d.fingerprint = ""
+	d.validated = false
 	d.mu.Unlock()
 }
 
@@ -416,7 +418,27 @@ func (d *Graph) Fingerprint() string {
 // Validate checks structural well-formedness: acyclicity, operand/edge
 // consistency (every node-operand has a matching dependency edge), and
 // operand arity for nodes that carry semantics.
+//
+// A passing validation is cached like the other lazy attributes and
+// invalidated on mutation, so compiling a shared graph many times (the
+// daemon's spec cache, batch envelopes) pays the topological check once.
 func (d *Graph) Validate() error {
+	d.mu.Lock()
+	ok := d.validated
+	d.mu.Unlock()
+	if ok {
+		return nil
+	}
+	if err := d.validate(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.validated = true
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *Graph) validate() error {
 	if _, err := graph.TopoSort(d.g); err != nil {
 		return fmt.Errorf("dfg %q: %w: %v", d.Name, ErrCyclic, err)
 	}

@@ -55,6 +55,88 @@ func FuzzUnmarshalGraph(f *testing.F) {
 	})
 }
 
+// FuzzBinaryGraph feeds arbitrary bytes through the binary graph decoder —
+// the frame network clients reach via the mpschedd binary wire codec
+// (internal/wire). The decoder must never panic; whatever it accepts must
+// validate cleanly, survive a binary re-encode with the fingerprint
+// intact, and stay equivalent to the JSON codec: the same graph pushed
+// through JSON must carry the same fingerprint back.
+func FuzzBinaryGraph(f *testing.F) {
+	// Well-formed seeds: every operand kind, interned colors, edges.
+	wellFormed := []string{
+		`{"name":"g","nodes":[{"name":"n0","color":"a"},{"name":"n1","color":"b"}],"edges":[[0,1]]}`,
+		`{"name":"sem","nodes":[{"name":"n0","color":"a","op":"add","args":[{"input":"x"},{"const":2}],"output":"y"}],"edges":[]}`,
+		`{"name":"diamond","nodes":[{"name":"a","color":"a"},{"name":"b","color":"b"},{"name":"c","color":"b"},{"name":"d","color":"a"}],"edges":[[0,1],[0,2],[1,3],[2,3]]}`,
+	}
+	for _, src := range wellFormed {
+		var g Graph
+		if err := json.Unmarshal([]byte(src), &g); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(g.AppendBinary(nil))
+	}
+	// Hostile seeds: bad magic, bad version, truncations, hostile counts,
+	// out-of-range references.
+	f.Add([]byte{})
+	f.Add([]byte("MPG"))
+	f.Add([]byte("MPG\x02"))
+	f.Add([]byte("XXX\x01\x00"))
+	f.Add([]byte("MPG\x01\x00\x00\xff\xff\xff\xff\x0f"))
+	f.Add([]byte("MPG\x01\x00\x01\x01a\x01\x02n0\x07\x00\x00\x00"))
+	full := buildFuzzSeed().AppendBinary(nil)
+	f.Add(full)
+	f.Add(full[:len(full)-3])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := g.UnmarshalBinary(data); err != nil {
+			return // rejected — the only other acceptable outcome is below
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("binary decoder accepted a graph that fails Validate: %v", err)
+		}
+		// Accepted graphs must round-trip through the binary codec.
+		var g2 Graph
+		if err := g2.UnmarshalBinary(g.AppendBinary(nil)); err != nil {
+			t.Fatalf("binary round-trip decode failed: %v", err)
+		}
+		if g.Fingerprint() != g2.Fingerprint() {
+			t.Fatal("fingerprint changed across binary round trip")
+		}
+		// ...and through the JSON codec: the two wire formats must stay
+		// interchangeable for every graph the binary decoder accepts.
+		jsonData, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("JSON re-marshal failed: %v", err)
+		}
+		var g3 Graph
+		if err := json.Unmarshal(jsonData, &g3); err != nil {
+			t.Fatalf("JSON round-trip decode failed: %v", err)
+		}
+		if g.Fingerprint() != g3.Fingerprint() {
+			t.Fatal("fingerprint changed across the JSON cross-codec trip")
+		}
+		g.Levels()
+		g.Reach()
+	})
+}
+
+// buildFuzzSeed is a richer well-formed seed than the JSON-derived ones:
+// constants, negations and outputs across three colors.
+func buildFuzzSeed() *Graph {
+	g := NewGraph("seed")
+	a := g.MustAddNode(Node{Name: "a0", Color: "a", Op: OpAdd,
+		Args: []Operand{InputRef("x"), ConstVal(1.5)}})
+	b := g.MustAddNode(Node{Name: "b0", Color: "b", Op: OpNeg,
+		Args: []Operand{NodeRef(a)}})
+	g.MustAddDep(a, b)
+	c := g.MustAddNode(Node{Name: "c0", Color: "c", Op: OpMul,
+		Args: []Operand{NodeRef(a), NodeRef(b)}, Output: "y"})
+	g.MustAddDep(a, c)
+	g.MustAddDep(b, c)
+	return g
+}
+
 // TestUnmarshalTypedErrors pins the error classification the compile
 // service relies on to map hostile input to 4xx responses.
 func TestUnmarshalTypedErrors(t *testing.T) {

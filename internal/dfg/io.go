@@ -35,6 +35,13 @@ import (
 // (ErrIndexRange), and dependency cycles (ErrCyclic) are rejected with
 // typed errors and never panic, so the format is safe to accept from
 // untrusted network clients.
+//
+// This JSON shape is one codec among several: internal/wire is the
+// canonical registry of the serving stack's wire formats (wire.JSON,
+// wire.Binary — selected per connection via Content-Type). The compact
+// binary graph framing the binary codec embeds lives in binary.go
+// (AppendBinary/UnmarshalBinary) and is interchangeable with this shape,
+// fingerprint for fingerprint.
 type jsonGraph struct {
 	Name  string     `json:"name"`
 	Nodes []jsonNode `json:"nodes"`

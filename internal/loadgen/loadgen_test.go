@@ -14,6 +14,7 @@ import (
 	"mpsched/internal/pipeline"
 	"mpsched/internal/server"
 	"mpsched/internal/server/client"
+	"mpsched/internal/wire"
 )
 
 // stubTarget answers instantly with a scripted reply sequence.
@@ -309,6 +310,84 @@ func TestRemoteTargetStorm(t *testing.T) {
 	}
 	if res.Target != ts.URL {
 		t.Fatalf("target label %q, want %q", res.Target, ts.URL)
+	}
+}
+
+// TestBatchTargetStorm runs the storm through the batching target over
+// the binary codec — the high-throughput serving path mpschedbench's
+// -codec binary -batch N flags select. Same success/cache expectations
+// as the plain remote storm: batching must be invisible to results.
+func TestBatchTargetStorm(t *testing.T) {
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	sc, err := ParseScenario("random:seed=1,n=32,colors=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := sc.Resolve(patsel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := NewBatchTarget(client.New(ts.URL).WithCodec(wire.Binary), 4, 2)
+	defer bt.Close()
+	res, err := Run(context.Background(), bt, items, Config{
+		Scenario: sc.Spec,
+		Mode:     Closed,
+		Clients:  8,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("batched storm errors: %v", res.ErrorSamples)
+	}
+	if res.Success == 0 {
+		t.Fatal("no successful batched compiles")
+	}
+	if res.CacheHits == 0 {
+		t.Fatal("server cache never warmed over repeats")
+	}
+}
+
+// TestBatchTargetClassifies pins per-item classification through the
+// batch path: admitted jobs succeed while over-capacity jobs in the same
+// envelope come back Rejected, not as errors.
+func TestBatchTargetClassifies(t *testing.T) {
+	srv := server.New(server.Options{QueueDepth: 1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	bt := NewBatchTarget(client.New(ts.URL), 3, 1)
+	defer bt.Close()
+
+	// Three concurrent calls coalesce into one envelope against capacity 1:
+	// one admitted, two rejected.
+	replies := make(chan Reply, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			replies <- bt.Do(context.Background(), Item{Spec: "3dft", Select: patsel.Config{Pdef: 2, C: 2, MaxSpan: -1}})
+		}()
+	}
+	ok, rejected := 0, 0
+	for i := 0; i < 3; i++ {
+		switch rep := <-replies; {
+		case rep.Err != nil:
+			t.Fatalf("hard failure through batch path: %v", rep.Err)
+		case rep.Rejected:
+			rejected++
+		default:
+			ok++
+		}
+	}
+	// The linger window makes coalescing probabilistic from the caller's
+	// side: at least one job must land either way, and nothing may error.
+	if ok < 1 {
+		t.Fatalf("admitted %d, rejected %d; want at least one success", ok, rejected)
 	}
 }
 

@@ -99,9 +99,11 @@ func NewRemoteTarget(c *client.Client) *RemoteTarget { return &RemoteTarget{c: c
 // Name implements Target.
 func (t *RemoteTarget) Name() string { return t.c.BaseURL() }
 
-// Do implements Target.
-func (t *RemoteTarget) Do(ctx context.Context, it Item) Reply {
-	req := server.CompileRequest{
+// compileRequest lowers an Item to the wire request both remote targets
+// send: spec-addressed (the daemon regenerates the identical graph) with
+// the item's selection knobs spelled out.
+func compileRequest(it Item) server.CompileRequest {
+	return server.CompileRequest{
 		Workload: it.Spec,
 		Select: &server.SelectConfig{
 			C:       it.Select.C,
@@ -111,7 +113,11 @@ func (t *RemoteTarget) Do(ctx context.Context, it Item) Reply {
 			Alpha:   it.Select.Alpha,
 		},
 	}
-	resp, err := t.c.Compile(ctx, req)
+}
+
+// Do implements Target.
+func (t *RemoteTarget) Do(ctx context.Context, it Item) Reply {
+	resp, err := t.c.Compile(ctx, compileRequest(it))
 	if err != nil {
 		// Only 429 is backpressure; everything else — including 503 from a
 		// draining daemon — is a hard failure, matching the CI gate's

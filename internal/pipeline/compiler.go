@@ -598,20 +598,73 @@ func summarize(census *antichain.Result, span int) *CensusSummary {
 // specCacheKey addresses a result by graph content and the full effective
 // configuration, including the span sweep and stop stage — a select-only
 // compile must never answer (or be answered by) a full compile.
+//
+// The key is built with strconv appends rather than fmt %+v: it is
+// computed on every cacheable compile, and reflection-driven formatting
+// was a measurable slice of the daemon's hot path. Every field of the
+// three config structs is spelled out, so adding a field without
+// extending the key fails loudly in review, not silently in the cache.
 func specCacheKey(g *dfg.Graph, sel patsel.Config, so sched.Options, arch *alloc.Arch, spans []int, stop Stage) string {
-	archKey := "-"
-	if arch != nil {
-		archKey = fmt.Sprintf("%+v", *arch)
+	b := make([]byte, 0, 160)
+	b = append(b, g.Fingerprint()...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(sel.C), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(sel.Pdef), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(sel.MaxSpan), 10)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, sel.Epsilon, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, sel.Alpha, 'g', -1, 64)
+	b = append(b, ',')
+	b = strconv.AppendBool(b, sel.DisableBalance)
+	b = append(b, ',')
+	b = strconv.AppendBool(b, sel.DisableSizeBonus)
+	b = append(b, ',')
+	b = strconv.AppendBool(b, sel.DisableColorCondition)
+	b = append(b, ',')
+	b = strconv.AppendBool(b, sel.DisableSubpatternDeletion)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(so.Priority), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(so.TieBreak), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, so.Seed, 10)
+	b = append(b, ',')
+	b = strconv.AppendBool(b, so.KeepTrace)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, so.SwitchPenalty, 10)
+	b = append(b, '|')
+	if arch == nil {
+		b = append(b, '-')
+	} else {
+		b = strconv.AppendInt(b, int64(arch.ALUs), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(arch.RegsPerALU), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(arch.Memories), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(arch.MemWords), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(arch.Buses), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(arch.MaxPatterns), 10)
 	}
-	spanKey := "-"
-	if len(spans) > 0 {
-		parts := make([]string, len(spans))
+	b = append(b, '|')
+	if len(spans) == 0 {
+		b = append(b, '-')
+	} else {
 		for i, s := range spans {
-			parts[i] = strconv.Itoa(s)
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(s), 10)
 		}
-		spanKey = strings.Join(parts, ",")
 	}
-	return fmt.Sprintf("%s|%+v|%+v|%s|%s|%s", g.Fingerprint(), sel, so, archKey, spanKey, stop)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(stop), 10)
+	return string(b)
 }
 
 // rebindReport adapts a cached entry to the requesting spec: the cached

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"sort"
 	"strings"
+	"sync"
 
 	"mpsched/internal/cliutil"
 	"mpsched/internal/dfg"
@@ -11,138 +12,34 @@ import (
 	"mpsched/internal/pattern"
 	"mpsched/internal/pipeline"
 	"mpsched/internal/sched"
+	"mpsched/internal/wire"
 )
 
-// CompileRequest is the body of POST /v1/compile and POST /v1/jobs.
-// Exactly one graph source must be given: Workload (a generator spec such
-// as "fft:8" — see GET /v1/workloads) or DFG (an inline graph in the
-// `dfg` JSON wire format, see internal/dfg/io.go).
-type CompileRequest struct {
-	// Name labels the job in responses; defaults to the workload spec or
-	// the graph's own name.
-	Name string `json:"name,omitempty"`
-	// Workload is a generator spec, e.g. "fft:8" or "fir:8,4".
-	Workload string `json:"workload,omitempty"`
-	// DFG is an inline graph in the dfg JSON wire format.
-	DFG json.RawMessage `json:"dfg,omitempty"`
-	// Select parameterises pattern selection; nil takes the defaults
-	// (C=5, Pdef=4, span ≤ 1 — the paper's operating point).
-	Select *SelectConfig `json:"select,omitempty"`
-	// Sched parameterises the list scheduler; nil is the paper's
-	// configuration (F2 priority, descending-index tie-break).
-	Sched *SchedConfig `json:"sched,omitempty"`
-	// StopAfter ends the compile after the named stage: "census",
-	// "select" or "schedule" (empty = full compile). Partial compiles
-	// return partial responses — a select-only compile has patterns and
-	// census but no cycles.
-	StopAfter string `json:"stop_after,omitempty"`
-	// Spans, when non-empty, sweeps these antichain span limits and keeps
-	// the best schedule (response field "span" reports the winner).
-	// Unlike select.span, a literal 0 here means span ≤ 0.
-	Spans []int `json:"spans,omitempty"`
-}
-
-// SelectConfig is the wire form of patsel.Config.
-type SelectConfig struct {
-	C    int `json:"c,omitempty"`    // pattern capacity (default 5)
-	Pdef int `json:"pdef,omitempty"` // patterns to select (default 4)
-	// Span bounds the antichain span: nil or 0 means the paper's span ≤ 1,
-	// -1 means unlimited.
-	Span    int     `json:"span,omitempty"`
-	Epsilon float64 `json:"epsilon,omitempty"` // Eq. 8 ε (default 0.5)
-	Alpha   float64 `json:"alpha,omitempty"`   // Eq. 8 α (default 20)
-}
-
-// SchedConfig is the wire form of sched.Options.
-type SchedConfig struct {
-	Priority      string `json:"priority,omitempty"` // "F1" or "F2" (default)
-	Tie           string `json:"tie,omitempty"`      // desc (default), asc, stable, random
-	Seed          int64  `json:"seed,omitempty"`
-	SwitchPenalty int64  `json:"switch_penalty,omitempty"`
-}
-
-// CompileResponse is the result of a compile, inline from /v1/compile or
-// inside a finished job from /v1/jobs/{id}. Partial compiles
-// (stop_after) carry only the fields their stages produced: a
-// select-only response has patterns and census but no cycles.
-type CompileResponse struct {
-	Name        string   `json:"name"`
-	Nodes       int      `json:"nodes"`
-	EdgesCount  int      `json:"edges"`
-	Patterns    []string `json:"patterns,omitempty"` // compact notation, sorted
-	Cycles      int      `json:"cycles,omitempty"`
-	LowerBound  int      `json:"lower_bound,omitempty"` // 0 when unavailable
-	Utilization float64  `json:"utilization,omitempty"`
-	// CycleOf maps node id → 0-based clock cycle; PatternOf maps cycle →
-	// index into Patterns as returned by the scheduler (pre-sort order).
-	CycleOf   []int `json:"cycle_of,omitempty"`
-	PatternOf []int `json:"pattern_of,omitempty"`
-	// SchedulerPatterns is the pattern list in PatternOf's index order.
-	SchedulerPatterns []string `json:"scheduler_patterns,omitempty"`
-	// StopAfter echoes the request's stop stage (empty = full compile).
-	StopAfter string `json:"stop_after,omitempty"`
-	// Span is the effective antichain span limit; with a "spans" sweep it
-	// is the winning limit.
-	Span int `json:"span"`
-	// SweptSpans reports that Span was chosen by a span sweep.
-	SweptSpans bool `json:"swept_spans,omitempty"`
-	// Census summarises the antichain census backing the selection (absent
-	// on cache hits served without re-enumerating, and for cached full
-	// compiles it is restored from the cache entry).
-	Census *CensusResponse `json:"census,omitempty"`
-	// Stages holds per-stage wall-clock timings in execution order
-	// (absent on cache hits: no stage ran).
-	Stages    []StageTimingResponse `json:"stages,omitempty"`
-	CacheHit  bool                  `json:"cache_hit"`
-	ElapsedMS float64               `json:"elapsed_ms"`
-}
-
-// CensusResponse is the wire form of the antichain census summary.
-type CensusResponse struct {
-	Antichains int `json:"antichains"`
-	Classes    int `json:"classes"`
-	Span       int `json:"span"`
-}
-
-// StageTimingResponse is one stage's wall-clock cost on the wire.
-type StageTimingResponse struct {
-	Stage string  `json:"stage"`
-	MS    float64 `json:"ms"`
-}
+// The serving wire types live in internal/wire, shared by this server,
+// the typed client and every codec. The aliases keep the server's
+// historical names (server.CompileRequest and friends) working.
+type (
+	CompileRequest      = wire.CompileRequest
+	SelectConfig        = wire.SelectConfig
+	SchedConfig         = wire.SchedConfig
+	CompileResponse     = wire.CompileResponse
+	CensusResponse      = wire.CensusResponse
+	StageTimingResponse = wire.StageTimingResponse
+	JobResponse         = wire.JobResponse
+	ErrorResponse       = wire.ErrorResponse
+	HealthResponse      = wire.HealthResponse
+	WorkloadsResponse   = wire.WorkloadsResponse
+	BatchRequest        = wire.BatchRequest
+	BatchItem           = wire.BatchItem
+)
 
 // Job lifecycle states reported by /v1/jobs/{id}.
 const (
-	JobQueued  = "queued"
-	JobRunning = "running"
-	JobDone    = "done"
-	JobFailed  = "failed"
+	JobQueued  = wire.JobQueued
+	JobRunning = wire.JobRunning
+	JobDone    = wire.JobDone
+	JobFailed  = wire.JobFailed
 )
-
-// JobResponse is the body of POST /v1/jobs and GET /v1/jobs/{id}.
-type JobResponse struct {
-	ID     string           `json:"id"`
-	Status string           `json:"status"`
-	Error  string           `json:"error,omitempty"`
-	Result *CompileResponse `json:"result,omitempty"`
-}
-
-// ErrorResponse is the body of every non-2xx response.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
-
-// HealthResponse is the body of GET /healthz.
-type HealthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	QueueDepth    int     `json:"queue_depth"`
-	Draining      bool    `json:"draining"`
-}
-
-// WorkloadsResponse is the body of GET /v1/workloads.
-type WorkloadsResponse struct {
-	Workloads []cliutil.Workload `json:"workloads"`
-}
 
 // badRequestError marks request-shaped failures (malformed graph, unknown
 // workload, invalid config) so handlers map them to 400 rather than 422.
@@ -153,24 +50,33 @@ func (e badRequestError) Unwrap() error { return e.err }
 
 // toJob resolves the request into a pipeline job. All failures are
 // badRequestError: nothing has been compiled yet, so the fault is in the
-// request. Shape checks live in validate(); this function only resolves
-// the graph and converts the wire configs.
-func toJob(req CompileRequest) (pipeline.Job, error) {
+// request. Shape checks live in validateRequest; this function only
+// resolves the graph and converts the wire configs. A non-nil graph is a
+// pre-resolved substitute for req.Workload (the server's spec cache
+// path — see Server.resolveJob).
+func toJob(req CompileRequest) (pipeline.Job, error) { return toJobGraph(req, nil) }
+
+func toJobGraph(req CompileRequest, cached *dfg.Graph) (pipeline.Job, error) {
 	job := pipeline.Job{Name: req.Name}
-	if err := req.validate(); err != nil {
+	if err := validateRequest(req); err != nil {
 		return job, badRequestError{err}
 	}
 
 	switch {
 	case req.Workload != "":
-		g, err := cliutil.Generate(req.Workload)
-		if err != nil {
-			return job, badRequestError{err}
+		g := cached
+		if g == nil {
+			var err error
+			if g, err = cliutil.Generate(req.Workload); err != nil {
+				return job, badRequestError{err}
+			}
 		}
 		job.Graph = g
 		if job.Name == "" {
 			job.Name = req.Workload
 		}
+	case req.Graph != nil:
+		job.Graph = req.Graph
 	default:
 		var g dfg.Graph
 		if err := json.Unmarshal(req.DFG, &g); err != nil {
@@ -216,7 +122,15 @@ const defaultPdef = 4
 // toResponse converts a successful pipeline result to the wire shape.
 // Fields are filled stage by stage, so partial compiles (stop_after)
 // render exactly what they produced.
-func toResponse(r pipeline.Result) *CompileResponse {
+//
+// The schedule-derived fields (pattern strings, cycles, utilization, the
+// lower bound, the per-node assignments) are pure functions of the
+// schedule, which result-cache hits share by pointer — so they are
+// memoised in s.resps and computed once per distinct schedule, not per
+// request. The memo entry is a frozen skeleton: responses copy the
+// scalar fields and alias the slices, which nothing mutates after this
+// point.
+func (s *Server) toResponse(r pipeline.Result) *CompileResponse {
 	resp := &CompileResponse{
 		Name:       r.Job.Label(),
 		Nodes:      r.Job.Graph.N(),
@@ -245,36 +159,86 @@ func toResponse(r pipeline.Result) *CompileResponse {
 		}
 	}
 
-	// The pattern set: from the schedule when one exists (its index order
-	// is what pattern_of references), else from a bare selection.
-	var ps *pattern.Set
-	if r.Schedule != nil {
-		ps = r.Schedule.Patterns
+	if sc := r.Schedule; sc != nil {
+		sk, ok := s.resps.get(sc)
+		if !ok {
+			sk = scheduleSkeleton(r.Job.Graph, sc)
+			s.resps.put(sc, sk)
+		}
+		resp.Patterns = sk.Patterns
+		resp.SchedulerPatterns = sk.SchedulerPatterns
+		resp.Cycles = sk.Cycles
+		resp.Utilization = sk.Utilization
+		resp.CycleOf = sk.CycleOf
+		resp.PatternOf = sk.PatternOf
+		resp.LowerBound = sk.LowerBound
 	} else if r.Selection != nil {
-		ps = r.Selection.Patterns
-	}
-	if ps != nil {
-		var compact []string
-		for _, p := range ps.Patterns() {
-			compact = append(compact, p.Compact())
-		}
-		resp.Patterns = append([]string(nil), compact...)
+		resp.Patterns = compactPatterns(r.Selection.Patterns)
 		sort.Strings(resp.Patterns)
-		if r.Schedule != nil {
-			resp.SchedulerPatterns = compact
-		}
-	}
-
-	if s := r.Schedule; s != nil {
-		resp.Cycles = s.Length()
-		resp.Utilization = s.Utilization()
-		resp.CycleOf = s.CycleOf
-		resp.PatternOf = s.PatternOf
-		if lb, err := sched.LowerBound(r.Job.Graph, s.Patterns); err == nil {
-			resp.LowerBound = lb
-		}
 	}
 	return resp
+}
+
+// scheduleSkeleton computes the schedule-derived response fields — the
+// expensive, request-independent slice of toResponse.
+func scheduleSkeleton(g *dfg.Graph, sc *sched.Schedule) *CompileResponse {
+	compact := compactPatterns(sc.Patterns)
+	sk := &CompileResponse{
+		SchedulerPatterns: compact,
+		Patterns:          append([]string(nil), compact...),
+		Cycles:            sc.Length(),
+		Utilization:       sc.Utilization(),
+		CycleOf:           sc.CycleOf,
+		PatternOf:         sc.PatternOf,
+	}
+	sort.Strings(sk.Patterns)
+	if lb, err := sched.LowerBound(g, sc.Patterns); err == nil {
+		sk.LowerBound = lb
+	}
+	return sk
+}
+
+func compactPatterns(ps *pattern.Set) []string {
+	if ps == nil {
+		return nil
+	}
+	compact := make([]string, 0, ps.Len())
+	for _, p := range ps.Patterns() {
+		compact = append(compact, p.Compact())
+	}
+	return compact
+}
+
+// respCache memoises schedule skeletons by shared schedule pointer (see
+// Server.resps). Bounded with arbitrary eviction, like specCache; an
+// evicted entry merely costs recomputation on the next request.
+type respCache struct {
+	mu sync.RWMutex
+	m  map[*sched.Schedule]*CompileResponse
+}
+
+const maxRespCacheEntries = 512
+
+func (c *respCache) get(k *sched.Schedule) (*CompileResponse, bool) {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *respCache) put(k *sched.Schedule, v *CompileResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[*sched.Schedule]*CompileResponse)
+	}
+	if len(c.m) >= maxRespCacheEntries {
+		for old := range c.m {
+			delete(c.m, old)
+			break
+		}
+	}
+	c.m[k] = v
 }
 
 // errString compacts an error chain for the wire: internal package

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mpsched/internal/dfg"
+	"mpsched/internal/pipeline"
+)
+
+// handleBatch serves POST /v1/batch: one envelope of N compile jobs, one
+// stream of N results. The envelope decodes in the request codec and the
+// items stream back in the response codec's item framing (NDJSON for
+// JSON, length-prefixed frames for binary), flushed as each job
+// finishes — in completion order, tagged with the job's envelope index.
+//
+// Job isolation is the point of the endpoint's status model: every job
+// carries its own HTTP-equivalent status inside its item (400 bad
+// request, 413 oversized graph, 429 not admitted, 422 compile error, 200
+// with a result), so one bad job never fails its neighbours. Only
+// envelope-level faults — an undecodable envelope, too many jobs, a
+// draining server — fail the whole request, before any item is written.
+//
+// Admission is per-job and deterministic: each job try-acquires from
+// batchSem (capacity QueueDepth, shared across envelopes) before any
+// compile starts, so when capacity runs out mid-envelope the overflow
+// jobs 429 immediately — the same contract as /v1/jobs, applied at item
+// granularity.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	codec := requestCodec(r)
+	var b BatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := codec.DecodeBatch(body, &b); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body over %d bytes", tooLarge.Limit))
+		} else {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+		}
+		return
+	}
+	if len(b.Jobs) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("empty batch: provide at least one job"))
+		return
+	}
+	if len(b.Jobs) > s.opts.MaxBatchJobs {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d jobs over the limit %d; split the envelope", len(b.Jobs), s.opts.MaxBatchJobs))
+		return
+	}
+	if s.draining.Load() {
+		s.metrics.batchRejected.Add(int64(len(b.Jobs)))
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+
+	// Resolve and admit every job before streaming starts: rejections are
+	// decided up front (and written first), so admission never depends on
+	// how fast earlier compiles run.
+	type pending struct {
+		idx int
+		job pipeline.Job
+	}
+	var failed []BatchItem
+	var admitted []pending
+	for i := range b.Jobs {
+		job, err := s.resolveJob(b.Jobs[i])
+		if err != nil {
+			failed = append(failed, BatchItem{Index: i, Status: http.StatusBadRequest, Error: errString(err)})
+			continue
+		}
+		if n := job.Graph.N(); n > s.opts.MaxSyncNodes {
+			failed = append(failed, BatchItem{Index: i, Status: http.StatusRequestEntityTooLarge,
+				Error: fmt.Sprintf("graph has %d nodes, over the synchronous limit %d; submit it to POST /v1/jobs", n, s.opts.MaxSyncNodes)})
+			continue
+		}
+		select {
+		case s.batchSem <- struct{}{}:
+			admitted = append(admitted, pending{idx: i, job: job})
+		default:
+			s.metrics.batchRejected.Add(1)
+			failed = append(failed, BatchItem{Index: i, Status: http.StatusTooManyRequests,
+				Error: fmt.Sprintf("batch capacity full (%d in flight); retry later", s.opts.QueueDepth)})
+		}
+	}
+	s.metrics.batchJobs.Add(int64(len(admitted)))
+
+	w.Header().Set("Content-Type", responseCodec(r).StreamContentType())
+	w.WriteHeader(http.StatusOK)
+	iw := responseCodec(r).NewItemWriter(w)
+	flusher, _ := w.(http.Flusher)
+
+	// One writer goroutine owns the stream; compile goroutines hand it
+	// finished items over a buffered channel (capacity = envelope size, so
+	// a slow client never blocks a compile past its own item). The writer
+	// drains every item already waiting before paying a flush: under a
+	// fast cache-hit storm that turns one syscall per item into one per
+	// burst, which is most of the endpoint's throughput at small graphs.
+	items := make(chan *BatchItem, len(b.Jobs))
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for it := range items {
+			// A mid-stream write error means the client went away; the
+			// remaining compiles still run (their results may be cached).
+			_ = iw.WriteItem(it)
+		drain:
+			for {
+				select {
+				case more, ok := <-items:
+					if !ok {
+						break drain
+					}
+					_ = iw.WriteItem(more)
+				default:
+					break drain
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}()
+
+	for i := range failed {
+		items <- &failed[i]
+	}
+	var wg sync.WaitGroup
+	for _, p := range admitted {
+		wg.Add(1)
+		p := p
+		run := func() {
+			defer wg.Done()
+			defer func() { <-s.batchSem }()
+			res := s.pipe.CompileContext(r.Context(), p.job)
+			s.metrics.observeCompile(res.Elapsed, res.Err)
+			if res.Err != nil {
+				status := http.StatusUnprocessableEntity
+				if errors.Is(res.Err, dfg.ErrCyclic) || errors.Is(res.Err, dfg.ErrDuplicateName) || errors.Is(res.Err, dfg.ErrIndexRange) {
+					status = http.StatusBadRequest
+				}
+				items <- &BatchItem{Index: p.idx, Status: status, Error: errString(res.Err)}
+				return
+			}
+			items <- &BatchItem{Index: p.idx, Status: http.StatusOK, Result: s.toResponse(res)}
+		}
+		// Jobs run on the persistent worker pool; when it is saturated (or
+		// drained away) a fresh goroutine keeps the envelope moving rather
+		// than blocking the handler on pool capacity.
+		select {
+		case s.batchWork <- run:
+		default:
+			go run()
+		}
+	}
+	wg.Wait()
+	close(items)
+	<-writerDone
+}
+
+// specCache memoises workload-spec graphs (see Server.specs). Bounded
+// and concurrency-safe; eviction is arbitrary-entry, which is fine for a
+// cache whose working set is "the specs currently being stormed".
+type specCache struct {
+	mu sync.RWMutex
+	m  map[string]*dfg.Graph
+}
+
+// maxSpecCacheEntries bounds the cache; specs are short strings and
+// graphs are shared anyway, so the bound is about hostile spec churn,
+// not memory from legitimate use.
+const maxSpecCacheEntries = 512
+
+func (c *specCache) get(spec string) (*dfg.Graph, bool) {
+	c.mu.RLock()
+	g, ok := c.m[spec]
+	c.mu.RUnlock()
+	return g, ok
+}
+
+func (c *specCache) put(spec string, g *dfg.Graph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*dfg.Graph)
+	}
+	if len(c.m) >= maxSpecCacheEntries {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[spec] = g
+}

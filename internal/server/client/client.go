@@ -1,37 +1,62 @@
 // Package client is the typed Go client for the mpschedd compile service
-// (internal/server). It speaks the /v1 JSON API and re-uses the server's
-// wire types, so a round trip is compile-time checked end to end.
+// (internal/server). It re-uses the server's wire types, so a round trip
+// is compile-time checked end to end, and speaks any registered wire
+// codec — JSON by default, or the compact binary format via WithCodec:
 //
 //	c := client.New("http://localhost:8080")
 //	resp, err := c.Compile(ctx, server.CompileRequest{Workload: "fft:8"})
 //	fmt.Println(resp.Cycles, "cycles, cache hit:", resp.CacheHit)
+//
+//	fast := c.WithCodec(wire.Binary)
+//	items, err := fast.CompileBatch(ctx, reqs) // N compiles, one round trip
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"mpsched/internal/cliutil"
 	"mpsched/internal/server"
+	"mpsched/internal/wire"
 )
 
 // Client talks to one mpschedd base URL. Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	codec wire.Codec
 }
 
+// sharedTransport is the default transport for all clients: the stdlib
+// default keeps only 2 idle connections per host, which forces a
+// many-goroutine load generator to re-dial (and re-handshake) on almost
+// every request. One tuned transport shared across Clients keeps the
+// connection pool warm.
+var sharedTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 512
+	t.MaxIdleConnsPerHost = 256
+	return t
+}()
+
 // New returns a client for the daemon at baseURL (e.g.
-// "http://localhost:8080"). The underlying http.Client has no timeout —
-// bound calls with a context.
+// "http://localhost:8080"), speaking JSON. The underlying http.Client
+// has no timeout — bound calls with a context.
 func New(baseURL string) *Client {
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	return &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		hc:    &http.Client{Transport: sharedTransport},
+		codec: wire.JSON,
+	}
 }
 
 // WithHTTPClient returns a derived client using hc as its transport
@@ -43,6 +68,30 @@ func (c *Client) WithHTTPClient(hc *http.Client) *Client {
 	return &cp
 }
 
+// WithTimeout returns a derived client whose requests time out after d
+// (zero = none), keeping the tuned shared transport — unlike handing
+// WithHTTPClient a fresh http.Client, which would silently drop the warm
+// connection pool. The receiver is not modified.
+func (c *Client) WithTimeout(d time.Duration) *Client {
+	cp := *c
+	hc := *cp.hc
+	hc.Timeout = d
+	cp.hc = &hc
+	return &cp
+}
+
+// WithCodec returns a derived client using codec for compile and batch
+// bodies. Job-control and introspection endpoints stay JSON (the server
+// speaks only JSON there). The receiver is not modified.
+func (c *Client) WithCodec(codec wire.Codec) *Client {
+	cp := *c
+	cp.codec = codec
+	return &cp
+}
+
+// Codec returns the wire codec compile and batch calls use.
+func (c *Client) Codec() wire.Codec { return c.codec }
+
 // BaseURL returns the daemon base URL the client was built with.
 func (c *Client) BaseURL() string { return c.base }
 
@@ -50,26 +99,79 @@ func (c *Client) BaseURL() string { return c.base }
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when absent) —
+	// set on 429/503 admission rejections.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("mpschedd: %d: %s", e.StatusCode, e.Message)
 }
 
-// Compile runs one synchronous compile (POST /v1/compile).
+// Compile runs one synchronous compile (POST /v1/compile) in the
+// client's codec.
 func (c *Client) Compile(ctx context.Context, req server.CompileRequest) (*server.CompileResponse, error) {
 	var resp server.CompileResponse
-	if err := c.post(ctx, "/v1/compile", req, &resp); err != nil {
+	ct := c.codec.ContentType()
+	err := c.call(ctx, http.MethodPost, "/v1/compile", ct, ct,
+		func(w io.Writer) error { return c.codec.EncodeRequest(w, &req) },
+		func(r io.Reader) error { return c.codec.DecodeResponse(r, &resp) })
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// CompileBatch runs N compiles in one round trip (POST /v1/batch) in the
+// client's codec. Items arrive in completion order — match them to reqs
+// by Index. Per-job failures are items with a non-200 Status, not an
+// error; the returned error covers transport and envelope faults only,
+// including a short stream (server died mid-batch).
+func (c *Client) CompileBatch(ctx context.Context, reqs []server.CompileRequest) ([]server.BatchItem, error) {
+	items := make([]server.BatchItem, 0, len(reqs))
+	ct := c.codec.ContentType()
+	err := c.call(ctx, http.MethodPost, "/v1/batch", ct, ct,
+		func(w io.Writer) error { return c.codec.EncodeBatch(w, &wire.BatchRequest{Jobs: reqs}) },
+		func(r io.Reader) error {
+			ir := c.codec.NewItemReader(r)
+			for {
+				var it server.BatchItem
+				switch err := ir.ReadItem(&it); err {
+				case nil:
+					items = append(items, it)
+				case io.EOF:
+					return nil
+				default:
+					return err
+				}
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	seen := make([]bool, len(reqs))
+	for i := range items {
+		idx := items[i].Index
+		if idx < 0 || idx >= len(reqs) || seen[idx] {
+			return nil, fmt.Errorf("batch stream: bad or duplicate item index %d", idx)
+		}
+		seen[idx] = true
+	}
+	if len(items) != len(reqs) {
+		return nil, fmt.Errorf("batch stream truncated: got %d of %d results", len(items), len(reqs))
+	}
+	return items, nil
 }
 
 // SubmitJob enqueues an async compile (POST /v1/jobs) and returns the
 // accepted job (status "queued").
 func (c *Client) SubmitJob(ctx context.Context, req server.CompileRequest) (*server.JobResponse, error) {
 	var resp server.JobResponse
-	if err := c.post(ctx, "/v1/jobs", req, &resp); err != nil {
+	ct := c.codec.ContentType()
+	err := c.call(ctx, http.MethodPost, "/v1/jobs", ct, wire.ContentTypeJSON,
+		func(w io.Writer) error { return c.codec.EncodeRequest(w, &req) },
+		decodeJSON(&resp))
+	if err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -85,25 +187,39 @@ func (c *Client) Job(ctx context.Context, id string) (*server.JobResponse, error
 }
 
 // WaitJob polls a job until it reaches a terminal state or ctx expires.
-// poll ≤ 0 selects a 25ms interval.
+// poll ≤ 0 selects a 25ms ceiling. Polling backs off exponentially from
+// 1ms up to that ceiling (a job done in 2ms is seen in ~3ms instead of
+// a full tick), and transient admission errors (429/503) honour the
+// server's Retry-After hint instead of failing the wait.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*server.JobResponse, error) {
 	if poll <= 0 {
 		poll = 25 * time.Millisecond
 	}
-	t := time.NewTicker(poll)
-	defer t.Stop()
+	delay := time.Millisecond
 	for {
 		resp, err := c.Job(ctx, id)
-		if err != nil {
-			return nil, err
+		if err == nil {
+			if resp.Status == server.JobDone || resp.Status == server.JobFailed {
+				return resp, nil
+			}
+		} else {
+			var e *APIError
+			if !errors.As(err, &e) || (e.StatusCode != http.StatusTooManyRequests && e.StatusCode != http.StatusServiceUnavailable) {
+				return nil, err
+			}
+			if e.RetryAfter > delay {
+				delay = e.RetryAfter
+			}
 		}
-		if resp.Status == server.JobDone || resp.Status == server.JobFailed {
-			return resp, nil
-		}
+		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return resp, ctx.Err()
 		case <-t.C:
+		}
+		if delay *= 2; delay > poll {
+			delay = poll
 		}
 	}
 }
@@ -126,40 +242,69 @@ func (c *Client) Healthz(ctx context.Context) (*server.HealthResponse, error) {
 	return &resp, nil
 }
 
-func (c *Client) post(ctx context.Context, path string, body, out any) error {
-	payload, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
-}
-
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	return c.call(ctx, http.MethodGet, path, "", wire.ContentTypeJSON, nil, decodeJSON(out))
+}
+
+func decodeJSON(out any) func(io.Reader) error {
+	return func(r io.Reader) error { return json.NewDecoder(r).Decode(out) }
+}
+
+// bufPool amortises request-body buffers across calls: a hot client
+// (load generator, batch dispatcher) encodes every request into a
+// recycled buffer and hands the transport a bytes.Reader over it, which
+// also gives the request a Content-Length and trivial retryability.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// call is the one HTTP path every method funnels through: encode body
+// (enc nil = no body), send with the given Content-Type/Accept, map
+// non-2xx to *APIError (error bodies are always JSON, whatever the
+// codec), decode 2xx with dec, and drain the body so the connection goes
+// back into the pool.
+func (c *Client) call(ctx context.Context, method, path, contentType, accept string, enc func(io.Writer) error, dec func(io.Reader) error) error {
+	var body io.Reader
+	if enc != nil {
+		buf := bufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		defer bufPool.Put(buf)
+		if err := enc(buf); err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf.Bytes())
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	return c.do(req, out)
-}
-
-func (c *Client) do(req *http.Request, out any) error {
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer func() {
+		// Drain whatever dec left so the connection is reusable.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
 	if resp.StatusCode/100 != 2 {
 		var e server.ErrorResponse
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 		if json.Unmarshal(data, &e) != nil || e.Error == "" {
 			e.Error = strings.TrimSpace(string(data))
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if dec == nil {
+		return nil
+	}
+	return dec(resp.Body)
 }

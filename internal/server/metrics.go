@@ -23,6 +23,9 @@ type metrics struct {
 	jobsFailed    atomic.Int64 // async jobs finished with an error
 	jobsRejected  atomic.Int64 // async jobs refused at admission (queue full / draining)
 
+	batchJobs     atomic.Int64 // batch jobs admitted across all envelopes
+	batchRejected atomic.Int64 // batch jobs refused at admission (capacity / draining)
+
 	mu       sync.Mutex
 	requests map[string]int64 // route pattern → request count
 	// latencies is a fixed-size reservoir of recent compile wall-clock
@@ -129,6 +132,9 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cacheHits, cache
 	counter("mpschedd_jobs_completed_total", "Async jobs finished successfully.", m.jobsCompleted.Load())
 	counter("mpschedd_jobs_failed_total", "Async jobs finished with an error.", m.jobsFailed.Load())
 	counter("mpschedd_jobs_rejected_total", "Async jobs refused at admission.", m.jobsRejected.Load())
+
+	counter("mpschedd_batch_jobs_total", "Batch jobs admitted across all envelopes.", m.batchJobs.Load())
+	counter("mpschedd_batch_rejected_total", "Batch jobs refused at admission.", m.batchRejected.Load())
 
 	gauge("mpschedd_queue_depth", "Async jobs waiting in the queue.", float64(queueDepth))
 	gauge("mpschedd_queue_capacity", "Async queue admission bound.", float64(queueCap))

@@ -1,14 +1,16 @@
-// Package server is the compile-as-a-service layer: an HTTP/JSON front
-// end over internal/pipeline, serving the staged pattern-selection
-// compiler to many concurrent clients. It adds what the compiler does
-// not have — admission control, per-request cancellation, async jobs,
+// Package server is the compile-as-a-service layer: an HTTP front end
+// over internal/pipeline, serving the staged pattern-selection compiler
+// to many concurrent clients. It adds what the compiler does not have —
+// admission control, per-request cancellation, async jobs, batching,
 // and metrics — while every actual compile goes through the same staged
 // engine the CLIs use, including partial compiles (stop_after), span
 // sweeps (spans) and per-stage timings on the wire.
 //
-// Endpoints (all JSON):
+// Endpoints:
 //
 //	POST /v1/compile      synchronous compile of one graph
+//	POST /v1/batch        N compiles in one round trip, results streamed
+//	                      in completion order (see batch.go)
 //	POST /v1/jobs         enqueue an async compile, returns a job id
 //	GET  /v1/jobs/{id}    job status and, when done, the result
 //	GET  /v1/workloads    generator catalog
@@ -16,7 +18,12 @@
 //	GET  /metrics         Prometheus text exposition
 //	GET  /debug/pprof/*   profiling (only with Options.EnablePprof)
 //
-// See CompileRequest in api.go for the request wire format and
+// Compile and batch bodies are codec-pluggable: the request codec is
+// picked from Content-Type (no header = JSON, so pre-codec clients and
+// plain curl are unchanged) and the response codec from Accept (falling
+// back to the request codec). internal/wire is the codec registry;
+// job-control and introspection endpoints, like errors, always speak
+// JSON. See wire.CompileRequest for the request shape and
 // internal/dfg/io.go for the graph wire format.
 package server
 
@@ -35,6 +42,7 @@ import (
 	"mpsched/internal/cliutil"
 	"mpsched/internal/dfg"
 	"mpsched/internal/pipeline"
+	"mpsched/internal/wire"
 )
 
 // Options configures a Server. The zero value serves with sensible
@@ -65,6 +73,10 @@ type Options struct {
 	// MaxStoredJobs caps retained terminal jobs; ≤ 0 means
 	// DefaultMaxStoredJobs.
 	MaxStoredJobs int
+	// MaxBatchJobs caps how many jobs one /v1/batch envelope may carry;
+	// ≤ 0 means DefaultMaxBatchJobs. (Total in-flight batch jobs across
+	// envelopes are separately bounded by QueueDepth — see batch.go.)
+	MaxBatchJobs int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ for CPU and
 	// heap profiling of a live daemon. Off by default: the profile
 	// endpoints expose internals and cost CPU, so they are opt-in
@@ -78,6 +90,7 @@ const (
 	DefaultMaxBodyBytes  = 8 << 20 // 8 MiB of graph JSON is ~10⁵ nodes
 	DefaultMaxSyncNodes  = 2048
 	DefaultMaxStoredJobs = 4096
+	DefaultMaxBatchJobs  = 256
 )
 
 func (o Options) withDefaults() Options {
@@ -96,6 +109,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxStoredJobs <= 0 {
 		o.MaxStoredJobs = DefaultMaxStoredJobs
 	}
+	if o.MaxBatchJobs <= 0 {
+		o.MaxBatchJobs = DefaultMaxBatchJobs
+	}
 	return o
 }
 
@@ -108,6 +124,29 @@ type Server struct {
 	metrics *metrics
 	store   *jobStore
 	mux     *http.ServeMux
+
+	// batchSem bounds in-flight batch jobs across all /v1/batch envelopes
+	// at QueueDepth; admission is a per-job try-acquire, so an oversized
+	// envelope gets deterministic per-job 429s instead of an envelope
+	// failure (see batch.go).
+	batchSem chan struct{}
+	// specs caches workload-spec graphs so a storm of "random:seed=1,n=64"
+	// requests generates (and fingerprints) the graph once, not per
+	// request. Graphs are immutable after construction and their lazy
+	// attribute caches are goroutine-safe, so sharing one *Graph across
+	// concurrent compiles is sound — and makes the pipeline's result
+	// cache hit without re-hashing.
+	specs specCache
+	// resps memoises the schedule-derived slice of CompileResponse per
+	// shared *sched.Schedule (see toResponse): result-cache hits reuse the
+	// same schedule pointer, so pattern formatting, the lower bound and
+	// utilization are computed once per distinct result, not per request.
+	resps respCache
+	// batchWork feeds the persistent batch compile workers. A fixed pool
+	// instead of a goroutine per job: batch jobs are often sub-millisecond
+	// cache hits, and spawning a fresh goroutine each time pays stack
+	// growth (newstack/copystack) that long-lived workers amortise away.
+	batchWork chan func()
 
 	queue   chan *asyncJob
 	wg      sync.WaitGroup // queue workers
@@ -141,6 +180,7 @@ func newServer(opts Options, startWorkers bool) *Server {
 		metrics:   newMetrics(),
 		store:     newJobStore(opts.MaxStoredJobs),
 		queue:     make(chan *asyncJob, opts.QueueDepth),
+		batchSem:  make(chan struct{}, opts.QueueDepth),
 		drainCh:   make(chan struct{}),
 		drainDone: make(chan struct{}),
 	}
@@ -152,6 +192,7 @@ func newServer(opts Options, startWorkers bool) *Server {
 
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/compile", s.handleCompile)
+	s.route("POST /v1/batch", s.handleBatch)
 	s.route("POST /v1/jobs", s.handleSubmitJob)
 	s.route("GET /v1/jobs/{id}", s.handleGetJob)
 	s.route("GET /v1/workloads", s.handleWorkloads)
@@ -176,7 +217,33 @@ func newServer(opts Options, startWorkers bool) *Server {
 			go s.worker()
 		}
 	}
+	// Batch workers run regardless of startWorkers — /v1/batch must serve
+	// even on test servers with the async queue frozen. They exit with
+	// baseCtx (Drain); handleBatch falls back per job when they are gone.
+	s.batchWork = make(chan func(), opts.QueueDepth)
+	for i := 0; i < batchWorkers(opts.QueueWorkers); i++ {
+		go func() {
+			for {
+				select {
+				case f := <-s.batchWork:
+					f()
+				case <-s.baseCtx.Done():
+					return
+				}
+			}
+		}()
+	}
 	return s
+}
+
+// batchWorkers sizes the batch compile pool: enough headroom over the
+// CPU count that a few long compiles don't starve cheap cache hits
+// queued behind them, small enough that worker stacks stay warm.
+func batchWorkers(queueWorkers int) int {
+	if n := 4 * queueWorkers; n > 8 {
+		return n
+	}
+	return 8
 }
 
 // route registers a handler and counts requests against the pattern.
@@ -229,7 +296,7 @@ func (s *Server) process(j *asyncJob) {
 		return
 	}
 	s.metrics.jobsCompleted.Add(1)
-	j.finish(toResponse(res), nil)
+	j.finish(s.toResponse(res), nil)
 }
 
 // Drain gracefully shuts the queue down: admission stops, queued and
@@ -293,7 +360,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	job, err := toJob(req)
+	job, err := s.resolveJob(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -315,7 +382,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, res.Err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, toResponse(res))
+	s.writeResult(w, r, s.toResponse(res))
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
@@ -323,7 +390,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	job, err := toJob(req)
+	job, err := s.resolveJob(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -391,14 +458,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // ---- plumbing ----
 
-// decodeRequest reads a size-limited JSON body. On failure it has already
-// written the error response.
+// requestCodec picks the body codec from Content-Type. Unknown or absent
+// types fall back to JSON — exactly the pre-codec behaviour, so curl
+// without headers and every existing client are unchanged.
+func requestCodec(r *http.Request) wire.Codec {
+	if c, ok := wire.ByContentType(r.Header.Get("Content-Type")); ok {
+		return c
+	}
+	return wire.JSON
+}
+
+// responseCodec picks the response codec: an explicit Accept for a
+// registered type wins, otherwise responses mirror the request codec.
+func responseCodec(r *http.Request) wire.Codec {
+	if c, ok := wire.ByContentType(r.Header.Get("Accept")); ok {
+		return c
+	}
+	return requestCodec(r)
+}
+
+// resolveJob is toJob with the workload-spec cache in front: a storm of
+// identical specs generates the graph once and shares it, which also
+// keys the pipeline's result cache to one fingerprint computation.
+func (s *Server) resolveJob(req CompileRequest) (pipeline.Job, error) {
+	if req.Workload == "" {
+		return toJob(req)
+	}
+	if g, ok := s.specs.get(req.Workload); ok {
+		return toJobGraph(req, g)
+	}
+	job, err := toJob(req)
+	if err == nil {
+		s.specs.put(req.Workload, job.Graph)
+	}
+	return job, err
+}
+
+// decodeRequest reads a size-limited body in the request's codec. On
+// failure it has already written the (always-JSON) error response.
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (CompileRequest, bool) {
 	var req CompileRequest
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := requestCodec(r).DecodeRequest(body, &req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.writeError(w, http.StatusRequestEntityTooLarge,
@@ -409,6 +510,14 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (CompileR
 		return req, false
 	}
 	return req, true
+}
+
+// writeResult writes a compile result in the negotiated response codec.
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, resp *CompileResponse) {
+	codec := responseCodec(r)
+	w.Header().Set("Content-Type", codec.ContentType())
+	w.WriteHeader(http.StatusOK)
+	_ = codec.EncodeResponse(w, resp) // the connection failing mid-response is the client's problem
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {

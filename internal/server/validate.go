@@ -32,15 +32,23 @@ var stopStages = map[string]pipeline.Stage{
 	"schedule": pipeline.StageSchedule,
 }
 
-// validate checks everything about the request that can be checked
-// without touching a graph, returning a *FieldError naming the first
-// offending field. Graph resolution (workload generation, DFG decoding)
-// stays in toJob — those failures carry their own diagnostics.
-func (r CompileRequest) validate() error {
+// validateRequest checks everything about the request that can be
+// checked without touching a graph, returning a *FieldError naming the
+// first offending field. Graph resolution (workload generation, DFG
+// decoding) stays in toJob — those failures carry their own diagnostics.
+// (A function, not a method: CompileRequest is an alias into
+// internal/wire, which stays free of server policy.)
+func validateRequest(r CompileRequest) error {
+	sources := 0
+	for _, has := range []bool{r.Workload != "", len(r.DFG) > 0, r.Graph != nil} {
+		if has {
+			sources++
+		}
+	}
 	switch {
-	case r.Workload != "" && len(r.DFG) > 0:
+	case sources > 1:
 		return fieldErrf("workload", "provide either workload or dfg, not both")
-	case r.Workload == "" && len(r.DFG) == 0:
+	case sources == 0:
 		return fieldErrf("workload", "provide a graph: workload (see /v1/workloads) or inline dfg")
 	}
 

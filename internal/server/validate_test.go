@@ -39,7 +39,7 @@ func TestValidateCompileRequest(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := tc.req.validate()
+			err := validateRequest(tc.req)
 			if tc.field == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

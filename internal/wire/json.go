@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonCodec is the original serving wire format. Encoded bytes are
+// bit-compatible with what the server spoke before codecs existed:
+// requests decode with unknown fields rejected, responses encode with
+// HTML escaping off, exactly as the handlers used to do inline.
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string              { return "json" }
+func (jsonCodec) ContentType() string       { return ContentTypeJSON }
+func (jsonCodec) StreamContentType() string { return StreamContentTypeJSON }
+
+// withDFG returns req with any decoded Graph lowered to the DFG JSON
+// field, since JSON bodies carry graphs only in that shape.
+func withDFG(req *CompileRequest) (*CompileRequest, error) {
+	if req.Graph == nil || len(req.DFG) != 0 {
+		return req, nil
+	}
+	data, err := json.Marshal(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	clone := *req
+	clone.DFG = data
+	clone.Graph = nil
+	return &clone, nil
+}
+
+func (jsonCodec) EncodeRequest(w io.Writer, req *CompileRequest) error {
+	req, err := withDFG(req)
+	if err != nil {
+		return err
+	}
+	return encodeJSON(w, req)
+}
+
+func (jsonCodec) DecodeRequest(r io.Reader, req *CompileRequest) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return dec.Decode(req)
+}
+
+func (jsonCodec) EncodeResponse(w io.Writer, resp *CompileResponse) error {
+	return encodeJSON(w, resp)
+}
+
+func (jsonCodec) DecodeResponse(r io.Reader, resp *CompileResponse) error {
+	return json.NewDecoder(r).Decode(resp)
+}
+
+func (jsonCodec) EncodeBatch(w io.Writer, b *BatchRequest) error {
+	jobs := b.Jobs
+	out := BatchRequest{Jobs: make([]CompileRequest, len(jobs))}
+	for i := range jobs {
+		req, err := withDFG(&jobs[i])
+		if err != nil {
+			return err
+		}
+		out.Jobs[i] = *req
+	}
+	return encodeJSON(w, &out)
+}
+
+func (jsonCodec) DecodeBatch(r io.Reader, b *BatchRequest) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return dec.Decode(b)
+}
+
+// NewItemWriter streams items as NDJSON: json.Encoder terminates every
+// document with a newline, which is the whole framing.
+func (jsonCodec) NewItemWriter(w io.Writer) ItemWriter {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return jsonItemWriter{enc}
+}
+
+func (jsonCodec) NewItemReader(r io.Reader) ItemReader {
+	return jsonItemReader{json.NewDecoder(r)}
+}
+
+type jsonItemWriter struct{ enc *json.Encoder }
+
+func (w jsonItemWriter) WriteItem(it *BatchItem) error { return w.enc.Encode(it) }
+
+type jsonItemReader struct{ dec *json.Decoder }
+
+func (r jsonItemReader) ReadItem(it *BatchItem) error { return r.dec.Decode(it) }
+
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return enc.Encode(v)
+}

@@ -1,0 +1,368 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpsched/internal/cliutil"
+	"mpsched/internal/dfg"
+)
+
+func sampleRequest(t *testing.T) *CompileRequest {
+	t.Helper()
+	g, err := cliutil.Generate("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &CompileRequest{
+		Name:      "full",
+		Workload:  "",
+		Graph:     g,
+		Select:    &SelectConfig{C: 3, Pdef: 2, Span: -1, Epsilon: 0.25, Alpha: 10},
+		Sched:     &SchedConfig{Priority: "F1", Tie: "asc", Seed: 7, SwitchPenalty: -2},
+		StopAfter: "select",
+		Spans:     []int{0, 1, -1},
+	}
+}
+
+func sampleResponse() *CompileResponse {
+	return &CompileResponse{
+		Name:              "fig4",
+		Nodes:             5,
+		EdgesCount:        5,
+		Patterns:          []string{"(a)(b)", "(b)(c)"},
+		Cycles:            3,
+		LowerBound:        2,
+		Utilization:       0.83,
+		CycleOf:           []int{0, 0, 1, 2, 2},
+		PatternOf:         []int{1, 0, 1},
+		SchedulerPatterns: []string{"(b)(c)", "(a)(b)"},
+		StopAfter:         "schedule",
+		Span:              -1,
+		SweptSpans:        true,
+		Census:            &CensusResponse{Antichains: 12, Classes: 4, Span: 2},
+		Stages: []StageTimingResponse{
+			{Stage: "census", MS: 0.4},
+			{Stage: "select", MS: 1.25},
+		},
+		CacheHit:  true,
+		ElapsedMS: 1.75,
+	}
+}
+
+// reqEqual compares requests with graphs by fingerprint (Graph internals
+// carry lazy caches that defeat DeepEqual).
+func reqEqual(t *testing.T, a, b *CompileRequest) {
+	t.Helper()
+	ac, bc := *a, *b
+	ac.Graph, bc.Graph = nil, nil
+	if !reflect.DeepEqual(ac, bc) {
+		t.Fatalf("request fields diverged:\n a: %+v\n b: %+v", ac, bc)
+	}
+	switch {
+	case a.Graph == nil && b.Graph == nil:
+	case a.Graph == nil || b.Graph == nil:
+		t.Fatalf("graph presence diverged: %v vs %v", a.Graph, b.Graph)
+	case a.Graph.Fingerprint() != b.Graph.Fingerprint():
+		t.Fatal("graph fingerprint diverged")
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	for _, c := range Codecs() {
+		t.Run(c.Name(), func(t *testing.T) {
+			req := sampleRequest(t)
+			var buf bytes.Buffer
+			if err := c.EncodeRequest(&buf, req); err != nil {
+				t.Fatal(err)
+			}
+			var gotReq CompileRequest
+			if err := c.DecodeRequest(&buf, &gotReq); err != nil {
+				t.Fatal(err)
+			}
+			// JSON lowers Graph to DFG; normalise both sides to a decoded
+			// graph before comparing.
+			wantReq := *req
+			if gotReq.Graph == nil && len(gotReq.DFG) > 0 {
+				var g dfg.Graph
+				if err := json.Unmarshal(gotReq.DFG, &g); err != nil {
+					t.Fatal(err)
+				}
+				gotReq.Graph, gotReq.DFG = &g, nil
+				wantReq.DFG = nil
+			}
+			reqEqual(t, &wantReq, &gotReq)
+
+			resp := sampleResponse()
+			buf.Reset()
+			if err := c.EncodeResponse(&buf, resp); err != nil {
+				t.Fatal(err)
+			}
+			var gotResp CompileResponse
+			if err := c.DecodeResponse(&buf, &gotResp); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resp, &gotResp) {
+				t.Fatalf("response diverged:\n want %+v\n got  %+v", resp, &gotResp)
+			}
+		})
+	}
+}
+
+func TestCodecBatchRoundTrip(t *testing.T) {
+	for _, c := range Codecs() {
+		t.Run(c.Name(), func(t *testing.T) {
+			b := &BatchRequest{Jobs: []CompileRequest{
+				{Workload: "fig4"},
+				{Workload: "fft:4", StopAfter: "census"},
+				{Name: "third", Workload: "random:seed=1,n=16", Spans: []int{0, 1}},
+			}}
+			var buf bytes.Buffer
+			if err := c.EncodeBatch(&buf, b); err != nil {
+				t.Fatal(err)
+			}
+			var got BatchRequest
+			if err := c.DecodeBatch(&buf, &got); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(b, &got) {
+				t.Fatalf("batch diverged:\n want %+v\n got  %+v", b, &got)
+			}
+		})
+	}
+}
+
+func TestCodecItemStream(t *testing.T) {
+	for _, c := range Codecs() {
+		t.Run(c.Name(), func(t *testing.T) {
+			items := []BatchItem{
+				{Index: 2, Status: 200, Result: sampleResponse()},
+				{Index: 0, Status: 429, Error: "job queue full"},
+				{Index: 1, Status: 400, Error: "unknown workload"},
+			}
+			var buf bytes.Buffer
+			iw := c.NewItemWriter(&buf)
+			for i := range items {
+				if err := iw.WriteItem(&items[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ir := c.NewItemReader(&buf)
+			var got []BatchItem
+			for {
+				var it BatchItem
+				err := ir.ReadItem(&it)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, it)
+			}
+			if !reflect.DeepEqual(items, got) {
+				t.Fatalf("item stream diverged:\n want %+v\n got  %+v", items, got)
+			}
+		})
+	}
+}
+
+// TestCrossCodecCatalog pushes every catalog workload's graph through
+// both codecs inside a request and checks the fingerprints agree — the
+// interchangeability contract the server relies on when mixing formats.
+func TestCrossCodecCatalog(t *testing.T) {
+	for _, w := range cliutil.Catalog() {
+		g, err := cliutil.Generate(w.Example)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Example, err)
+		}
+		req := &CompileRequest{Name: w.Name, Graph: g}
+
+		var viaJSON, viaBin bytes.Buffer
+		if err := JSON.EncodeRequest(&viaJSON, req); err != nil {
+			t.Fatalf("%s: json encode: %v", w.Example, err)
+		}
+		if err := Binary.EncodeRequest(&viaBin, req); err != nil {
+			t.Fatalf("%s: binary encode: %v", w.Example, err)
+		}
+		var fromJSON, fromBin CompileRequest
+		if err := JSON.DecodeRequest(&viaJSON, &fromJSON); err != nil {
+			t.Fatalf("%s: json decode: %v", w.Example, err)
+		}
+		if err := Binary.DecodeRequest(&viaBin, &fromBin); err != nil {
+			t.Fatalf("%s: binary decode: %v", w.Example, err)
+		}
+		var gj dfg.Graph
+		if err := json.Unmarshal(fromJSON.DFG, &gj); err != nil {
+			t.Fatalf("%s: embedded dfg: %v", w.Example, err)
+		}
+		if gj.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("%s: JSON codec changed the graph fingerprint", w.Example)
+		}
+		if fromBin.Graph == nil || fromBin.Graph.Fingerprint() != g.Fingerprint() {
+			t.Fatalf("%s: binary codec changed the graph fingerprint", w.Example)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	cases := []struct {
+		name, ct string
+		want     Codec
+	}{
+		{"json", "application/json", JSON},
+		{"json", "application/json; charset=utf-8", JSON},
+		{"json", " Application/JSON ", JSON},
+		{"binary", "application/x-mpsched-bin", Binary},
+	}
+	for _, tc := range cases {
+		c, ok := ByName(tc.name)
+		if !ok || c != tc.want {
+			t.Fatalf("ByName(%q) = %v, %v", tc.name, c, ok)
+		}
+		c, ok = ByContentType(tc.ct)
+		if !ok || c != tc.want {
+			t.Fatalf("ByContentType(%q) = %v, %v", tc.ct, c, ok)
+		}
+	}
+	if _, ok := ByName("msgpack"); ok {
+		t.Fatal("ByName accepted an unknown codec")
+	}
+	if _, ok := ByContentType("text/plain"); ok {
+		t.Fatal("ByContentType accepted an unknown type")
+	}
+}
+
+// TestJSONWireShapeUnchanged pins the JSON codec to the pre-codec wire
+// bytes: unknown fields rejected, graph carried under "dfg", no HTML
+// escaping — existing curl scripts must not notice the refactor.
+func TestJSONWireShapeUnchanged(t *testing.T) {
+	var req CompileRequest
+	err := JSON.DecodeRequest(strings.NewReader(`{"workload":"fig4","bogus":1}`), &req)
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown field not rejected: %v", err)
+	}
+	if err := JSON.DecodeRequest(strings.NewReader(`{"workload":"fft:8","stop_after":"census"}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Workload != "fft:8" || req.StopAfter != "census" {
+		t.Fatalf("decoded %+v", req)
+	}
+
+	var buf bytes.Buffer
+	if err := JSON.EncodeResponse(&buf, &CompileResponse{Name: "<g>", Span: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name":"<g>"`) {
+		t.Fatalf("HTML escaping crept in: %s", buf.String())
+	}
+}
+
+func TestBinaryHostileInput(t *testing.T) {
+	// A valid request to truncate and mangle.
+	var buf bytes.Buffer
+	if err := Binary.EncodeRequest(&buf, sampleRequest(t)); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("XXX\x01\x00\x00\x00\x00")},
+		{"bad version", []byte("MPQ\x07\x00\x00\x00\x00")},
+		{"unknown flags", []byte("MPQ\x01\xff\x00\x00\x00")},
+		{"truncated", valid[:len(valid)/3]},
+		{"trailing bytes", append(append([]byte{}, valid...), 1, 2, 3)},
+		{"hostile string count", []byte("MPQ\x01\x00\xff\xff\xff\xff\x0f")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req CompileRequest
+			err := Binary.DecodeRequest(bytes.NewReader(tc.data), &req)
+			if err == nil {
+				t.Fatal("decoded without error")
+			}
+			if !errors.Is(err, ErrFormat) {
+				t.Fatalf("got %v, want errors.Is(err, ErrFormat)", err)
+			}
+		})
+	}
+
+	// A hostile graph inside an otherwise valid request must surface the
+	// dfg typed error, not a panic or silent acceptance.
+	g, err := cliutil.Generate("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Binary.EncodeRequest(&buf, &CompileRequest{Graph: g}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte inside the embedded graph frame (past magic+version+
+	// flags+3 empty strings+4-byte length = byte 11 onward).
+	data[len(data)-1] ^= 0xff
+	var req CompileRequest
+	if err := Binary.DecodeRequest(bytes.NewReader(data), &req); err == nil {
+		t.Fatal("mangled embedded graph decoded without error")
+	}
+}
+
+func TestBinaryItemStreamTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	iw := Binary.NewItemWriter(&buf)
+	if err := iw.WriteItem(&BatchItem{Index: 0, Status: 200, Result: sampleResponse()}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	ir := Binary.NewItemReader(bytes.NewReader(data[:len(data)-4]))
+	var it BatchItem
+	if err := ir.ReadItem(&it); !errors.Is(err, ErrFormat) {
+		t.Fatalf("truncated frame: got %v, want ErrFormat", err)
+	}
+
+	// An absurd frame length must be rejected before allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	ir = Binary.NewItemReader(bytes.NewReader(huge))
+	if err := ir.ReadItem(&it); !errors.Is(err, ErrFormat) {
+		t.Fatalf("huge frame length: got %v, want ErrFormat", err)
+	}
+}
+
+func TestZeroValueRoundTrip(t *testing.T) {
+	for _, c := range Codecs() {
+		t.Run(c.Name(), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := c.EncodeRequest(&buf, &CompileRequest{}); err != nil {
+				t.Fatal(err)
+			}
+			var req CompileRequest
+			if err := c.DecodeRequest(&buf, &req); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(req, CompileRequest{}) {
+				t.Fatalf("zero request round-tripped to %+v", req)
+			}
+			buf.Reset()
+			if err := c.EncodeResponse(&buf, &CompileResponse{}); err != nil {
+				t.Fatal(err)
+			}
+			var resp CompileResponse
+			if err := c.DecodeResponse(&buf, &resp); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resp, CompileResponse{}) {
+				t.Fatalf("zero response round-tripped to %+v", resp)
+			}
+		})
+	}
+}

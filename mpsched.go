@@ -71,6 +71,7 @@ import (
 	"mpsched/internal/server"
 	"mpsched/internal/server/client"
 	"mpsched/internal/transform"
+	"mpsched/internal/wire"
 	"mpsched/internal/workloads"
 )
 
@@ -126,8 +127,22 @@ type (
 	CompileRequest = server.CompileRequest
 	// CompileResponse is a finished compile on the wire.
 	CompileResponse = server.CompileResponse
+	// BatchRequest is the /v1/batch envelope: many compiles, one request.
+	BatchRequest = server.BatchRequest
+	// BatchItem is one streamed per-job result of a /v1/batch envelope.
+	BatchItem = server.BatchItem
+	// WireCodec is a serving wire format; Client.WithCodec selects one.
+	WireCodec = wire.Codec
 	// Client is the typed client for a running mpschedd daemon.
 	Client = client.Client
+)
+
+// Wire codecs for Client.WithCodec: the curl-friendly JSON default and
+// the compact binary format (see internal/wire and the README's
+// "Wire codecs" section).
+var (
+	JSONCodec   WireCodec = wire.JSON
+	BinaryCodec WireCodec = wire.Binary
 )
 
 // Scheduler option re-exports.

@@ -17,7 +17,10 @@
 //   - With -baseline: for every benchmark name present in both files,
 //     current ns_per_op and allocs_per_op must be ≤ tol × baseline
 //     (results only in one file are ignored — smoke runs measure a
-//     subset). At least one name must overlap.
+//     subset). At least one name must overlap. Baseline entries with
+//     requests > 0 are load results and gate the other way around:
+//     jobs_per_sec is a floor (current ≥ baseline ÷ tol — a throughput
+//     collapse fails) and p99_ns a ceiling (current ≤ tol × baseline).
 //   - Each -require name (repeatable) must exist in -current.
 //   - The -loadgen name must exist with requests > 0, jobs_per_sec > 0,
 //     p50/p99 > 0 and errors == 0 — the load-smoke contract: any
@@ -105,6 +108,14 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				continue // smoke runs measure a subset of the baseline
 			}
 			overlap++
+			if b.Requests > 0 {
+				// A load result: throughput must not collapse, tail latency
+				// must not blow up. Mean ns/op is implied by those two and
+				// alloc counts are not measured by the load generator.
+				bad += compareFloor(stdout, b.Name, "jobs/sec", c.JobsPerSec, b.JobsPerSec, *tol)
+				bad += compare(stdout, b.Name, "p99_ns", c.P99Ns, b.P99Ns, *tol)
+				continue
+			}
 			bad += compare(stdout, b.Name, "ns/op", c.NsPerOp, b.NsPerOp, *tol)
 			bad += compare(stdout, b.Name, "allocs/op", float64(c.AllocsPerOp), float64(b.AllocsPerOp), *tol)
 		}
@@ -167,5 +178,24 @@ func compare(w io.Writer, name, metric string, cur, base, tol float64) int {
 	}
 	fmt.Fprintf(w, "benchcheck: %s %-40s %-10s %12.0f vs %12.0f (%.2fx, tol %.1fx)\n",
 		status, name, metric, cur, base, ratio, tol)
+	return verdict
+}
+
+// compareFloor is compare for bigger-is-better metrics (throughput):
+// fail when current drops below baseline ÷ tol. A zero baseline is
+// skipped for the same reason as in compare.
+func compareFloor(w io.Writer, name, metric string, cur, base, tol float64) int {
+	if base <= 0 {
+		return 0
+	}
+	ratio := cur / base
+	status := "ok  "
+	verdict := 0
+	if ratio < 1/tol {
+		status = "FAIL"
+		verdict = 1
+	}
+	fmt.Fprintf(w, "benchcheck: %s %-40s %-10s %12.0f vs %12.0f (%.2fx, floor %.2fx)\n",
+		status, name, metric, cur, base, ratio, 1/tol)
 	return verdict
 }

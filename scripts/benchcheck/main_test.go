@@ -93,6 +93,46 @@ func TestBaselineComparison(t *testing.T) {
 	}
 }
 
+// servingReport builds a load result for baseline-direction tests: the
+// Requests field marks it so jobs_per_sec gates as a floor and p99 as a
+// ceiling, not ns_per_op as a ceiling.
+func servingReport(jps, p99 float64) benchfmt.Report {
+	rep := benchfmt.NewReport()
+	rep.Results = []benchfmt.Result{{
+		Name: "serving/ci", Iterations: 1000, NsPerOp: 1e6, JobsPerSec: jps,
+		P50Ns: p99 / 3, P99Ns: p99, Requests: 1000,
+	}}
+	return rep
+}
+
+func TestLoadBaselineDirection(t *testing.T) {
+	base := write(t, "base.json", servingReport(50000, 6e6))
+	// Throughput up, latency down: better on both axes must pass.
+	faster := write(t, "faster.json", servingReport(90000, 3e6))
+	if code, out := check(t, "-current", faster, "-baseline", base); code != 0 {
+		t.Fatalf("improvement flagged as regression:\n%s", out)
+	}
+	// Throughput collapse (10x below baseline, floor is 1/3 at tol 3).
+	slow := write(t, "slow.json", servingReport(5000, 6e6))
+	code, out := check(t, "-current", slow, "-baseline", base)
+	if code == 0 {
+		t.Fatalf("10x throughput collapse passed the floor gate:\n%s", out)
+	}
+	if !strings.Contains(out, "jobs/sec") {
+		t.Fatalf("failure output does not name jobs/sec:\n%s", out)
+	}
+	// Tail blow-up past tol×p99 fails even with healthy throughput.
+	tail := write(t, "tail.json", servingReport(50000, 60e6))
+	if code, _ := check(t, "-current", tail, "-baseline", base); code == 0 {
+		t.Fatal("10x p99 blow-up passed the ceiling gate")
+	}
+	// Inside tolerance both ways is fine.
+	within := write(t, "within.json", servingReport(25000, 12e6))
+	if code, out := check(t, "-current", within, "-baseline", base); code != 0 {
+		t.Fatalf("2x wobble flagged under 3x tolerance:\n%s", out)
+	}
+}
+
 func TestRequire(t *testing.T) {
 	cur := write(t, "cur.json", microReport(1000, 10))
 	if code, _ := check(t, "-current", cur, "-require", "Enumerate/3dft"); code != 0 {
