@@ -40,6 +40,7 @@ import (
 	"mpsched/internal/benchfmt"
 	"mpsched/internal/cliutil"
 	"mpsched/internal/loadgen"
+	"mpsched/internal/obs"
 	"mpsched/internal/patsel"
 	"mpsched/internal/pipeline"
 	"mpsched/internal/server/client"
@@ -116,11 +117,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	var target loadgen.Target
+	var remote *client.Client
 	if *addr != "" {
 		c := client.New(*addr).WithCodec(wc).WithTimeout(*timeout)
 		if _, err := c.Healthz(context.Background()); err != nil {
 			return fail(fmt.Errorf("daemon at %s not healthy: %w", *addr, err))
 		}
+		remote = c
 		if *batch > 1 {
 			// Enough dispatchers that one slow envelope never idles the
 			// storm's clients.
@@ -156,9 +159,28 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	// Bracket the storm with /metrics scrapes so the report carries the
+	// daemon's own view of exactly this run (a counter delta, immune to
+	// whatever the daemon did before). A failed scrape degrades to a
+	// client-only report rather than failing the bench.
+	var before obs.Metrics
+	if remote != nil {
+		if before, err = remote.Metrics(context.Background()); err != nil {
+			fmt.Fprintf(stderr, "mpschedbench: warning: pre-run /metrics scrape failed: %v\n", err)
+			before = nil
+		}
+	}
 	res, err := loadgen.Run(context.Background(), target, items, cfg)
 	if err != nil {
 		return fail(err)
+	}
+	var srvStats *benchfmt.ServerStats
+	if before != nil {
+		if after, err := remote.Metrics(context.Background()); err != nil {
+			fmt.Fprintf(stderr, "mpschedbench: warning: post-run /metrics scrape failed: %v\n", err)
+		} else {
+			srvStats = serverDelta(before, after, res.Elapsed)
+		}
 	}
 
 	label := *name
@@ -166,7 +188,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		label = fmt.Sprintf("loadgen/%s/%s", sc.Spec, cfg.Mode)
 	}
 	report := benchfmt.NewReport()
-	report.Results = append(report.Results, toBenchResult(label, res))
+	br := toBenchResult(label, res)
+	br.Server = srvStats
+	report.Results = append(report.Results, br)
 
 	if *out == "" {
 		data, err := json.MarshalIndent(&report, "", "  ")
@@ -183,6 +207,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		res.Requests, res.Elapsed.Seconds(), res.Throughput,
 		res.Hist.Quantile(0.50), res.Hist.Quantile(0.90), res.Hist.Quantile(0.99), res.Hist.Quantile(0.999),
 		res.Errors, res.Rejected, 100*res.CacheHitRatio())
+	if srvStats != nil {
+		fmt.Fprintf(stderr,
+			"mpschedbench: server: %d compiles (%d errors), %.1f jobs/s, cache %.0f%%, %d rejected at admission\n",
+			srvStats.Compiles, srvStats.CompileErrors, srvStats.JobsPerSec,
+			100*srvStats.CacheHitRatio, srvStats.QueueRejected)
+	}
 	for _, s := range res.ErrorSamples {
 		fmt.Fprintf(stderr, "mpschedbench: sample error: %s\n", s)
 	}
@@ -198,6 +228,31 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// serverDelta folds a before/after pair of /metrics scrapes into the
+// daemon-side stats for one run. Rates use the client-measured wall
+// clock, so client and server jobs/s are directly comparable.
+func serverDelta(before, after obs.Metrics, elapsed time.Duration) *benchfmt.ServerStats {
+	delta := func(name string) int64 {
+		b, _ := before.Value(name)
+		a, _ := after.Value(name)
+		return int64(a - b)
+	}
+	s := &benchfmt.ServerStats{
+		Compiles:      delta("mpschedd_compiles_total"),
+		CompileErrors: delta("mpschedd_compile_errors_total"),
+		CacheHits:     delta("mpschedd_cache_hits_total"),
+		CacheMisses:   delta("mpschedd_cache_misses_total"),
+		QueueRejected: delta("mpschedd_jobs_rejected_total") + delta("mpschedd_batch_rejected_total"),
+	}
+	if ok := s.Compiles - s.CompileErrors; ok > 0 && elapsed > 0 {
+		s.JobsPerSec = float64(ok) / elapsed.Seconds()
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRatio = float64(s.CacheHits) / float64(lookups)
+	}
+	return s
 }
 
 // toBenchResult maps a load Result onto the shared benchmark schema:

@@ -11,8 +11,10 @@
 //	curl -s -X POST localhost:8080/v1/compile -d '{"workload":"3dft","stop_after":"select"}'
 //
 // Endpoints: POST /v1/compile, POST /v1/batch, POST /v1/jobs,
-// GET /v1/jobs/{id}, GET /v1/workloads, GET /healthz, GET /metrics, and
-// — only with -pprof — GET /debug/pprof/*. Requests may stop the staged
+// GET /v1/jobs/{id}, GET /v1/workloads, GET /healthz, GET /metrics,
+// GET /debug/traces and /debug/traces/{id} (recent request traces; see
+// -trace-buffer and -slow-trace), and — only with -pprof —
+// GET /debug/pprof/*. Requests may stop the staged
 // compile partway (stop_after) or sweep span limits (spans); responses
 // carry per-stage timings. Compile and batch bodies may be JSON or the
 // compact binary framing (Content-Type/Accept negotiation); /v1/batch
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -62,6 +65,8 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxBatch     = fs.Int("max-batch", server.DefaultMaxBatchJobs, "most jobs accepted per /v1/batch envelope")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for queued jobs")
 		pprofOn      = fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints (off by default)")
+		slowTrace    = fs.Duration("slow-trace", server.DefaultSlowTrace, "log any request trace slower than this with its span breakdown (negative disables)")
+		traceBuffer  = fs.Int("trace-buffer", server.DefaultTraceBuffer, "recent request traces kept for GET /debug/traces")
 	)
 	if code, done := cliutil.ParseFlags(fs, argv); done {
 		return code
@@ -77,6 +82,9 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		MaxSyncNodes: *maxSync,
 		MaxBatchJobs: *maxBatch,
 		EnablePprof:  *pprofOn,
+		SlowTrace:    *slowTrace,
+		TraceBuffer:  *traceBuffer,
+		Logger:       slog.New(slog.NewTextHandler(stderr, nil)),
 	})
 
 	ln, err := net.Listen("tcp", *addr)

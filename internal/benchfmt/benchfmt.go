@@ -47,6 +47,35 @@ type Result struct {
 	Rejected int64 `json:"rejected,omitempty"`
 	// CacheHitRatio is hits over successful compiles, in [0, 1].
 	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+
+	// Server is the target daemon's own view of the run — a /metrics
+	// delta scraped around the storm — when the target was remote and
+	// both scrapes succeeded; nil otherwise. Additive: old baselines
+	// without the key still parse.
+	Server *ServerStats `json:"server,omitempty"`
+}
+
+// ServerStats is a server-side counter delta over one load run, scraped
+// from the daemon's /metrics before and after the storm. It answers the
+// question client-side numbers cannot: what the daemon itself did —
+// compiles it actually ran, hits its cache absorbed, jobs it turned away
+// at admission — while this client (and any others) stormed it.
+type ServerStats struct {
+	// Compiles and CompileErrors are compile attempts/failures the daemon
+	// recorded during the run (sync + async + batch, all clients).
+	Compiles      int64 `json:"compiles"`
+	CompileErrors int64 `json:"compile_errors,omitempty"`
+	// JobsPerSec is successful server-side compiles over the run's
+	// client-measured wall clock.
+	JobsPerSec float64 `json:"jobs_per_sec,omitempty"`
+	// CacheHits/CacheMisses are result-cache outcomes during the run;
+	// CacheHitRatio is hits over (hits+misses), in [0, 1].
+	CacheHits     int64   `json:"cache_hits,omitempty"`
+	CacheMisses   int64   `json:"cache_misses,omitempty"`
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+	// QueueRejected counts admission refusals (async queue + batch
+	// capacity) during the run.
+	QueueRejected int64 `json:"queue_rejected,omitempty"`
 }
 
 // Report is a BENCH_*.json document.

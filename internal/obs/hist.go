@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: values are
+// bucketed into 16 linear sub-buckets per power of two, giving a worst-case
+// quantile error of 1/16 (~6%) at any magnitude from nanoseconds to hours,
+// in a few kilobytes, with O(1) recording and no allocation after warm-up.
+// The zero value is ready to use. Not goroutine-safe — wrap in
+// LockedHistogram (the server's /metrics path) or serialise access (the
+// loadgen collector).
+type Histogram struct {
+	counts []uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// subBucketBits fixes the resolution: 2^4 = 16 sub-buckets per power of
+// two. Raising it trades memory for tighter quantiles.
+const subBucketBits = 4
+
+const subBuckets = 1 << subBucketBits // 16
+
+// bucketIndex maps a non-negative value to its bucket. Values below
+// subBuckets map linearly (exact); above, the top subBucketBits+1
+// significant bits select the bucket. Indices are contiguous and monotone.
+func bucketIndex(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	// Shift v so its top bits land in [subBuckets, 2*subBuckets); e counts
+	// the discarded low bits. For v in [16,32) e=0 and the index equals v.
+	e := bits.Len64(uint64(v)) - (subBucketBits + 1)
+	return int(e<<subBucketBits) + int(v>>uint(e))
+}
+
+// bucketMid returns a representative value (the bucket's midpoint) for the
+// given index — the value quantiles report.
+func bucketMid(idx int) int64 {
+	if idx < 2*subBuckets {
+		return int64(idx)
+	}
+	e := idx>>subBucketBits - 1
+	base := int64(idx&(subBuckets-1)|subBuckets) << uint(e)
+	return base + int64(1)<<uint(e)/2
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	idx := bucketIndex(v)
+	if idx >= len(h.counts) {
+		grown := make([]uint64, idx+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Min and Max return the exact extremes (not bucket midpoints).
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min) }
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum) }
+
+// Mean returns the exact arithmetic mean.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Quantile returns the latency at quantile q in [0, 1] — Quantile(0.99) is
+// the p99. The answer is a bucket midpoint clamped to the recorded
+// [min, max], so it is within one bucket width (≤ ~6%) of the true value.
+// Returns 0 when nothing was recorded.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based: ceil(q·count), min 1.
+	rank := uint64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for idx, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketMid(idx)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// clone copies the histogram (counts included).
+func (h *Histogram) clone() Histogram {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return c
+}
+
+// LockedHistogram is a Histogram behind its own mutex: O(1) lock-then-
+// record on the request path, snapshot-then-render at scrape time. This is
+// the server-side variant; it replaces mpschedd's old 2048-sample
+// sort-at-scrape reservoir with full-history quantiles at fixed memory.
+type LockedHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Record adds one observation.
+func (l *LockedHistogram) Record(d time.Duration) {
+	l.mu.Lock()
+	l.h.Record(d)
+	l.mu.Unlock()
+}
+
+// Snapshot returns a private copy for lock-free reads (quantiles, sums).
+func (l *LockedHistogram) Snapshot() Histogram {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.clone()
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	for _, id := range []string{a, b} {
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d, want 16", id, len(id))
+		}
+		if strings.Trim(id, "0123456789abcdef") != "" {
+			t.Fatalf("id %q is not lowercase hex", id)
+		}
+	}
+	if a == b {
+		t.Errorf("two draws produced the same id %q", a)
+	}
+}
+
+func TestTraceLifecycle(t *testing.T) {
+	tr := NewTrace("my-id", "POST /v1/compile", "json")
+	if tr.ID() != "my-id" {
+		t.Fatalf("ID = %q, want my-id", tr.ID())
+	}
+	tr.Observe("decode", -1, time.Now(), 50*time.Microsecond)
+	st := tr.BeginJob("compile", 3)
+	st.End()
+	tr.Finish(200, 2*time.Millisecond)
+
+	d := tr.Snapshot()
+	if d.ID != "my-id" || d.Route != "POST /v1/compile" || d.Codec != "json" || d.Status != 200 {
+		t.Errorf("snapshot header wrong: %+v", d)
+	}
+	if d.DurationMS != 2 {
+		t.Errorf("DurationMS = %g, want 2", d.DurationMS)
+	}
+	if len(d.Spans) != 2 || d.Spans[0].Name != "decode" || d.Spans[1].Name != "compile" {
+		t.Fatalf("spans = %+v", d.Spans)
+	}
+	if d.Spans[0].Job != -1 || d.Spans[1].Job != 3 {
+		t.Errorf("span jobs = %d, %d; want -1, 3", d.Spans[0].Job, d.Spans[1].Job)
+	}
+
+	// Post-finish appends are allowed (async jobs), but the ID is frozen.
+	tr.Observe("queue_wait", -1, time.Now(), time.Millisecond)
+	tr.AdoptID("other")
+	d = tr.Snapshot()
+	if len(d.Spans) != 3 {
+		t.Errorf("post-finish span not recorded: %d spans", len(d.Spans))
+	}
+	if d.ID != "my-id" {
+		t.Errorf("AdoptID after Finish changed the ID to %q", d.ID)
+	}
+}
+
+func TestTraceIDValidation(t *testing.T) {
+	if id := NewTrace("", "r", "c").ID(); len(id) != 16 {
+		t.Errorf("empty client id not replaced: %q", id)
+	}
+	long := strings.Repeat("x", MaxTraceIDLen+1)
+	if id := NewTrace(long, "r", "c").ID(); id == long {
+		t.Error("over-long client id was stored")
+	}
+	tr := NewTrace("", "r", "c")
+	tr.AdoptID(long)
+	if tr.ID() == long {
+		t.Error("AdoptID accepted an over-long id")
+	}
+	tr.AdoptID("framed")
+	if tr.ID() != "framed" {
+		t.Errorf("AdoptID before Finish: ID = %q, want framed", tr.ID())
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Error("nil ID not empty")
+	}
+	tr.AdoptID("x")
+	tr.Observe("decode", -1, time.Now(), time.Millisecond)
+	tr.Begin("compile").End()
+	tr.Finish(200, time.Millisecond)
+	if d := tr.Snapshot(); len(d.Spans) != 0 {
+		t.Errorf("nil snapshot has spans: %+v", d)
+	}
+	var r *Recorder
+	r.Record(tr) // must not panic
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace("", "r", "c")
+	for i := 0; i < maxSpansPerTrace+7; i++ {
+		tr.Observe("s", -1, time.Now(), time.Microsecond)
+	}
+	d := tr.Snapshot()
+	if len(d.Spans) != maxSpansPerTrace {
+		t.Errorf("spans = %d, want %d", len(d.Spans), maxSpansPerTrace)
+	}
+	if d.DroppedSpans != 7 {
+		t.Errorf("dropped = %d, want 7", d.DroppedSpans)
+	}
+}
+
+func TestSpanSummary(t *testing.T) {
+	d := TraceData{Spans: []SpanData{
+		{Name: "decode", Job: -1, DurationMS: 0.021},
+		{Name: "compile", Job: 3, DurationMS: 1.302},
+	}}
+	got := d.SpanSummary()
+	want := "decode=0.021ms compile[3]=1.302ms"
+	if got != want {
+		t.Errorf("SpanSummary = %q, want %q", got, want)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context returned a trace")
+	}
+	tr := NewTrace("", "r", "c")
+	if FromContext(WithTrace(context.Background(), tr)) != tr {
+		t.Error("trace did not round-trip through the context")
+	}
+}
+
+func finished(id string, d time.Duration) *Trace {
+	tr := NewTrace(id, "POST /v1/compile", "json")
+	tr.Observe("compile", -1, time.Now(), d)
+	tr.Finish(200, d)
+	return tr
+}
+
+func TestRecorderRingAndLookup(t *testing.T) {
+	r := NewRecorder(2, -1, nil)
+	r.Record(finished("t1", time.Millisecond))
+	r.Record(finished("t2", time.Millisecond))
+	r.Record(finished("t3", time.Millisecond)) // evicts t1
+
+	if _, ok := r.Get("t1"); ok {
+		t.Error("evicted trace t1 still retrievable")
+	}
+	for _, id := range []string{"t2", "t3"} {
+		if d, ok := r.Get(id); !ok || d.ID != id {
+			t.Errorf("Get(%s) = %+v, %v", id, d, ok)
+		}
+	}
+	recent := r.Recent(10)
+	if len(recent) != 2 || recent[0].ID != "t3" || recent[1].ID != "t2" {
+		t.Errorf("Recent = %+v, want [t3 t2]", recent)
+	}
+	if one := r.Recent(1); len(one) != 1 || one[0].ID != "t3" {
+		t.Errorf("Recent(1) = %+v, want [t3]", one)
+	}
+}
+
+// A duplicate client-supplied ID re-maps the index to the newer trace;
+// evicting the older slot must not unmap the newer one.
+func TestRecorderDuplicateID(t *testing.T) {
+	r := NewRecorder(2, -1, nil)
+	r.Record(finished("dup", time.Millisecond))
+	second := finished("dup", 2*time.Millisecond)
+	r.Record(second)
+	r.Record(finished("other", time.Millisecond)) // evicts the first "dup" slot
+
+	d, ok := r.Get("dup")
+	if !ok {
+		t.Fatal("dup unmapped by eviction of the older duplicate")
+	}
+	if d.DurationMS != 2 {
+		t.Errorf("Get(dup) returned the older trace: %+v", d)
+	}
+}
+
+func TestRecorderSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(4, time.Millisecond, slog.New(slog.NewTextHandler(&buf, nil)))
+
+	r.Record(finished("fast01", 100*time.Microsecond))
+	if buf.Len() != 0 {
+		t.Fatalf("fast trace logged: %s", buf.String())
+	}
+	r.Record(finished("slow01", 5*time.Millisecond))
+	out := buf.String()
+	if !strings.Contains(out, "slow trace") || !strings.Contains(out, "trace=slow01") {
+		t.Errorf("slow log missing trace line: %q", out)
+	}
+	if !strings.Contains(out, "compile=5.000ms") {
+		t.Errorf("slow log missing span breakdown: %q", out)
+	}
+}

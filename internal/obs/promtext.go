@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the reader side of the Prometheus text exposition:
+// just enough to let mpschedbench (and tests) scrape a daemon's /metrics,
+// diff two scrapes around a run, and assert internal consistency — without
+// any dependency on a metrics library.
+
+// Sample is one exposed metric sample: a family name, its sorted label
+// pairs, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Metrics is one scrape's sample set.
+type Metrics []Sample
+
+// ParseMetrics reads a Prometheus text exposition. Comment lines (# HELP,
+// # TYPE) and blank lines are skipped; malformed sample lines are an
+// error, so a truncated or interleaved scrape under load is caught, not
+// silently half-parsed.
+func ParseMetrics(r io.Reader) (Metrics, error) {
+	var out Metrics
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSample parses `name{k="v",...} value` (labels optional).
+func parseSample(text string) (Sample, error) {
+	var s Sample
+	rest := text
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		labels, err := parseLabels(rest[i+1 : end])
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, text)
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	} else if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	} else {
+		return s, fmt.Errorf("no value in %q", text)
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", text)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", text, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `k="v",k2="v2"`. Values are Go-quoted strings (the
+// exposition format's escaping is a subset of Go's), so strconv.Unquote
+// handles \" and \\ and \n.
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(body[:eq])
+		rest := body[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		// Find the closing quote, honouring backslash escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label value: %w", err)
+		}
+		labels[key] = val
+		body = strings.TrimPrefix(strings.TrimSpace(rest[end+1:]), ",")
+		body = strings.TrimSpace(body)
+	}
+	if len(labels) == 0 {
+		return nil, nil
+	}
+	return labels, nil
+}
+
+// Value returns the sample matching name and all given label pairs
+// (passed as k1, v1, k2, v2, ...). Extra labels on the sample do not
+// disqualify it; the first match wins. ok is false when nothing matches.
+func (m Metrics) Value(name string, kv ...string) (float64, bool) {
+	if len(kv)%2 != 0 {
+		panic("obs.Metrics.Value: odd label key/value list")
+	}
+	for _, s := range m {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for i := 0; i < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Sum totals every sample of the named family, across all label sets.
+func (m Metrics) Sum(name string) float64 {
+	var total float64
+	for _, s := range m {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// Families returns the distinct metric names present, sorted.
+func (m Metrics) Families() []string {
+	seen := map[string]bool{}
+	for _, s := range m {
+		seen[s.Name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

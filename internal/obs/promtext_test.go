@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP mpschedd_compiles_total Compile attempts.
+# TYPE mpschedd_compiles_total counter
+mpschedd_compiles_total 42
+
+# TYPE mpschedd_requests_total counter
+mpschedd_requests_total{route="POST /v1/compile"} 30
+mpschedd_requests_total{route="GET /healthz"} 12
+mpschedd_request_seconds{route="POST /v1/compile",codec="json",quantile="0.5"} 0.0012
+mpschedd_uptime_seconds 3.5
+escaped{msg="say \"hi\",\\ok"} 1
+`
+
+func TestParseMetrics(t *testing.T) {
+	m, err := ParseMetrics(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 6 {
+		t.Fatalf("parsed %d samples, want 6", len(m))
+	}
+
+	if v, ok := m.Value("mpschedd_compiles_total"); !ok || v != 42 {
+		t.Errorf("compiles_total = %g, %v", v, ok)
+	}
+	if v, ok := m.Value("mpschedd_requests_total", "route", "GET /healthz"); !ok || v != 12 {
+		t.Errorf("requests_total{healthz} = %g, %v", v, ok)
+	}
+	if v, ok := m.Value("mpschedd_request_seconds", "route", "POST /v1/compile", "codec", "json", "quantile", "0.5"); !ok || v != 0.0012 {
+		t.Errorf("request_seconds p50 = %g, %v", v, ok)
+	}
+	// Partial label match: the first sample with the given labels wins.
+	if v, ok := m.Value("mpschedd_requests_total"); !ok || v != 30 {
+		t.Errorf("first requests_total = %g, %v", v, ok)
+	}
+	if _, ok := m.Value("mpschedd_requests_total", "route", "nope"); ok {
+		t.Error("matched a route that is not exposed")
+	}
+	if v, ok := m.Value("escaped", "msg", `say "hi",\ok`); !ok || v != 1 {
+		t.Errorf("escaped label value not decoded: %g, %v", v, ok)
+	}
+
+	if got := m.Sum("mpschedd_requests_total"); got != 42 {
+		t.Errorf("Sum(requests_total) = %g, want 42", got)
+	}
+	fams := m.Families()
+	want := []string{"escaped", "mpschedd_compiles_total", "mpschedd_request_seconds", "mpschedd_requests_total", "mpschedd_uptime_seconds"}
+	if len(fams) != len(want) {
+		t.Fatalf("Families = %v, want %v", fams, want)
+	}
+	for i := range fams {
+		if fams[i] != want[i] {
+			t.Fatalf("Families = %v, want %v", fams, want)
+		}
+	}
+}
+
+func TestParseMetricsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"noval",
+		`broken{route="x" 3`,
+		`broken{route=x} 3`,
+		"name not-a-number",
+		`{onlylabels="x"} 1`,
+	} {
+		if _, err := ParseMetrics(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseMetrics(%q) accepted a malformed line", bad)
+		}
+	}
+}

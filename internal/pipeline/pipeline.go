@@ -51,6 +51,12 @@ type Job struct {
 	// StopAfter ends the compile after the named stage; StageAll (the
 	// zero value) runs everything the job asks for.
 	StopAfter Stage
+	// Hook, when non-nil, observes each stage as it completes (see
+	// Spec.Hook). The hook is not part of the cache identity: the
+	// mpschedd server hangs its per-request tracing here without
+	// fragmenting the result cache — but that also means a cache hit
+	// fires no stage hooks, since no stages ran.
+	Hook StageHook
 }
 
 // Label returns the job's display name. A span sweep is part of the name
@@ -86,6 +92,7 @@ func (j Job) Spec() Spec {
 		Arch:      j.Arch,
 		Spans:     j.Spans,
 		StopAfter: j.StopAfter,
+		Hook:      j.Hook,
 	}
 }
 

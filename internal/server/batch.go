@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"mpsched/internal/dfg"
+	"mpsched/internal/obs"
 	"mpsched/internal/pipeline"
 )
 
@@ -29,10 +31,14 @@ import (
 // jobs 429 immediately — the same contract as /v1/jobs, applied at item
 // granularity.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
 	codec := requestCodec(r)
 	var b BatchRequest
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	if err := codec.DecodeBatch(body, &b); err != nil {
+	dt := tr.Begin("decode")
+	err := codec.DecodeBatch(body, &b)
+	dt.End()
+	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.writeError(w, http.StatusRequestEntityTooLarge,
@@ -64,6 +70,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		idx int
 		job pipeline.Job
 	}
+	at := tr.Begin("admit")
 	var failed []BatchItem
 	var admitted []pending
 	for i := range b.Jobs {
@@ -86,7 +93,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Error: fmt.Sprintf("batch capacity full (%d in flight); retry later", s.opts.QueueDepth)})
 		}
 	}
+	at.End()
 	s.metrics.batchJobs.Add(int64(len(admitted)))
+	s.metrics.inflightBatch.Add(int64(len(admitted)))
+	// Every admitted job records a compile span, plus the request-level
+	// decode/admit/stage:cache/flush spans; pre-sizing skips the
+	// append-growth copies on the storm path.
+	tr.Grow(len(admitted) + 4)
 
 	w.Header().Set("Content-Type", responseCodec(r).StreamContentType())
 	w.WriteHeader(http.StatusOK)
@@ -99,11 +112,47 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// drains every item already waiting before paying a flush: under a
 	// fast cache-hit storm that turns one syscall per item into one per
 	// burst, which is most of the endpoint's throughput at small graphs.
+	//
+	// The writer also owns the envelope's per-job trace spans, derived
+	// from the telemetry each successful item already carries (the
+	// response's ElapsedMS / CacheHit): compile goroutines never touch
+	// the trace, and the writer bulk-appends the burst's spans under one
+	// lock, against one clock reading — per-job span cost is two struct
+	// stores instead of a time.Now plus a mutex round-trip each, which is
+	// what keeps tracing overhead within budget on the batched binary
+	// storm path. The trade: a batch compile span's placement is
+	// burst-granular (end ≈ the burst's flush, start = end − elapsed); its
+	// duration is exact. Items without a Result (pre-compile rejections,
+	// compile errors) get no compile span; their latency still reaches
+	// the outcome-labeled metrics from the compile goroutine.
 	items := make(chan *BatchItem, len(b.Jobs))
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
+		trStart := tr.StartTime()
+		// Scratch for one burst's spans, reused across bursts. Starts
+		// small — it only needs to cover the largest burst, not the whole
+		// envelope, and append growth handles storm-sized bursts.
+		spans := make([]obs.Span, 0, 32)
+		var flushTotal, cacheTotal time.Duration
+		var cacheHits int
+		add := func(it *BatchItem) {
+			if it.Result == nil {
+				return
+			}
+			elapsed := time.Duration(it.Result.ElapsedMS * float64(time.Millisecond))
+			// Start holds −elapsed until the burst's single clock reading
+			// fixes it up below — no per-item time.Now.
+			spans = append(spans, obs.Span{Name: "compile", Job: it.Index, Start: -elapsed, Duration: elapsed})
+			if it.Result.CacheHit {
+				cacheTotal += elapsed
+				cacheHits++
+			}
+		}
 		for it := range items {
+			t0 := time.Now()
+			spans = spans[:0]
+			add(it)
 			// A mid-stream write error means the client went away; the
 			// remaining compiles still run (their results may be cached).
 			_ = iw.WriteItem(it)
@@ -114,6 +163,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					if !ok {
 						break drain
 					}
+					add(more)
 					_ = iw.WriteItem(more)
 				default:
 					break drain
@@ -122,21 +172,48 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if flusher != nil {
 				flusher.Flush()
 			}
+			now := time.Now()
+			end := now.Sub(trStart)
+			for i := range spans {
+				spans[i].Start += end
+			}
+			flushTotal += now.Sub(t0)
+			tr.ObserveSpans(spans...)
 		}
+		// Aggregate spans for the whole stream: per-burst flush spans and
+		// per-job cache spans would dominate the trace's span list (and
+		// the ring's live memory) at storm rates without adding much
+		// signal — each job's compile span already carries its exact
+		// duration, and a cache hit's compile IS its cache lookup.
+		end := time.Now()
+		if cacheHits > 0 {
+			tr.Observe("stage:cache", -1, end.Add(-cacheTotal), cacheTotal)
+		}
+		tr.Observe("flush", -1, end.Add(-flushTotal), flushTotal)
 	}()
 
 	for i := range failed {
 		items <- &failed[i]
 	}
+	// All jobs share one stage hook: per-stage spans on a batch envelope
+	// are envelope-level (job -1) — a per-job closure here is a measurable
+	// allocation on the storm path, and cache hits never fire it anyway.
+	hook := s.stageHook(tr, -1)
 	var wg sync.WaitGroup
 	for _, p := range admitted {
 		wg.Add(1)
 		p := p
 		run := func() {
 			defer wg.Done()
+			defer s.metrics.inflightBatch.Add(-1)
 			defer func() { <-s.batchSem }()
-			res := s.pipe.CompileContext(r.Context(), p.job)
+			job := p.job
+			job.Hook = hook
+			res := s.pipe.CompileContext(r.Context(), job)
 			s.metrics.observeCompile(res.Elapsed, res.Err)
+			if res.CacheHit {
+				s.metrics.stageCache.Record(res.Elapsed)
+			}
 			if res.Err != nil {
 				status := http.StatusUnprocessableEntity
 				if errors.Is(res.Err, dfg.ErrCyclic) || errors.Is(res.Err, dfg.ErrDuplicateName) || errors.Is(res.Err, dfg.ErrIndexRange) {
@@ -145,6 +222,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				items <- &BatchItem{Index: p.idx, Status: status, Error: errString(res.Err)}
 				return
 			}
+			// Batch items deliberately omit the per-item trace_id: every
+			// item would repeat the envelope's one ID, which the client
+			// already has from the X-Mpsched-Trace response header — at
+			// batch 64 the repetition is a measurable share of the
+			// response bytes.
 			items <- &BatchItem{Index: p.idx, Status: http.StatusOK, Result: s.toResponse(res)}
 		}
 		// Jobs run on the persistent worker pool; when it is saturated (or

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"mpsched/internal/cliutil"
+	"mpsched/internal/obs"
 	"mpsched/internal/server"
 	"mpsched/internal/wire"
 )
@@ -113,7 +114,7 @@ func (e *APIError) Error() string {
 func (c *Client) Compile(ctx context.Context, req server.CompileRequest) (*server.CompileResponse, error) {
 	var resp server.CompileResponse
 	ct := c.codec.ContentType()
-	err := c.call(ctx, http.MethodPost, "/v1/compile", ct, ct,
+	err := c.call(ctx, http.MethodPost, "/v1/compile", ct, ct, req.TraceID,
 		func(w io.Writer) error { return c.codec.EncodeRequest(w, &req) },
 		func(r io.Reader) error { return c.codec.DecodeResponse(r, &resp) })
 	if err != nil {
@@ -130,7 +131,13 @@ func (c *Client) Compile(ctx context.Context, req server.CompileRequest) (*serve
 func (c *Client) CompileBatch(ctx context.Context, reqs []server.CompileRequest) ([]server.BatchItem, error) {
 	items := make([]server.BatchItem, 0, len(reqs))
 	ct := c.codec.ContentType()
-	err := c.call(ctx, http.MethodPost, "/v1/batch", ct, ct,
+	// The envelope trace ID rides the header; per-job TraceIDs inside reqs
+	// additionally survive the binary codec's framing.
+	var trace string
+	if len(reqs) > 0 {
+		trace = reqs[0].TraceID
+	}
+	err := c.call(ctx, http.MethodPost, "/v1/batch", ct, ct, trace,
 		func(w io.Writer) error { return c.codec.EncodeBatch(w, &wire.BatchRequest{Jobs: reqs}) },
 		func(r io.Reader) error {
 			ir := c.codec.NewItemReader(r)
@@ -168,7 +175,7 @@ func (c *Client) CompileBatch(ctx context.Context, reqs []server.CompileRequest)
 func (c *Client) SubmitJob(ctx context.Context, req server.CompileRequest) (*server.JobResponse, error) {
 	var resp server.JobResponse
 	ct := c.codec.ContentType()
-	err := c.call(ctx, http.MethodPost, "/v1/jobs", ct, wire.ContentTypeJSON,
+	err := c.call(ctx, http.MethodPost, "/v1/jobs", ct, wire.ContentTypeJSON, req.TraceID,
 		func(w io.Writer) error { return c.codec.EncodeRequest(w, &req) },
 		decodeJSON(&resp))
 	if err != nil {
@@ -242,8 +249,34 @@ func (c *Client) Healthz(ctx context.Context) (*server.HealthResponse, error) {
 	return &resp, nil
 }
 
+// Metrics scrapes the daemon's Prometheus-text exposition
+// (GET /metrics) into a queryable sample set:
+//
+//	m, _ := c.Metrics(ctx)
+//	hits, _ := m.Value("mpschedd_cache_hits_total")
+func (c *Client) Metrics(ctx context.Context) (obs.Metrics, error) {
+	var m obs.Metrics
+	err := c.call(ctx, http.MethodGet, "/metrics", "", "", "", nil,
+		func(r io.Reader) error {
+			var err error
+			m, err = obs.ParseMetrics(r)
+			return err
+		})
+	return m, err
+}
+
+// Trace fetches one trace's span breakdown from the daemon's ring buffer
+// (GET /debug/traces/{id}); a 404 *APIError means it has been evicted.
+func (c *Client) Trace(ctx context.Context, id string) (*obs.TraceData, error) {
+	var td obs.TraceData
+	if err := c.get(ctx, "/debug/traces/"+id, &td); err != nil {
+		return nil, err
+	}
+	return &td, nil
+}
+
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	return c.call(ctx, http.MethodGet, path, "", wire.ContentTypeJSON, nil, decodeJSON(out))
+	return c.call(ctx, http.MethodGet, path, "", wire.ContentTypeJSON, "", nil, decodeJSON(out))
 }
 
 func decodeJSON(out any) func(io.Reader) error {
@@ -257,11 +290,11 @@ func decodeJSON(out any) func(io.Reader) error {
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // call is the one HTTP path every method funnels through: encode body
-// (enc nil = no body), send with the given Content-Type/Accept, map
-// non-2xx to *APIError (error bodies are always JSON, whatever the
-// codec), decode 2xx with dec, and drain the body so the connection goes
-// back into the pool.
-func (c *Client) call(ctx context.Context, method, path, contentType, accept string, enc func(io.Writer) error, dec func(io.Reader) error) error {
+// (enc nil = no body), send with the given Content-Type/Accept and an
+// optional X-Mpsched-Trace header, map non-2xx to *APIError (error
+// bodies are always JSON, whatever the codec), decode 2xx with dec, and
+// drain the body so the connection goes back into the pool.
+func (c *Client) call(ctx context.Context, method, path, contentType, accept, trace string, enc func(io.Writer) error, dec func(io.Reader) error) error {
 	var body io.Reader
 	if enc != nil {
 		buf := bufPool.Get().(*bytes.Buffer)
@@ -281,6 +314,9 @@ func (c *Client) call(ctx context.Context, method, path, contentType, accept str
 	}
 	if accept != "" {
 		req.Header.Set("Accept", accept)
+	}
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -4,7 +4,9 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"sync"
+	"time"
 
+	"mpsched/internal/obs"
 	"mpsched/internal/pipeline"
 )
 
@@ -14,6 +16,14 @@ import (
 type asyncJob struct {
 	id  string
 	job pipeline.Job
+	// trace is the submit request's trace; the job appends its queue-wait
+	// and compile spans to it as it runs (nil-safe). traceID is the
+	// effective ID, echoed in every JobResponse for the job.
+	trace   *obs.Trace
+	traceID string
+	// submitted is when the job entered the queue; zero for jobs that
+	// never went through admission (tests).
+	submitted time.Time
 
 	mu     sync.Mutex
 	status string
@@ -43,7 +53,7 @@ func (j *asyncJob) finish(result *CompileResponse, err error) {
 func (j *asyncJob) snapshot() JobResponse {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	resp := JobResponse{ID: j.id, Status: j.status, Result: j.result}
+	resp := JobResponse{ID: j.id, Status: j.status, Result: j.result, TraceID: j.traceID}
 	if j.err != nil {
 		resp.Error = errString(j.err)
 	}

@@ -7,15 +7,21 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mpsched/internal/obs"
 )
 
-// metrics holds the daemon's counters, exported in Prometheus text format
-// at GET /metrics. Counters are lock-free; the latency reservoir takes a
-// short mutex per observation.
+// metrics holds the daemon's counters and latency distributions,
+// exported in Prometheus text format at GET /metrics. Counters are
+// lock-free; distributions are log-linear histograms (internal/obs, the
+// same implementation loadgen uses client-side) behind per-family
+// mutexes — O(1) per observation over the full history, replacing the
+// old 2048-sample sort-at-scrape reservoir that silently forgot
+// everything but the most recent window.
 type metrics struct {
 	start time.Time
 
-	compiles      atomic.Int64 // compile attempts (sync + async)
+	compiles      atomic.Int64 // compile attempts (sync + async + batch)
 	compileErrors atomic.Int64 // attempts that returned an error
 
 	jobsSubmitted atomic.Int64 // async jobs accepted into the queue
@@ -26,24 +32,47 @@ type metrics struct {
 	batchJobs     atomic.Int64 // batch jobs admitted across all envelopes
 	batchRejected atomic.Int64 // batch jobs refused at admission (capacity / draining)
 
+	inflightRequests atomic.Int64 // HTTP requests currently in a handler
+	inflightBatch    atomic.Int64 // batch jobs admitted and not yet finished
+
+	// compileOK / compileErr split compile latency by outcome. Errors get
+	// their own distribution instead of being dropped (the old reservoir
+	// recorded nothing for failures, making error storms invisible in the
+	// quantiles — fast-failing requests looked like a healthy p50).
+	compileOK  obs.LockedHistogram
+	compileErr obs.LockedHistogram
+
+	// queueWait is the time async jobs spent queued before a worker
+	// picked them up.
+	queueWait obs.LockedHistogram
+
 	mu       sync.Mutex
 	requests map[string]int64 // route pattern → request count
-	// latencies is a fixed-size reservoir of recent compile wall-clock
-	// seconds; quantiles are computed over it at scrape time.
-	latencies []float64
-	latIdx    int
-	latFull   bool
+	// reqHist is end-to-end request latency per route × codec; stages is
+	// compiler-stage wall clock per stage name (plus "cache" for results
+	// served from the result cache). Histogram pointers are created once
+	// per key under mu and then recorded into via their own locks, so the
+	// shared map mutex is held only for a lookup.
+	reqHist map[reqKey]*obs.LockedHistogram
+	stages  map[string]*obs.LockedHistogram
+
+	// stageCache aliases stages["cache"], created eagerly: the batched
+	// cache-hit path records into it per job, and the direct pointer
+	// skips the map lookup under the shared mutex on that storm path.
+	stageCache *obs.LockedHistogram
 }
 
-// latencyReservoirSize bounds the quantile window: large enough that p99
-// is meaningful, small enough that a scrape-time sort is trivial.
-const latencyReservoirSize = 2048
+// reqKey labels one request-latency series.
+type reqKey struct{ route, codec string }
 
 func newMetrics() *metrics {
+	cache := &obs.LockedHistogram{}
 	return &metrics{
-		start:     time.Now(),
-		requests:  map[string]int64{},
-		latencies: make([]float64, latencyReservoirSize),
+		start:      time.Now(),
+		requests:   map[string]int64{},
+		reqHist:    map[reqKey]*obs.LockedHistogram{},
+		stages:     map[string]*obs.LockedHistogram{"cache": cache},
+		stageCache: cache,
 	}
 }
 
@@ -54,43 +83,66 @@ func (m *metrics) incRequest(route string) {
 	m.mu.Unlock()
 }
 
+// observeRequest records one request's end-to-end latency. Always called
+// after incRequest returns, so at any scrape requests_total ≥ the
+// histogram count — the consistency invariant CI asserts under load.
+func (m *metrics) observeRequest(route, codec string, d time.Duration) {
+	k := reqKey{route, codec}
+	m.mu.Lock()
+	h := m.reqHist[k]
+	if h == nil {
+		h = &obs.LockedHistogram{}
+		m.reqHist[k] = h
+	}
+	m.mu.Unlock()
+	h.Record(d)
+}
+
 // observeCompile records one compile attempt's outcome and latency.
+// Failed compiles record too, under their own outcome label.
 func (m *metrics) observeCompile(d time.Duration, err error) {
 	m.compiles.Add(1)
 	if err != nil {
 		m.compileErrors.Add(1)
+		m.compileErr.Record(d)
 		return
 	}
-	m.mu.Lock()
-	m.latencies[m.latIdx] = d.Seconds()
-	m.latIdx++
-	if m.latIdx == len(m.latencies) {
-		m.latIdx = 0
-		m.latFull = true
-	}
-	m.mu.Unlock()
+	m.compileOK.Record(d)
 }
 
-// quantiles returns the requested quantiles over the reservoir snapshot,
-// or nil before the first successful compile.
-func (m *metrics) quantiles(qs ...float64) []float64 {
+// observeStage records one compiler stage's wall clock.
+func (m *metrics) observeStage(stage string, d time.Duration) {
 	m.mu.Lock()
-	n := m.latIdx
-	if m.latFull {
-		n = len(m.latencies)
+	h := m.stages[stage]
+	if h == nil {
+		h = &obs.LockedHistogram{}
+		m.stages[stage] = h
 	}
-	snap := append([]float64(nil), m.latencies[:n]...)
 	m.mu.Unlock()
-	if len(snap) == 0 {
-		return nil
+	h.Record(d)
+}
+
+// observeQueueWait records how long an async job waited for a worker.
+func (m *metrics) observeQueueWait(d time.Duration) {
+	m.queueWait.Record(d)
+}
+
+// summary writes one label set of a summary family: the p50/p99
+// quantile samples plus the _sum and _count series Prometheus
+// conventions expect. labels is the pre-rendered label prefix without
+// the quantile (e.g. `route="POST /v1/compile",codec="json"`), or "".
+func summary(w io.Writer, name, labels string, h obs.Histogram) {
+	sep := ""
+	if labels != "" {
+		sep = ","
 	}
-	sort.Float64s(snap)
-	out := make([]float64, len(qs))
-	for i, q := range qs {
-		idx := int(q * float64(len(snap)-1))
-		out[i] = snap[idx]
+	fmt.Fprintf(w, "%s{%s%squantile=\"0.5\"} %g\n", name, labels, sep, h.Quantile(0.5).Seconds())
+	fmt.Fprintf(w, "%s{%s%squantile=\"0.99\"} %g\n", name, labels, sep, h.Quantile(0.99).Seconds())
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum().Seconds(), name, h.Count())
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.Sum().Seconds(), name, labels, h.Count())
 	}
-	return out
 }
 
 // render writes the Prometheus text exposition. queueDepth and cache
@@ -105,6 +157,7 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cacheHits, cache
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
 
+	// Snapshot every labeled family under one lock hold, render after.
 	m.mu.Lock()
 	routes := make([]string, 0, len(m.requests))
 	for r := range m.requests {
@@ -114,6 +167,29 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cacheHits, cache
 	counts := make([]int64, len(routes))
 	for i, r := range routes {
 		counts[i] = m.requests[r]
+	}
+	reqKeys := make([]reqKey, 0, len(m.reqHist))
+	for k := range m.reqHist {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].route != reqKeys[j].route {
+			return reqKeys[i].route < reqKeys[j].route
+		}
+		return reqKeys[i].codec < reqKeys[j].codec
+	})
+	reqHists := make([]*obs.LockedHistogram, len(reqKeys))
+	for i, k := range reqKeys {
+		reqHists[i] = m.reqHist[k]
+	}
+	stageNames := make([]string, 0, len(m.stages))
+	for st := range m.stages {
+		stageNames = append(stageNames, st)
+	}
+	sort.Strings(stageNames)
+	stageHists := make([]*obs.LockedHistogram, len(stageNames))
+	for i, st := range stageNames {
+		stageHists[i] = m.stages[st]
 	}
 	m.mu.Unlock()
 
@@ -138,6 +214,8 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cacheHits, cache
 
 	gauge("mpschedd_queue_depth", "Async jobs waiting in the queue.", float64(queueDepth))
 	gauge("mpschedd_queue_capacity", "Async queue admission bound.", float64(queueCap))
+	gauge("mpschedd_inflight_requests", "HTTP requests currently being handled.", float64(m.inflightRequests.Load()))
+	gauge("mpschedd_inflight_batch_jobs", "Batch jobs admitted and not yet finished.", float64(m.inflightBatch.Load()))
 	gauge("mpschedd_uptime_seconds", "Seconds since the daemon started.", uptime)
 
 	// Every compile — sync or async — passes through observeCompile, so
@@ -149,9 +227,37 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cacheHits, cache
 	}
 	gauge("mpschedd_jobs_per_second", "Successful compiles per second of uptime.", jps)
 
-	if q := m.quantiles(0.5, 0.99); q != nil {
-		fmt.Fprintf(w, "# HELP mpschedd_compile_latency_seconds Recent compile wall-clock latency.\n# TYPE mpschedd_compile_latency_seconds summary\n")
-		fmt.Fprintf(w, "mpschedd_compile_latency_seconds{quantile=\"0.5\"} %g\n", q[0])
-		fmt.Fprintf(w, "mpschedd_compile_latency_seconds{quantile=\"0.99\"} %g\n", q[1])
+	if len(reqKeys) > 0 {
+		fmt.Fprintf(w, "# HELP mpschedd_request_seconds End-to-end request latency by route and codec.\n# TYPE mpschedd_request_seconds summary\n")
+		for i, k := range reqKeys {
+			labels := fmt.Sprintf("route=%q,codec=%q", k.route, k.codec)
+			summary(w, "mpschedd_request_seconds", labels, reqHists[i].Snapshot())
+		}
+	}
+
+	// mpschedd_compile_seconds replaces the pre-observability
+	// mpschedd_compile_latency_seconds summary (which sampled only the
+	// last 2048 successes). Outcome-labeled so error latency is visible.
+	okSnap, errSnap := m.compileOK.Snapshot(), m.compileErr.Snapshot()
+	if okSnap.Count() > 0 || errSnap.Count() > 0 {
+		fmt.Fprintf(w, "# HELP mpschedd_compile_seconds Compile wall-clock latency by outcome.\n# TYPE mpschedd_compile_seconds summary\n")
+		if okSnap.Count() > 0 {
+			summary(w, "mpschedd_compile_seconds", `outcome="ok"`, okSnap)
+		}
+		if errSnap.Count() > 0 {
+			summary(w, "mpschedd_compile_seconds", `outcome="error"`, errSnap)
+		}
+	}
+
+	if qw := m.queueWait.Snapshot(); qw.Count() > 0 {
+		fmt.Fprintf(w, "# HELP mpschedd_queue_wait_seconds Async job wait from admission to a worker picking it up.\n# TYPE mpschedd_queue_wait_seconds summary\n")
+		summary(w, "mpschedd_queue_wait_seconds", "", qw)
+	}
+
+	if len(stageNames) > 0 {
+		fmt.Fprintf(w, "# HELP mpschedd_stage_seconds Compiler stage wall clock by stage (\"cache\" = served from the result cache).\n# TYPE mpschedd_stage_seconds summary\n")
+		for i, st := range stageNames {
+			summary(w, "mpschedd_stage_seconds", fmt.Sprintf("stage=%q", st), stageHists[i].Snapshot())
+		}
 	}
 }

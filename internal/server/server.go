@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -41,6 +42,7 @@ import (
 
 	"mpsched/internal/cliutil"
 	"mpsched/internal/dfg"
+	"mpsched/internal/obs"
 	"mpsched/internal/pipeline"
 	"mpsched/internal/wire"
 )
@@ -82,6 +84,17 @@ type Options struct {
 	// endpoints expose internals and cost CPU, so they are opt-in
 	// (mpschedd -pprof) and belong behind the operator's firewall.
 	EnablePprof bool
+	// TraceBuffer sizes the ring of recent request traces served at
+	// /debug/traces; ≤ 0 means DefaultTraceBuffer. Tracing itself is
+	// always on for the compile-path endpoints — the per-request cost is
+	// a handful of clock reads and one ring insert.
+	TraceBuffer int
+	// SlowTrace is the always-on slow-trace log threshold: any traced
+	// request at or over it logs its full span breakdown via slog. 0
+	// means DefaultSlowTrace; negative disables the log.
+	SlowTrace time.Duration
+	// Logger receives the slow-trace log; nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // Defaults for Options' zero values.
@@ -91,6 +104,13 @@ const (
 	DefaultMaxSyncNodes  = 2048
 	DefaultMaxStoredJobs = 4096
 	DefaultMaxBatchJobs  = 256
+	// DefaultTraceBuffer is deliberately modest: the ring pins every
+	// retained trace's span list (a batch envelope holds ~2 spans per
+	// job), and that memory is live for the garbage collector to mark on
+	// every cycle. 64 traces keeps the always-on cost low; raise it via
+	// -trace-buffer when debugging needs more history.
+	DefaultTraceBuffer = 64
+	DefaultSlowTrace   = time.Second
 )
 
 func (o Options) withDefaults() Options {
@@ -112,6 +132,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxBatchJobs <= 0 {
 		o.MaxBatchJobs = DefaultMaxBatchJobs
 	}
+	if o.TraceBuffer <= 0 {
+		o.TraceBuffer = DefaultTraceBuffer
+	}
+	if o.SlowTrace == 0 {
+		o.SlowTrace = DefaultSlowTrace
+	}
 	return o
 }
 
@@ -124,6 +150,9 @@ type Server struct {
 	metrics *metrics
 	store   *jobStore
 	mux     *http.ServeMux
+	// traces is the recent-request ring behind /debug/traces and the
+	// slow-trace log; every compile-path request records one trace.
+	traces *obs.Recorder
 
 	// batchSem bounds in-flight batch jobs across all /v1/batch envelopes
 	// at QueueDepth; admission is a per-job try-acquire, so an oversized
@@ -179,6 +208,7 @@ func newServer(opts Options, startWorkers bool) *Server {
 		opts:      opts,
 		metrics:   newMetrics(),
 		store:     newJobStore(opts.MaxStoredJobs),
+		traces:    obs.NewRecorder(opts.TraceBuffer, opts.SlowTrace, opts.Logger),
 		queue:     make(chan *asyncJob, opts.QueueDepth),
 		batchSem:  make(chan struct{}, opts.QueueDepth),
 		drainCh:   make(chan struct{}),
@@ -191,13 +221,17 @@ func newServer(opts Options, startWorkers bool) *Server {
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 
 	s.mux = http.NewServeMux()
-	s.route("POST /v1/compile", s.handleCompile)
-	s.route("POST /v1/batch", s.handleBatch)
-	s.route("POST /v1/jobs", s.handleSubmitJob)
-	s.route("GET /v1/jobs/{id}", s.handleGetJob)
-	s.route("GET /v1/workloads", s.handleWorkloads)
-	s.route("GET /healthz", s.handleHealthz)
-	s.route("GET /metrics", s.handleMetrics)
+	s.route("POST /v1/compile", true, s.handleCompile)
+	s.route("POST /v1/batch", true, s.handleBatch)
+	s.route("POST /v1/jobs", true, s.handleSubmitJob)
+	s.route("GET /v1/jobs/{id}", false, s.handleGetJob)
+	s.route("GET /v1/workloads", false, s.handleWorkloads)
+	s.route("GET /healthz", false, s.handleHealthz)
+	s.route("GET /metrics", false, s.handleMetrics)
+	// The trace endpoints are registered directly on the mux, like pprof,
+	// so the debug subtree stays out of the request metrics.
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	if opts.EnablePprof {
 		// Registered directly on the mux (not via route) so the debug
 		// subtree stays out of the request metrics. pprof.Index also
@@ -246,11 +280,32 @@ func batchWorkers(queueWorkers int) int {
 	return 8
 }
 
-// route registers a handler and counts requests against the pattern.
-func (s *Server) route(pattern string, h http.HandlerFunc) {
+// route registers a handler with request accounting: the requests_total
+// counter, the in-flight gauge and the per-route × per-codec latency
+// histogram. Traced routes (the compile path) additionally get a
+// per-request obs.Trace — created from the X-Mpsched-Trace header (or
+// generated), carried in the request context for handlers to attach
+// spans, echoed on the response, and recorded into the /debug/traces
+// ring when the request finishes.
+func (s *Server) route(pattern string, traced bool, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.incRequest(pattern)
-		h(w, r)
+		s.metrics.inflightRequests.Add(1)
+		defer s.metrics.inflightRequests.Add(-1)
+		codec := requestCodec(r).Name()
+		start := time.Now()
+		if !traced {
+			h(w, r)
+			s.metrics.observeRequest(pattern, codec, time.Since(start))
+			return
+		}
+		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader), pattern, codec)
+		sw := newStatusWriter(w, tr)
+		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		d := time.Since(start)
+		tr.Finish(sw.Status(), d)
+		s.traces.Record(tr)
+		s.metrics.observeRequest(pattern, codec, d)
 	})
 }
 
@@ -285,18 +340,29 @@ func (s *Server) worker() {
 }
 
 // process runs one async job through the pipeline under the server's base
-// context, so Drain's deadline can cut in-flight compiles short.
+// context, so Drain's deadline can cut in-flight compiles short. Its
+// queue-wait and compile spans append to the submit request's trace —
+// post-finish appends are exactly what obs.Trace allows for this.
 func (s *Server) process(j *asyncJob) {
+	if !j.submitted.IsZero() {
+		wait := time.Since(j.submitted)
+		s.metrics.observeQueueWait(wait)
+		j.trace.Observe("queue_wait", -1, j.submitted, wait)
+	}
 	j.setRunning()
-	res := s.pipe.CompileContext(s.baseCtx, j.job)
-	s.metrics.observeCompile(res.Elapsed, res.Err)
+	job := j.job
+	job.Hook = s.stageHook(j.trace, -1)
+	res := s.pipe.CompileContext(s.baseCtx, job)
+	s.observeCompileResult(j.trace, -1, &res)
 	if res.Err != nil {
 		s.metrics.jobsFailed.Add(1)
 		j.finish(nil, res.Err)
 		return
 	}
 	s.metrics.jobsCompleted.Add(1)
-	j.finish(s.toResponse(res), nil)
+	resp := s.toResponse(res)
+	resp.TraceID = j.traceID
+	j.finish(resp, nil)
 }
 
 // Drain gracefully shuts the queue down: admission stops, queued and
@@ -356,10 +422,17 @@ func (s *Server) Drain(ctx context.Context) error {
 // ---- handlers ----
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	dt := tr.Begin("decode")
 	req, ok := s.decodeRequest(w, r)
+	dt.End()
 	if !ok {
 		return
 	}
+	// The binary codec carries the trace ID inside the frame, which only
+	// exists after decode; the echo header is written lazily at first
+	// WriteHeader, so the adopted ID still wins.
+	tr.AdoptID(req.TraceID)
 	job, err := s.resolveJob(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -371,8 +444,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	job.Hook = s.stageHook(tr, -1)
 	res := s.pipe.CompileContext(r.Context(), job)
-	s.metrics.observeCompile(res.Elapsed, res.Err)
+	s.observeCompileResult(tr, -1, &res)
 	if res.Err != nil {
 		status := http.StatusUnprocessableEntity
 		if r.Context().Err() != nil {
@@ -382,34 +456,47 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, res.Err)
 		return
 	}
-	s.writeResult(w, r, s.toResponse(res))
+	resp := s.toResponse(res)
+	resp.TraceID = tr.ID()
+	s.writeResult(w, r, resp)
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	dt := tr.Begin("decode")
 	req, ok := s.decodeRequest(w, r)
+	dt.End()
 	if !ok {
 		return
 	}
+	tr.AdoptID(req.TraceID)
 	job, err := s.resolveJob(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j := &asyncJob{id: newJobID(), job: job, status: JobQueued}
+	// The job keeps the submit request's trace: its queue-wait and
+	// compile spans append to it as the job executes, long after this
+	// response went out — /debug/traces/{id} shows them as they land.
+	j := &asyncJob{id: newJobID(), job: job, status: JobQueued, trace: tr, traceID: tr.ID()}
+	at := tr.Begin("admit")
 	s.drainMu.RLock()
 	if s.draining.Load() {
 		s.drainMu.RUnlock()
+		at.End()
 		s.metrics.jobsRejected.Add(1)
 		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return
 	}
 	accepted := false
+	j.submitted = time.Now()
 	select {
 	case s.queue <- j:
 		accepted = true
 	default:
 	}
 	s.drainMu.RUnlock()
+	at.End()
 	if !accepted {
 		s.metrics.jobsRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -419,7 +506,9 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	s.store.add(j)
 	s.metrics.jobsSubmitted.Add(1)
+	et := tr.Begin("encode")
 	s.writeJSON(w, http.StatusAccepted, j.snapshot())
+	et.End()
 }
 
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
@@ -514,10 +603,12 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (CompileR
 
 // writeResult writes a compile result in the negotiated response codec.
 func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, resp *CompileResponse) {
+	et := obs.FromContext(r.Context()).Begin("encode")
 	codec := responseCodec(r)
 	w.Header().Set("Content-Type", codec.ContentType())
 	w.WriteHeader(http.StatusOK)
 	_ = codec.EncodeResponse(w, resp) // the connection failing mid-response is the client's problem
+	et.End()
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {

@@ -394,8 +394,15 @@ func TestMetricsExposition(t *testing.T) {
 		"mpschedd_queue_depth",
 		"mpschedd_queue_capacity",
 		"mpschedd_jobs_per_second",
-		`mpschedd_compile_latency_seconds{quantile="0.5"}`,
-		`mpschedd_compile_latency_seconds{quantile="0.99"}`,
+		"mpschedd_inflight_requests",
+		"mpschedd_inflight_batch_jobs",
+		`mpschedd_compile_seconds{outcome="ok",quantile="0.5"}`,
+		`mpschedd_compile_seconds{outcome="ok",quantile="0.99"}`,
+		`mpschedd_compile_seconds_count{outcome="ok"} 3`,
+		`mpschedd_request_seconds{route="POST /v1/compile",codec="json",quantile="0.99"}`,
+		"mpschedd_queue_wait_seconds_count 1",
+		`mpschedd_stage_seconds{stage="cache",quantile="0.5"}`,
+		`mpschedd_stage_seconds{stage="census",quantile="0.5"}`,
 	} {
 		if !strings.Contains(text, series) {
 			t.Errorf("metrics missing %q\n%s", series, text)

@@ -22,11 +22,11 @@ import (
 // allocates nothing per call on the encode path.
 //
 //	request   "MPQ" 0x01, flags byte, name, workload, stop_after,
-//	          [DFG bytes] [graph bytes] [select] [sched] [spans]
+//	          [DFG bytes] [graph bytes] [select] [sched] [spans] [trace]
 //	response  "MPS" 0x01, flags byte, name, nodes, edges, patterns,
 //	          cycles, lower_bound, utilization, cycle_of, pattern_of,
 //	          scheduler_patterns, stop_after, span, [census], stages,
-//	          elapsed_ms
+//	          elapsed_ms, [trace]
 //	batch     "MPB" 0x01, uvarint count, count × (uvarint len + request)
 //	item      uvarint frame len + (index, status, error,
 //	          result flag byte, [response frame])
@@ -53,8 +53,9 @@ const (
 	reqHasSelect
 	reqHasSched
 	reqHasSpans
+	reqHasTrace
 
-	reqFlagsMask = reqHasDFG | reqHasGraph | reqHasSelect | reqHasSched | reqHasSpans
+	reqFlagsMask = reqHasDFG | reqHasGraph | reqHasSelect | reqHasSched | reqHasSpans | reqHasTrace
 )
 
 // Response flag bits.
@@ -62,8 +63,9 @@ const (
 	respSweptSpans = 1 << iota
 	respCacheHit
 	respHasCensus
+	respHasTrace
 
-	respFlagsMask = respSweptSpans | respCacheHit | respHasCensus
+	respFlagsMask = respSweptSpans | respCacheHit | respHasCensus | respHasTrace
 )
 
 func (binaryCodec) Name() string              { return "binary" }
@@ -275,6 +277,9 @@ func appendRequest(buf []byte, req *CompileRequest) []byte {
 	if len(req.Spans) > 0 {
 		flags |= reqHasSpans
 	}
+	if req.TraceID != "" {
+		flags |= reqHasTrace
+	}
 	buf = append(buf, flags)
 	buf = appendWireString(buf, req.Name)
 	buf = appendWireString(buf, req.Workload)
@@ -309,6 +314,9 @@ func appendRequest(buf []byte, req *CompileRequest) []byte {
 		for _, s := range req.Spans {
 			buf = binary.AppendVarint(buf, int64(s))
 		}
+	}
+	if flags&reqHasTrace != 0 {
+		buf = appendWireString(buf, req.TraceID)
 	}
 	return buf
 }
@@ -375,6 +383,9 @@ func decodeRequest(rd *reader, req *CompileRequest) error {
 			}
 		}
 	}
+	if flags&reqHasTrace != 0 {
+		req.TraceID = rd.string()
+	}
 	return rd.err
 }
 
@@ -392,6 +403,9 @@ func appendResponse(buf []byte, resp *CompileResponse) []byte {
 	}
 	if resp.Census != nil {
 		flags |= respHasCensus
+	}
+	if resp.TraceID != "" {
+		flags |= respHasTrace
 	}
 	buf = append(buf, flags)
 	buf = appendWireString(buf, resp.Name)
@@ -416,7 +430,11 @@ func appendResponse(buf []byte, resp *CompileResponse) []byte {
 		buf = appendWireString(buf, st.Stage)
 		buf = appendFloat(buf, st.MS)
 	}
-	return appendFloat(buf, resp.ElapsedMS)
+	buf = appendFloat(buf, resp.ElapsedMS)
+	if flags&respHasTrace != 0 {
+		buf = appendWireString(buf, resp.TraceID)
+	}
+	return buf
 }
 
 func decodeResponse(rd *reader, resp *CompileResponse) error {
@@ -463,6 +481,9 @@ func decodeResponse(rd *reader, resp *CompileResponse) error {
 		}
 	}
 	resp.ElapsedMS = rd.float()
+	if flags&respHasTrace != 0 {
+		resp.TraceID = rd.string()
+	}
 	return rd.err
 }
 

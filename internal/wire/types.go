@@ -40,6 +40,13 @@ type CompileRequest struct {
 	// the best schedule (response field "span" reports the winner).
 	// Unlike select.span, a literal 0 here means span ≤ 0.
 	Spans []int `json:"spans,omitempty"`
+	// TraceID identifies the request in the server's tracing layer. It
+	// never appears in JSON bodies — HTTP carries it in the
+	// X-Mpsched-Trace header — but the binary codec frames it inline so
+	// batched envelopes can tag jobs without per-job headers. Empty means
+	// the server generates one; either way the response echoes the
+	// effective ID.
+	TraceID string `json:"-"`
 }
 
 // SelectConfig is the wire form of patsel.Config.
@@ -95,6 +102,9 @@ type CompileResponse struct {
 	Stages    []StageTimingResponse `json:"stages,omitempty"`
 	CacheHit  bool                  `json:"cache_hit"`
 	ElapsedMS float64               `json:"elapsed_ms"`
+	// TraceID echoes the request's effective trace ID; look it up at
+	// GET /debug/traces/{id} for the span breakdown.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // CensusResponse is the wire form of the antichain census summary.
@@ -124,6 +134,9 @@ type JobResponse struct {
 	Status string           `json:"status"`
 	Error  string           `json:"error,omitempty"`
 	Result *CompileResponse `json:"result,omitempty"`
+	// TraceID is the submit request's effective trace ID; the job's
+	// queue-wait and compile spans attach to that trace as it executes.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response. Errors are always

@@ -52,6 +52,7 @@ func sampleResponse() *CompileResponse {
 		},
 		CacheHit:  true,
 		ElapsedMS: 1.75,
+		TraceID:   "a1b2c3d4e5f60718",
 	}
 }
 
@@ -335,6 +336,52 @@ func TestBinaryItemStreamTruncation(t *testing.T) {
 	ir = Binary.NewItemReader(bytes.NewReader(huge))
 	if err := ir.ReadItem(&it); !errors.Is(err, ErrFormat) {
 		t.Fatalf("huge frame length: got %v, want ErrFormat", err)
+	}
+}
+
+// TestTraceIDFraming pins how each codec carries the trace ID: the
+// binary codec frames the request's ID inline (batch envelopes tag jobs
+// without headers), while the JSON request body never carries it — HTTP
+// moves it in the X-Mpsched-Trace header, so a traced request still
+// decodes under DisallowUnknownFields.
+func TestTraceIDFraming(t *testing.T) {
+	req := &CompileRequest{Workload: "fig4", TraceID: "deadbeef00112233"}
+
+	var buf bytes.Buffer
+	if err := Binary.EncodeRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	var fromBin CompileRequest
+	if err := Binary.DecodeRequest(&buf, &fromBin); err != nil {
+		t.Fatal(err)
+	}
+	if fromBin.TraceID != req.TraceID {
+		t.Fatalf("binary dropped the trace ID: %q", fromBin.TraceID)
+	}
+
+	buf.Reset()
+	if err := JSON.EncodeRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "deadbeef") {
+		t.Fatalf("trace ID leaked into the JSON request body: %s", buf.String())
+	}
+
+	// Batch envelopes carry per-job IDs through the binary codec.
+	b := &BatchRequest{Jobs: []CompileRequest{
+		{Workload: "fig4", TraceID: "job0trace"},
+		{Workload: "fft:4"},
+	}}
+	buf.Reset()
+	if err := Binary.EncodeBatch(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	var gotB BatchRequest
+	if err := Binary.DecodeBatch(&buf, &gotB); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, &gotB) {
+		t.Fatalf("batch trace IDs diverged:\n want %+v\n got  %+v", b, &gotB)
 	}
 }
 

@@ -64,6 +64,7 @@ import (
 	"mpsched/internal/antichain"
 	"mpsched/internal/dfg"
 	"mpsched/internal/montium"
+	"mpsched/internal/obs"
 	"mpsched/internal/patsel"
 	"mpsched/internal/pattern"
 	"mpsched/internal/pipeline"
@@ -135,7 +136,21 @@ type (
 	WireCodec = wire.Codec
 	// Client is the typed client for a running mpschedd daemon.
 	Client = client.Client
+	// TraceData is one request's recorded span breakdown, as served by
+	// the daemon's GET /debug/traces endpoints (Client.Trace).
+	TraceData = obs.TraceData
+	// SpanData is one timed step inside a TraceData.
+	SpanData = obs.SpanData
+	// Metrics is a parsed /metrics scrape (Client.Metrics), queryable by
+	// family name and label pairs.
+	Metrics = obs.Metrics
 )
+
+// TraceHeader is the HTTP header carrying a request's trace ID. Set it
+// (or CompileRequest.TraceID through the Client) to correlate a call
+// with the daemon's span breakdown; the server echoes the effective ID
+// on every traced response.
+const TraceHeader = obs.TraceHeader
 
 // Wire codecs for Client.WithCodec: the curl-friendly JSON default and
 // the compact binary format (see internal/wire and the README's

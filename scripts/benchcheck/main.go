@@ -8,12 +8,14 @@
 //
 //	go run ./scripts/benchcheck -current /tmp/bench.json \
 //	    [-baseline BENCH_enumeration.json] [-tol 3.0] \
-//	    [-require Enumerate/3dft] [-loadgen loadgen/ci-smoke]
+//	    [-require Enumerate/3dft] [-loadgen loadgen/ci-smoke] \
+//	    [-metrics /tmp/metrics.txt] [-traces /tmp/traces.json]
 //
 // Checks, in order:
 //
 //   - -current must parse as a benchfmt report with ≥ 1 result, every
-//     result named and non-negative.
+//     result named and non-negative. (-current may be omitted when only
+//     the observability checks below are requested.)
 //   - With -baseline: for every benchmark name present in both files,
 //     current ns_per_op and allocs_per_op must be ≤ tol × baseline
 //     (results only in one file are ignored — smoke runs measure a
@@ -25,12 +27,21 @@
 //   - The -loadgen name must exist with requests > 0, jobs_per_sec > 0,
 //     p50/p99 > 0 and errors == 0 — the load-smoke contract: any
 //     non-2xx/non-429 response or an empty histogram fails the gate.
+//   - -metrics: a saved GET /metrics body must parse cleanly as
+//     Prometheus text and be internally consistent — for every route,
+//     mpschedd_requests_total{route} ≥ the summed
+//     mpschedd_request_seconds_count over that route's codecs (requests
+//     are counted before their latency is recorded, never after).
+//   - -traces: a saved GET /debug/traces body must hold ≥ 1 trace, and
+//     every trace must be terminal — an id, an HTTP status in
+//     [100, 599], a positive duration and at least one span.
 //
 // Exit code 0 when every check passes, 1 otherwise, with one line per
 // comparison so a CI log shows what moved.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +49,7 @@ import (
 
 	"mpsched/internal/benchfmt"
 	"mpsched/internal/cliutil"
+	"mpsched/internal/obs"
 )
 
 func main() {
@@ -57,11 +69,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		current  = fs.String("current", "", "bench JSON to validate (required)")
-		baseline = fs.String("baseline", "", "checked-in baseline to compare against")
-		tol      = fs.Float64("tol", 3.0, "regression tolerance: current must be <= tol x baseline")
-		loadgen  = fs.String("loadgen", "", "name of a load-test result that must be healthy")
-		require  repeatable
+		current   = fs.String("current", "", "bench JSON to validate (required unless only -metrics/-traces)")
+		baseline  = fs.String("baseline", "", "checked-in baseline to compare against")
+		tol       = fs.Float64("tol", 3.0, "regression tolerance: current must be <= tol x baseline")
+		loadgen   = fs.String("loadgen", "", "name of a load-test result that must be healthy")
+		metricsIn = fs.String("metrics", "", "saved GET /metrics body to check for internal consistency")
+		tracesIn  = fs.String("traces", "", "saved GET /debug/traces body whose traces must all be terminal")
+		require   repeatable
 	)
 	fs.Var(&require, "require", "result name that must exist in -current (repeatable)")
 	if code, done := cliutil.ParseFlags(fs, argv); done {
@@ -71,31 +85,36 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchcheck: FAIL: "+format+"\n", args...)
 		return 1
 	}
-	if *current == "" {
+	if *current == "" && *metricsIn == "" && *tracesIn == "" {
 		return fail("-current is required")
 	}
 	if *tol <= 0 {
 		return fail("-tol must be positive, got %g", *tol)
 	}
 
-	cur, err := benchfmt.ReadFile(*current)
-	if err != nil {
-		return fail("%v", err)
-	}
-	if len(cur.Results) == 0 {
-		return fail("%s has no results", *current)
-	}
-	for _, r := range cur.Results {
-		if r.Name == "" {
-			return fail("%s contains an unnamed result", *current)
-		}
-		if r.NsPerOp < 0 || r.AllocsPerOp < 0 || r.JobsPerSec < 0 {
-			return fail("result %q has negative measurements", r.Name)
-		}
-	}
-	fmt.Fprintf(stdout, "benchcheck: %s: %d results, schema ok\n", *current, len(cur.Results))
-
 	bad := 0
+	var cur *benchfmt.Report
+	if *current != "" {
+		var err error
+		cur, err = benchfmt.ReadFile(*current)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if len(cur.Results) == 0 {
+			return fail("%s has no results", *current)
+		}
+		for _, r := range cur.Results {
+			if r.Name == "" {
+				return fail("%s contains an unnamed result", *current)
+			}
+			if r.NsPerOp < 0 || r.AllocsPerOp < 0 || r.JobsPerSec < 0 {
+				return fail("result %q has negative measurements", r.Name)
+			}
+		}
+		fmt.Fprintf(stdout, "benchcheck: %s: %d results, schema ok\n", *current, len(cur.Results))
+	} else if *baseline != "" || *loadgen != "" || len(require) > 0 {
+		return fail("-baseline/-require/-loadgen need -current")
+	}
 	if *baseline != "" {
 		base, err := benchfmt.ReadFile(*baseline)
 		if err != nil {
@@ -155,11 +174,109 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *metricsIn != "" {
+		n, err := checkMetrics(stdout, *metricsIn)
+		if err != nil {
+			return fail("%v", err)
+		}
+		bad += n
+	}
+	if *tracesIn != "" {
+		n, err := checkTraces(stdout, *tracesIn)
+		if err != nil {
+			return fail("%v", err)
+		}
+		bad += n
+	}
+
 	if bad > 0 {
 		return fail("%d check(s) failed", bad)
 	}
 	fmt.Fprintln(stdout, "benchcheck: all checks passed")
 	return 0
+}
+
+// checkMetrics parses a saved /metrics body and asserts the scrape-time
+// invariant the server maintains: requests are counted before their
+// latency is recorded, so for every route the request counter is at
+// least the summed latency-histogram counts across that route's codecs.
+// Returns the number of failed checks; the error covers an unreadable
+// or malformed file (always fatal — a scrape the parser rejects means
+// the exposition itself broke under load).
+func checkMetrics(w io.Writer, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	m, err := obs.ParseMetrics(f)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return 0, fmt.Errorf("%s: no samples", path)
+	}
+	totals := map[string]float64{}   // route → requests_total
+	observed := map[string]float64{} // route → Σ request_seconds_count
+	for _, s := range m {
+		switch s.Name {
+		case "mpschedd_requests_total":
+			totals[s.Labels["route"]] += s.Value
+		case "mpschedd_request_seconds_count":
+			observed[s.Labels["route"]] += s.Value
+		}
+	}
+	bad := 0
+	for route, obsCount := range observed {
+		if total, ok := totals[route]; !ok || obsCount > total {
+			bad++
+			fmt.Fprintf(w, "benchcheck: FAIL %-40s request_seconds_count %g > requests_total %g\n", route, obsCount, totals[route])
+		}
+	}
+	fmt.Fprintf(w, "benchcheck: %s: %d samples, %d routes consistent\n", path, len(m), len(observed)-bad)
+	return bad, nil
+}
+
+// traceDump matches the GET /debug/traces body.
+type traceDump struct {
+	Traces []obs.TraceData `json:"traces"`
+}
+
+// checkTraces parses a saved /debug/traces body and asserts every
+// recorded trace is terminal: it has an id, an HTTP status, a positive
+// duration and at least one span (every traced route records at least
+// its decode span, even on a request that fails immediately).
+func checkTraces(w io.Writer, path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var dump traceDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(dump.Traces) == 0 {
+		return 0, fmt.Errorf("%s: no traces sampled under load", path)
+	}
+	bad := 0
+	for _, t := range dump.Traces {
+		switch {
+		case t.ID == "":
+			bad++
+			fmt.Fprintf(w, "benchcheck: FAIL trace without an id (route %s)\n", t.Route)
+		case t.Status < 100 || t.Status > 599:
+			bad++
+			fmt.Fprintf(w, "benchcheck: FAIL trace %s not terminal: status %d\n", t.ID, t.Status)
+		case t.DurationMS <= 0:
+			bad++
+			fmt.Fprintf(w, "benchcheck: FAIL trace %s has non-positive duration %g ms\n", t.ID, t.DurationMS)
+		case len(t.Spans) == 0:
+			bad++
+			fmt.Fprintf(w, "benchcheck: FAIL trace %s recorded no spans\n", t.ID)
+		}
+	}
+	fmt.Fprintf(w, "benchcheck: %s: %d traces, %d terminal\n", path, len(dump.Traces), len(dump.Traces)-bad)
+	return bad, nil
 }
 
 // compare prints one metric comparison and returns 1 when it regressed
