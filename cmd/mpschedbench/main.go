@@ -16,6 +16,10 @@
 // Against a remote daemon, -codec selects the wire format (json or the
 // compact binary framing) and -batch N coalesces concurrent requests
 // into /v1/batch envelopes of up to N jobs — the high-throughput path.
+// -resilience arms the client's default retry/hedging/breaker stack;
+// paired with a daemon running -chaos, that is the CI chaos gate:
+//
+//	mpschedbench -addr http://localhost:8080 -resilience -strict -duration 5s
 //
 // Scenario specs are any workload spec (see GET /v1/workloads or dfgtool
 // -h) or a mix:seed=S,count=N[,tiers=...] blend. The same spec string
@@ -74,6 +78,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the storm here (pprof format)")
 		name     = fs.String("name", "", "result name (default loadgen/<scenario>/<mode>)")
 		strict   = fs.Bool("strict", false, "exit 1 on any hard failure or an empty latency histogram (the CI gate)")
+		resil    = fs.Bool("resilience", false, "wrap the remote client in the default resilience stack (retries, hedging, breakers) — the chaos-gate configuration")
 	)
 	if code, done := cliutil.ParseFlags(fs, argv); done {
 		return code
@@ -115,11 +120,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if *batch < 1 {
 		return fail(fmt.Errorf("-batch must be at least 1"))
 	}
+	if *resil && *addr == "" {
+		return fail(fmt.Errorf("-resilience only applies to a remote daemon (-addr)"))
+	}
 
 	var target loadgen.Target
 	var remote *client.Client
 	if *addr != "" {
 		c := client.New(*addr).WithCodec(wc).WithTimeout(*timeout)
+		if *resil {
+			c = c.WithResilience(client.DefaultResilience())
+		}
 		if _, err := c.Healthz(context.Background()); err != nil {
 			return fail(fmt.Errorf("daemon at %s not healthy: %w", *addr, err))
 		}
@@ -212,6 +223,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			"mpschedbench: server: %d compiles (%d errors), %.1f jobs/s, cache %.0f%%, %d rejected at admission\n",
 			srvStats.Compiles, srvStats.CompileErrors, srvStats.JobsPerSec,
 			100*srvStats.CacheHitRatio, srvStats.QueueRejected)
+	}
+	if *resil {
+		rs := remote.ResilienceStats()
+		fmt.Fprintf(stderr,
+			"mpschedbench: resilience: %d retries, %d hedges (%d wins), %d breaker trips, %d fast fails\n",
+			rs.Retries, rs.Hedges, rs.HedgeWins, rs.BreakerTrips, rs.BreakerFastFails)
 	}
 	for _, s := range res.ErrorSamples {
 		fmt.Fprintf(stderr, "mpschedbench: sample error: %s\n", s)

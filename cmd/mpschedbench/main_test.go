@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mpsched/internal/benchfmt"
+	"mpsched/internal/faults"
 	"mpsched/internal/server"
 )
 
@@ -147,5 +148,37 @@ func TestStrictFailsOnErrors(t *testing.T) {
 		"-duration", "100ms", "-addr", ts.URL, "-strict")
 	if code == 0 {
 		t.Fatal("strict run against a dead daemon exited 0")
+	}
+}
+
+// TestChaosGateResilient is the CI chaos gate in-process: a daemon
+// injecting seeded faults, stormed with -resilience -strict. The
+// resilience stack must absorb every fault (strict exits 0) and the
+// summary must report its activity.
+func TestChaosGateResilient(t *testing.T) {
+	cfg, err := faults.ParseSpec("latency=5%,latency-dur=2ms,err=5%,drop=2%,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Options{Faults: faults.New(cfg)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	code, _, stderr := runBench(t,
+		"-scenario", "random:seed=1,n=32,colors=2",
+		"-mode", "closed", "-clients", "4", "-duration", "500ms",
+		"-addr", ts.URL, "-resilience", "-strict")
+	if code != 0 {
+		t.Fatalf("chaos storm with resilience exited %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "resilience:") {
+		t.Errorf("summary missing resilience stats:\n%s", stderr)
+	}
+}
+
+func TestResilienceRequiresAddr(t *testing.T) {
+	if code, _, _ := runBench(t, "-resilience", "-duration", "100ms"); code == 0 {
+		t.Fatal("-resilience without -addr exited 0, want failure")
 	}
 }

@@ -23,6 +23,11 @@
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, drains the job
 // queue (bounded by -drain-timeout) and exits 0.
+//
+// For resilience testing, -chaos injects deterministic seeded faults
+// (latency, 500s, 429s, truncated bodies, dropped connections) into the
+// /v1 routes — see internal/faults for the spec grammar — and
+// -shed-wait tunes the brownout load-shedding threshold.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 	"time"
 
 	"mpsched/internal/cliutil"
+	"mpsched/internal/faults"
 	"mpsched/internal/server"
 )
 
@@ -67,24 +73,39 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		pprofOn      = fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints (off by default)")
 		slowTrace    = fs.Duration("slow-trace", server.DefaultSlowTrace, "log any request trace slower than this with its span breakdown (negative disables)")
 		traceBuffer  = fs.Int("trace-buffer", server.DefaultTraceBuffer, "recent request traces kept for GET /debug/traces")
+		chaos        = fs.String("chaos", "", "fault-injection spec for resilience testing, e.g. 'latency=5%,err=5%,drop=2%,seed=1' (see internal/faults)")
+		shedWait     = fs.Duration("shed-wait", 0, "queue-wait p99 that triggers brownout load shedding (0 = default, negative disables)")
 	)
 	if code, done := cliutil.ParseFlags(fs, argv); done {
 		return code
 	}
 
+	var injector *faults.Injector
+	if *chaos != "" {
+		cfg, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			fmt.Fprintf(stderr, "mpschedd: -chaos: %v\n", err)
+			return 2
+		}
+		injector = faults.New(cfg)
+		fmt.Fprintf(stderr, "mpschedd: CHAOS MODE: injecting %s\n", cfg.String())
+	}
+
 	logger := log.New(stderr, "mpschedd: ", log.LstdFlags)
 	srv := server.New(server.Options{
-		QueueWorkers: *workers,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		CacheShards:  *cacheShards,
-		MaxBodyBytes: *maxBody,
-		MaxSyncNodes: *maxSync,
-		MaxBatchJobs: *maxBatch,
-		EnablePprof:  *pprofOn,
-		SlowTrace:    *slowTrace,
-		TraceBuffer:  *traceBuffer,
-		Logger:       slog.New(slog.NewTextHandler(stderr, nil)),
+		QueueWorkers:  *workers,
+		QueueDepth:    *queueDepth,
+		CacheEntries:  *cacheEntries,
+		CacheShards:   *cacheShards,
+		MaxBodyBytes:  *maxBody,
+		MaxSyncNodes:  *maxSync,
+		MaxBatchJobs:  *maxBatch,
+		EnablePprof:   *pprofOn,
+		SlowTrace:     *slowTrace,
+		TraceBuffer:   *traceBuffer,
+		Faults:        injector,
+		ShedThreshold: *shedWait,
+		Logger:        slog.New(slog.NewTextHandler(stderr, nil)),
 	})
 
 	ln, err := net.Listen("tcp", *addr)

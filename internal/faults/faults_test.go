@@ -1,0 +1,253 @@
+package faults
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("latency=5%,err=5%,drop=2%,seed=1")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if cfg.Latency != 0.05 || cfg.Err != 0.05 || cfg.Drop != 0.02 || cfg.Seed != 1 {
+		t.Fatalf("ParseSpec mismatch: %+v", cfg)
+	}
+
+	cfg, err = ParseSpec("reject=0.25,truncate=10%,latency-dur=5ms,only=/v1/compile,panic=boom")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if cfg.Reject != 0.25 || cfg.Truncate != 0.1 || cfg.LatencyDur != 5*time.Millisecond ||
+		cfg.Only != "/v1/compile" || cfg.CompilePanic != "boom" {
+		t.Fatalf("ParseSpec mismatch: %+v", cfg)
+	}
+
+	if cfg, err := ParseSpec(""); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"latency", "wat=1", "err=150%", "drop=-1%", "err=60%,drop=50%", "seed=x"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	cfg, _ := ParseSpec("latency=5%,err=5%,drop=2%")
+	s := cfg.String()
+	for _, want := range []string{"latency=5%", "err=5%", "drop=2%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Config.String() = %q, missing %q", s, want)
+		}
+	}
+	if (Config{}).String() != "none" {
+		t.Errorf("zero Config.String() = %q, want none", Config{}.String())
+	}
+}
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"ok":true}`)
+	})
+}
+
+func TestMiddlewareDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Err: 0.3, Reject: 0.2}
+	codes := func() []int {
+		srv := httptest.NewServer(New(cfg).Middleware(okHandler()))
+		defer srv.Close()
+		var got []int
+		for i := 0; i < 50; i++ {
+			resp, err := http.Get(srv.URL + "/v1/compile")
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			got = append(got, resp.StatusCode)
+		}
+		return got
+	}
+	a, b := codes(), codes()
+	var errs, rejects, oks int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %d vs %d", i, a[i], b[i])
+		}
+		switch a[i] {
+		case 500:
+			errs++
+		case 429:
+			rejects++
+		case 200:
+			oks++
+		}
+	}
+	if errs == 0 || rejects == 0 || oks == 0 {
+		t.Fatalf("expected a mix of outcomes over 50 requests: 500s=%d 429s=%d 200s=%d", errs, rejects, oks)
+	}
+}
+
+func TestMiddlewareExemptsNonV1(t *testing.T) {
+	srv := httptest.NewServer(New(Config{Err: 1}).Middleware(okHandler()))
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/metrics", "/debug/traces"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("%s got %d through err=100%% injector, want 200 (exempt)", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Errorf("/v1/compile got %d, want injected 500", resp.StatusCode)
+	}
+}
+
+func TestMiddlewareOnlyScopesRoutes(t *testing.T) {
+	srv := httptest.NewServer(New(Config{Err: 1, Only: "/v1/jobs"}).Middleware(okHandler()))
+	defer srv.Close()
+	resp, _ := http.Get(srv.URL + "/v1/compile")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/v1/compile got %d, want 200 (outside only=)", resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL + "/v1/jobs")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Errorf("/v1/jobs got %d, want injected 500", resp.StatusCode)
+	}
+}
+
+func TestMiddlewareRejectSetsRetryAfter(t *testing.T) {
+	srv := httptest.NewServer(New(Config{Reject: 1}).Middleware(okHandler()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("injected 429 must carry Retry-After")
+	}
+}
+
+func TestMiddlewareDropSeversConnection(t *testing.T) {
+	inj := New(Config{Drop: 1})
+	srv := httptest.NewServer(inj.Middleware(okHandler()))
+	defer srv.Close()
+	_, err := http.Get(srv.URL + "/v1/compile")
+	if err == nil {
+		t.Fatal("dropped connection should surface as a transport error")
+	}
+	if inj.Stats().Drop != 1 {
+		t.Fatalf("drop stat = %d, want 1", inj.Stats().Drop)
+	}
+}
+
+func TestMiddlewareTruncateCutsBody(t *testing.T) {
+	big := strings.Repeat("x", 4096)
+	inj := New(Config{Truncate: 1})
+	srv := httptest.NewServer(inj.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, big)
+	})))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/compile")
+	if err != nil {
+		t.Fatalf("truncation should deliver headers then cut: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil && len(body) == len(big) {
+		t.Fatal("body arrived complete; truncation did not cut the stream")
+	}
+	if len(body) >= len(big) {
+		t.Fatalf("read %d bytes, want a strict prefix of %d", len(body), len(big))
+	}
+	if inj.Stats().Truncate != 1 {
+		t.Fatalf("truncate stat = %d, want 1", inj.Stats().Truncate)
+	}
+}
+
+func TestMiddlewareLatencyDelays(t *testing.T) {
+	inj := New(Config{Latency: 1, LatencyDur: 30 * time.Millisecond})
+	srv := httptest.NewServer(inj.Middleware(okHandler()))
+	defer srv.Close()
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/v1/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("latency-injected request returned in %v, want ≥ ~30ms", el)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("latency injection must not change the outcome; got %d", resp.StatusCode)
+	}
+	if inj.Stats().Latency != 1 {
+		t.Fatalf("latency stat = %d, want 1", inj.Stats().Latency)
+	}
+}
+
+func TestCompilePanic(t *testing.T) {
+	inj := New(Config{CompilePanic: "boom"})
+	inj.CompilePanic("calm-job") // no match: returns
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CompilePanic must panic on a matching label")
+			}
+		}()
+		inj.CompilePanic("job-boom-42")
+	}()
+	if inj.Stats().Panic != 1 {
+		t.Fatalf("panic stat = %d, want 1", inj.Stats().Panic)
+	}
+	var nilInj *Injector
+	nilInj.CompilePanic("boom") // nil-safe
+	if nilInj.Stats() != (Stats{}) || nilInj.Config() != (Config{}) {
+		t.Fatal("nil injector must be inert")
+	}
+	if h := nilInj.Middleware(okHandler()); h == nil {
+		t.Fatal("nil injector Middleware must pass through")
+	}
+}
+
+func TestErrorsAreJSON(t *testing.T) {
+	srv := httptest.NewServer(New(Config{Err: 1}).Middleware(okHandler()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"error"`) {
+		t.Fatalf("body %q is not an ErrorResponse shape", body)
+	}
+}

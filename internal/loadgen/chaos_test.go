@@ -1,0 +1,100 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mpsched/internal/faults"
+	"mpsched/internal/patsel"
+	"mpsched/internal/server"
+	"mpsched/internal/server/client"
+)
+
+// TestChaosStormResilientClient is the chaos gate's contract in
+// miniature: a daemon injecting latency, 500s and dropped connections
+// on a seeded schedule, stormed through a client running the default
+// resilience stack. Every fault must be absorbed — zero client-visible
+// errors — while goodput survives.
+func TestChaosStormResilientClient(t *testing.T) {
+	cfg, err := faults.ParseSpec("latency=5%,latency-dur=2ms,err=5%,drop=2%,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(cfg)
+	srv := server.New(server.Options{Faults: inj})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	sc, err := ParseScenario("random:seed=1,n=32,colors=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := sc.Resolve(patsel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(ts.URL).WithResilience(client.DefaultResilience())
+	res, err := Run(context.Background(), NewRemoteTarget(c), items, Config{
+		Scenario: sc.Spec,
+		Mode:     Closed,
+		Clients:  4,
+		Duration: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("chaos storm leaked %d errors through the resilience stack: %v",
+			res.Errors, res.ErrorSamples)
+	}
+	if res.Success < 50 {
+		t.Fatalf("goodput collapsed under chaos: %d successes", res.Success)
+	}
+	stats := inj.Stats()
+	if stats.Err == 0 && stats.Drop == 0 && stats.Latency == 0 {
+		t.Fatal("injector never fired — the storm proved nothing")
+	}
+	cs := c.ResilienceStats()
+	if stats.Err+stats.Drop > 0 && cs.Retries == 0 {
+		t.Errorf("faults fired (%+v) but the client never retried (%+v)", stats, cs)
+	}
+	t.Logf("chaos storm: %d ok, faults %+v, client %+v", res.Success, stats, cs)
+}
+
+// TestChaosStormBareClientSeesFaults is the control: the same chaos
+// without resilience leaks errors, proving the resilient run above is
+// the stack absorbing faults rather than the injector idling.
+func TestChaosStormBareClientSeesFaults(t *testing.T) {
+	cfg, err := faults.ParseSpec("err=30%,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Options{Faults: faults.New(cfg)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	sc, err := ParseScenario("random:seed=1,n=32,colors=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := sc.Resolve(patsel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), NewRemoteTarget(client.New(ts.URL)), items, Config{
+		Scenario: sc.Spec,
+		Mode:     Closed,
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("bare client saw no errors under 30% injected 500s — injector is not wired")
+	}
+}

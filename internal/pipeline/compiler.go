@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -302,6 +303,20 @@ func (e *StageError) Unwrap() error { return e.Err }
 
 func stageErr(st Stage, err error) error { return &StageError{Stage: st, Err: err} }
 
+// PanicError is a compile that panicked, converted into an error by the
+// recover guard in Compile. It exists so serving layers can isolate a
+// compiler bug to the one job that hit it — map it to a per-item 500 —
+// instead of letting one poisoned graph take down the daemon and every
+// neighbouring job in the batch.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recover.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("compile panicked: %v", e.Value) }
+
 // Compiler runs Specs through the staged flow — parse → census → select →
 // schedule → allocate — with the same result cache and parallel
 // enumeration backend the batch pipeline uses. Construct with NewCompiler;
@@ -322,10 +337,17 @@ func (c *Compiler) Cache() ResultCache { return c.opts.Cache }
 
 // Compile runs the spec through the staged flow, honouring StopAfter and
 // ctx (checked at stage boundaries). On error the report is nil; partial
-// results are never written to the cache.
-func (c *Compiler) Compile(ctx context.Context, spec Spec) (*Report, error) {
+// results are never written to the cache. A panic anywhere in the flow
+// is recovered into a *PanicError — one malformed graph must cost its
+// own compile, not the process.
+func (c *Compiler) Compile(ctx context.Context, spec Spec) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	start := time.Now()
-	rep, err := c.compileSpec(ctx, spec)
+	rep, err = c.compileSpec(ctx, spec)
 	if err != nil {
 		return nil, err
 	}

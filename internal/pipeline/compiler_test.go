@@ -9,6 +9,7 @@ import (
 
 	"mpsched/internal/alloc"
 	"mpsched/internal/antichain"
+	"mpsched/internal/dfg"
 	"mpsched/internal/patsel"
 	"mpsched/internal/pattern"
 	"mpsched/internal/sched"
@@ -419,5 +420,27 @@ func TestCensusSummaryMatchesEnumeration(t *testing.T) {
 	if rep.Census.Antichains != direct.Total() || rep.Census.Classes != len(direct.Classes) {
 		t.Errorf("summary %+v does not match direct census (%d antichains, %d classes)",
 			rep.Census, direct.Total(), len(direct.Classes))
+	}
+}
+
+func TestCompileRecoversPanicToError(t *testing.T) {
+	// A zero-value Graph has no backing digraph; the census stage
+	// dereferences it and panics. Compile must convert that into a
+	// *PanicError instead of crashing the process.
+	var g dfg.Graph
+	rep, err := NewCompiler(Options{}).Compile(context.Background(),
+		NewSpec(&g, WithSelect(patsel.Config{Pdef: 4})))
+	if rep != nil {
+		t.Fatalf("panicking compile returned a report: %+v", rep)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value == nil || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError missing value or stack: %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "compile panicked") {
+		t.Fatalf("Error() = %q", pe.Error())
 	}
 }

@@ -1,0 +1,235 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow while the circuit is open
+// (or while a half-open probe is already in flight). Callers fail fast
+// instead of queueing behind a dead endpoint.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is the circuit's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes every call through.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails every call fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits one probe; its outcome closes or reopens.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerOptions tunes a Breaker. The zero value takes every default.
+type BreakerOptions struct {
+	// ConsecutiveFailures trips the circuit when this many calls fail in
+	// a row; ≤ 0 means DefaultBreakerConsecutive.
+	ConsecutiveFailures int
+	// WindowSize is the rolling outcome window backing the error-rate
+	// trip; ≤ 0 means DefaultBreakerWindow.
+	WindowSize int
+	// ErrorRate trips the circuit when at least MinSamples outcomes are
+	// in the window and the failure fraction reaches this; ≤ 0 means
+	// DefaultBreakerErrorRate.
+	ErrorRate float64
+	// MinSamples gates the error-rate trip so a 1-for-2 blip cannot open
+	// the circuit; ≤ 0 means DefaultBreakerMinSamples.
+	MinSamples int
+	// Cooldown is how long the circuit stays open before admitting a
+	// half-open probe; ≤ 0 means DefaultBreakerCooldown.
+	Cooldown time.Duration
+	// Now is the clock; nil means time.Now. Tests pin it.
+	Now func() time.Time
+}
+
+// Breaker defaults.
+const (
+	DefaultBreakerConsecutive = 8
+	DefaultBreakerWindow      = 64
+	DefaultBreakerErrorRate   = 0.5
+	DefaultBreakerMinSamples  = 32
+	DefaultBreakerCooldown    = 2 * time.Second
+)
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.ConsecutiveFailures <= 0 {
+		o.ConsecutiveFailures = DefaultBreakerConsecutive
+	}
+	if o.WindowSize <= 0 {
+		o.WindowSize = DefaultBreakerWindow
+	}
+	if o.ErrorRate <= 0 {
+		o.ErrorRate = DefaultBreakerErrorRate
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = DefaultBreakerMinSamples
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = DefaultBreakerCooldown
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Breaker is a closed → open → half-open circuit breaker. It trips on
+// either signal: a run of consecutive failures (a hard outage) or a
+// failure fraction over a rolling window (a degraded endpoint that still
+// answers sometimes). While open, Allow fails fast; after the cooldown
+// one probe is admitted, and its outcome closes the circuit or reopens
+// it for another cooldown. Safe for concurrent use.
+type Breaker struct {
+	mu   sync.Mutex
+	opts BreakerOptions
+
+	state    BreakerState
+	consec   int    // consecutive failures while closed
+	window   []bool // rolling outcomes, true = failure
+	windowAt int    // next write position
+	windowN  int    // outcomes recorded, ≤ len(window)
+	fails    int    // failures currently in the window
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	o := opts.withDefaults()
+	return &Breaker{opts: o, window: make([]bool, o.WindowSize)}
+}
+
+// Allow reports whether a call may proceed. In the open state it returns
+// ErrBreakerOpen until the cooldown elapses, then flips to half-open and
+// admits the caller as the probe; in half-open every caller but the one
+// probe is rejected. A nil Breaker allows everything.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.opts.Now().Sub(b.openedAt) < b.opts.Cooldown {
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of a call Allow admitted. ok=false counts
+// transport failures and 5xx — not backpressure (429), which proves the
+// endpoint alive. A nil Breaker ignores the call.
+func (b *Breaker) Record(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+		if ok {
+			b.resetLocked()
+			return
+		}
+		b.tripLocked()
+		return
+	}
+	if b.state == BreakerOpen {
+		// A straggler from before the trip; its outcome is stale.
+		return
+	}
+	// Closed: update both trip signals.
+	if b.window[b.windowAt] && b.windowN == len(b.window) {
+		b.fails--
+	}
+	b.window[b.windowAt] = !ok
+	b.windowAt = (b.windowAt + 1) % len(b.window)
+	if b.windowN < len(b.window) {
+		b.windowN++
+	}
+	if !ok {
+		b.fails++
+		b.consec++
+	} else {
+		b.consec = 0
+	}
+	if b.consec >= b.opts.ConsecutiveFailures {
+		b.tripLocked()
+		return
+	}
+	if b.windowN >= b.opts.MinSamples &&
+		float64(b.fails) >= b.opts.ErrorRate*float64(b.windowN) {
+		b.tripLocked()
+	}
+}
+
+// State returns the circuit's current position (open flips to half-open
+// lazily, at the first Allow after the cooldown).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the circuit has opened.
+func (b *Breaker) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+func (b *Breaker) tripLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.opts.Now()
+	b.trips++
+	b.probing = false
+	b.consec = 0
+	b.fails = 0
+	b.windowAt = 0
+	b.windowN = 0
+	clear(b.window)
+}
+
+func (b *Breaker) resetLocked() {
+	b.state = BreakerClosed
+	b.probing = false
+	b.consec = 0
+	b.fails = 0
+	b.windowAt = 0
+	b.windowN = 0
+	clear(b.window)
+}

@@ -1,0 +1,101 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpsched/internal/obs"
+)
+
+// HedgerOptions tunes a Hedger. The zero value takes every default.
+type HedgerOptions struct {
+	// Quantile of observed latency at which the hedge fires; ≤ 0 means
+	// DefaultHedgeQuantile.
+	Quantile float64
+	// MinSamples is how many latencies must be observed before hedging
+	// starts — an empty histogram has no tail to trigger on; ≤ 0 means
+	// DefaultHedgeMinSamples.
+	MinSamples int
+	// MinDelay floors the trigger so a sub-millisecond p95 cannot turn
+	// every request into two; ≤ 0 means DefaultHedgeMinDelay.
+	MinDelay time.Duration
+	// MaxDelay caps the trigger (0 = uncapped): past it a hedge would
+	// fire too late to rescue the tail anyway.
+	MaxDelay time.Duration
+}
+
+// Hedger defaults: fire at p95, after 64 observations, never sooner
+// than 1ms after the first attempt.
+const (
+	DefaultHedgeQuantile   = 0.95
+	DefaultHedgeMinSamples = 64
+	DefaultHedgeMinDelay   = time.Millisecond
+)
+
+// hedgeRefresh is how many observations share one cached trigger
+// computation; recomputing a histogram quantile per request would put a
+// bucket scan on the hot path for a value that moves slowly.
+const hedgeRefresh = 32
+
+// Hedger decides when a tail-latency hedge (a duplicate attempt racing
+// the first) should launch: it tracks observed latencies of non-hedged
+// attempts in a log-linear histogram and triggers at a percentile of
+// them. Safe for concurrent use.
+type Hedger struct {
+	opts  HedgerOptions
+	hist  obs.LockedHistogram
+	seen  atomic.Int64
+	delay atomic.Int64 // cached trigger in ns; 0 = not ready
+	mu    sync.Mutex   // serialises trigger recomputation
+}
+
+// NewHedger returns a hedger that will not fire until MinSamples
+// latencies are observed.
+func NewHedger(opts HedgerOptions) *Hedger {
+	if opts.Quantile <= 0 || opts.Quantile >= 1 {
+		opts.Quantile = DefaultHedgeQuantile
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = DefaultHedgeMinSamples
+	}
+	if opts.MinDelay <= 0 {
+		opts.MinDelay = DefaultHedgeMinDelay
+	}
+	return &Hedger{opts: opts}
+}
+
+// Observe records one call's overall latency. Callers should feed it
+// every completed call, including hedged ones: a hedged call's latency
+// is clipped by the hedge but never sits below the trigger, so it pulls
+// a too-low trigger back up. (Feeding only un-hedged calls instead
+// biases the histogram ever faster — each hedge removes a slow sample,
+// the quantile drops, more calls hedge — until everything hedges.)
+func (h *Hedger) Observe(d time.Duration) {
+	h.hist.Record(d)
+	if n := h.seen.Add(1); n >= int64(h.opts.MinSamples) && n%hedgeRefresh == 0 || n == int64(h.opts.MinSamples) {
+		h.refresh()
+	}
+}
+
+func (h *Hedger) refresh() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := h.hist.Snapshot()
+	d := snap.Quantile(h.opts.Quantile)
+	if d < h.opts.MinDelay {
+		d = h.opts.MinDelay
+	}
+	if h.opts.MaxDelay > 0 && d > h.opts.MaxDelay {
+		d = h.opts.MaxDelay
+	}
+	h.delay.Store(int64(d))
+}
+
+// Delay returns the current hedge trigger and whether hedging is armed
+// (enough samples observed). The value is cached and refreshed every
+// hedgeRefresh observations, so the hot path reads one atomic.
+func (h *Hedger) Delay() (time.Duration, bool) {
+	d := h.delay.Load()
+	return time.Duration(d), d > 0
+}

@@ -1,0 +1,161 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpsched/internal/obs"
+)
+
+// ShedLevel is how much work the server should currently refuse,
+// ordered by value: async jobs are the cheapest to turn away (the
+// client planned to wait anyway), sync compiles and batches go next,
+// health checks are never shed — an overloaded server that stops
+// answering /healthz gets restarted, which is the opposite of help.
+type ShedLevel int
+
+const (
+	// ShedNone admits everything.
+	ShedNone ShedLevel = iota
+	// ShedAsync rejects async job submissions (queue-wait p99 has
+	// crossed the threshold).
+	ShedAsync
+	// ShedSync additionally rejects sync compiles and batch envelopes
+	// (p99 has crossed twice the threshold — the brownout is deep).
+	ShedSync
+)
+
+func (l ShedLevel) String() string {
+	switch l {
+	case ShedNone:
+		return "none"
+	case ShedAsync:
+		return "async"
+	case ShedSync:
+		return "sync"
+	}
+	return "unknown"
+}
+
+// Shedder is the brownout controller: it watches queue-wait latencies
+// over a sliding window and reports how much work to shed. The signal
+// is the p99 over the last one-to-two windows (two rotating histograms,
+// so old congestion ages out instead of haunting the full-history
+// metrics). Level is designed for the admission hot path: it reads one
+// cached atomic and re-evaluates at most every window/16. A nil Shedder
+// never sheds.
+type Shedder struct {
+	threshold time.Duration
+	window    time.Duration
+	now       func() time.Time
+
+	level  atomic.Int32
+	evalAt atomic.Int64 // unix ns after which Level re-evaluates
+
+	mu        sync.Mutex
+	cur, prev obs.Histogram
+	rotated   time.Time
+}
+
+// DefaultShedWindow is the sliding-window span the p99 is computed over.
+const DefaultShedWindow = 5 * time.Second
+
+// NewShedder returns a shedder that trips ShedAsync at queue-wait p99 ≥
+// threshold and ShedSync at ≥ 2·threshold; window ≤ 0 means
+// DefaultShedWindow. threshold ≤ 0 disables shedding (Level is always
+// ShedNone) — callers can keep one code path.
+func NewShedder(threshold, window time.Duration) *Shedder {
+	if threshold <= 0 {
+		return nil
+	}
+	if window <= 0 {
+		window = DefaultShedWindow
+	}
+	return &Shedder{threshold: threshold, window: window, now: time.Now}
+}
+
+// Observe records one queue-wait sample.
+func (s *Shedder) Observe(wait time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rotateLocked(s.now())
+	s.cur.Record(wait)
+	s.mu.Unlock()
+}
+
+// rotateLocked ages the window: when the current histogram is older
+// than one window it becomes the previous one, and anything older than
+// two windows is dropped entirely.
+func (s *Shedder) rotateLocked(now time.Time) {
+	if s.rotated.IsZero() {
+		s.rotated = now
+		return
+	}
+	age := now.Sub(s.rotated)
+	if age < s.window {
+		return
+	}
+	if age < 2*s.window {
+		s.prev = s.cur
+	} else {
+		s.prev = obs.Histogram{}
+	}
+	s.cur = obs.Histogram{}
+	s.rotated = now
+}
+
+// Level returns the current shed level. The cached value is refreshed
+// at most every window/16 (floored at 25ms), so calling it per request
+// costs two atomic loads.
+func (s *Shedder) Level() ShedLevel {
+	if s == nil {
+		return ShedNone
+	}
+	now := s.now()
+	if now.UnixNano() < s.evalAt.Load() {
+		return ShedLevel(s.level.Load())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rotateLocked(now)
+	p99 := s.cur.Quantile(0.99)
+	if prev := s.prev.Quantile(0.99); prev > p99 {
+		// Max over the two windows: conservative (sheds slightly longer
+		// after a spike) and avoids needing a histogram merge.
+		p99 = prev
+	}
+	level := ShedNone
+	switch {
+	case p99 >= 2*s.threshold:
+		level = ShedSync
+	case p99 >= s.threshold:
+		level = ShedAsync
+	}
+	s.level.Store(int32(level))
+	interval := s.window / 16
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	s.evalAt.Store(now.Add(interval).UnixNano())
+	return level
+}
+
+// P99 reports the signal Level currently acts on (for logs and tests).
+func (s *Shedder) P99() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p99 := s.cur.Quantile(0.99)
+	if prev := s.prev.Quantile(0.99); prev > p99 {
+		p99 = prev
+	}
+	return p99
+}
+
+// setNow pins the clock for tests.
+func (s *Shedder) setNow(now func() time.Time) { s.now = now }

@@ -31,6 +31,9 @@ import (
 // jobs 429 immediately — the same contract as /v1/jobs, applied at item
 // granularity.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.shedSyncWork(w) {
+		return
+	}
 	tr := obs.FromContext(r.Context())
 	codec := requestCodec(r)
 	var b BatchRequest
@@ -59,7 +62,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.draining.Load() {
 		s.metrics.batchRejected.Add(int64(len(b.Jobs)))
-		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		s.writeRejected(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	// The envelope-level budget comes from the deadline header; each job
+	// may additionally carry its own in the binary frame. The effective
+	// per-job budget is the smaller of the two.
+	hdrBudget, err := requestDeadline(r, 0)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if hdrBudget < 0 {
+		s.writeExpired(w, hdrBudget)
 		return
 	}
 
@@ -67,13 +82,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// decided up front (and written first), so admission never depends on
 	// how fast earlier compiles run.
 	type pending struct {
-		idx int
-		job pipeline.Job
+		idx    int
+		job    pipeline.Job
+		budget time.Duration
 	}
 	at := tr.Begin("admit")
 	var failed []BatchItem
 	var admitted []pending
 	for i := range b.Jobs {
+		budget := minBudget(hdrBudget, b.Jobs[i].Deadline)
+		if budget < 0 {
+			s.metrics.deadlineExpired.Add(1)
+			failed = append(failed, BatchItem{Index: i, Status: http.StatusGatewayTimeout,
+				Error: "deadline expired before the compile started"})
+			continue
+		}
 		job, err := s.resolveJob(b.Jobs[i])
 		if err != nil {
 			failed = append(failed, BatchItem{Index: i, Status: http.StatusBadRequest, Error: errString(err)})
@@ -86,7 +109,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case s.batchSem <- struct{}{}:
-			admitted = append(admitted, pending{idx: i, job: job})
+			admitted = append(admitted, pending{idx: i, job: job, budget: budget})
 		default:
 			s.metrics.batchRejected.Add(1)
 			failed = append(failed, BatchItem{Index: i, Status: http.StatusTooManyRequests,
@@ -209,14 +232,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			defer func() { <-s.batchSem }()
 			job := p.job
 			job.Hook = hook
-			res := s.pipe.CompileContext(r.Context(), job)
+			// compileJob's panic perimeter is what makes the endpoint's
+			// isolation promise hold for compiler bugs too: a panicking job
+			// becomes its own 500 item while its neighbours stream normally.
+			jctx, cancel := withBudget(r.Context(), p.budget)
+			defer cancel()
+			res := s.compileJob(jctx, job)
 			s.metrics.observeCompile(res.Elapsed, res.Err)
 			if res.CacheHit {
 				s.metrics.stageCache.Record(res.Elapsed)
 			}
 			if res.Err != nil {
-				status := http.StatusUnprocessableEntity
-				if errors.Is(res.Err, dfg.ErrCyclic) || errors.Is(res.Err, dfg.ErrDuplicateName) || errors.Is(res.Err, dfg.ErrIndexRange) {
+				status := s.compileFailureStatus(r.Context(), jctx, res.Err)
+				if status == http.StatusUnprocessableEntity &&
+					(errors.Is(res.Err, dfg.ErrCyclic) || errors.Is(res.Err, dfg.ErrDuplicateName) || errors.Is(res.Err, dfg.ErrIndexRange)) {
 					status = http.StatusBadRequest
 				}
 				items <- &BatchItem{Index: p.idx, Status: status, Error: errString(res.Err)}

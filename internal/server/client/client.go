@@ -26,6 +26,7 @@ import (
 
 	"mpsched/internal/cliutil"
 	"mpsched/internal/obs"
+	"mpsched/internal/resilience"
 	"mpsched/internal/server"
 	"mpsched/internal/wire"
 )
@@ -35,6 +36,9 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	codec wire.Codec
+	// res is the resilience layer (retries, hedging, breakers); nil —
+	// the default — means every call is a single bare attempt.
+	res *clientResilience
 }
 
 // sharedTransport is the default transport for all clients: the stdlib
@@ -129,7 +133,7 @@ func (c *Client) Compile(ctx context.Context, req server.CompileRequest) (*serve
 // error; the returned error covers transport and envelope faults only,
 // including a short stream (server died mid-batch).
 func (c *Client) CompileBatch(ctx context.Context, reqs []server.CompileRequest) ([]server.BatchItem, error) {
-	items := make([]server.BatchItem, 0, len(reqs))
+	var items []server.BatchItem
 	ct := c.codec.ContentType()
 	// The envelope trace ID rides the header; per-job TraceIDs inside reqs
 	// additionally survive the binary codec's framing.
@@ -137,9 +141,15 @@ func (c *Client) CompileBatch(ctx context.Context, reqs []server.CompileRequest)
 	if len(reqs) > 0 {
 		trace = reqs[0].TraceID
 	}
+	// The whole stream is read and validated inside dec, with stream
+	// faults wrapped in wire.ErrFormat: a short-but-clean-EOF stream (a
+	// server killed mid-batch) is then a retryable wire fault like any
+	// truncated frame, not a silent partial result. Items reset at the
+	// top so a retried attempt starts from scratch.
 	err := c.call(ctx, http.MethodPost, "/v1/batch", ct, ct, trace,
 		func(w io.Writer) error { return c.codec.EncodeBatch(w, &wire.BatchRequest{Jobs: reqs}) },
 		func(r io.Reader) error {
+			items = make([]server.BatchItem, 0, len(reqs))
 			ir := c.codec.NewItemReader(r)
 			for {
 				var it server.BatchItem
@@ -147,7 +157,7 @@ func (c *Client) CompileBatch(ctx context.Context, reqs []server.CompileRequest)
 				case nil:
 					items = append(items, it)
 				case io.EOF:
-					return nil
+					return validateBatch(items, len(reqs))
 				default:
 					return err
 				}
@@ -156,18 +166,25 @@ func (c *Client) CompileBatch(ctx context.Context, reqs []server.CompileRequest)
 	if err != nil {
 		return nil, err
 	}
-	seen := make([]bool, len(reqs))
+	return items, nil
+}
+
+// validateBatch checks a batch stream delivered exactly one item per
+// requested job. Violations are wire-format faults (a truncated or
+// corrupt stream), reported as such so the resilience layer retries.
+func validateBatch(items []server.BatchItem, want int) error {
+	seen := make([]bool, want)
 	for i := range items {
 		idx := items[i].Index
-		if idx < 0 || idx >= len(reqs) || seen[idx] {
-			return nil, fmt.Errorf("batch stream: bad or duplicate item index %d", idx)
+		if idx < 0 || idx >= want || seen[idx] {
+			return fmt.Errorf("%w: batch stream: bad or duplicate item index %d", wire.ErrFormat, idx)
 		}
 		seen[idx] = true
 	}
-	if len(items) != len(reqs) {
-		return nil, fmt.Errorf("batch stream truncated: got %d of %d results", len(items), len(reqs))
+	if len(items) != want {
+		return fmt.Errorf("%w: batch stream truncated: got %d of %d results", wire.ErrFormat, len(items), want)
 	}
-	return items, nil
+	return nil
 }
 
 // SubmitJob enqueues an async compile (POST /v1/jobs) and returns the
@@ -193,26 +210,51 @@ func (c *Client) Job(ctx context.Context, id string) (*server.JobResponse, error
 	return &resp, nil
 }
 
-// WaitJob polls a job until it reaches a terminal state or ctx expires.
-// poll ≤ 0 selects a 25ms ceiling. Polling backs off exponentially from
-// 1ms up to that ceiling (a job done in 2ms is seen in ~3ms instead of
-// a full tick), and transient admission errors (429/503) honour the
-// server's Retry-After hint instead of failing the wait.
+// ErrWaitTimeout reports that WaitJob's context expired before the job
+// reached a terminal state. Match with errors.Is; the job may still
+// complete server-side.
+var ErrWaitTimeout = errors.New("client: timed out waiting for job")
+
+// maxTransientPolls bounds how many consecutive transient poll failures
+// (429/503 backpressure) WaitJob tolerates before giving up: a server
+// that sheds every poll for this long is effectively down, and a caller
+// with no context deadline must not spin on it forever.
+const maxTransientPolls = 16
+
+// WaitJob polls a job until it reaches a terminal state or ctx expires;
+// expiry returns the last observed state (possibly nil) wrapped in
+// ErrWaitTimeout. poll ≤ 0 selects a 25ms ceiling. Polling backs off
+// exponentially from 1ms up to that ceiling (a job done in 2ms is seen
+// in ~3ms instead of a full tick). Transient admission errors (429/503)
+// honour the server's Retry-After hint instead of failing the wait, but
+// only maxTransientPolls in a row — then the wait fails rather than
+// polling a shedding server forever.
 func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*server.JobResponse, error) {
 	if poll <= 0 {
 		poll = 25 * time.Millisecond
 	}
 	delay := time.Millisecond
+	transient := 0
+	var last *server.JobResponse // most recent successful snapshot
 	for {
 		resp, err := c.Job(ctx, id)
 		if err == nil {
+			last, transient = resp, 0
 			if resp.Status == server.JobDone || resp.Status == server.JobFailed {
 				return resp, nil
 			}
 		} else {
+			if ctx.Err() != nil {
+				// The budget expired mid-poll; the transport surfaces that
+				// as its own error, but it is still a wait timeout.
+				return last, fmt.Errorf("job %s: %w: %w", id, ErrWaitTimeout, ctx.Err())
+			}
 			var e *APIError
 			if !errors.As(err, &e) || (e.StatusCode != http.StatusTooManyRequests && e.StatusCode != http.StatusServiceUnavailable) {
 				return nil, err
+			}
+			if transient++; transient >= maxTransientPolls {
+				return nil, fmt.Errorf("job %s: gave up after %d consecutive transient poll failures: %w", id, transient, err)
 			}
 			if e.RetryAfter > delay {
 				delay = e.RetryAfter
@@ -222,7 +264,7 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*s
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return resp, ctx.Err()
+			return last, fmt.Errorf("job %s: %w: %w", id, ErrWaitTimeout, ctx.Err())
 		case <-t.C:
 		}
 		if delay *= 2; delay > poll {
@@ -289,13 +331,14 @@ func decodeJSON(out any) func(io.Reader) error {
 // also gives the request a Content-Length and trivial retryability.
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// call is the one HTTP path every method funnels through: encode body
-// (enc nil = no body), send with the given Content-Type/Accept and an
-// optional X-Mpsched-Trace header, map non-2xx to *APIError (error
-// bodies are always JSON, whatever the codec), decode 2xx with dec, and
-// drain the body so the connection goes back into the pool.
+// call is the one path every method funnels through: encode the body
+// (enc nil = no body) into a pooled buffer, then run the attempt —
+// directly via do1, or through the resilience layer (retries, hedging,
+// breakers) when WithResilience configured one. The buffer outlives
+// every attempt launched over it; do does not return while one is still
+// in flight.
 func (c *Client) call(ctx context.Context, method, path, contentType, accept, trace string, enc func(io.Writer) error, dec func(io.Reader) error) error {
-	var body io.Reader
+	var payload []byte
 	if enc != nil {
 		buf := bufPool.Get().(*bytes.Buffer)
 		buf.Reset()
@@ -303,9 +346,27 @@ func (c *Client) call(ctx context.Context, method, path, contentType, accept, tr
 		if err := enc(buf); err != nil {
 			return err
 		}
-		body = bytes.NewReader(buf.Bytes())
+		payload = buf.Bytes()
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if c.res != nil {
+		return c.res.do(ctx, c, method, path, contentType, accept, trace, payload, dec)
+	}
+	return c.do1(ctx, method, c.base+path, contentType, accept, trace, payload, dec)
+}
+
+// do1 is one bare HTTP attempt: send payload (nil = no body) with the
+// given Content-Type/Accept, an optional X-Mpsched-Trace header, and —
+// when ctx carries a deadline — the remaining budget in
+// X-Mpsched-Deadline so the server stops working the moment the caller
+// stops waiting. Non-2xx maps to *APIError (error bodies are always
+// JSON, whatever the codec), 2xx decodes with dec, and the body is
+// drained so the connection goes back into the pool.
+func (c *Client) do1(ctx context.Context, method, url, contentType, accept, trace string, payload []byte, dec func(io.Reader) error) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
 		return err
 	}
@@ -317,6 +378,11 @@ func (c *Client) call(ctx context.Context, method, path, contentType, accept, tr
 	}
 	if trace != "" {
 		req.Header.Set(obs.TraceHeader, trace)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(dl); remaining > 0 {
+			req.Header.Set(resilience.DeadlineHeader, resilience.FormatDeadline(remaining))
+		}
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -1,0 +1,367 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpsched/internal/resilience"
+)
+
+// ResilienceOptions selects which failure policies a derived client
+// applies around its calls. Each field is independent; nil disables that
+// policy. The zero value disables everything — resilience is opt-in via
+// WithResilience, so the bare client's behaviour (and overhead) is
+// unchanged.
+type ResilienceOptions struct {
+	// Retry re-attempts idempotent calls that fail retryably (transport
+	// errors, 429/500/502/503, malformed frames), with capped
+	// exponential backoff, full jitter, and the server's Retry-After
+	// hint honoured. Nil disables retries.
+	Retry *resilience.RetryPolicy
+	// Breaker configures the per-endpoint circuit breakers that fail
+	// calls fast while an endpoint is hard-down, instead of queueing a
+	// retry storm behind it. Nil disables breakers.
+	Breaker *resilience.BreakerOptions
+	// Hedge configures tail-latency hedging of idempotent calls: when
+	// an attempt outlives the endpoint's observed p95, a duplicate
+	// races it and the first response wins. Nil disables hedging.
+	Hedge *resilience.HedgerOptions
+}
+
+// DefaultResilience enables every policy at its defaults: 8 retry
+// attempts, breakers tripping on 8 consecutive or 50% windowed
+// failures, hedging at p99 with the trigger capped at 5ms. This is the
+// configuration the chaos gate runs under.
+//
+// The MaxDelay cap is what makes a high quantile safe. The trigger
+// feedback loop has an upward drift: hedged calls observe their clipped
+// latency (just past the trigger), piling a point mass at the quantile
+// boundary that nudges each recomputation higher — and when injected
+// stalls outnumber the quantile's tail (5% stalled vs p99's 1%), the
+// quantile lands inside that mass and ratchets away, firing hedges too
+// late to rescue anything. Capped, the drift is harmless: the trigger
+// settles at min(p99, 5ms), a hedge fires only for calls already slower
+// than effectively all healthy ones, and a 20ms stall still comes back
+// in ~cap+RTT. Chasing the tail harder (a lower quantile or cap)
+// measures worse both ways: fault-free it duplicates healthy traffic by
+// construction, and under chaos the extra duplicates compete with real
+// work for the same server.
+func DefaultResilience() ResilienceOptions {
+	return ResilienceOptions{
+		Retry:   &resilience.RetryPolicy{},
+		Breaker: &resilience.BreakerOptions{},
+		Hedge:   &resilience.HedgerOptions{Quantile: 0.99, MaxDelay: 5 * time.Millisecond},
+	}
+}
+
+// WithResilience returns a derived client applying opts around every
+// call. The receiver is not modified. Policy state (breakers, hedge
+// histograms, stats) is fresh per WithResilience call and shared by any
+// clients further derived from the result, so a WithCodec twin of a
+// resilient client trips the same breakers.
+func (c *Client) WithResilience(opts ResilienceOptions) *Client {
+	cp := *c
+	cp.res = &clientResilience{opts: opts,
+		breakers: map[string]*resilience.Breaker{},
+		hedgers:  map[string]*resilience.Hedger{},
+	}
+	return &cp
+}
+
+// ResilienceStats is a point-in-time snapshot of the resilience layer's
+// activity, for load-generator summaries and tests.
+type ResilienceStats struct {
+	// Retries counts re-attempts beyond each call's first try.
+	Retries int64 `json:"retries"`
+	// Hedges counts duplicate attempts launched by the hedger.
+	Hedges int64 `json:"hedges"`
+	// HedgeWins counts hedged attempts that produced the winning
+	// response — the tail latency actually rescued.
+	HedgeWins int64 `json:"hedge_wins"`
+	// BreakerTrips counts circuit openings, summed across endpoints.
+	BreakerTrips int64 `json:"breaker_trips"`
+	// BreakerFastFails counts calls rejected without touching the
+	// network because their endpoint's circuit was open.
+	BreakerFastFails int64 `json:"breaker_fast_fails"`
+}
+
+// ResilienceStats returns the client's resilience counters; all zeros
+// when WithResilience was never applied.
+func (c *Client) ResilienceStats() ResilienceStats {
+	r := c.res
+	if r == nil {
+		return ResilienceStats{}
+	}
+	s := ResilienceStats{
+		Retries:          r.retries.Load(),
+		Hedges:           r.hedges.Load(),
+		HedgeWins:        r.hedgeWins.Load(),
+		BreakerFastFails: r.breakerFastFails.Load(),
+	}
+	r.mu.Lock()
+	for _, b := range r.breakers {
+		s.BreakerTrips += b.Trips()
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// clientResilience is the shared mutable state behind WithResilience:
+// one breaker and one hedger per endpoint, plus activity counters.
+type clientResilience struct {
+	opts ResilienceOptions
+
+	mu       sync.Mutex
+	breakers map[string]*resilience.Breaker
+	hedgers  map[string]*resilience.Hedger
+
+	retries          atomic.Int64
+	hedges           atomic.Int64
+	hedgeWins        atomic.Int64
+	breakerFastFails atomic.Int64
+}
+
+// endpointOf collapses a request path to its route shape so per-id URLs
+// share one breaker and one hedge histogram.
+func endpointOf(method, path string) string {
+	switch {
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		path = "/v1/jobs/{id}"
+	case strings.HasPrefix(path, "/debug/traces/"):
+		path = "/debug/traces/{id}"
+	}
+	return method + " " + path
+}
+
+func (r *clientResilience) breaker(endpoint string) *resilience.Breaker {
+	if r.opts.Breaker == nil {
+		return nil // nil Breaker allows everything
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.breakers[endpoint]
+	if b == nil {
+		b = resilience.NewBreaker(*r.opts.Breaker)
+		r.breakers[endpoint] = b
+	}
+	return b
+}
+
+func (r *clientResilience) hedger(endpoint string) *resilience.Hedger {
+	if r.opts.Hedge == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hedgers[endpoint]
+	if h == nil {
+		h = resilience.NewHedger(*r.opts.Hedge)
+		r.hedgers[endpoint] = h
+	}
+	return h
+}
+
+// idempotentRoute reports whether a call may be safely re-sent.
+// Compiles are pure (same spec → same program, served from cache on a
+// replay), so sync compile and batch POSTs retry and hedge; the one
+// exception is POST /v1/jobs, where a blind resend could enqueue the
+// same job twice — it gets breaker protection only.
+func idempotentRoute(method, path string) bool {
+	return !(method == http.MethodPost && path == "/v1/jobs")
+}
+
+// retryableError reports whether another attempt could plausibly
+// succeed: transport faults, backpressure (the server said Retry-After),
+// 5xx transients, and malformed/truncated frames. Context expiry and
+// client-side 4xx are terminal.
+func retryableError(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var api *APIError
+	if errors.As(err, &api) {
+		switch api.StatusCode {
+		case http.StatusTooManyRequests, http.StatusInternalServerError,
+			http.StatusBadGateway, http.StatusServiceUnavailable:
+			return true
+		}
+		return false
+	}
+	// Transport errors and wire.ErrFormat (a frame cut mid-body) both
+	// point at a fault between the two ends, not at the request itself.
+	return true
+}
+
+// breakerOK maps a call outcome to the breaker's health signal: only
+// transport faults and 5xx count against the endpoint. Any 4xx —
+// including 429 backpressure — proves it alive, and the caller's own
+// context expiring says nothing about the server.
+func breakerOK(err error) bool {
+	if err == nil ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var api *APIError
+	if errors.As(err, &api) {
+		return api.StatusCode < 500
+	}
+	return false
+}
+
+// errHedgeLost is the sentinel a losing hedge attempt's decode returns
+// once the winner has already consumed the result. Internal to the
+// race in hedged; never escapes to callers.
+var errHedgeLost = errors.New("client: hedged attempt lost the race")
+
+// decodeGate serialises hedged attempts' decodes so exactly one writes
+// the caller's output variables, and remembers which attempt won.
+type decodeGate struct {
+	dec    func(io.Reader) error
+	mu     sync.Mutex
+	done   bool
+	winner int
+}
+
+func (g *decodeGate) wrap(idx int) func(io.Reader) error {
+	return func(body io.Reader) error {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if g.done {
+			return errHedgeLost
+		}
+		if g.dec != nil {
+			if err := g.dec(body); err != nil {
+				return err
+			}
+		}
+		g.done = true
+		g.winner = idx
+		return nil
+	}
+}
+
+// do runs one logical call under the configured policies: the breaker
+// gates admission per endpoint, the hedger races a duplicate against a
+// slow attempt, and the retry policy re-runs retryable failures with
+// backoff. payload is the encoded request body (nil = none); it is
+// borrowed from the caller's pooled buffer, so do returns only after
+// every attempt it launched has finished with it.
+func (r *clientResilience) do(ctx context.Context, c *Client, method, path, contentType, accept, trace string, payload []byte, dec func(io.Reader) error) error {
+	endpoint := endpointOf(method, path)
+	idem := idempotentRoute(method, path)
+	br := r.breaker(endpoint)
+	var h *resilience.Hedger
+	attempts := 1
+	if idem {
+		h = r.hedger(endpoint)
+		if r.opts.Retry != nil {
+			attempts = r.opts.Retry.Attempts()
+		}
+	}
+
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if err := br.Allow(); err != nil {
+			r.breakerFastFails.Add(1)
+			lastErr = err
+		} else {
+			if try > 0 {
+				r.retries.Add(1)
+			}
+			err := r.hedged(ctx, c, h, method, path, contentType, accept, trace, payload, dec)
+			br.Record(breakerOK(err))
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			if !retryableError(err) {
+				return err
+			}
+		}
+		if try == attempts-1 || r.opts.Retry == nil {
+			break
+		}
+		var retryAfter time.Duration
+		var api *APIError
+		if errors.As(lastErr, &api) {
+			retryAfter = api.RetryAfter
+		}
+		if resilience.Sleep(ctx, r.opts.Retry.Delay(try+1, retryAfter)) != nil {
+			break // the caller's budget ran out mid-backoff
+		}
+	}
+	return lastErr
+}
+
+// hedged runs one attempt, racing a duplicate against it when the
+// hedger's trigger fires first. Whichever attempt decodes first wins;
+// the loser is cancelled and drained before hedged returns, because
+// both share the caller's pooled payload buffer.
+func (r *clientResilience) hedged(ctx context.Context, c *Client, h *resilience.Hedger, method, path, contentType, accept, trace string, payload []byte, dec func(io.Reader) error) error {
+	gate := &decodeGate{dec: dec}
+	url := c.base + path
+	start := time.Now()
+	delay, armed := time.Duration(0), false
+	if h != nil {
+		delay, armed = h.Delay()
+	}
+	if !armed {
+		err := c.do1(ctx, method, url, contentType, accept, trace, payload, gate.wrap(0))
+		if h != nil && err == nil {
+			h.Observe(time.Since(start))
+		}
+		return err
+	}
+
+	// The first attempt runs inline on this goroutine: the common case —
+	// a response well before the trigger — must not pay goroutine
+	// handoffs for a hedge that never launches. The timer fires the
+	// duplicate in the background only when the attempt outlives it.
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hres := make(chan error, 1)
+	timer := time.AfterFunc(delay, func() {
+		r.hedges.Add(1)
+		herr := c.do1(hctx, method, url, contentType, accept, trace, payload, gate.wrap(1))
+		if herr == nil {
+			cancel() // hedge won — reel the stalled first attempt back in
+		}
+		hres <- herr
+	})
+	err := c.do1(hctx, method, url, contentType, accept, trace, payload, gate.wrap(0))
+	if timer.Stop() {
+		// Came back before the trigger; no duplicate ever launched.
+		if err == nil {
+			h.Observe(time.Since(start))
+		}
+		return err
+	}
+	if err == nil || errors.Is(err, errHedgeLost) {
+		// The first attempt decoded (or a finished hedge already did):
+		// stop the duplicate. A failed first attempt instead leaves the
+		// in-flight hedge running — it may still rescue the call.
+		cancel()
+	}
+	// Both attempts share the caller's pooled payload buffer — reap the
+	// hedge before returning.
+	herr := <-hres
+	if err == nil || herr == nil || errors.Is(err, errHedgeLost) || errors.Is(herr, errHedgeLost) {
+		if gate.winner == 1 {
+			r.hedgeWins.Add(1)
+		}
+		// Observe the overall call latency, hedged or not. A hedged
+		// call's latency is clipped but never below the trigger, so
+		// feeding it back raises a too-low trigger (negative feedback);
+		// observing only un-hedged calls would bias the histogram ever
+		// faster and spiral into hedging everything.
+		h.Observe(time.Since(start))
+		return nil
+	}
+	return err
+}

@@ -24,6 +24,11 @@ type asyncJob struct {
 	// submitted is when the job entered the queue; zero for jobs that
 	// never went through admission (tests).
 	submitted time.Time
+	// deadline is the absolute point the submitting client stops caring,
+	// frozen from its deadline budget at admission; zero means none. The
+	// queue worker fails the job immediately when it is already past, and
+	// bounds the compile context by it otherwise.
+	deadline time.Time
 
 	mu     sync.Mutex
 	status string

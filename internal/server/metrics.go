@@ -35,6 +35,11 @@ type metrics struct {
 	inflightRequests atomic.Int64 // HTTP requests currently in a handler
 	inflightBatch    atomic.Int64 // batch jobs admitted and not yet finished
 
+	panics          atomic.Int64 // panics isolated (handler or compile); the daemon survived each one
+	deadlineExpired atomic.Int64 // requests/jobs 504ed by their own deadline budget
+	shedAsync       atomic.Int64 // async submissions shed by the brownout controller
+	shedSync        atomic.Int64 // sync compiles/batches shed by the brownout controller
+
 	// compileOK / compileErr split compile latency by outcome. Errors get
 	// their own distribution instead of being dropped (the old reservoir
 	// recorded nothing for failures, making error storms invisible in the
@@ -211,6 +216,12 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cacheHits, cache
 
 	counter("mpschedd_batch_jobs_total", "Batch jobs admitted across all envelopes.", m.batchJobs.Load())
 	counter("mpschedd_batch_rejected_total", "Batch jobs refused at admission.", m.batchRejected.Load())
+
+	counter("mpschedd_panics_total", "Panics isolated to one request or job; the daemon survived each.", m.panics.Load())
+	counter("mpschedd_deadline_expired_total", "Requests or jobs that ran out of their deadline budget.", m.deadlineExpired.Load())
+	fmt.Fprintf(w, "# HELP mpschedd_shed_total Work shed by the brownout controller, by class.\n# TYPE mpschedd_shed_total counter\n")
+	fmt.Fprintf(w, "mpschedd_shed_total{class=\"async\"} %d\n", m.shedAsync.Load())
+	fmt.Fprintf(w, "mpschedd_shed_total{class=\"sync\"} %d\n", m.shedSync.Load())
 
 	gauge("mpschedd_queue_depth", "Async jobs waiting in the queue.", float64(queueDepth))
 	gauge("mpschedd_queue_capacity", "Async queue admission bound.", float64(queueCap))

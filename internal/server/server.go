@@ -42,8 +42,10 @@ import (
 
 	"mpsched/internal/cliutil"
 	"mpsched/internal/dfg"
+	"mpsched/internal/faults"
 	"mpsched/internal/obs"
 	"mpsched/internal/pipeline"
+	"mpsched/internal/resilience"
 	"mpsched/internal/wire"
 )
 
@@ -95,6 +97,18 @@ type Options struct {
 	SlowTrace time.Duration
 	// Logger receives the slow-trace log; nil means slog.Default().
 	Logger *slog.Logger
+	// Faults, when non-nil, injects chaos into the /v1 routes and the
+	// compile path (see internal/faults and `mpschedd -chaos`). Nil — the
+	// default — injects nothing and costs nothing.
+	Faults *faults.Injector
+	// ShedThreshold is the queue-wait p99 at which brownout shedding
+	// starts: past it async submissions are rejected, past twice it sync
+	// compiles and batches too (health checks never shed). 0 means
+	// DefaultShedThreshold; negative disables shedding.
+	ShedThreshold time.Duration
+	// ShedWindow is the sliding window the shed signal is computed over;
+	// ≤ 0 means resilience.DefaultShedWindow.
+	ShedWindow time.Duration
 }
 
 // Defaults for Options' zero values.
@@ -111,6 +125,11 @@ const (
 	// -trace-buffer when debugging needs more history.
 	DefaultTraceBuffer = 64
 	DefaultSlowTrace   = time.Second
+	// DefaultShedThreshold is deliberately deep: a queue-wait p99 of two
+	// seconds means async clients already wait ~2000× a typical compile,
+	// so shedding is strictly better than queueing further into the
+	// brownout. Operators tune it down via -shed-wait.
+	DefaultShedThreshold = 2 * time.Second
 )
 
 func (o Options) withDefaults() Options {
@@ -138,6 +157,9 @@ func (o Options) withDefaults() Options {
 	if o.SlowTrace == 0 {
 		o.SlowTrace = DefaultSlowTrace
 	}
+	if o.ShedThreshold == 0 {
+		o.ShedThreshold = DefaultShedThreshold
+	}
 	return o
 }
 
@@ -150,6 +172,12 @@ type Server struct {
 	metrics *metrics
 	store   *jobStore
 	mux     *http.ServeMux
+	// handler is what ServeHTTP dispatches to: the mux, wrapped by the
+	// fault-injection middleware when Options.Faults is set.
+	handler http.Handler
+	// shed is the brownout controller, fed by async queue waits; nil when
+	// shedding is disabled (negative ShedThreshold).
+	shed *resilience.Shedder
 	// traces is the recent-request ring behind /debug/traces and the
 	// slow-trace log; every compile-path request records one trace.
 	traces *obs.Recorder
@@ -219,6 +247,7 @@ func newServer(opts Options, startWorkers bool) *Server {
 	}
 	s.pipe = pipeline.New(pipeline.Options{Workers: opts.PipelineWorkers, Cache: s.cache})
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	s.shed = resilience.NewShedder(opts.ShedThreshold, opts.ShedWindow)
 
 	s.mux = http.NewServeMux()
 	s.route("POST /v1/compile", true, s.handleCompile)
@@ -244,6 +273,7 @@ func newServer(opts Options, startWorkers bool) *Server {
 		s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	s.handler = opts.Faults.Middleware(s.mux) // nil injector returns the mux unchanged
 
 	if startWorkers {
 		for i := 0; i < opts.QueueWorkers; i++ {
@@ -295,13 +325,13 @@ func (s *Server) route(pattern string, traced bool, h http.HandlerFunc) {
 		codec := requestCodec(r).Name()
 		start := time.Now()
 		if !traced {
-			h(w, r)
+			s.safely(w, r, h)
 			s.metrics.observeRequest(pattern, codec, time.Since(start))
 			return
 		}
 		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader), pattern, codec)
 		sw := newStatusWriter(w, tr)
-		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		s.safely(sw, r.WithContext(obs.WithTrace(r.Context(), tr)), h)
 		d := time.Since(start)
 		tr.Finish(sw.Status(), d)
 		s.traces.Record(tr)
@@ -311,7 +341,7 @@ func (s *Server) route(pattern string, traced bool, h http.HandlerFunc) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // Cache exposes the result cache (nil when disabled) for stats reporting.
@@ -347,12 +377,27 @@ func (s *Server) process(j *asyncJob) {
 	if !j.submitted.IsZero() {
 		wait := time.Since(j.submitted)
 		s.metrics.observeQueueWait(wait)
+		s.shed.Observe(wait)
 		j.trace.Observe("queue_wait", -1, j.submitted, wait)
+	}
+	// A job whose deadline passed while it queued fails without compiling:
+	// its client stopped waiting, so the cycles belong to live jobs.
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		s.metrics.deadlineExpired.Add(1)
+		s.metrics.jobsFailed.Add(1)
+		j.finish(nil, errors.New("deadline expired while the job was queued"))
+		return
+	}
+	ctx := s.baseCtx
+	if !j.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
+		defer cancel()
 	}
 	j.setRunning()
 	job := j.job
 	job.Hook = s.stageHook(j.trace, -1)
-	res := s.pipe.CompileContext(s.baseCtx, job)
+	res := s.compileJob(ctx, job)
 	s.observeCompileResult(j.trace, -1, &res)
 	if res.Err != nil {
 		s.metrics.jobsFailed.Add(1)
@@ -422,6 +467,9 @@ func (s *Server) Drain(ctx context.Context) error {
 // ---- handlers ----
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if s.shedSyncWork(w) {
+		return
+	}
 	tr := obs.FromContext(r.Context())
 	dt := tr.Begin("decode")
 	req, ok := s.decodeRequest(w, r)
@@ -433,6 +481,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// exists after decode; the echo header is written lazily at first
 	// WriteHeader, so the adopted ID still wins.
 	tr.AdoptID(req.TraceID)
+	budget, err := requestDeadline(r, req.Deadline)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if budget < 0 {
+		s.writeExpired(w, budget)
+		return
+	}
 	job, err := s.resolveJob(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -444,16 +501,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	cctx, cancel := withBudget(r.Context(), budget)
+	defer cancel()
 	job.Hook = s.stageHook(tr, -1)
-	res := s.pipe.CompileContext(r.Context(), job)
+	res := s.compileJob(cctx, job)
 	s.observeCompileResult(tr, -1, &res)
 	if res.Err != nil {
-		status := http.StatusUnprocessableEntity
-		if r.Context().Err() != nil {
-			// The client went away; the status is for the log only.
-			status = http.StatusRequestTimeout
-		}
-		s.writeError(w, status, res.Err)
+		s.writeError(w, s.compileFailureStatus(r.Context(), cctx, res.Err), res.Err)
 		return
 	}
 	resp := s.toResponse(res)
@@ -462,6 +516,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	if s.shedAsyncWork(w) {
+		return
+	}
 	tr := obs.FromContext(r.Context())
 	dt := tr.Begin("decode")
 	req, ok := s.decodeRequest(w, r)
@@ -470,6 +527,15 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr.AdoptID(req.TraceID)
+	budget, err := requestDeadline(r, req.Deadline)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if budget < 0 {
+		s.writeExpired(w, budget)
+		return
+	}
 	job, err := s.resolveJob(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -479,13 +545,19 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	// compile spans append to it as the job executes, long after this
 	// response went out — /debug/traces/{id} shows them as they land.
 	j := &asyncJob{id: newJobID(), job: job, status: JobQueued, trace: tr, traceID: tr.ID()}
+	if budget > 0 {
+		// The budget freezes into an absolute deadline at admission; it
+		// keeps counting down while the job queues, which is the point —
+		// the client's clock does not stop for our queue.
+		j.deadline = time.Now().Add(budget)
+	}
 	at := tr.Begin("admit")
 	s.drainMu.RLock()
 	if s.draining.Load() {
 		s.drainMu.RUnlock()
 		at.End()
 		s.metrics.jobsRejected.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		s.writeRejected(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return
 	}
 	accepted := false
@@ -499,8 +571,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	at.End()
 	if !accepted {
 		s.metrics.jobsRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusTooManyRequests,
+		s.writeRejected(w, http.StatusTooManyRequests,
 			fmt.Errorf("job queue full (%d waiting); retry later", s.opts.QueueDepth))
 		return
 	}

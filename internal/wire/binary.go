@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"time"
 	"unicode/utf8"
 
 	"mpsched/internal/dfg"
@@ -54,8 +55,9 @@ const (
 	reqHasSched
 	reqHasSpans
 	reqHasTrace
+	reqHasDeadline
 
-	reqFlagsMask = reqHasDFG | reqHasGraph | reqHasSelect | reqHasSched | reqHasSpans | reqHasTrace
+	reqFlagsMask = reqHasDFG | reqHasGraph | reqHasSelect | reqHasSched | reqHasSpans | reqHasTrace | reqHasDeadline
 )
 
 // Response flag bits.
@@ -280,6 +282,9 @@ func appendRequest(buf []byte, req *CompileRequest) []byte {
 	if req.TraceID != "" {
 		flags |= reqHasTrace
 	}
+	if req.Deadline > 0 {
+		flags |= reqHasDeadline
+	}
 	buf = append(buf, flags)
 	buf = appendWireString(buf, req.Name)
 	buf = appendWireString(buf, req.Workload)
@@ -317,6 +322,9 @@ func appendRequest(buf []byte, req *CompileRequest) []byte {
 	}
 	if flags&reqHasTrace != 0 {
 		buf = appendWireString(buf, req.TraceID)
+	}
+	if flags&reqHasDeadline != 0 {
+		buf = binary.AppendUvarint(buf, uint64(req.Deadline))
 	}
 	return buf
 }
@@ -385,6 +393,9 @@ func decodeRequest(rd *reader, req *CompileRequest) error {
 	}
 	if flags&reqHasTrace != 0 {
 		req.TraceID = rd.string()
+	}
+	if flags&reqHasDeadline != 0 {
+		req.Deadline = time.Duration(rd.uvarint())
 	}
 	return rd.err
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/json"
+	"time"
 
 	"mpsched/internal/cliutil"
 	"mpsched/internal/dfg"
@@ -47,6 +48,12 @@ type CompileRequest struct {
 	// the server generates one; either way the response echoes the
 	// effective ID.
 	TraceID string `json:"-"`
+	// Deadline is the request's remaining time budget. Like TraceID it
+	// never appears in JSON bodies — HTTP carries it in the
+	// X-Mpsched-Deadline header (see internal/resilience) — but the
+	// binary codec frames it inline so each job in a batch envelope can
+	// carry its own budget. Zero means no deadline.
+	Deadline time.Duration `json:"-"`
 }
 
 // SelectConfig is the wire form of patsel.Config.

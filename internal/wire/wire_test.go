@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"mpsched/internal/cliutil"
 	"mpsched/internal/dfg"
@@ -382,6 +383,51 @@ func TestTraceIDFraming(t *testing.T) {
 	}
 	if !reflect.DeepEqual(b, &gotB) {
 		t.Fatalf("batch trace IDs diverged:\n want %+v\n got  %+v", b, &gotB)
+	}
+}
+
+// TestDeadlineFraming pins how each codec carries the request deadline:
+// like the trace ID, the binary codec frames it inline (so each batched
+// job keeps its own budget) while JSON bodies never carry it — HTTP
+// moves it in the X-Mpsched-Deadline header.
+func TestDeadlineFraming(t *testing.T) {
+	req := &CompileRequest{Workload: "fig4", Deadline: 250 * time.Millisecond}
+
+	var buf bytes.Buffer
+	if err := Binary.EncodeRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	var fromBin CompileRequest
+	if err := Binary.DecodeRequest(&buf, &fromBin); err != nil {
+		t.Fatal(err)
+	}
+	if fromBin.Deadline != req.Deadline {
+		t.Fatalf("binary deadline = %v, want %v", fromBin.Deadline, req.Deadline)
+	}
+
+	buf.Reset()
+	if err := JSON.EncodeRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "eadline") {
+		t.Fatalf("deadline leaked into the JSON request body: %s", buf.String())
+	}
+
+	// Batch envelopes carry per-job budgets through the binary codec.
+	b := &BatchRequest{Jobs: []CompileRequest{
+		{Workload: "fig4", Deadline: 100 * time.Millisecond},
+		{Workload: "fft:4"},
+	}}
+	buf.Reset()
+	if err := Binary.EncodeBatch(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	var gotB BatchRequest
+	if err := Binary.DecodeBatch(&buf, &gotB); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, &gotB) {
+		t.Fatalf("batch deadlines diverged:\n want %+v\n got  %+v", b, &gotB)
 	}
 }
 

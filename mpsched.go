@@ -68,6 +68,7 @@ import (
 	"mpsched/internal/patsel"
 	"mpsched/internal/pattern"
 	"mpsched/internal/pipeline"
+	"mpsched/internal/resilience"
 	"mpsched/internal/sched"
 	"mpsched/internal/server"
 	"mpsched/internal/server/client"
@@ -144,6 +145,35 @@ type (
 	// Metrics is a parsed /metrics scrape (Client.Metrics), queryable by
 	// family name and label pairs.
 	Metrics = obs.Metrics
+	// ResilienceOptions selects the failure policies Client.WithResilience
+	// applies: retries, tail-latency hedging, circuit breakers. Each nil
+	// field disables that policy; see DefaultResilience.
+	ResilienceOptions = client.ResilienceOptions
+	// ResilienceStats is a snapshot of what a resilient client's policies
+	// did (Client.ResilienceStats).
+	ResilienceStats = client.ResilienceStats
+	// RetryPolicy is capped exponential backoff with full jitter
+	// (ResilienceOptions.Retry); its zero value is a usable default.
+	RetryPolicy = resilience.RetryPolicy
+	// BreakerOptions tunes the per-endpoint circuit breakers
+	// (ResilienceOptions.Breaker); its zero value is a usable default.
+	BreakerOptions = resilience.BreakerOptions
+	// HedgerOptions tunes the tail-latency hedging trigger
+	// (ResilienceOptions.Hedge).
+	HedgerOptions = resilience.HedgerOptions
+)
+
+// DefaultResilience enables every client failure policy at its
+// defaults — the configuration the chaos gate runs under. See the
+// README's "Resilience" section.
+func DefaultResilience() ResilienceOptions { return client.DefaultResilience() }
+
+// Resilience sentinel errors: ErrWaitTimeout marks a Client.WaitJob
+// that outlived its context, ErrBreakerOpen a call refused fast because
+// the endpoint's circuit is open.
+var (
+	ErrWaitTimeout = client.ErrWaitTimeout
+	ErrBreakerOpen = resilience.ErrBreakerOpen
 )
 
 // TraceHeader is the HTTP header carrying a request's trace ID. Set it
