@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpsched/internal/benchfmt"
+	"mpsched/internal/obs"
+)
+
+// TestMain lets startFleet re-exec this test binary as a fleet backend:
+// the harness always sets MPSCHEDBENCH_CHILD, and under that flag the
+// process runs the bench body (which -serve-backend turns into a
+// backend daemon) instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("MPSCHEDBENCH_CHILD") == "1" {
+		os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+func TestFleetStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "fleet.json")
+	mout := filepath.Join(dir, "router-metrics.txt")
+	code, _, stderr := runBench(t,
+		"-backends", "2", "-codec", "binary", "-batch", "4",
+		"-scenario", "random:seed=1,n=24", "-clients", "8", "-duration", "500ms",
+		"-strict", "-out", out, "-fleet-metrics-out", mout,
+		"-name", "loadgen/fleet-2x")
+	if code != 0 {
+		t.Fatalf("fleet storm exited %d\n%s", code, stderr)
+	}
+	rep, err := benchfmt.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLoadResult(t, rep, "loadgen/fleet-2x")
+	if !strings.Contains(stderr, "fleet of 2 backends") {
+		t.Errorf("fleet banner missing:\n%s", stderr)
+	}
+
+	raw, err := os.ReadFile(mout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ParseMetrics(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("router metrics dump unparseable: %v", err)
+	}
+	if v, ok := m.Value("mpschedrouter_backends"); !ok || v != 2 {
+		t.Fatalf("mpschedrouter_backends = %v,%v, want 2", v, ok)
+	}
+	if m.Sum("mpschedrouter_forwarded_total") <= 0 {
+		t.Fatal("router forwarded nothing during the storm")
+	}
+}
+
+// TestFleetKillBackendStorm is the rebalance chaos gate end to end: a
+// strict storm against a 2-backend fleet, one backend SIGKILLed
+// mid-storm. The router's failover must keep every client outcome a
+// success or 429 — any other error fails -strict and this test.
+func TestFleetKillBackendStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	mout := filepath.Join(t.TempDir(), "metrics.txt")
+	code, _, stderr := runBench(t,
+		"-backends", "2", "-codec", "binary",
+		"-scenario", "random:seed=1,n=24", "-clients", "6", "-duration", "1200ms",
+		"-kill-backend-after", "400ms", "-fleet-metrics-out", mout, "-strict")
+	if code != 0 {
+		t.Fatalf("kill-backend storm exited %d — failover leaked errors\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "SIGKILL backend") {
+		t.Errorf("kill never announced:\n%s", stderr)
+	}
+	raw, err := os.ReadFile(mout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ParseMetrics(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sum("mpschedrouter_demotions_total") == 0 {
+		t.Error("router never demoted the killed backend")
+	}
+}
+
+func TestFleetUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-backends", "2", "-addr", "http://localhost:1"},
+		{"-backends", "-1"},
+		{"-kill-backend-after", "1s"},
+		{"-fleet-metrics-out", "x.txt"},
+		{"-backend-procs", "2"},
+		{"-backends", "1", "-no-cache"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runBench(t, append(args, "-duration", "100ms")...); code == 0 {
+			t.Errorf("args %v: exit 0, want failure", args)
+		}
+	}
+}

@@ -79,9 +79,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		name     = fs.String("name", "", "result name (default loadgen/<scenario>/<mode>)")
 		strict   = fs.Bool("strict", false, "exit 1 on any hard failure or an empty latency histogram (the CI gate)")
 		resil    = fs.Bool("resilience", false, "wrap the remote client in the default resilience stack (retries, hedging, breakers) — the chaos-gate configuration")
+
+		backends  = fs.Int("backends", 0, "spawn N local backend daemons behind an in-process router and storm that fleet (the 1→N scaling measurement)")
+		procs     = fs.Int("backend-procs", 1, "GOMAXPROCS of each spawned fleet backend")
+		killAfter = fs.Duration("kill-backend-after", 0, "SIGKILL one fleet backend this long into the storm (0 = never) — the rebalance chaos gate")
+		fleetOut  = fs.String("fleet-metrics-out", "", "dump the router's /metrics text here after a fleet storm")
+		serveAddr = fs.String("serve-backend", "", "internal: run as a fleet backend daemon on this address instead of storming")
 	)
 	if code, done := cliutil.ParseFlags(fs, argv); done {
 		return code
+	}
+	if *serveAddr != "" {
+		return runBackend(*serveAddr, stdout, stderr)
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "mpschedbench:", err)
@@ -104,24 +113,44 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	if *noCache && *addr != "" {
+	if *noCache && (*addr != "" || *backends > 0) {
 		return fail(fmt.Errorf("-no-cache only applies to the in-process target"))
 	}
 	wc, ok := wire.ByName(*codec)
 	if !ok {
 		return fail(fmt.Errorf("unknown codec %q (have json, binary)", *codec))
 	}
-	if *addr == "" && wc != wire.JSON {
+	if *addr == "" && *backends == 0 && wc != wire.JSON {
 		return fail(fmt.Errorf("-codec only applies to a remote daemon (-addr)"))
 	}
-	if *addr == "" && *batch > 1 {
+	if *addr == "" && *backends == 0 && *batch > 1 {
 		return fail(fmt.Errorf("-batch only applies to a remote daemon (-addr)"))
 	}
 	if *batch < 1 {
 		return fail(fmt.Errorf("-batch must be at least 1"))
 	}
-	if *resil && *addr == "" {
+	if *backends < 0 {
+		return fail(fmt.Errorf("-backends must be non-negative"))
+	}
+	if *backends > 0 && *addr != "" {
+		return fail(fmt.Errorf("-backends spawns its own fleet; it cannot be combined with -addr"))
+	}
+	if *backends == 0 && (*killAfter > 0 || *fleetOut != "" || *procs != 1) {
+		return fail(fmt.Errorf("-kill-backend-after, -fleet-metrics-out and -backend-procs only apply to a fleet storm (-backends N)"))
+	}
+	if *resil && *addr == "" && *backends == 0 {
 		return fail(fmt.Errorf("-resilience only applies to a remote daemon (-addr)"))
+	}
+
+	var harness *fleetHarness
+	if *backends > 0 {
+		h, err := startFleet(*backends, *procs, wc, stderr)
+		if err != nil {
+			return fail(fmt.Errorf("fleet: %w", err))
+		}
+		defer h.Close()
+		harness = h
+		*addr = h.URL
 	}
 
 	var target loadgen.Target
@@ -170,14 +199,24 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		defer pprof.StopCPUProfile()
 	}
+	if harness != nil && *killAfter > 0 {
+		killTimer := time.AfterFunc(*killAfter, harness.killBackend)
+		defer killTimer.Stop()
+	}
 	// Bracket the storm with /metrics scrapes so the report carries the
 	// daemon's own view of exactly this run (a counter delta, immune to
 	// whatever the daemon did before). A failed scrape degrades to a
-	// client-only report rather than failing the bench.
+	// client-only report rather than failing the bench. In fleet mode the
+	// target is the router, whose surface is mpschedrouter_* — the
+	// mpschedd_* delta would be vacuously zero, so skip it.
 	var before obs.Metrics
-	if remote != nil {
+	if remote != nil && harness == nil {
 		if before, err = remote.Metrics(context.Background()); err != nil {
 			fmt.Fprintf(stderr, "mpschedbench: warning: pre-run /metrics scrape failed: %v\n", err)
+			before = nil
+		} else if _, ok := before.Value("mpschedd_compiles_total"); !ok {
+			// -addr points at something that is not an mpschedd (a router,
+			// say): there is no server-side compile story to bracket.
 			before = nil
 		}
 	}
@@ -191,6 +230,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "mpschedbench: warning: post-run /metrics scrape failed: %v\n", err)
 		} else {
 			srvStats = serverDelta(before, after, res.Elapsed)
+		}
+	}
+	if harness != nil && *fleetOut != "" {
+		if err := harness.dumpMetrics(*fleetOut); err != nil {
+			return fail(fmt.Errorf("fleet metrics dump: %w", err))
 		}
 	}
 

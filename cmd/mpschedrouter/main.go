@@ -1,0 +1,154 @@
+// Command mpschedrouter is the fleet front end for mpschedd: an HTTP
+// daemon speaking the same /v1 wire (both codecs, batch envelopes
+// included) that consistent-hashes each compile's graph fingerprint
+// across a pool of backend daemons, so identical graphs always land on
+// the same node and every backend's result cache stays hot.
+//
+// Usage:
+//
+//	mpschedd -addr :8081 & mpschedd -addr :8082 &
+//	mpschedrouter -addr :8080 -backends http://localhost:8081,http://localhost:8082
+//	curl -s -X POST localhost:8080/v1/compile -d '{"workload":"fft:8"}'
+//
+// Backends are health-checked (-probe-interval): a dead or draining
+// node leaves the hash ring within a couple of probes, its keys fail
+// over to the next ring replica, and a router-side shared cache serves
+// the first request after a rebalance from the old owner's work. Traces
+// (X-Mpsched-Trace) and deadlines (X-Mpsched-Deadline, decremented by
+// router time) propagate through the hop; GET /debug/traces shows each
+// request's "hop" spans, and GET /metrics exposes the mpschedrouter_*
+// surface (per-backend up/forwarded/rerouted/errors, ring rebalances,
+// shared-cache serves).
+//
+// On SIGINT/SIGTERM the router stops accepting connections, lets
+// in-flight forwards finish (bounded by -drain-timeout) and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpsched/internal/cliutil"
+	"mpsched/internal/fleet"
+	"mpsched/internal/wire"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is the daemon body, factored out of main so tests can drive it.
+// When ready is non-nil, the bound address is sent on it once the
+// listener is up.
+func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("mpschedrouter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", ":8080", "listen address")
+		backends      = fs.String("backends", "", "comma-separated backend base URLs (required), e.g. http://localhost:8081,http://localhost:8082")
+		forwardCodec  = fs.String("forward-codec", "binary", "codec of the router-to-backend leg: json or binary")
+		vnodes        = fs.Int("vnodes", fleet.DefaultVNodes, "virtual nodes per backend on the hash ring")
+		probeInterval = fs.Duration("probe-interval", fleet.DefaultProbeInterval, "backend /healthz poll period")
+		probeTimeout  = fs.Duration("probe-timeout", fleet.DefaultProbeTimeout, "timeout of one health probe")
+		failAfter     = fs.Int("fail-after", fleet.DefaultFailAfter, "consecutive failures that demote a backend")
+		fwdTimeout    = fs.Duration("forward-timeout", fleet.DefaultForwardTimeout, "per-attempt forward timeout for requests without their own deadline")
+		l2Entries     = fs.Int("l2-entries", 0, "shared response cache capacity (0 = default, negative disables)")
+		maxBody       = fs.Int64("max-body", 0, "request body size limit in bytes (0 = default)")
+		maxBatch      = fs.Int("max-batch", 0, "most jobs accepted per /v1/batch envelope (0 = default)")
+		slowTrace     = fs.Duration("slow-trace", time.Second, "log any request trace slower than this with its span breakdown (negative disables)")
+		traceBuffer   = fs.Int("trace-buffer", 64, "recent request traces kept for GET /debug/traces")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight forwards")
+	)
+	if code, done := cliutil.ParseFlags(fs, argv); done {
+		return code
+	}
+	if *backends == "" {
+		fmt.Fprintln(stderr, "mpschedrouter: -backends is required")
+		return 2
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, u)
+	}
+	codec, ok := wire.ByName(*forwardCodec)
+	if !ok {
+		fmt.Fprintf(stderr, "mpschedrouter: unknown -forward-codec %q\n", *forwardCodec)
+		return 2
+	}
+
+	logger := log.New(stderr, "mpschedrouter: ", log.LstdFlags)
+	rt, err := fleet.New(fleet.Options{
+		Backends:       urls,
+		ForwardCodec:   codec,
+		VNodes:         *vnodes,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		FailAfter:      *failAfter,
+		ForwardTimeout: *fwdTimeout,
+		L2Entries:      *l2Entries,
+		MaxBodyBytes:   *maxBody,
+		MaxBatchJobs:   *maxBatch,
+		SlowTrace:      *slowTrace,
+		TraceBuffer:    *traceBuffer,
+		Logger:         slog.New(slog.NewTextHandler(stderr, nil)),
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mpschedrouter: %v\n", err)
+		return 2
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	hs := &http.Server{Handler: rt, ReadHeaderTimeout: 10 * time.Second}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "mpschedrouter listening on %s (%d backends)\n", ln.Addr(), len(urls))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %v, shutting down (timeout %s)", sig, *drainTimeout)
+	case err := <-serveErr:
+		logger.Printf("serve: %v", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("http shutdown: %v", err)
+		return 1
+	}
+	logger.Print("bye")
+	return 0
+}

@@ -1,0 +1,271 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mpsched/internal/obs"
+	"mpsched/internal/server/client"
+	"mpsched/internal/wire"
+)
+
+// handleBatch serves POST /v1/batch through the fleet: the envelope is
+// decoded once, each job routed by its own fingerprint, jobs sharing an
+// owner re-bundled into one sub-envelope per backend, and the results
+// merged back onto the client's stream in completion order with their
+// original envelope indices. The endpoint's per-job status model
+// survives the hop — a job that cannot be routed (bad request, expired
+// deadline, no backend) becomes its own item, never an envelope fault.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	codec := requestCodec(r)
+	var b wire.BatchRequest
+	body := http.MaxBytesReader(w, r.Body, rt.maxBodyBytes)
+	dt := tr.Begin("decode")
+	err := codec.DecodeBatch(body, &b)
+	dt.End()
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			rt.writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", tooLarge.Limit))
+		} else {
+			rt.writeError(w, http.StatusBadRequest, fmt.Errorf("bad batch body: %w", err))
+		}
+		return
+	}
+	if len(b.Jobs) == 0 {
+		rt.writeError(w, http.StatusBadRequest, errors.New("empty batch: provide at least one job"))
+		return
+	}
+	if len(b.Jobs) > rt.maxBatchJobs {
+		rt.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d jobs over the limit %d; split the envelope", len(b.Jobs), rt.maxBatchJobs))
+		return
+	}
+	if len(b.Jobs) > 0 {
+		tr.AdoptID(b.Jobs[0].TraceID)
+	}
+	hdrBudget, err := requestBudget(r, 0)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if hdrBudget < 0 {
+		rt.writeExpired(w, hdrBudget)
+		return
+	}
+
+	// Route every job before streaming starts: per-job faults become
+	// immediate items, the rest group by ring owner.
+	start := time.Now()
+	at := tr.Begin("admit")
+	ring := rt.pool.ring.Load()
+	budgets := make([]time.Duration, len(b.Jobs))
+	keys := make([]string, len(b.Jobs))
+	var immediate []wire.BatchItem
+	groups := map[int][]int{} // owner backend index → original job indices
+	for i := range b.Jobs {
+		budgets[i] = minBudget(hdrBudget, b.Jobs[i].Deadline)
+		if budgets[i] < 0 {
+			immediate = append(immediate, wire.BatchItem{Index: i, Status: http.StatusGatewayTimeout,
+				Error: "deadline expired before the forward started"})
+			continue
+		}
+		key, err := rt.requestKey(&b.Jobs[i])
+		if err != nil {
+			immediate = append(immediate, wire.BatchItem{Index: i, Status: http.StatusBadRequest, Error: err.Error()})
+			continue
+		}
+		keys[i] = key
+		owner, ok := ring.owner(fnv1a64(key))
+		if !ok {
+			immediate = append(immediate, rt.l2Item(i, key))
+			continue
+		}
+		if cached, prev, ok := rt.l2.get(key); ok && prev != owner {
+			// Topology handover, item-granular: serve the old owner's work
+			// and point the entry at the new owner for the next envelope.
+			rt.l2.setOwner(key, owner)
+			rt.metrics.l2ServedMoved.Add(1)
+			rt.l2.served.Add(1)
+			immediate = append(immediate, l2BatchItem(i, cached))
+			continue
+		}
+		groups[owner] = append(groups[owner], i)
+	}
+	at.End()
+
+	w.Header().Set("Content-Type", responseCodec(r).StreamContentType())
+	w.WriteHeader(http.StatusOK)
+	lw := &lockedItemWriter{iw: responseCodec(r).NewItemWriter(w)}
+	if f, ok := w.(http.Flusher); ok {
+		lw.fl = f
+	}
+	lw.writeAll(immediate)
+
+	var wg sync.WaitGroup
+	for owner, idxs := range groups {
+		wg.Add(1)
+		go func(owner int, idxs []int) {
+			defer wg.Done()
+			rt.forwardBatchGroup(r, tr, lw, b.Jobs, budgets, keys, idxs, owner, start)
+		}(owner, idxs)
+	}
+	wg.Wait()
+}
+
+// l2Item answers one batch job from the shared cache when no backend is
+// in rotation, or 503s it.
+func (rt *Router) l2Item(idx int, key string) wire.BatchItem {
+	if cached, _, ok := rt.l2.get(key); ok {
+		rt.metrics.l2ServedFallback.Add(1)
+		rt.l2.served.Add(1)
+		return l2BatchItem(idx, cached)
+	}
+	return wire.BatchItem{Index: idx, Status: http.StatusServiceUnavailable,
+		Error: "no backend available for this job; retry later"}
+}
+
+func l2BatchItem(idx int, cached *wire.CompileResponse) wire.BatchItem {
+	resp := *cached
+	resp.CacheHit = true
+	resp.ElapsedMS = 0
+	return wire.BatchItem{Index: idx, Status: http.StatusOK, Result: &resp}
+}
+
+// forwardBatchGroup sends one owner's jobs as a sub-envelope, failing
+// the whole sub-envelope over to the next ring replica on
+// transport-class faults. Items are only emitted from a successful
+// forward (the client layer validates exactly one item per job), so a
+// retried sub-envelope can never duplicate or lose an item — the
+// invariant the kill-a-backend chaos test pins.
+func (rt *Router) forwardBatchGroup(r *http.Request, tr *obs.Trace, lw *lockedItemWriter, jobs []wire.CompileRequest, budgets []time.Duration, keys []string, idxs []int, owner int, start time.Time) {
+	seq := rt.pool.ring.Load().sequence(fnv1a64(keys[idxs[0]]), make([]int, 0, len(rt.pool.backends)))
+	// The snapshot above may already have moved on; make sure the group's
+	// owner is attempted first regardless.
+	if len(seq) == 0 || seq[0] != owner {
+		ordered := append(make([]int, 0, len(seq)+1), owner)
+		for _, m := range seq {
+			if m != owner {
+				ordered = append(ordered, m)
+			}
+		}
+		seq = ordered
+	}
+
+	remaining := idxs
+	for attempt, bi := range seq {
+		b := rt.pool.backends[bi]
+		if attempt > 0 && !b.Up() {
+			continue
+		}
+		// Build the attempt's sub-envelope, expiring jobs whose budget ran
+		// out while earlier replicas failed.
+		sub := make([]wire.CompileRequest, 0, len(remaining))
+		subIdx := make([]int, 0, len(remaining))
+		var expired []wire.BatchItem
+		for _, oi := range remaining {
+			freq := jobs[oi]
+			if budgets[oi] > 0 {
+				rem := budgets[oi] - time.Since(start)
+				if rem <= 0 {
+					expired = append(expired, wire.BatchItem{Index: oi, Status: http.StatusGatewayTimeout,
+						Error: "deadline expired before the forward started"})
+					continue
+				}
+				// The binary forward frames each job's decremented budget;
+				// the envelope header (from the attempt context) caps all.
+				freq.Deadline = rem
+			}
+			freq.TraceID = tr.ID()
+			sub = append(sub, freq)
+			subIdx = append(subIdx, oi)
+		}
+		lw.writeAll(expired)
+		if len(sub) == 0 {
+			return
+		}
+		remaining = subIdx
+
+		fctx, cancel := rt.attemptContext(r, start)
+		hop := tr.Begin("hop")
+		items, err := b.c.CompileBatch(fctx, sub)
+		hop.End()
+		cancel()
+		b.forwarded.Add(1)
+		if attempt > 0 {
+			b.rerouted.Add(1)
+		}
+		if err == nil {
+			rt.pool.noteSuccess(b)
+			for i := range items {
+				oi := subIdx[items[i].Index]
+				items[i].Index = oi
+				if items[i].Status == http.StatusOK && items[i].Result != nil {
+					rt.l2.put(keys[oi], items[i].Result, bi)
+				}
+			}
+			lw.writeAll(items)
+			return
+		}
+		cerr := rt.classify(r.Context(), b, err)
+		if errors.Is(cerr, errFailover) {
+			continue
+		}
+		// The backend answered the envelope with a 4xx (shedding, refusal):
+		// relay it per item so neighbours in other groups are untouched.
+		var api *client.APIError
+		if errors.As(cerr, &api) {
+			out := make([]wire.BatchItem, len(remaining))
+			for i, oi := range remaining {
+				out[i] = wire.BatchItem{Index: oi, Status: api.StatusCode, Error: api.Message}
+			}
+			lw.writeAll(out)
+			return
+		}
+		// The client's own context died; nothing useful left to write.
+		return
+	}
+
+	// Every replica is down for this group: shared cache or 503, per job.
+	out := make([]wire.BatchItem, 0, len(remaining))
+	for _, oi := range remaining {
+		out = append(out, rt.l2Item(oi, keys[oi]))
+	}
+	lw.writeAll(out)
+}
+
+// attemptContext bounds one sub-envelope forward by the configured
+// ceiling. Per-job budgets ride the frames; the envelope-level header
+// emitted from this context only needs to cap a hung backend.
+func (rt *Router) attemptContext(r *http.Request, start time.Time) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), rt.forwardTimeout(0, start))
+}
+
+// lockedItemWriter serialises merge-order writes from the per-group
+// goroutines onto the one client stream, flushing per burst.
+type lockedItemWriter struct {
+	mu sync.Mutex
+	iw wire.ItemWriter
+	fl http.Flusher
+}
+
+func (lw *lockedItemWriter) writeAll(items []wire.BatchItem) {
+	if len(items) == 0 {
+		return
+	}
+	lw.mu.Lock()
+	for i := range items {
+		// A mid-stream write error means the client went away; the other
+		// groups still finish (their results warm backend caches).
+		_ = lw.iw.WriteItem(&items[i])
+	}
+	if lw.fl != nil {
+		lw.fl.Flush()
+	}
+	lw.mu.Unlock()
+}

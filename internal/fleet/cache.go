@@ -1,0 +1,172 @@
+package fleet
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"mpsched/internal/wire"
+)
+
+// l2Cache is the router's tier of the fleet's two-tier cache: a bounded
+// map of recent compile responses keyed by the full request identity
+// (fingerprint + every compile parameter), each tagged with the backend
+// that produced it. It is not consulted on the hot path — that would
+// turn the router into a cache server and the backends' L1s would go
+// cold — it exists for topology changes: when the ring moves a key to a
+// new owner, the first request is served from here (the old owner's
+// work) while ownership hands over, and when every replica is down it
+// is the last resort before a 503.
+//
+// Sharded like pipeline.ShardedCache, but with arbitrary per-shard
+// eviction instead of LRU: entries are only read on rebalance or
+// failover, so recency tracking on every put would be pure overhead.
+type l2Cache struct {
+	shards []l2Shard
+	// perShard bounds each shard's entry count.
+	perShard int
+	served   atomic.Int64 // responses actually served from L2
+}
+
+type l2Shard struct {
+	mu sync.Mutex
+	m  map[string]l2Entry
+}
+
+type l2Entry struct {
+	resp  *wire.CompileResponse
+	owner int
+}
+
+// DefaultL2Entries bounds the router's shared response cache. Responses
+// for 64-node graphs run a few KiB; 4096 entries is a few tens of MiB
+// at worst and covers a storm's whole working set.
+const DefaultL2Entries = 4096
+
+const l2ShardCount = 16
+
+// newL2 builds the cache with room for entries responses (0 means
+// DefaultL2Entries; the router passes a negative Options.L2Entries by
+// keeping the cache nil — every method tolerates a nil receiver).
+func newL2(entries int) *l2Cache {
+	if entries <= 0 {
+		entries = DefaultL2Entries
+	}
+	per := (entries + l2ShardCount - 1) / l2ShardCount
+	c := &l2Cache{shards: make([]l2Shard, l2ShardCount), perShard: per}
+	return c
+}
+
+func (c *l2Cache) shard(key string) *l2Shard {
+	return &c.shards[fnv1a64(key)%l2ShardCount]
+}
+
+// get returns the cached response and the backend index that produced
+// it.
+func (c *l2Cache) get(key string) (*wire.CompileResponse, int, bool) {
+	if c == nil {
+		return nil, 0, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
+	s.mu.Unlock()
+	return e.resp, e.owner, ok
+}
+
+// put records a response produced by owner, evicting an arbitrary entry
+// when the shard is full.
+func (c *l2Cache) put(key string, resp *wire.CompileResponse, owner int) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]l2Entry, c.perShard)
+	}
+	if _, ok := s.m[key]; !ok && len(s.m) >= c.perShard {
+		for k := range s.m {
+			delete(s.m, k)
+			break
+		}
+	}
+	s.m[key] = l2Entry{resp: resp, owner: owner}
+	s.mu.Unlock()
+}
+
+// setOwner hands an entry over to a new owner — called when the ring
+// moved its key, so the next request forwards to (and warms) the new
+// node instead of being served stale-owner responses forever.
+func (c *l2Cache) setOwner(key string, owner int) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		e.owner = owner
+		s.m[key] = e
+	}
+	s.mu.Unlock()
+}
+
+// entries counts cached responses across shards.
+func (c *l2Cache) entries() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// l2Key builds the full request identity for one compile: the graph
+// fingerprint plus every parameter that changes the response. The shape
+// mirrors pipeline's spec cache key — two requests share an entry iff
+// the backend would have served the second from its own L1.
+func l2Key(fp string, req *wire.CompileRequest) string {
+	var b strings.Builder
+	b.Grow(len(fp) + len(req.Name) + len(req.Workload) + 64)
+	b.WriteString(fp)
+	b.WriteByte('|')
+	b.WriteString(req.Name)
+	b.WriteByte('|')
+	b.WriteString(req.Workload)
+	b.WriteByte('|')
+	if s := req.Select; s != nil {
+		b.WriteString(strconv.Itoa(s.C))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(s.Pdef))
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(s.Span))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(s.Epsilon, 'g', -1, 64))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(s.Alpha, 'g', -1, 64))
+	}
+	b.WriteByte('|')
+	if s := req.Sched; s != nil {
+		b.WriteString(s.Priority)
+		b.WriteByte(',')
+		b.WriteString(s.Tie)
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(s.Seed, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatInt(s.SwitchPenalty, 10))
+	}
+	b.WriteByte('|')
+	b.WriteString(req.StopAfter)
+	b.WriteByte('|')
+	for _, sp := range req.Spans {
+		b.WriteString(strconv.Itoa(sp))
+		b.WriteByte(',')
+	}
+	return b.String()
+}

@@ -1,0 +1,529 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mpsched/internal/resilience"
+	"mpsched/internal/server"
+	"mpsched/internal/server/client"
+	"mpsched/internal/wire"
+)
+
+// testFleet is a router in front of n real in-process mpschedd servers.
+type testFleet struct {
+	rt       *Router
+	rts      *httptest.Server // the router's HTTP front
+	servers  []*server.Server
+	backends []*httptest.Server
+}
+
+// newTestFleet wires up n live backends behind a router with fast
+// probes and — unless overridden — no hedging, so cache-hit accounting
+// in tests is exact (a hedged duplicate can double-compile a miss).
+func newTestFleet(t *testing.T, n int, mutate func(*Options)) *testFleet {
+	t.Helper()
+	f := &testFleet{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Options{})
+		ts := httptest.NewServer(srv)
+		f.servers = append(f.servers, srv)
+		f.backends = append(f.backends, ts)
+		urls[i] = ts.URL
+	}
+	opts := Options{
+		Backends:      urls,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  500 * time.Millisecond,
+		FailAfter:     1,
+		Resilience:    &client.ResilienceOptions{Breaker: &resilience.BreakerOptions{}},
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	rt, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.rt = rt
+	f.rts = httptest.NewServer(rt)
+	t.Cleanup(func() {
+		f.rts.Close()
+		rt.Close()
+		for i, ts := range f.backends {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = f.servers[i].Drain(ctx)
+			cancel()
+		}
+	})
+	return f
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestRouterCompileBothCodecsAndAffinity(t *testing.T) {
+	f := newTestFleet(t, 2, nil)
+	ctx := context.Background()
+
+	for _, codec := range wire.Codecs() {
+		c := client.New(f.rts.URL).WithCodec(codec)
+		resp, err := c.Compile(ctx, server.CompileRequest{Workload: "fft:8"})
+		if err != nil {
+			t.Fatalf("[%s] Compile: %v", codec.Name(), err)
+		}
+		if resp.Cycles <= 0 || resp.TraceID == "" {
+			t.Fatalf("[%s] degenerate response: cycles=%d trace=%q", codec.Name(), resp.Cycles, resp.TraceID)
+		}
+	}
+
+	// Affinity: a second round of the same workloads must be served
+	// entirely from the owning backends' L1 caches — if routing bounced
+	// any key between nodes, its repeat would miss.
+	c := client.New(f.rts.URL).WithCodec(wire.Binary)
+	specs := make([]string, 8)
+	for i := range specs {
+		specs[i] = fmt.Sprintf("random:seed=%d,n=16", i+1)
+	}
+	var baseHits, baseMisses int64
+	basePerBackend := make([]int64, len(f.servers))
+	for i, srv := range f.servers {
+		st := srv.Cache().Stats()
+		baseHits += st.Hits
+		baseMisses += st.Misses
+		basePerBackend[i] = st.Misses
+	}
+	for round := 0; round < 2; round++ {
+		for _, spec := range specs {
+			if _, err := c.Compile(ctx, server.CompileRequest{Workload: spec}); err != nil {
+				t.Fatalf("round %d %s: %v", round, spec, err)
+			}
+		}
+	}
+	var hits, misses int64
+	var perBackend []int64
+	for i, srv := range f.servers {
+		st := srv.Cache().Stats()
+		hits += st.Hits
+		misses += st.Misses
+		perBackend = append(perBackend, st.Misses-basePerBackend[i])
+	}
+	hits -= baseHits
+	misses -= baseMisses
+	if misses != int64(len(specs)) {
+		t.Fatalf("fleet-wide misses = %d, want %d (each spec compiled exactly once)", misses, len(specs))
+	}
+	if hits < int64(len(specs)) {
+		t.Fatalf("fleet-wide hits = %d, want ≥ %d (second round all warm)", hits, len(specs))
+	}
+	for i, m := range perBackend {
+		if m >= int64(len(specs)) {
+			t.Fatalf("backend %d compiled every spec — ring routed nothing to its peer", i)
+		}
+	}
+}
+
+func TestRouterBatchSplitMerge(t *testing.T) {
+	f := newTestFleet(t, 2, nil)
+	ctx := context.Background()
+
+	var reqs []server.CompileRequest
+	for i := 0; i < 12; i++ {
+		reqs = append(reqs, server.CompileRequest{Workload: fmt.Sprintf("random:seed=%d,n=16", i+1)})
+	}
+	badIdx := len(reqs)
+	reqs = append(reqs, server.CompileRequest{Workload: "no-such-workload:1"})
+	dfgIdx := len(reqs)
+	reqs = append(reqs, server.CompileRequest{
+		DFG: json.RawMessage(`{"name":"pair","nodes":[{"name":"a","color":"a"},{"name":"b","color":"a"}],"edges":[[0,1]]}`),
+	})
+
+	for _, codec := range wire.Codecs() {
+		c := client.New(f.rts.URL).WithCodec(codec)
+		items, err := c.CompileBatch(ctx, reqs)
+		if err != nil {
+			t.Fatalf("[%s] CompileBatch: %v", codec.Name(), err)
+		}
+		// The client already validated exactly one item per index; check
+		// the per-job statuses survived the split/merge.
+		byIndex := make([]wire.BatchItem, len(reqs))
+		for _, it := range items {
+			byIndex[it.Index] = it
+		}
+		if got := byIndex[badIdx].Status; got != http.StatusBadRequest {
+			t.Fatalf("[%s] bad-workload job status = %d, want 400", codec.Name(), got)
+		}
+		if got := byIndex[dfgIdx].Status; got != http.StatusOK || byIndex[dfgIdx].Result == nil {
+			t.Fatalf("[%s] inline-DFG job = %d/%v, want 200 with result", codec.Name(), got, byIndex[dfgIdx].Result)
+		}
+		for i := 0; i < 12; i++ {
+			if byIndex[i].Status != http.StatusOK || byIndex[i].Result == nil {
+				t.Fatalf("[%s] job %d status = %d (%s), want 200", codec.Name(), i, byIndex[i].Status, byIndex[i].Error)
+			}
+			if byIndex[i].Result.Cycles <= 0 {
+				t.Fatalf("[%s] job %d has no cycles", codec.Name(), i)
+			}
+		}
+	}
+	// The 12 distinct graphs should have split across both nodes.
+	for i, b := range f.rt.pool.backends {
+		if b.forwarded.Load() == 0 {
+			t.Fatalf("backend %d received no forwards — envelope was not split", i)
+		}
+	}
+}
+
+func TestRouterTraceAndDeadlineHop(t *testing.T) {
+	// Stub backends capture exactly what crosses the hop.
+	var mu sync.Mutex
+	var gotTrace, gotDeadline string
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		gotTrace = r.Header.Get("X-Mpsched-Trace")
+		gotDeadline = r.Header.Get(resilience.DeadlineHeader)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(wire.CompileResponse{Name: "stub", Cycles: 3})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(wire.HealthResponse{Status: "ok"})
+	})
+	stub := httptest.NewServer(mux)
+	defer stub.Close()
+
+	rt, err := New(Options{
+		Backends:      []string{stub.URL},
+		ForwardCodec:  wire.JSON,
+		ProbeInterval: 50 * time.Millisecond,
+		Resilience:    &client.ResilienceOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	const budget = 5 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	c := client.New(rts.URL)
+	if _, err := c.Compile(ctx, server.CompileRequest{Workload: "fft:8", TraceID: "tracehop0001"}); err != nil {
+		t.Fatalf("Compile through stub: %v", err)
+	}
+
+	mu.Lock()
+	trace, dl := gotTrace, gotDeadline
+	mu.Unlock()
+	if trace != "tracehop0001" {
+		t.Fatalf("backend saw trace %q, want the client's ID propagated", trace)
+	}
+	d, err := resilience.ParseDeadline(dl)
+	if err != nil || d <= 0 {
+		t.Fatalf("backend deadline header %q: parsed %v, %v", dl, d, err)
+	}
+	if d >= budget {
+		t.Fatalf("backend budget %v not decremented below the client's %v", d, budget)
+	}
+
+	// The router's own trace for the request must carry a "hop" span.
+	waitFor(t, 2*time.Second, "hop span in router trace", func() bool {
+		td, err := c.Trace(context.Background(), "tracehop0001")
+		if err != nil {
+			return false
+		}
+		for _, sp := range td.Spans {
+			if sp.Name == "hop" {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestRouterL2ServesAcrossRebalance(t *testing.T) {
+	f := newTestFleet(t, 2, nil)
+	ctx := context.Background()
+	c := client.New(f.rts.URL)
+
+	const spec = "fft:8"
+	first, err := c.Compile(ctx, server.CompileRequest{Workload: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first compile reported a cache hit")
+	}
+	// Find the owner that served it and kill that node hard.
+	owner := -1
+	for i, b := range f.rt.pool.backends {
+		if b.forwarded.Load() > 0 {
+			owner = i
+		}
+	}
+	if owner < 0 {
+		t.Fatal("no backend recorded the forward")
+	}
+	survivor := 1 - owner
+	f.backends[owner].CloseClientConnections()
+	f.backends[owner].Close()
+	waitFor(t, 3*time.Second, "owner demotion", func() bool { return !f.rt.pool.backends[owner].Up() })
+
+	survivorMissesBefore := f.servers[survivor].Cache().Stats().Misses
+
+	// First request after the rebalance: served from the router's shared
+	// cache — the old owner's work — not recompiled on the survivor.
+	second, err := c.Compile(ctx, server.CompileRequest{Workload: spec})
+	if err != nil {
+		t.Fatalf("compile after rebalance: %v", err)
+	}
+	if !second.CacheHit {
+		t.Fatal("post-rebalance request was not served from the shared cache")
+	}
+	if got := f.servers[survivor].Cache().Stats().Misses; got != survivorMissesBefore {
+		t.Fatalf("survivor compiled anyway: misses %d → %d", survivorMissesBefore, got)
+	}
+	if rt := f.rt; rt.metrics.l2ServedMoved.Load() == 0 {
+		t.Fatal("l2ServedMoved counter did not move")
+	}
+
+	// The handover updated the owner, so the next request forwards to the
+	// survivor and warms it — a genuine compile, not a cached copy.
+	third, err := c.Compile(ctx, server.CompileRequest{Workload: spec})
+	if err != nil {
+		t.Fatalf("compile after handover: %v", err)
+	}
+	if third.CacheHit {
+		t.Fatal("handover request should have compiled cold on the survivor")
+	}
+	if got := f.servers[survivor].Cache().Stats().Misses; got != survivorMissesBefore+1 {
+		t.Fatalf("survivor misses = %d, want %d", got, survivorMissesBefore+1)
+	}
+}
+
+func TestRouterPassesBackpressureThrough(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: "shedding"})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(wire.HealthResponse{Status: "ok"})
+	})
+	stub := httptest.NewServer(mux)
+	defer stub.Close()
+	rt, err := New(Options{
+		Backends:     []string{stub.URL},
+		ForwardCodec: wire.JSON,
+		Resilience:   &client.ResilienceOptions{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+
+	_, err = client.New(rts.URL).Compile(context.Background(), server.CompileRequest{Workload: "fft:8"})
+	var api *client.APIError
+	if !errors.As(err, &api) || api.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if api.RetryAfter != 7*time.Second {
+		t.Fatalf("Retry-After = %v, want 7s preserved through the hop", api.RetryAfter)
+	}
+	if api.Message != "shedding" {
+		t.Fatalf("message = %q, want backend's relayed", api.Message)
+	}
+	if !rt.pool.backends[0].Up() {
+		t.Fatal("a 429 demoted the backend — backpressure proves it alive")
+	}
+}
+
+func TestRouterAsyncJobsThroughRouter(t *testing.T) {
+	f := newTestFleet(t, 2, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c := client.New(f.rts.URL)
+
+	job, err := c.SubmitJob(ctx, server.CompileRequest{Workload: "fft:8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(job.ID, "-") {
+		t.Fatalf("job ID %q lacks the backend prefix", job.ID)
+	}
+	done, err := c.WaitJob(ctx, job.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != server.JobDone || done.Result == nil || done.Result.Cycles <= 0 {
+		t.Fatalf("job finished %s with result %+v", done.Status, done.Result)
+	}
+	if _, err := c.Job(ctx, "not-a-job"); err == nil {
+		t.Fatal("bogus job ID should 404")
+	}
+}
+
+func TestRouterMetricsSurface(t *testing.T) {
+	f := newTestFleet(t, 2, nil)
+	ctx := context.Background()
+	c := client.New(f.rts.URL)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Compile(ctx, server.CompileRequest{Workload: fmt.Sprintf("random:seed=%d,n=16", i+1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Value("mpschedrouter_backends_up"); !ok || v != 2 {
+		t.Fatalf("mpschedrouter_backends_up = %v,%v, want 2", v, ok)
+	}
+	upSamples := 0
+	for _, s := range m {
+		if s.Name == "mpschedrouter_backend_up" {
+			upSamples++
+			if s.Value != 0 && s.Value != 1 {
+				t.Fatalf("backend_up sample %v not in {0,1}", s.Value)
+			}
+			if s.Labels["backend"] == "" {
+				t.Fatal("backend_up sample missing the backend label")
+			}
+		}
+	}
+	if upSamples != 2 {
+		t.Fatalf("backend_up samples = %d, want one per backend", upSamples)
+	}
+	if m.Sum("mpschedrouter_forwarded_total") < 4 {
+		t.Fatalf("forwarded_total = %v, want ≥ 4", m.Sum("mpschedrouter_forwarded_total"))
+	}
+	if _, ok := m.Value("mpschedrouter_request_seconds_count", "route", "POST /v1/compile"); !ok {
+		t.Fatal("request latency summary missing for POST /v1/compile")
+	}
+	// The router health body must expose the fleet view.
+	h, err := c.Healthz(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("healthz = %+v, %v", h, err)
+	}
+}
+
+// TestRouterKillBackendMidStorm is the rebalance-correctness gate: a
+// mixed compile/batch storm through a 2-node fleet, one node killed
+// hard mid-storm. The fleet contract: zero client-visible errors other
+// than 429 backpressure, and every batch envelope resolves to exactly
+// one item per job (the client's validateBatch enforces that on every
+// successful call — a duplicate or lost item fails the call, which
+// would surface here as a non-429 error).
+func TestRouterKillBackendMidStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm test")
+	}
+	for _, codec := range wire.Codecs() {
+		codec := codec
+		t.Run(codec.Name(), func(t *testing.T) {
+			f := newTestFleet(t, 2, nil)
+			specs := make([]string, 16)
+			for i := range specs {
+				specs[i] = fmt.Sprintf("random:seed=%d,n=16", i+1)
+			}
+			// Warm every key so failover has cache-height to stand on.
+			warm := client.New(f.rts.URL).WithCodec(codec)
+			for _, spec := range specs {
+				if _, err := warm.Compile(context.Background(), server.CompileRequest{Workload: spec}); err != nil {
+					t.Fatalf("warm %s: %v", spec, err)
+				}
+			}
+
+			var bad sync.Map
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					c := client.New(f.rts.URL).WithCodec(codec)
+					ctx := context.Background()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						spec := specs[(w*7+i)%len(specs)]
+						if i%3 == 0 {
+							reqs := make([]server.CompileRequest, 8)
+							for j := range reqs {
+								reqs[j] = server.CompileRequest{Workload: specs[(w+i+j)%len(specs)]}
+							}
+							items, err := c.CompileBatch(ctx, reqs)
+							if err != nil {
+								if !only429(err) {
+									bad.Store(fmt.Sprintf("batch w%d i%d", w, i), err)
+								}
+								continue
+							}
+							for _, it := range items {
+								if it.Status != http.StatusOK && it.Status != http.StatusTooManyRequests {
+									bad.Store(fmt.Sprintf("item w%d i%d idx%d", w, i, it.Index),
+										fmt.Errorf("status %d: %s", it.Status, it.Error))
+								}
+							}
+						} else if _, err := c.Compile(ctx, server.CompileRequest{Workload: spec}); err != nil && !only429(err) {
+							bad.Store(fmt.Sprintf("compile w%d i%d", w, i), err)
+						}
+					}
+				}(w)
+			}
+
+			time.Sleep(400 * time.Millisecond)
+			f.backends[1].CloseClientConnections()
+			f.backends[1].Close()
+			time.Sleep(800 * time.Millisecond)
+			close(stop)
+			wg.Wait()
+
+			bad.Range(func(k, v any) bool {
+				t.Errorf("%v: %v", k, v)
+				return true
+			})
+			if !f.rt.pool.backends[0].Up() {
+				t.Error("survivor was demoted")
+			}
+			if f.rt.pool.backends[1].Up() {
+				t.Error("killed backend still in rotation after the storm")
+			}
+			if f.rt.pool.demotions.Load() == 0 {
+				t.Error("no demotion recorded")
+			}
+		})
+	}
+}
+
+func only429(err error) bool {
+	var api *client.APIError
+	return errors.As(err, &api) && api.StatusCode == http.StatusTooManyRequests
+}

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpsched/internal/server/client"
+	"mpsched/internal/wire"
+)
+
+// Backend is one compile daemon in the fleet, as the pool sees it.
+type Backend struct {
+	// URL is the daemon's base URL, e.g. "http://10.0.0.7:8080".
+	URL string
+	// c is the forwarding client: the router's shared resilience layer
+	// (per-backend breakers and hedge histograms, keyed by base URL) with
+	// no client-level retries — replica failover is the router's job, and
+	// a client quietly re-sending to a dead node would hide the very
+	// signal the pool demotes on.
+	c *client.Client
+	// probe is a bare client with a short timeout for /healthz polls —
+	// probes must not hedge, retry, or share the forwarding breakers.
+	probe *client.Client
+
+	// consecutiveFails counts probe/transport failures since the last
+	// success; FailAfter of them demotes the backend.
+	consecutiveFails atomic.Int32
+	// up is the pool's view of the backend; the ring only carries
+	// backends with up=true.
+	up atomic.Bool
+
+	forwarded atomic.Int64 // requests forwarded (any outcome)
+	rerouted  atomic.Int64 // forwards that were failovers from an earlier replica
+	errored   atomic.Int64 // forwards that failed transport/5xx/breaker-open
+}
+
+// Up reports whether the pool currently considers the backend healthy.
+func (b *Backend) Up() bool { return b.up.Load() }
+
+// pool owns the backend set and the live hash ring. Topology changes
+// (demotion, revival) rebuild the ring and swap it atomically; request
+// paths read the current ring without locks.
+type pool struct {
+	backends []*Backend
+	vnodes   int
+	// failAfter is how many consecutive failures demote a backend.
+	failAfter    int32
+	probeTimeout time.Duration
+
+	ring atomic.Pointer[ring]
+
+	// rebuildMu serialises ring rebuilds so concurrent demotions cannot
+	// interleave reads and swaps and lose each other's changes.
+	rebuildMu sync.Mutex
+
+	demotions  atomic.Int64
+	rebalances atomic.Int64
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// Defaults for pool health checking. A 250ms probe interval with
+// FailAfter 2 detects a silently-dead backend in ~500ms without probe
+// traffic showing up in anyone's latency numbers; forward-path
+// transport errors demote faster than the prober ever could.
+const (
+	DefaultProbeInterval = 250 * time.Millisecond
+	DefaultProbeTimeout  = time.Second
+	DefaultFailAfter     = 2
+)
+
+// newPool builds the backend set (all initially up — a router must not
+// 503 its whole fleet for the probe interval it takes to learn the
+// truth) and the initial ring. Call run to start probing.
+func newPool(root *client.Client, urls []string, forwardCodec wire.Codec, probeTimeout time.Duration, vnodes, failAfter int) *pool {
+	if probeTimeout <= 0 {
+		probeTimeout = DefaultProbeTimeout
+	}
+	if failAfter <= 0 {
+		failAfter = DefaultFailAfter
+	}
+	p := &pool{
+		vnodes:       vnodes,
+		failAfter:    int32(failAfter),
+		probeTimeout: probeTimeout,
+		stop:         make(chan struct{}),
+	}
+	for _, u := range urls {
+		b := &Backend{
+			URL:   u,
+			c:     root.WithBaseURL(u).WithCodec(forwardCodec),
+			probe: client.New(u).WithTimeout(probeTimeout),
+		}
+		b.up.Store(true)
+		p.backends = append(p.backends, b)
+	}
+	p.rebuild()
+	return p
+}
+
+// rebuild recomputes the ring from the backends' up flags and swaps it
+// in.
+func (p *pool) rebuild() {
+	p.rebuildMu.Lock()
+	defer p.rebuildMu.Unlock()
+	members := make([]int, 0, len(p.backends))
+	for i, b := range p.backends {
+		if b.Up() {
+			members = append(members, i)
+		}
+	}
+	p.ring.Store(newRing(members, p.vnodes))
+}
+
+// noteFailure records a transport-class failure against a backend —
+// from the prober or the forward path — and demotes it after failAfter
+// consecutive ones. Returns true when this call performed the demotion.
+func (p *pool) noteFailure(b *Backend) bool {
+	if b.consecutiveFails.Add(1) < p.failAfter || !b.up.CompareAndSwap(true, false) {
+		return false
+	}
+	p.demotions.Add(1)
+	p.rebalances.Add(1)
+	p.rebuild()
+	return true
+}
+
+// demote takes a backend out of rotation immediately, bypassing the
+// consecutive-failure threshold — used when its circuit breaker opens,
+// which is already a debounced signal.
+func (p *pool) demote(b *Backend) {
+	b.consecutiveFails.Store(p.failAfter)
+	if b.up.CompareAndSwap(true, false) {
+		p.demotions.Add(1)
+		p.rebalances.Add(1)
+		p.rebuild()
+	}
+}
+
+// noteSuccess clears a backend's failure streak and revives it if it
+// was down.
+func (p *pool) noteSuccess(b *Backend) {
+	b.consecutiveFails.Store(0)
+	if b.up.CompareAndSwap(false, true) {
+		p.rebalances.Add(1)
+		p.rebuild()
+	}
+}
+
+// upCount returns how many backends are currently in rotation.
+func (p *pool) upCount() int {
+	n := 0
+	for _, b := range p.backends {
+		if b.Up() {
+			n++
+		}
+	}
+	return n
+}
+
+// run starts one prober goroutine per backend. Probes both detect death
+// (a hung daemon that still accepts TCP would never trip the forward
+// path's transport errors) and drive revival — the forward path never
+// talks to a down backend, so only the prober can bring one back.
+func (p *pool) run(interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	for _, b := range p.backends {
+		b := b
+		p.done.Add(1)
+		go func() {
+			defer p.done.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-t.C:
+					p.probe(b)
+				}
+			}
+		}()
+	}
+}
+
+// probe runs one health check. A draining backend reports healthy HTTP
+// but must leave rotation — it is refusing new work on purpose — so
+// Draining counts as a failure.
+func (p *pool) probe(b *Backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.probeTimeout)
+	h, err := b.probe.Healthz(ctx)
+	cancel()
+	if err != nil || h.Draining {
+		p.noteFailure(b)
+		return
+	}
+	p.noteSuccess(b)
+}
+
+// close stops the probers and waits for them.
+func (p *pool) close() {
+	close(p.stop)
+	p.done.Wait()
+}

@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingOwnerStability pins the property the whole design hangs on:
+// removing a member moves only that member's keys — every key owned by
+// a survivor keeps its owner, so backend caches stay hot across a
+// topology change.
+func TestRingOwnerStability(t *testing.T) {
+	full := newRing([]int{0, 1, 2, 3}, 0)
+	smaller := newRing([]int{0, 1, 3}, 0)
+
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		h := fnv1a64(fmt.Sprintf("key-%d", i))
+		before, ok := full.owner(h)
+		if !ok {
+			t.Fatal("full ring reported no owner")
+		}
+		after, ok := smaller.owner(h)
+		if !ok {
+			t.Fatal("smaller ring reported no owner")
+		}
+		if before == 2 {
+			moved++
+			if after == 2 {
+				t.Fatalf("key %d still owned by removed member", i)
+			}
+			continue
+		}
+		kept++
+		if after != before {
+			t.Fatalf("key %d moved %d → %d though its owner survived", i, before, after)
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+	// With 64 vnodes each, a 4-member ring should spread within a few
+	// percent; the removed member owning a quarter-ish of the keys keeps
+	// the test honest about the ring actually using all members.
+	if moved < 2000/8 || moved > 2000/2 {
+		t.Fatalf("member 2 owned %d/2000 keys, expected roughly a quarter", moved)
+	}
+}
+
+// TestRingSequence pins the failover order: every member exactly once,
+// owner first, and an empty ring yields nothing.
+func TestRingSequence(t *testing.T) {
+	r := newRing([]int{5, 1, 9}, 8)
+	for i := 0; i < 200; i++ {
+		h := fnv1a64(fmt.Sprintf("k%d", i))
+		seq := r.sequence(h, nil)
+		if len(seq) != 3 {
+			t.Fatalf("sequence length = %d, want 3", len(seq))
+		}
+		owner, _ := r.owner(h)
+		if seq[0] != owner {
+			t.Fatalf("sequence starts at %d, owner is %d", seq[0], owner)
+		}
+		seen := map[int]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("member %d repeated in %v", m, seq)
+			}
+			seen[m] = true
+		}
+	}
+	if seq := (&ring{}).sequence(42, nil); len(seq) != 0 {
+		t.Fatalf("empty ring sequence = %v, want empty", seq)
+	}
+	if _, ok := (&ring{}).owner(42); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+}

@@ -1,0 +1,705 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mpsched/internal/cliutil"
+	"mpsched/internal/dfg"
+	"mpsched/internal/obs"
+	"mpsched/internal/resilience"
+	"mpsched/internal/server/client"
+	"mpsched/internal/wire"
+)
+
+// Options configures a Router. The zero value is unusable — Backends is
+// required — but every other field defaults sensibly.
+type Options struct {
+	// Backends is the fleet: one mpschedd base URL per node.
+	Backends []string
+	// ForwardCodec is the codec of the router→backend leg, independent of
+	// whatever the client speaks; nil means wire.Binary (the compact
+	// framing also carries per-job trace IDs and deadlines inline, which
+	// the JSON leg cannot). The client-facing leg negotiates per request
+	// exactly like mpschedd does.
+	ForwardCodec wire.Codec
+	// Resilience overrides the forwarding clients' policy. Nil takes the
+	// fleet default: breakers and hedging per backend, but NO client-level
+	// retries — replica failover is the router's own loop, and a client
+	// quietly re-sending to a dead node would hide the demotion signal.
+	Resilience *client.ResilienceOptions
+	// VNodes is the ring's virtual-node count per backend; ≤ 0 means
+	// DefaultVNodes.
+	VNodes int
+	// ProbeInterval is the /healthz poll period per backend; ≤ 0 means
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe; ≤ 0 means DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// FailAfter is how many consecutive transport-class failures demote a
+	// backend; ≤ 0 means DefaultFailAfter.
+	FailAfter int
+	// ForwardTimeout bounds one forward attempt when the request carries
+	// no tighter deadline of its own; ≤ 0 means DefaultForwardTimeout.
+	ForwardTimeout time.Duration
+	// L2Entries sizes the router's shared response cache; 0 means
+	// DefaultL2Entries, negative disables the tier.
+	L2Entries int
+	// MaxBodyBytes bounds request bodies; ≤ 0 means the server default.
+	MaxBodyBytes int64
+	// MaxBatchJobs caps one /v1/batch envelope; ≤ 0 means the server
+	// default.
+	MaxBatchJobs int
+	// TraceBuffer sizes the /debug/traces ring; ≤ 0 means the server
+	// default.
+	TraceBuffer int
+	// SlowTrace is the slow-trace log threshold; 0 means the server
+	// default, negative disables.
+	SlowTrace time.Duration
+	// Logger receives the slow-trace log; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// DefaultForwardTimeout bounds a forward attempt for requests without
+// their own deadline: long enough for any sane compile, short enough
+// that a hung backend cannot pin a client goroutine forever.
+const DefaultForwardTimeout = 30 * time.Second
+
+// Router is the fleet front end: an http.Handler speaking mpschedd's
+// /v1 wire that consistent-hashes compiles across the backend pool.
+// Construct with New, stop the probers with Close.
+type Router struct {
+	opts    Options
+	fwd     wire.Codec
+	pool    *pool
+	l2      *l2Cache
+	metrics *routerMetrics
+	traces  *obs.Recorder
+	mux     *http.ServeMux
+	// root is the client the per-backend forwarding clients derive from;
+	// they share its resilience layer, so its stats are fleet-wide.
+	root *client.Client
+	// specs caches workload-spec graphs so routing a storm of identical
+	// specs fingerprints the graph once (same idea as mpschedd's cache,
+	// here only for ring placement — the backend still resolves its own).
+	specs routerSpecCache
+
+	maxBodyBytes int64
+	maxBatchJobs int
+}
+
+// New builds a router over opts.Backends and starts its health probers.
+func New(opts Options) (*Router, error) {
+	if len(opts.Backends) == 0 {
+		return nil, errors.New("fleet: at least one backend is required")
+	}
+	fwd := opts.ForwardCodec
+	if fwd == nil {
+		fwd = wire.Binary
+	}
+	res := client.ResilienceOptions{
+		Breaker: &resilience.BreakerOptions{},
+		Hedge:   &resilience.HedgerOptions{Quantile: 0.99, MaxDelay: 5 * time.Millisecond},
+	}
+	if opts.Resilience != nil {
+		res = *opts.Resilience
+	}
+	rt := &Router{
+		opts:         opts,
+		fwd:          fwd,
+		metrics:      newRouterMetrics(),
+		traces:       obs.NewRecorder(traceBuffer(opts.TraceBuffer), slowTrace(opts.SlowTrace), opts.Logger),
+		root:         client.New(opts.Backends[0]).WithResilience(res),
+		maxBodyBytes: opts.MaxBodyBytes,
+		maxBatchJobs: opts.MaxBatchJobs,
+	}
+	if rt.maxBodyBytes <= 0 {
+		rt.maxBodyBytes = 8 << 20
+	}
+	if rt.maxBatchJobs <= 0 {
+		rt.maxBatchJobs = 256
+	}
+	if opts.L2Entries >= 0 {
+		rt.l2 = newL2(opts.L2Entries)
+	}
+	rt.pool = newPool(rt.root, opts.Backends, fwd, opts.ProbeTimeout, opts.VNodes, opts.FailAfter)
+	rt.pool.run(opts.ProbeInterval)
+
+	rt.mux = http.NewServeMux()
+	rt.route("POST /v1/compile", true, rt.handleCompile)
+	rt.route("POST /v1/batch", true, rt.handleBatch)
+	rt.route("POST /v1/jobs", true, rt.handleSubmitJob)
+	rt.route("GET /v1/jobs/{id}", false, rt.handleGetJob)
+	rt.route("GET /v1/workloads", false, rt.handleWorkloads)
+	rt.route("GET /healthz", false, rt.handleHealthz)
+	rt.route("GET /metrics", false, rt.handleMetrics)
+	rt.mux.HandleFunc("GET /debug/traces", rt.handleTraces)
+	rt.mux.HandleFunc("GET /debug/traces/{id}", rt.handleTraceByID)
+	return rt, nil
+}
+
+func traceBuffer(n int) int {
+	if n <= 0 {
+		return 64
+	}
+	return n
+}
+
+func slowTrace(d time.Duration) time.Duration {
+	if d == 0 {
+		return time.Second
+	}
+	return d
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Close stops the health probers. In-flight requests are unaffected.
+func (rt *Router) Close() { rt.pool.close() }
+
+// Backends exposes the pool for tests and status reporting.
+func (rt *Router) Backends() []*Backend { return rt.pool.backends }
+
+// route registers a handler with request accounting and, for the
+// compile path, a per-request trace — the same shape as mpschedd's
+// route wrapper, so a trace ID set by the client identifies the request
+// at every hop.
+func (rt *Router) route(pattern string, traced bool, h http.HandlerFunc) {
+	rt.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rt.metrics.incRequest(pattern)
+		rt.metrics.inflight.Add(1)
+		defer rt.metrics.inflight.Add(-1)
+		start := time.Now()
+		if !traced {
+			h(w, r)
+			rt.metrics.observeRequest(pattern, time.Since(start))
+			return
+		}
+		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader), pattern, requestCodec(r).Name())
+		sw := newHopWriter(w, tr)
+		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		d := time.Since(start)
+		tr.Finish(sw.Status(), d)
+		rt.traces.Record(tr)
+		rt.metrics.observeRequest(pattern, d)
+	})
+}
+
+// hopWriter captures the response status for the trace and echoes the
+// effective trace ID lazily at first write, after body decode may have
+// adopted an in-frame ID (mpschedd's statusWriter, which is private to
+// that package).
+type hopWriter struct {
+	http.ResponseWriter
+	flusher http.Flusher
+	trace   *obs.Trace
+	status  int
+}
+
+func newHopWriter(w http.ResponseWriter, tr *obs.Trace) *hopWriter {
+	f, _ := w.(http.Flusher)
+	return &hopWriter{ResponseWriter: w, flusher: f, trace: tr}
+}
+
+func (w *hopWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+		w.Header().Set(obs.TraceHeader, w.trace.ID())
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *hopWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *hopWriter) Flush() {
+	if w.flusher != nil {
+		w.flusher.Flush()
+	}
+}
+
+func (w *hopWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// ---- codec negotiation and response plumbing ----
+
+func requestCodec(r *http.Request) wire.Codec {
+	req, _ := wire.Negotiate(r.Header.Get("Content-Type"), "")
+	return req
+}
+
+func responseCodec(r *http.Request) wire.Codec {
+	_, resp := wire.Negotiate(r.Header.Get("Content-Type"), r.Header.Get("Accept"))
+	return resp
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, err error) {
+	rt.writeJSON(w, status, wire.ErrorResponse{Error: strings.ReplaceAll(err.Error(), "\n", " ")})
+}
+
+// writeAPIError relays a backend's non-2xx answer verbatim — status,
+// message and the Retry-After pacing hint — so backpressure (429) and
+// request faults (400/413/422) look identical through the hop.
+func (rt *Router) writeAPIError(w http.ResponseWriter, api *client.APIError) {
+	if api.RetryAfter > 0 {
+		secs := int(api.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	rt.writeJSON(w, api.StatusCode, wire.ErrorResponse{Error: api.Message})
+}
+
+// writeUnavailable is the router's own 503: every replica for the key
+// is down and the shared cache has nothing.
+func (rt *Router) writeUnavailable(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	rt.writeError(w, http.StatusServiceUnavailable, errors.New("no backend available for this request; retry later"))
+}
+
+func (rt *Router) writeExpired(w http.ResponseWriter, budget time.Duration) {
+	rt.writeError(w, http.StatusGatewayTimeout,
+		fmt.Errorf("deadline expired %v before the forward started", -budget))
+}
+
+func (rt *Router) writeResult(w http.ResponseWriter, r *http.Request, resp *wire.CompileResponse) {
+	codec := responseCodec(r)
+	w.Header().Set("Content-Type", codec.ContentType())
+	w.WriteHeader(http.StatusOK)
+	_ = codec.EncodeResponse(w, resp)
+}
+
+// ---- deadline plumbing (mirrors internal/server/resilience.go) ----
+
+func minBudget(a, b time.Duration) time.Duration {
+	switch {
+	case a == 0:
+		return b
+	case b == 0:
+		return a
+	case a < b:
+		return a
+	}
+	return b
+}
+
+func requestBudget(r *http.Request, frame time.Duration) (time.Duration, error) {
+	hdr, err := resilience.ParseDeadline(r.Header.Get(resilience.DeadlineHeader))
+	if err != nil {
+		return 0, err
+	}
+	return minBudget(hdr, frame), nil
+}
+
+// forwardTimeout clamps one attempt: the caller's remaining budget when
+// it has one, the configured ceiling otherwise. The resulting context
+// deadline is what do1 re-emits as X-Mpsched-Deadline — the budget
+// reaches the backend already decremented by the router's elapsed time.
+func (rt *Router) forwardTimeout(budget time.Duration, start time.Time) time.Duration {
+	limit := rt.opts.ForwardTimeout
+	if limit <= 0 {
+		limit = DefaultForwardTimeout
+	}
+	if budget <= 0 {
+		return limit
+	}
+	rem := budget - time.Since(start)
+	if rem < limit {
+		return rem
+	}
+	return limit
+}
+
+// ---- request key resolution ----
+
+// requestKey resolves a compile request to its routing key: the graph
+// fingerprint plus every compile parameter (see l2Key). An inline DFG
+// is decoded here once and re-attached as Graph, so the forward leg
+// carries the compact decoded form instead of re-parsing JSON per
+// failover attempt. Failures are client faults (400).
+func (rt *Router) requestKey(req *wire.CompileRequest) (string, error) {
+	var fp string
+	switch {
+	case req.Workload != "":
+		g, ok := rt.specs.get(req.Workload)
+		if !ok {
+			var err error
+			if g, err = cliutil.Generate(req.Workload); err != nil {
+				return "", err
+			}
+			rt.specs.put(req.Workload, g)
+		}
+		fp = g.Fingerprint()
+	case req.Graph != nil:
+		fp = req.Graph.Fingerprint()
+	case len(req.DFG) > 0:
+		var g dfg.Graph
+		if err := json.Unmarshal(req.DFG, &g); err != nil {
+			return "", err
+		}
+		req.Graph = &g
+		req.DFG = nil
+		fp = g.Fingerprint()
+	default:
+		return "", errors.New("one of workload, dfg or graph is required")
+	}
+	return l2Key(fp, req), nil
+}
+
+// routerSpecCache is a bounded spec → graph map, same policy as
+// mpschedd's (which is private to internal/server).
+type routerSpecCache struct {
+	mu sync.RWMutex
+	m  map[string]*dfg.Graph
+}
+
+const maxRouterSpecEntries = 512
+
+func (c *routerSpecCache) get(spec string) (*dfg.Graph, bool) {
+	c.mu.RLock()
+	g, ok := c.m[spec]
+	c.mu.RUnlock()
+	return g, ok
+}
+
+func (c *routerSpecCache) put(spec string, g *dfg.Graph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*dfg.Graph)
+	}
+	if len(c.m) >= maxRouterSpecEntries {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[spec] = g
+}
+
+// ---- forwarding core ----
+
+// errFailover is the sentinel forwardOnce returns when the attempt
+// failed in a way the next ring replica might serve: transport faults,
+// backend 5xx, an open per-backend breaker.
+var errFailover = errors.New("fleet: attempt failed, try the next replica")
+
+// forwardOnce runs one compile attempt against one backend and
+// classifies the outcome. A non-nil response is success. An *APIError
+// below 500 passes through to the caller unchanged (the backend
+// answered — it is alive, and the fault is the request's). errFailover
+// means try the next replica; any other error is terminal (the client's
+// own context died).
+func (rt *Router) forwardOnce(ctx context.Context, tr *obs.Trace, b *Backend, req wire.CompileRequest, budget time.Duration, start time.Time, rerouted bool) (*wire.CompileResponse, error) {
+	fctx, cancel := context.WithTimeout(ctx, rt.forwardTimeout(budget, start))
+	defer cancel()
+	req.TraceID = tr.ID()
+	// The context deadline re-emits the decremented budget in the header;
+	// clearing the frame field keeps the two from disagreeing.
+	req.Deadline = 0
+	hop := tr.Begin("hop")
+	resp, err := b.c.Compile(fctx, req)
+	hop.End()
+	b.forwarded.Add(1)
+	if rerouted {
+		b.rerouted.Add(1)
+	}
+	if err == nil {
+		rt.pool.noteSuccess(b)
+		return resp, nil
+	}
+	return nil, rt.classify(ctx, b, err)
+}
+
+// classify maps a forward error to the router's reaction: demote and
+// fail over on transport-class faults, fail over (without demotion) on
+// 5xx — mpschedd isolates panics per request, so a 500 indicts the
+// request, not the node — and pass anything the backend answered with
+// below 500 through untouched.
+func (rt *Router) classify(ctx context.Context, b *Backend, err error) error {
+	if ctx.Err() != nil {
+		// The client's own context died (gone away, or out of budget) —
+		// no replica can help.
+		return err
+	}
+	var api *client.APIError
+	if errors.As(err, &api) {
+		if api.StatusCode < 500 {
+			rt.pool.noteSuccess(b) // answered ⇒ alive, even when saying no
+			return err
+		}
+		b.errored.Add(1)
+		return errFailover
+	}
+	b.errored.Add(1)
+	if errors.Is(err, resilience.ErrBreakerOpen) {
+		// The per-backend breaker is already a debounced health verdict.
+		rt.pool.demote(b)
+	} else {
+		// Transport fault (dial refused, reset, attempt timeout).
+		rt.pool.noteFailure(b)
+	}
+	return errFailover
+}
+
+// serveL2 writes a cached response as a cache hit: zero elapsed (the
+// router did no compile work) and the current request's trace ID.
+func (rt *Router) serveL2(w http.ResponseWriter, r *http.Request, tr *obs.Trace, cached *wire.CompileResponse) {
+	resp := *cached
+	resp.CacheHit = true
+	resp.ElapsedMS = 0
+	resp.TraceID = tr.ID()
+	rt.l2.served.Add(1)
+	rt.writeResult(w, r, &resp)
+}
+
+// ---- handlers ----
+
+func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	var req wire.CompileRequest
+	dt := tr.Begin("decode")
+	body := http.MaxBytesReader(w, r.Body, rt.maxBodyBytes)
+	err := requestCodec(r).DecodeRequest(body, &req)
+	dt.End()
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			rt.writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body over %d bytes", tooLarge.Limit))
+		} else {
+			rt.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		}
+		return
+	}
+	tr.AdoptID(req.TraceID)
+	budget, err := requestBudget(r, req.Deadline)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if budget < 0 {
+		rt.writeExpired(w, budget)
+		return
+	}
+	key, err := rt.requestKey(&req)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	start := time.Now()
+	seq := rt.pool.ring.Load().sequence(fnv1a64(key), make([]int, 0, len(rt.pool.backends)))
+
+	// Topology handover: when the ring has moved this key off the backend
+	// that produced the cached copy, serve the old owner's work instead
+	// of recompiling cold, and record the new owner so the very next
+	// request forwards (and warms) it. Steady-state requests never take
+	// this branch — the owner check fails and the backend's own L1 serves.
+	if cached, owner, ok := rt.l2.get(key); ok && len(seq) > 0 && seq[0] != owner {
+		rt.l2.setOwner(key, seq[0])
+		rt.metrics.l2ServedMoved.Add(1)
+		rt.serveL2(w, r, tr, cached)
+		return
+	}
+
+	for i, bi := range seq {
+		b := rt.pool.backends[bi]
+		if i > 0 && !b.Up() {
+			continue // demoted since the ring snapshot
+		}
+		if budget > 0 && time.Since(start) >= budget {
+			rt.writeExpired(w, budget-time.Since(start))
+			return
+		}
+		resp, err := rt.forwardOnce(r.Context(), tr, b, req, budget, start, i > 0)
+		if err == nil {
+			rt.l2.put(key, resp, bi)
+			rt.writeResult(w, r, resp)
+			return
+		}
+		if errors.Is(err, errFailover) {
+			continue
+		}
+		var api *client.APIError
+		if errors.As(err, &api) {
+			rt.writeAPIError(w, api)
+			return
+		}
+		// The client's context died mid-forward; status for the log only.
+		rt.writeError(w, http.StatusRequestTimeout, err)
+		return
+	}
+
+	// Every replica is down: the shared cache is the last resort before
+	// telling the client to come back later.
+	if cached, _, ok := rt.l2.get(key); ok {
+		rt.metrics.l2ServedFallback.Add(1)
+		rt.serveL2(w, r, tr, cached)
+		return
+	}
+	rt.writeUnavailable(w)
+}
+
+func (rt *Router) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	var req wire.CompileRequest
+	dt := tr.Begin("decode")
+	body := http.MaxBytesReader(w, r.Body, rt.maxBodyBytes)
+	err := requestCodec(r).DecodeRequest(body, &req)
+	dt.End()
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	tr.AdoptID(req.TraceID)
+	budget, err := requestBudget(r, req.Deadline)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if budget < 0 {
+		rt.writeExpired(w, budget)
+		return
+	}
+	key, err := rt.requestKey(&req)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	owner, ok := rt.pool.ring.Load().owner(fnv1a64(key))
+	if !ok {
+		rt.writeUnavailable(w)
+		return
+	}
+	// Submissions are not idempotent — a blind replay could enqueue the
+	// job twice — so they go to the owner only, no failover.
+	b := rt.pool.backends[owner]
+	start := time.Now()
+	fctx, cancel := context.WithTimeout(r.Context(), rt.forwardTimeout(budget, start))
+	defer cancel()
+	req.TraceID = tr.ID()
+	req.Deadline = 0
+	hop := tr.Begin("hop")
+	resp, err := b.c.SubmitJob(fctx, req)
+	hop.End()
+	b.forwarded.Add(1)
+	if err != nil {
+		if cerr := rt.classify(r.Context(), b, err); !errors.Is(cerr, errFailover) {
+			var api *client.APIError
+			if errors.As(cerr, &api) {
+				rt.writeAPIError(w, api)
+				return
+			}
+		}
+		rt.writeError(w, http.StatusBadGateway, fmt.Errorf("backend %s unreachable: %w", b.URL, err))
+		return
+	}
+	rt.pool.noteSuccess(b)
+	// The fleet-wide job ID carries the owning backend: "<idx>-<id>".
+	// Backend IDs are bare hex, so the first dash splits unambiguously.
+	resp.ID = strconv.Itoa(owner) + "-" + resp.ID
+	rt.writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (rt *Router) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	prefix, rest, found := strings.Cut(id, "-")
+	idx, err := strconv.Atoi(prefix)
+	if !found || err != nil || idx < 0 || idx >= len(rt.pool.backends) {
+		rt.writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return
+	}
+	b := rt.pool.backends[idx]
+	resp, err := b.c.Job(r.Context(), rest)
+	if err != nil {
+		var api *client.APIError
+		if errors.As(err, &api) {
+			rt.writeAPIError(w, api)
+			return
+		}
+		rt.writeError(w, http.StatusBadGateway, fmt.Errorf("backend %s unreachable: %w", b.URL, err))
+		return
+	}
+	resp.ID = id
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	// The catalog is static and compiled into the router — no forward.
+	rt.writeJSON(w, http.StatusOK, wire.WorkloadsResponse{Workloads: cliutil.Catalog()})
+}
+
+// routerHealth is the body of the router's GET /healthz. Status stays
+// "ok" while the router itself serves — a degraded fleet is reported in
+// backends_up, and taking the router out of rotation over one dead
+// backend would amplify the failure.
+type routerHealth struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Backends      int     `json:"backends"`
+	BackendsUp    int     `json:"backends_up"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, routerHealth{
+		Status:        "ok",
+		UptimeSeconds: time.Since(rt.metrics.start).Seconds(),
+		Backends:      len(rt.pool.backends),
+		BackendsUp:    rt.pool.upCount(),
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.metrics.render(w, rt.pool, rt.l2, rt.root.ResilienceStats())
+}
+
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		if _, err := fmt.Sscanf(q, "%d", &n); err != nil || n < 1 || n > 1024 {
+			rt.writeError(w, http.StatusBadRequest, errors.New("n must be an integer in [1, 1024]"))
+			return
+		}
+	}
+	rt.writeJSON(w, http.StatusOK, struct {
+		Traces []obs.TraceData `json:"traces"`
+	}{rt.traces.Recent(n)})
+}
+
+func (rt *Router) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	td, ok := rt.traces.Get(r.PathValue("id"))
+	if !ok {
+		rt.writeError(w, http.StatusNotFound, fmt.Errorf("no trace %q in the ring", r.PathValue("id")))
+		return
+	}
+	rt.writeJSON(w, http.StatusOK, td)
+}

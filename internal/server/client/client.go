@@ -85,6 +85,19 @@ func (c *Client) WithTimeout(d time.Duration) *Client {
 	return &cp
 }
 
+// WithBaseURL returns a derived client addressing a different daemon,
+// keeping the receiver's transport, codec and resilience layer. Deriving
+// per-backend clients from one WithResilience root shares the policy
+// state and stats across the set, while breakers and hedge histograms —
+// keyed per base URL × route shape — stay per-backend: one dead
+// backend's open circuit never fast-fails its healthy peers. The
+// receiver is not modified.
+func (c *Client) WithBaseURL(baseURL string) *Client {
+	cp := *c
+	cp.base = strings.TrimRight(baseURL, "/")
+	return &cp
+}
+
 // WithCodec returns a derived client using codec for compile and batch
 // bodies. Job-control and introspection endpoints stay JSON (the server
 // speaks only JSON there). The receiver is not modified.

@@ -127,16 +127,21 @@ type clientResilience struct {
 	breakerFastFails atomic.Int64
 }
 
-// endpointOf collapses a request path to its route shape so per-id URLs
-// share one breaker and one hedge histogram.
-func endpointOf(method, path string) string {
+// endpointOf collapses a request to its backend × route shape: per-id
+// URLs share one breaker and one hedge histogram, but distinct base URLs
+// never do. Keying on the base matters once WithBaseURL derivations
+// share one resilience layer (a fleet router's per-backend clients): an
+// endpoint's circuit must measure one backend's health, not the union of
+// the fleet's — a dead backend tripping a shared breaker would fast-fail
+// calls its healthy peers could have served.
+func endpointOf(base, method, path string) string {
 	switch {
 	case strings.HasPrefix(path, "/v1/jobs/"):
 		path = "/v1/jobs/{id}"
 	case strings.HasPrefix(path, "/debug/traces/"):
 		path = "/debug/traces/{id}"
 	}
-	return method + " " + path
+	return base + " " + method + " " + path
 }
 
 func (r *clientResilience) breaker(endpoint string) *resilience.Breaker {
@@ -253,7 +258,7 @@ func (g *decodeGate) wrap(idx int) func(io.Reader) error {
 // borrowed from the caller's pooled buffer, so do returns only after
 // every attempt it launched has finished with it.
 func (r *clientResilience) do(ctx context.Context, c *Client, method, path, contentType, accept, trace string, payload []byte, dec func(io.Reader) error) error {
-	endpoint := endpointOf(method, path)
+	endpoint := endpointOf(c.base, method, path)
 	idem := idempotentRoute(method, path)
 	br := r.breaker(endpoint)
 	var h *resilience.Hedger

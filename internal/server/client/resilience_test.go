@@ -296,17 +296,58 @@ func TestWaitJobGivesUpOnPersistentBackpressure(t *testing.T) {
 	}
 }
 
-// TestEndpointOf pins the route-shape collapsing that keys breakers and
-// hedgers, so /v1/jobs/<every-id> shares one circuit.
+// TestEndpointOf pins the backend × route-shape keying of breakers and
+// hedgers: /v1/jobs/<every-id> on one base shares one circuit, while the
+// same route on two bases never does.
 func TestEndpointOf(t *testing.T) {
-	for _, tc := range []struct{ method, path, want string }{
-		{"POST", "/v1/compile", "POST /v1/compile"},
-		{"GET", "/v1/jobs/abc123", "GET /v1/jobs/{id}"},
-		{"GET", "/debug/traces/xyz", "GET /debug/traces/{id}"},
-		{"POST", "/v1/jobs", "POST /v1/jobs"},
+	for _, tc := range []struct{ base, method, path, want string }{
+		{"http://a:1", "POST", "/v1/compile", "http://a:1 POST /v1/compile"},
+		{"http://a:1", "GET", "/v1/jobs/abc123", "http://a:1 GET /v1/jobs/{id}"},
+		{"http://b:2", "GET", "/debug/traces/xyz", "http://b:2 GET /debug/traces/{id}"},
+		{"http://b:2", "POST", "/v1/jobs", "http://b:2 POST /v1/jobs"},
 	} {
-		if got := endpointOf(tc.method, tc.path); got != tc.want {
-			t.Errorf("endpointOf(%s, %s) = %q, want %q", tc.method, tc.path, got, tc.want)
+		if got := endpointOf(tc.base, tc.method, tc.path); got != tc.want {
+			t.Errorf("endpointOf(%s, %s, %s) = %q, want %q", tc.base, tc.method, tc.path, got, tc.want)
 		}
+	}
+	if endpointOf("http://a:1", "POST", "/v1/compile") == endpointOf("http://b:2", "POST", "/v1/compile") {
+		t.Error("two bases share an endpoint key; breakers would couple across backends")
+	}
+}
+
+// TestBreakerPerBackend proves the per-backend keying end to end: a
+// WithBaseURL twin pointed at a dead address trips its own breaker
+// without opening the circuit for the healthy base sharing the same
+// resilience state.
+func TestBreakerPerBackend(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		compileOK(w)
+	}))
+	defer ts.Close()
+
+	// One retry attempt keeps the dead-base calls fast; Consecutive 2
+	// trips its breaker on the second failure.
+	live := New(ts.URL).WithResilience(ResilienceOptions{
+		Retry:   &resilience.RetryPolicy{MaxAttempts: 1},
+		Breaker: &resilience.BreakerOptions{ConsecutiveFailures: 2},
+	})
+	dead := live.WithBaseURL("http://127.0.0.1:1")
+
+	for i := 0; i < 3; i++ {
+		if _, err := dead.Compile(context.Background(), server.CompileRequest{Workload: "fft:8"}); err == nil {
+			t.Fatal("compile against a dead address succeeded")
+		}
+	}
+	stats := live.ResilienceStats()
+	if stats.BreakerTrips == 0 {
+		t.Fatalf("dead base never tripped its breaker: %+v", stats)
+	}
+	// The shared state's open circuit is keyed to the dead base only: the
+	// live base must still be admitted and succeed.
+	if _, err := live.Compile(context.Background(), server.CompileRequest{Workload: "fft:8"}); err != nil {
+		t.Fatalf("live base failed after dead twin tripped its breaker: %v", err)
+	}
+	if ff := live.ResilienceStats().BreakerFastFails; ff < 1 {
+		t.Errorf("dead base's open circuit never fast-failed (fast fails = %d)", ff)
 	}
 }

@@ -620,21 +620,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // requestCodec picks the body codec from Content-Type. Unknown or absent
 // types fall back to JSON — exactly the pre-codec behaviour, so curl
-// without headers and every existing client are unchanged.
+// without headers and every existing client are unchanged. The rule
+// itself lives in wire.Negotiate, shared with the fleet router.
 func requestCodec(r *http.Request) wire.Codec {
-	if c, ok := wire.ByContentType(r.Header.Get("Content-Type")); ok {
-		return c
-	}
-	return wire.JSON
+	req, _ := wire.Negotiate(r.Header.Get("Content-Type"), "")
+	return req
 }
 
 // responseCodec picks the response codec: an explicit Accept for a
 // registered type wins, otherwise responses mirror the request codec.
 func responseCodec(r *http.Request) wire.Codec {
-	if c, ok := wire.ByContentType(r.Header.Get("Accept")); ok {
-		return c
-	}
-	return requestCodec(r)
+	_, resp := wire.Negotiate(r.Header.Get("Content-Type"), r.Header.Get("Accept"))
+	return resp
 }
 
 // resolveJob is toJob with the workload-spec cache in front: a storm of

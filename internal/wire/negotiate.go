@@ -1,0 +1,19 @@
+package wire
+
+// Negotiate resolves the request and response codecs from a request's
+// Content-Type and Accept header values — the one negotiation rule every
+// HTTP front end over this wire (mpschedd, mpschedrouter) must agree on:
+// an unknown or absent Content-Type falls back to JSON (the pre-codec
+// wire behaviour, so plain curl is unchanged), and an unknown or absent
+// Accept mirrors the request codec.
+func Negotiate(contentType, accept string) (req, resp Codec) {
+	req = JSON
+	if c, ok := ByContentType(contentType); ok {
+		req = c
+	}
+	resp = req
+	if c, ok := ByContentType(accept); ok {
+		resp = c
+	}
+	return req, resp
+}

@@ -1,0 +1,28 @@
+package wire
+
+import "testing"
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		name        string
+		contentType string
+		accept      string
+		wantReq     Codec
+		wantResp    Codec
+	}{
+		{"defaults to json", "", "", JSON, JSON},
+		{"binary request mirrors", ContentTypeBinary, "", Binary, Binary},
+		{"accept overrides response", ContentTypeBinary, ContentTypeJSON, Binary, JSON},
+		{"json request binary accept", ContentTypeJSON, ContentTypeBinary, JSON, Binary},
+		{"unknown content type falls back", "text/plain", "", JSON, JSON},
+		{"unknown accept mirrors request", ContentTypeBinary, "text/html", Binary, Binary},
+		{"parameters tolerated", ContentTypeJSON + "; charset=utf-8", ContentTypeBinary + ";q=1", JSON, Binary},
+	}
+	for _, c := range cases {
+		req, resp := Negotiate(c.contentType, c.accept)
+		if req != c.wantReq || resp != c.wantResp {
+			t.Errorf("%s: Negotiate(%q, %q) = (%s, %s), want (%s, %s)",
+				c.name, c.contentType, c.accept, req.Name(), resp.Name(), c.wantReq.Name(), c.wantResp.Name())
+		}
+	}
+}

@@ -9,13 +9,25 @@
 //	go run ./scripts/benchcheck -current /tmp/bench.json \
 //	    [-baseline BENCH_enumeration.json] [-tol 3.0] \
 //	    [-require Enumerate/3dft] [-loadgen loadgen/ci-smoke] \
+//	    [-scale 'loadgen/fleet-1x;loadgen/fleet-2x;1.7'] \
+//	    [-cache-floor 0.9] [-router-metrics /tmp/router-metrics.txt] \
 //	    [-metrics /tmp/metrics.txt] [-traces /tmp/traces.json]
 //
 // Checks, in order:
 //
 //   - -current must parse as a benchfmt report with ≥ 1 result, every
-//     result named and non-negative. (-current may be omitted when only
-//     the observability checks below are requested.)
+//     result named and non-negative; a comma-separated list of files is
+//     merged into one report, so a multi-step job (a fleet scaling
+//     ladder) gates as a unit. (-current may be omitted when only the
+//     observability checks below are requested.)
+//   - Each -scale 'from;to;min' (repeatable; semicolons because result
+//     names contain commas) asserts jobs_per_sec of result "to" is at
+//     least min × that of result "from" — the fleet scaling gate.
+//   - With -cache-floor f, every load result (requests > 0) must report
+//     cache_hit_ratio ≥ f — routing stayed affine to the key space.
+//   - -router-metrics: a saved router GET /metrics body must parse, every
+//     mpschedrouter_backend_up sample must be 0 or 1, and the fleet must
+//     have forwarded at least one request.
 //   - With -baseline: for every benchmark name present in both files,
 //     current ns_per_op and allocs_per_op must be ≤ tol × baseline
 //     (results only in one file are ignored — smoke runs measure a
@@ -46,6 +58,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"mpsched/internal/benchfmt"
 	"mpsched/internal/cliutil"
@@ -69,15 +83,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		current   = fs.String("current", "", "bench JSON to validate (required unless only -metrics/-traces)")
-		baseline  = fs.String("baseline", "", "checked-in baseline to compare against")
-		tol       = fs.Float64("tol", 3.0, "regression tolerance: current must be <= tol x baseline")
-		loadgen   = fs.String("loadgen", "", "name of a load-test result that must be healthy")
-		metricsIn = fs.String("metrics", "", "saved GET /metrics body to check for internal consistency")
-		tracesIn  = fs.String("traces", "", "saved GET /debug/traces body whose traces must all be terminal")
-		require   repeatable
+		current    = fs.String("current", "", "bench JSON to validate, comma-separated files merged (required unless only -metrics/-traces/-router-metrics)")
+		baseline   = fs.String("baseline", "", "checked-in baseline to compare against")
+		tol        = fs.Float64("tol", 3.0, "regression tolerance: current must be <= tol x baseline")
+		loadgen    = fs.String("loadgen", "", "name of a load-test result that must be healthy")
+		metricsIn  = fs.String("metrics", "", "saved GET /metrics body to check for internal consistency")
+		tracesIn   = fs.String("traces", "", "saved GET /debug/traces body whose traces must all be terminal")
+		cacheFloor = fs.Float64("cache-floor", 0, "minimum cache_hit_ratio for every load result in -current (0 = off)")
+		routerIn   = fs.String("router-metrics", "", "saved router GET /metrics body to check (mpschedrouter_* surface)")
+		require    repeatable
+		scale      repeatable
 	)
 	fs.Var(&require, "require", "result name that must exist in -current (repeatable)")
+	fs.Var(&scale, "scale", "throughput scaling gate 'from;to;min': jobs_per_sec(to) must be >= min x jobs_per_sec(from) (repeatable)")
 	if code, done := cliutil.ParseFlags(fs, argv); done {
 		return code
 	}
@@ -85,7 +103,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchcheck: FAIL: "+format+"\n", args...)
 		return 1
 	}
-	if *current == "" && *metricsIn == "" && *tracesIn == "" {
+	if *current == "" && *metricsIn == "" && *tracesIn == "" && *routerIn == "" {
 		return fail("-current is required")
 	}
 	if *tol <= 0 {
@@ -95,10 +113,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	bad := 0
 	var cur *benchfmt.Report
 	if *current != "" {
-		var err error
-		cur, err = benchfmt.ReadFile(*current)
-		if err != nil {
-			return fail("%v", err)
+		for _, path := range strings.Split(*current, ",") {
+			rep, err := benchfmt.ReadFile(strings.TrimSpace(path))
+			if err != nil {
+				return fail("%v", err)
+			}
+			if cur == nil {
+				cur = rep
+			} else {
+				cur.Results = append(cur.Results, rep.Results...)
+			}
 		}
 		if len(cur.Results) == 0 {
 			return fail("%s has no results", *current)
@@ -112,8 +136,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintf(stdout, "benchcheck: %s: %d results, schema ok\n", *current, len(cur.Results))
-	} else if *baseline != "" || *loadgen != "" || len(require) > 0 {
-		return fail("-baseline/-require/-loadgen need -current")
+	} else if *baseline != "" || *loadgen != "" || len(require) > 0 || len(scale) > 0 || *cacheFloor > 0 {
+		return fail("-baseline/-require/-loadgen/-scale/-cache-floor need -current")
 	}
 	if *baseline != "" {
 		base, err := benchfmt.ReadFile(*baseline)
@@ -174,6 +198,59 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	for _, spec := range scale {
+		parts := strings.Split(spec, ";")
+		if len(parts) != 3 {
+			return fail("-scale %q: want 'from;to;min'", spec)
+		}
+		min, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil || min <= 0 {
+			return fail("-scale %q: bad minimum ratio %q", spec, parts[2])
+		}
+		from, to := cur.Find(strings.TrimSpace(parts[0])), cur.Find(strings.TrimSpace(parts[1]))
+		switch {
+		case from == nil || to == nil:
+			bad++
+			fmt.Fprintf(stdout, "benchcheck: FAIL scale %q: result missing from -current\n", spec)
+		case from.JobsPerSec <= 0:
+			bad++
+			fmt.Fprintf(stdout, "benchcheck: FAIL scale %q: base result has no throughput\n", spec)
+		default:
+			ratio := to.JobsPerSec / from.JobsPerSec
+			status, verdict := "ok  ", 0
+			if ratio < min {
+				status, verdict = "FAIL", 1
+			}
+			bad += verdict
+			fmt.Fprintf(stdout, "benchcheck: %s scale %-50s %.0f → %.0f jobs/s (%.2fx, floor %.2fx)\n",
+				status, parts[0]+" → "+parts[1], from.JobsPerSec, to.JobsPerSec, ratio, min)
+		}
+	}
+
+	if *cacheFloor > 0 {
+		for _, r := range cur.Results {
+			if r.Requests <= 0 {
+				continue
+			}
+			if r.CacheHitRatio < *cacheFloor {
+				bad++
+				fmt.Fprintf(stdout, "benchcheck: FAIL %-40s cache hit ratio %.2f below floor %.2f\n",
+					r.Name, r.CacheHitRatio, *cacheFloor)
+			} else {
+				fmt.Fprintf(stdout, "benchcheck: ok   %-40s cache hit ratio %.2f (floor %.2f)\n",
+					r.Name, r.CacheHitRatio, *cacheFloor)
+			}
+		}
+	}
+
+	if *routerIn != "" {
+		n, err := checkRouterMetrics(stdout, *routerIn)
+		if err != nil {
+			return fail("%v", err)
+		}
+		bad += n
+	}
+
 	if *metricsIn != "" {
 		n, err := checkMetrics(stdout, *metricsIn)
 		if err != nil {
@@ -194,6 +271,44 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "benchcheck: all checks passed")
 	return 0
+}
+
+// checkRouterMetrics parses a saved router /metrics body and asserts the
+// fleet surface is sane: the backend_up gauge exists with one strictly
+// boolean sample per backend, and the router forwarded at least one
+// request during the run that produced the scrape.
+func checkRouterMetrics(w io.Writer, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	m, err := obs.ParseMetrics(f)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	bad := 0
+	upSamples := 0
+	for _, s := range m {
+		if s.Name != "mpschedrouter_backend_up" {
+			continue
+		}
+		upSamples++
+		if s.Value != 0 && s.Value != 1 {
+			bad++
+			fmt.Fprintf(w, "benchcheck: FAIL backend_up{backend=%q} = %g, want 0 or 1\n", s.Labels["backend"], s.Value)
+		}
+	}
+	if upSamples == 0 {
+		bad++
+		fmt.Fprintf(w, "benchcheck: FAIL %s: no mpschedrouter_backend_up samples\n", path)
+	}
+	if fwd := m.Sum("mpschedrouter_forwarded_total"); fwd <= 0 {
+		bad++
+		fmt.Fprintf(w, "benchcheck: FAIL %s: router forwarded nothing (forwarded_total = %g)\n", path, fwd)
+	}
+	fmt.Fprintf(w, "benchcheck: %s: %d backends on the router surface\n", path, upSamples)
+	return bad, nil
 }
 
 // checkMetrics parses a saved /metrics body and asserts the scrape-time

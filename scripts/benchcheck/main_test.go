@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -168,5 +169,101 @@ func TestRealBaseline(t *testing.T) {
 	base := "../../BENCH_enumeration.json"
 	if code, out := check(t, "-current", base, "-baseline", base); code != 0 {
 		t.Fatalf("baseline does not pass against itself:\n%s", out)
+	}
+}
+
+// fleetReport builds the two-result scaling-ladder shape the fleet CI
+// gate feeds in.
+func fleetReport(name string, jps, cacheHit float64) benchfmt.Report {
+	rep := benchfmt.NewReport()
+	rep.Results = []benchfmt.Result{{
+		Name: name, Iterations: 100, NsPerOp: 1e6, JobsPerSec: jps,
+		P50Ns: 1e6, P99Ns: 3e6, Requests: 100, CacheHitRatio: cacheHit,
+	}}
+	return rep
+}
+
+func TestMergedCurrentAndScaleGate(t *testing.T) {
+	one := write(t, "one.json", fleetReport("loadgen/fleet-1x", 1000, 0.95))
+	two := write(t, "two.json", fleetReport("loadgen/fleet-2x", 1900, 0.95))
+	// 1.9x over a 1.7x floor passes; over a 2.0x floor fails.
+	if code, out := check(t, "-current", one+","+two,
+		"-scale", "loadgen/fleet-1x;loadgen/fleet-2x;1.7"); code != 0 {
+		t.Fatalf("1.9x scaling failed a 1.7x floor:\n%s", out)
+	}
+	code, out := check(t, "-current", one+","+two,
+		"-scale", "loadgen/fleet-1x;loadgen/fleet-2x;2.0")
+	if code == 0 {
+		t.Fatalf("1.9x scaling passed a 2.0x floor:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL scale") {
+		t.Fatalf("scale failure not named:\n%s", out)
+	}
+	// A result missing from the merged set must fail, not silently skip.
+	if code, _ := check(t, "-current", one,
+		"-scale", "loadgen/fleet-1x;loadgen/fleet-2x;1.7"); code == 0 {
+		t.Fatal("scale gate with a missing result passed")
+	}
+	// Malformed specs are usage errors.
+	if code, _ := check(t, "-current", one, "-scale", "a;b"); code == 0 {
+		t.Fatal("two-part -scale accepted")
+	}
+	if code, _ := check(t, "-current", one, "-scale", "a;b;zero"); code == 0 {
+		t.Fatal("non-numeric -scale ratio accepted")
+	}
+	if code, _ := check(t, "-scale", "a;b;1"); code == 0 {
+		t.Fatal("-scale without -current accepted")
+	}
+}
+
+func TestCacheFloor(t *testing.T) {
+	warm := write(t, "warm.json", fleetReport("loadgen/fleet-1x", 1000, 0.95))
+	if code, out := check(t, "-current", warm, "-cache-floor", "0.9"); code != 0 {
+		t.Fatalf("0.95 hit ratio failed a 0.9 floor:\n%s", out)
+	}
+	cold := write(t, "cold.json", fleetReport("loadgen/fleet-1x", 1000, 0.5))
+	code, out := check(t, "-current", cold, "-cache-floor", "0.9")
+	if code == 0 {
+		t.Fatalf("0.5 hit ratio passed a 0.9 floor:\n%s", out)
+	}
+	if !strings.Contains(out, "cache hit ratio") {
+		t.Fatalf("cache failure not named:\n%s", out)
+	}
+	// Micro results (no requests) are exempt from the floor.
+	micro := write(t, "micro.json", microReport(1000, 10))
+	if code, _ := check(t, "-current", micro, "-cache-floor", "0.9"); code != 0 {
+		t.Fatal("micro results were held to the cache floor")
+	}
+}
+
+func TestRouterMetricsCheck(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt")
+	if err := os.WriteFile(good, []byte(`# TYPE mpschedrouter_backend_up gauge
+mpschedrouter_backend_up{backend="http://127.0.0.1:1"} 1
+mpschedrouter_backend_up{backend="http://127.0.0.1:2"} 0
+# TYPE mpschedrouter_forwarded_total counter
+mpschedrouter_forwarded_total{backend="http://127.0.0.1:1"} 42
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := check(t, "-router-metrics", good); code != 0 {
+		t.Fatalf("healthy router surface rejected:\n%s", out)
+	}
+	idle := filepath.Join(dir, "idle.txt")
+	if err := os.WriteFile(idle, []byte(`mpschedrouter_backend_up{backend="http://127.0.0.1:1"} 1
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := check(t, "-router-metrics", idle); code == 0 {
+		t.Fatal("router that forwarded nothing passed")
+	}
+	noUp := filepath.Join(dir, "noup.txt")
+	if err := os.WriteFile(noUp, []byte(`mpschedrouter_forwarded_total 10
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := check(t, "-router-metrics", noUp); code == 0 {
+		t.Fatal("scrape without backend_up samples passed")
 	}
 }
