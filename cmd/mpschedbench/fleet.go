@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mpsched/internal/fleet"
+	"mpsched/internal/pipeline"
 	"mpsched/internal/server"
 	"mpsched/internal/wire"
 )
@@ -199,9 +200,26 @@ func (h *fleetHarness) Close() {
 // runBackend is the child body behind -serve-backend: one plain compile
 // daemon on addr, announced on stdout, drained on SIGTERM. It exists so
 // fleet mode needs no mpschedd binary on PATH — the bench re-execs
-// itself.
-func runBackend(addr string, stdout, stderr io.Writer) int {
-	srv := server.New(server.Options{})
+// itself. A non-empty storeDir backs the result cache with a persistent
+// tier, exactly like mpschedd -store-dir — the restart storm's backend.
+func runBackend(addr, storeDir string, storeMax int64, stdout, stderr io.Writer) int {
+	var opts server.Options
+	if storeDir != "" {
+		cache, err := pipeline.NewTieredCache(0, 0, storeDir, storeMax, func(format string, args ...any) {
+			fmt.Fprintf(stderr, "mpschedbench backend: "+format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "mpschedbench:", err)
+			return 1
+		}
+		defer func() {
+			if err := cache.Close(); err != nil {
+				fmt.Fprintln(stderr, "mpschedbench: close store:", err)
+			}
+		}()
+		opts.Cache = cache
+	}
+	srv := server.New(opts)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "mpschedbench:", err)

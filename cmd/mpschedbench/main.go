@@ -85,12 +85,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		killAfter = fs.Duration("kill-backend-after", 0, "SIGKILL one fleet backend this long into the storm (0 = never) — the rebalance chaos gate")
 		fleetOut  = fs.String("fleet-metrics-out", "", "dump the router's /metrics text here after a fleet storm")
 		serveAddr = fs.String("serve-backend", "", "internal: run as a fleet backend daemon on this address instead of storming")
+
+		restartAfter = fs.Duration("restart-after", 0, "warm-restart storm: storm a self-spawned persistent backend for this long, restart it over the same store, storm again for -duration (see scripts/benchcheck -restart-hit-floor)")
+		storeDir     = fs.String("store-dir", "", "persistent result-store directory for -restart-after and -serve-backend (empty = temp dir / memory only)")
+		storeMax     = fs.Int64("store-max-bytes", 0, "on-disk result store size bound for -store-dir (0 = default)")
+		mutate       = fs.Int("mutate", 0, "mutation storm: compile N mutated variants of each scenario member cold vs via the delta path (in-process)")
 	)
 	if code, done := cliutil.ParseFlags(fs, argv); done {
 		return code
 	}
 	if *serveAddr != "" {
-		return runBackend(*serveAddr, stdout, stderr)
+		return runBackend(*serveAddr, *storeDir, *storeMax, stdout, stderr)
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "mpschedbench:", err)
@@ -120,7 +125,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if !ok {
 		return fail(fmt.Errorf("unknown codec %q (have json, binary)", *codec))
 	}
-	if *addr == "" && *backends == 0 && wc != wire.JSON {
+	if *addr == "" && *backends == 0 && *restartAfter == 0 && wc != wire.JSON {
 		return fail(fmt.Errorf("-codec only applies to a remote daemon (-addr)"))
 	}
 	if *addr == "" && *backends == 0 && *batch > 1 {
@@ -140,6 +145,42 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	if *resil && *addr == "" && *backends == 0 {
 		return fail(fmt.Errorf("-resilience only applies to a remote daemon (-addr)"))
+	}
+	if (*restartAfter > 0 || *mutate > 0) && (*addr != "" || *backends > 0) {
+		return fail(fmt.Errorf("-restart-after and -mutate drive their own targets; they cannot be combined with -addr or -backends"))
+	}
+	if *restartAfter > 0 && *mutate > 0 {
+		return fail(fmt.Errorf("-restart-after and -mutate are separate storms; pick one"))
+	}
+
+	if *mutate > 0 {
+		ms := &mutationStorm{mutants: *mutate, items: items, out: *out, strict: *strict, stdout: stdout, stderr: stderr}
+		return ms.run()
+	}
+	if *restartAfter > 0 {
+		rs := &restartStorm{
+			storeDir: *storeDir,
+			storeMax: *storeMax,
+			phase1:   *restartAfter,
+			codec:    wc,
+			timeout:  *timeout,
+			items:    items,
+			cfg: loadgen.Config{
+				Scenario: sc.Spec,
+				Mode:     m,
+				Clients:  *clients,
+				RPS:      *rps,
+				Arrival:  arr,
+				Duration: *duration,
+				Seed:     *seed,
+			},
+			label:  *name,
+			out:    *out,
+			strict: *strict,
+			stdout: stdout,
+			stderr: stderr,
+		}
+		return rs.run()
 	}
 
 	var harness *fleetHarness
@@ -247,13 +288,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	br.Server = srvStats
 	report.Results = append(report.Results, br)
 
-	if *out == "" {
-		data, err := json.MarshalIndent(&report, "", "  ")
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Fprintln(stdout, string(data))
-	} else if err := report.WriteFile(*out); err != nil {
+	if err := writeReport(&report, *out, stdout); err != nil {
 		return fail(err)
 	}
 
@@ -289,6 +324,20 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// writeReport writes the report to path, or indented to stdout when
+// path is empty.
+func writeReport(report *benchfmt.Report, path string, stdout io.Writer) error {
+	if path == "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(data))
+		return nil
+	}
+	return report.WriteFile(path)
 }
 
 // serverDelta folds a before/after pair of /metrics scrapes into the

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"mpsched/internal/benchfmt"
+	"mpsched/internal/dfg"
+	"mpsched/internal/loadgen"
+	"mpsched/internal/pipeline"
+)
+
+// Mutation mode: -mutate N measures the delta compile path against the
+// cold path on the same edits. For every scenario member it generates N
+// small mutations (a couple of nodes recolored to colors the graph
+// already uses — the edit a delta request is built for), then compiles
+// the identical mutant set twice from identically primed caches: once
+// plainly (every mutant pays census → select → schedule) and once with
+// base_fingerprint naming the unmutated graph (census and selection are
+// reused from the base's cache entry; only scheduling runs). The report
+// carries serving/mutate/cold and serving/mutate/delta, and the CI gate
+// asserts the delta arm's throughput advantage with benchcheck
+// -scale 'serving/mutate/cold;serving/mutate/delta;3'.
+
+// mutationStorm bundles what the two-arm run needs from main's flags.
+type mutationStorm struct {
+	mutants int // mutated variants per scenario member
+	items   []loadgen.Item
+	out     string
+	strict  bool
+	stdout  io.Writer
+	stderr  io.Writer
+}
+
+// mutateGraph returns g with k nodes recolored to other colors already
+// present in the graph. Deterministic in seed; the fingerprint always
+// changes (a no-op draw retries with the next node).
+func mutateGraph(g *dfg.Graph, k, seed int) *dfg.Graph {
+	colors := g.Colors()
+	n := g.N()
+	state := uint64(seed)*2654435761 + 1
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(mod))
+	}
+	mutate := map[int]dfg.Color{}
+	for len(mutate) < k {
+		id := next(n)
+		c := colors[next(len(colors))]
+		if g.Node(id).Color != c {
+			mutate[id] = c
+		}
+	}
+	out := dfg.NewGraph(fmt.Sprintf("%s-mut%d", g.Name, seed))
+	for id := 0; id < n; id++ {
+		node := g.Node(id)
+		if c, ok := mutate[id]; ok {
+			node.Color = c
+		}
+		out.MustAddNode(node)
+	}
+	for id := 0; id < n; id++ {
+		for _, s := range g.Succs(id) {
+			out.MustAddDep(id, s)
+		}
+	}
+	return out
+}
+
+// runArm compiles every mutant against a cache primed with the base
+// compiles. With delta set, each mutant's spec names its base graph's
+// fingerprint. Returns the storm wall clock, the compile count and how
+// many compiles were actually served via the delta path.
+func (ms *mutationStorm) runArm(mutants [][]*dfg.Graph, delta bool) (time.Duration, int, int, error) {
+	c := pipeline.NewCompiler(pipeline.Options{Cache: pipeline.NewShardedCache(0, 0)})
+	ctx := context.Background()
+	for _, it := range ms.items {
+		spec := pipeline.NewSpec(it.Graph, pipeline.WithSelect(it.Select))
+		if _, err := c.Compile(ctx, spec); err != nil {
+			return 0, 0, 0, fmt.Errorf("prime %s: %w", it.Spec, err)
+		}
+	}
+	n, served := 0, 0
+	start := time.Now()
+	for i, it := range ms.items {
+		for _, mg := range mutants[i] {
+			spec := pipeline.NewSpec(mg, pipeline.WithSelect(it.Select))
+			if delta {
+				spec.BaseFingerprint = it.Graph.Fingerprint()
+			}
+			rep, err := c.Compile(ctx, spec)
+			if err != nil {
+				return 0, 0, 0, fmt.Errorf("compile %s: %w", mg.Name, err)
+			}
+			n++
+			if rep.DeltaBase != "" {
+				served++
+			}
+		}
+	}
+	return time.Since(start), n, served, nil
+}
+
+func (ms *mutationStorm) run() int {
+	fail := func(err error) int {
+		fmt.Fprintln(ms.stderr, "mpschedbench:", err)
+		return 1
+	}
+	// The same mutant set drives both arms, so the comparison is of the
+	// compile path, not of the inputs.
+	mutants := make([][]*dfg.Graph, len(ms.items))
+	for i, it := range ms.items {
+		if it.Graph == nil {
+			return fail(fmt.Errorf("scenario member %q did not resolve a local graph", it.Spec))
+		}
+		for s := 0; s < ms.mutants; s++ {
+			mutants[i] = append(mutants[i], mutateGraph(it.Graph, 2, s+1))
+		}
+	}
+	fmt.Fprintf(ms.stderr, "mpschedbench: mutation storm: %d bases x %d mutants, cold vs delta\n",
+		len(ms.items), ms.mutants)
+
+	coldT, coldN, _, err := ms.runArm(mutants, false)
+	if err != nil {
+		return fail(err)
+	}
+	deltaT, deltaN, served, err := ms.runArm(mutants, true)
+	if err != nil {
+		return fail(err)
+	}
+
+	result := func(name string, d time.Duration, n int) benchfmt.Result {
+		r := benchfmt.Result{Name: name, Iterations: n, Requests: int64(n)}
+		if n > 0 {
+			r.NsPerOp = float64(d.Nanoseconds()) / float64(n)
+		}
+		if d > 0 {
+			r.JobsPerSec = float64(n) / d.Seconds()
+		}
+		return r
+	}
+	report := benchfmt.NewReport()
+	report.Results = append(report.Results,
+		result("serving/mutate/cold", coldT, coldN),
+		result("serving/mutate/delta", deltaT, deltaN))
+	if err := writeReport(&report, ms.out, ms.stdout); err != nil {
+		return fail(err)
+	}
+
+	speedup := 0.0
+	if deltaT > 0 {
+		speedup = float64(coldT) / float64(deltaT)
+	}
+	fmt.Fprintf(ms.stderr,
+		"mpschedbench: mutation storm: cold %d in %s, delta %d in %s (%.1fx; %d/%d served via delta)\n",
+		coldN, coldT.Round(time.Millisecond), deltaN, deltaT.Round(time.Millisecond), speedup, served, deltaN)
+	if ms.strict && served < deltaN {
+		fmt.Fprintf(ms.stderr, "mpschedbench: strict: %d/%d mutants fell back to a cold compile\n",
+			deltaN-served, deltaN)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+
+	"mpsched/internal/benchfmt"
+	"mpsched/internal/loadgen"
+	"mpsched/internal/server/client"
+	"mpsched/internal/wire"
+)
+
+// Restart mode: -restart-after d storms a self-spawned compile daemon
+// whose result cache is backed by a persistent store (-store-dir, or a
+// temp directory), SIGTERMs it after d, respawns it over the SAME store
+// directory, and storms the fresh process for -duration. The report's
+// pre_restart_hit_ratio / warm_restart_hit_ratio fields carry the two
+// phases' cache hit ratios: a working persistent store makes the second
+// process serve the first one's compiles from disk, so the warm ratio
+// stays at the pre-restart level instead of collapsing to a cold cache.
+// scripts/benchcheck -restart-hit-floor gates exactly that:
+//
+//	mpschedbench -restart-after 3s -duration 3s -out /tmp/restart.json
+//	benchcheck -current /tmp/restart.json -restart-hit-floor 0.9 ...
+
+// restartStorm bundles what the two-phase run needs from main's flags.
+type restartStorm struct {
+	storeDir string // backing directory; empty = fresh temp dir
+	storeMax int64
+	phase1   time.Duration // storm length before the restart
+	codec    wire.Codec
+	timeout  time.Duration
+	items    []loadgen.Item
+	cfg      loadgen.Config // Duration is phase 2's length
+	label    string         // result name; empty = serving/restart/<spec>
+	out      string
+	strict   bool
+	stdout   io.Writer
+	stderr   io.Writer
+}
+
+// backendProc is one spawned persistent backend child.
+type backendProc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// spawnStoreBackend re-execs this binary as a compile daemon with a
+// persistent result store over dir.
+func spawnStoreBackend(exe, dir string, maxBytes int64, childErr io.Writer) (*backendProc, error) {
+	args := []string{"-serve-backend", "127.0.0.1:0", "-store-dir", dir}
+	if maxBytes > 0 {
+		args = append(args, "-store-max-bytes", fmt.Sprint(maxBytes))
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "MPSCHEDBENCH_CHILD=1")
+	cmd.Stderr = childErr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addr, err := readBackendAddr(out)
+	if err != nil {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, err
+	}
+	return &backendProc{cmd: cmd, url: "http://" + addr}, nil
+}
+
+// stop drains the child with SIGTERM (so its store closes cleanly) and
+// escalates to SIGKILL if it lingers.
+func (b *backendProc) stop() {
+	_ = b.cmd.Process.Signal(syscall.SIGTERM)
+	waited := make(chan struct{})
+	go func() { _ = b.cmd.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(15 * time.Second):
+		_ = b.cmd.Process.Kill()
+		<-waited
+	}
+}
+
+func (rs *restartStorm) run() int {
+	fail := func(err error) int {
+		fmt.Fprintln(rs.stderr, "mpschedbench:", err)
+		return 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fail(err)
+	}
+	dir := rs.storeDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "mpschedbench-store-*")
+		if err != nil {
+			return fail(err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	childErr := &forwardWriter{w: rs.stderr}
+
+	phase := func(tag string, d time.Duration) (*loadgen.Result, error) {
+		b, err := spawnStoreBackend(exe, dir, rs.storeMax, childErr)
+		if err != nil {
+			return nil, fmt.Errorf("spawn %s backend: %w", tag, err)
+		}
+		defer b.stop()
+		c := client.New(b.url).WithCodec(rs.codec).WithTimeout(rs.timeout)
+		if _, err := c.Healthz(context.Background()); err != nil {
+			return nil, fmt.Errorf("%s backend not healthy: %w", tag, err)
+		}
+		cfg := rs.cfg
+		cfg.Duration = d
+		fmt.Fprintf(rs.stderr, "mpschedbench: restart storm %s phase: %s against %s (store %s)\n",
+			tag, d, b.url, dir)
+		return loadgen.Run(context.Background(), loadgen.NewRemoteTarget(c), rs.items, cfg)
+	}
+
+	pre, err := phase("pre-restart", rs.phase1)
+	if err != nil {
+		return fail(err)
+	}
+	warm, err := phase("warm-restart", rs.cfg.Duration)
+	if err != nil {
+		return fail(err)
+	}
+
+	label := rs.label
+	if label == "" {
+		label = "serving/restart/" + rs.cfg.Scenario
+	}
+	br := toBenchResult(label, warm)
+	br.PreRestartHitRatio = pre.CacheHitRatio()
+	br.WarmRestartHitRatio = warm.CacheHitRatio()
+	report := benchfmt.NewReport()
+	report.Results = append(report.Results, br)
+	if err := writeReport(&report, rs.out, rs.stdout); err != nil {
+		return fail(err)
+	}
+
+	fmt.Fprintf(rs.stderr,
+		"mpschedbench: restart storm: pre %d reqs (cache %.1f%%) → warm %d reqs (cache %.1f%%), %d errors\n",
+		pre.Requests, 100*br.PreRestartHitRatio, warm.Requests, 100*br.WarmRestartHitRatio,
+		pre.Errors+warm.Errors)
+	if rs.strict {
+		if pre.Errors+warm.Errors > 0 {
+			fmt.Fprintf(rs.stderr, "mpschedbench: strict: %d hard failures\n", pre.Errors+warm.Errors)
+			return 1
+		}
+		if pre.Hist.Count() == 0 || warm.Hist.Count() == 0 {
+			fmt.Fprintln(rs.stderr, "mpschedbench: strict: empty latency histogram")
+			return 1
+		}
+	}
+	return 0
+}

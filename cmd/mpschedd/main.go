@@ -21,6 +21,13 @@
 // streams up to -max-batch results per envelope in completion order. See
 // internal/server and internal/wire for the wire formats.
 //
+// With -store-dir the result cache gains a persistent disk tier: every
+// full compile is also written to a fingerprint-addressed store in that
+// directory, and a restarted daemon (same flags, same directory) serves
+// its previous compiles as warm cache hits instead of recompiling.
+// -store-max-bytes bounds the directory; oldest results are evicted
+// first. /metrics exports per-tier mpschedd_store_* families.
+//
 // On SIGINT/SIGTERM the daemon stops accepting work, drains the job
 // queue (bounded by -drain-timeout) and exits 0.
 //
@@ -47,6 +54,7 @@ import (
 
 	"mpsched/internal/cliutil"
 	"mpsched/internal/faults"
+	"mpsched/internal/pipeline"
 	"mpsched/internal/server"
 )
 
@@ -66,6 +74,8 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		queueDepth   = fs.Int("queue", server.DefaultQueueDepth, "async queue admission bound")
 		cacheEntries = fs.Int("cache-entries", 0, "result cache capacity (0 = default, negative disables)")
 		cacheShards  = fs.Int("cache-shards", 0, "result cache shards (0 = auto)")
+		storeDir     = fs.String("store-dir", "", "persist compile results to this directory for warm restarts (empty = memory only)")
+		storeMax     = fs.Int64("store-max-bytes", 0, "on-disk result store size bound in bytes (0 = default)")
 		maxBody      = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size limit in bytes")
 		maxSync      = fs.Int("max-sync-nodes", server.DefaultMaxSyncNodes, "largest graph served synchronously on /v1/compile")
 		maxBatch     = fs.Int("max-batch", server.DefaultMaxBatchJobs, "most jobs accepted per /v1/batch envelope")
@@ -92,11 +102,30 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 
 	logger := log.New(stderr, "mpschedd: ", log.LstdFlags)
+	// With -store-dir the result cache is a persistent tiered store: the
+	// in-memory LRU in front of a fingerprint-addressed disk store, so a
+	// restarted daemon serves its previous compiles as warm hits. The
+	// daemon owns the store and closes it after the final drain.
+	var resultStore pipeline.ResultCache
+	if *storeDir != "" && *cacheEntries >= 0 {
+		var err error
+		resultStore, err = pipeline.NewTieredCache(*cacheEntries, *cacheShards, *storeDir, *storeMax, logger.Printf)
+		if err != nil {
+			fmt.Fprintf(stderr, "mpschedd: -store-dir: %v\n", err)
+			return 2
+		}
+		defer func() {
+			if err := resultStore.Close(); err != nil {
+				logger.Printf("close store: %v", err)
+			}
+		}()
+	}
 	srv := server.New(server.Options{
 		QueueWorkers:  *workers,
 		QueueDepth:    *queueDepth,
 		CacheEntries:  *cacheEntries,
 		CacheShards:   *cacheShards,
+		Cache:         resultStore,
 		MaxBodyBytes:  *maxBody,
 		MaxSyncNodes:  *maxSync,
 		MaxBatchJobs:  *maxBatch,

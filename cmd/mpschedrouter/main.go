@@ -65,6 +65,8 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		failAfter     = fs.Int("fail-after", fleet.DefaultFailAfter, "consecutive failures that demote a backend")
 		fwdTimeout    = fs.Duration("forward-timeout", fleet.DefaultForwardTimeout, "per-attempt forward timeout for requests without their own deadline")
 		l2Entries     = fs.Int("l2-entries", 0, "shared response cache capacity (0 = default, negative disables)")
+		storeDir      = fs.String("store-dir", "", "persist the shared response cache to this directory across restarts (empty = memory only)")
+		storeMax      = fs.Int64("store-max-bytes", 0, "on-disk shared cache size bound in bytes (0 = default)")
 		maxBody       = fs.Int64("max-body", 0, "request body size limit in bytes (0 = default)")
 		maxBatch      = fs.Int("max-batch", 0, "most jobs accepted per /v1/batch envelope (0 = default)")
 		slowTrace     = fs.Duration("slow-trace", time.Second, "log any request trace slower than this with its span breakdown (negative disables)")
@@ -105,6 +107,8 @@ func run(argv []string, stdout, stderr io.Writer, ready chan<- string) int {
 		FailAfter:      *failAfter,
 		ForwardTimeout: *fwdTimeout,
 		L2Entries:      *l2Entries,
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMax,
 		MaxBodyBytes:   *maxBody,
 		MaxBatchJobs:   *maxBatch,
 		SlowTrace:      *slowTrace,

@@ -47,6 +47,14 @@ type Result struct {
 	Rejected int64 `json:"rejected,omitempty"`
 	// CacheHitRatio is hits over successful compiles, in [0, 1].
 	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+	// PreRestartHitRatio and WarmRestartHitRatio are the cache hit ratios
+	// of the two phases of a warm-restart storm (cmd/mpschedbench
+	// -restart-after): before the target daemon was restarted over its
+	// persistent store, and after. The CI gate asserts warm ≥ floor × pre
+	// (scripts/benchcheck -restart-hit-floor). Zero elsewhere; additive,
+	// so old baselines still parse.
+	PreRestartHitRatio  float64 `json:"pre_restart_hit_ratio,omitempty"`
+	WarmRestartHitRatio float64 `json:"warm_restart_hit_ratio,omitempty"`
 
 	// Server is the target daemon's own view of the run — a /metrics
 	// delta scraped around the storm — when the target was remote and

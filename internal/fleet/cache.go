@@ -1,16 +1,19 @@
 package fleet
 
 import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 
+	"mpsched/internal/store"
 	"mpsched/internal/wire"
 )
 
 // l2Cache is the router's tier of the fleet's two-tier cache: a bounded
-// map of recent compile responses keyed by the full request identity
+// store of recent compile responses keyed by the full request identity
 // (fingerprint + every compile parameter), each tagged with the backend
 // that produced it. It is not consulted on the hot path — that would
 // turn the router into a cache server and the backends' L1s would go
@@ -19,19 +22,12 @@ import (
 // work) while ownership hands over, and when every replica is down it
 // is the last resort before a 503.
 //
-// Sharded like pipeline.ShardedCache, but with arbitrary per-shard
-// eviction instead of LRU: entries are only read on rebalance or
-// failover, so recency tracking on every put would be pure overhead.
+// Backed by internal/store: an in-memory LRU tier, optionally over a
+// persistent disk tier (Options.StoreDir) so a router restart keeps the
+// fleet's shared responses warm.
 type l2Cache struct {
-	shards []l2Shard
-	// perShard bounds each shard's entry count.
-	perShard int
-	served   atomic.Int64 // responses actually served from L2
-}
-
-type l2Shard struct {
-	mu sync.Mutex
-	m  map[string]l2Entry
+	s      store.Store[l2Entry]
+	served atomic.Int64 // responses actually served from L2
 }
 
 type l2Entry struct {
@@ -46,20 +42,52 @@ const DefaultL2Entries = 4096
 
 const l2ShardCount = 16
 
+// l2Codec persists an l2Entry as a varint owner index followed by the
+// response in the binary wire framing — the same bytes the router
+// forwards, so the disk tier inherits the wire codec's versioning. The
+// owner index is only meaningful under the same backend list order; a
+// reordered fleet merely pays one handover per moved key (setOwner),
+// exactly as it does when the ring rebalances live.
+type l2Codec struct{}
+
+func (l2Codec) Append(buf []byte, e l2Entry) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(e.owner))
+	var b bytes.Buffer
+	if err := wire.Binary.EncodeResponse(&b, e.resp); err != nil {
+		return nil, err
+	}
+	return append(buf, b.Bytes()...), nil
+}
+
+func (l2Codec) Decode(data []byte) (l2Entry, error) {
+	owner, n := binary.Uvarint(data)
+	if n <= 0 {
+		return l2Entry{}, fmt.Errorf("fleet: bad l2 entry header")
+	}
+	resp := new(wire.CompileResponse)
+	if err := wire.Binary.DecodeResponse(bytes.NewReader(data[n:]), resp); err != nil {
+		return l2Entry{}, err
+	}
+	return l2Entry{resp: resp, owner: int(owner)}, nil
+}
+
 // newL2 builds the cache with room for entries responses (0 means
 // DefaultL2Entries; the router passes a negative Options.L2Entries by
-// keeping the cache nil — every method tolerates a nil receiver).
-func newL2(entries int) *l2Cache {
+// keeping the cache nil — every method tolerates a nil receiver). A
+// non-empty dir adds a persistent disk tier bounded at maxBytes.
+func newL2(entries int, dir string, maxBytes int64, logf store.Logf) (*l2Cache, error) {
 	if entries <= 0 {
 		entries = DefaultL2Entries
 	}
-	per := (entries + l2ShardCount - 1) / l2ShardCount
-	c := &l2Cache{shards: make([]l2Shard, l2ShardCount), perShard: per}
-	return c
-}
-
-func (c *l2Cache) shard(key string) *l2Shard {
-	return &c.shards[fnv1a64(key)%l2ShardCount]
+	mem := store.NewMemory[l2Entry](entries, l2ShardCount)
+	if dir == "" {
+		return &l2Cache{s: mem}, nil
+	}
+	disk, err := store.Open[l2Entry](dir, maxBytes, l2Codec{}, logf)
+	if err != nil {
+		return nil, err
+	}
+	return &l2Cache{s: store.NewTiered[l2Entry](mem, disk)}, nil
 }
 
 // get returns the cached response and the backend index that produced
@@ -68,32 +96,17 @@ func (c *l2Cache) get(key string) (*wire.CompileResponse, int, bool) {
 	if c == nil {
 		return nil, 0, false
 	}
-	s := c.shard(key)
-	s.mu.Lock()
-	e, ok := s.m[key]
-	s.mu.Unlock()
+	e, ok := c.s.Get(key)
 	return e.resp, e.owner, ok
 }
 
-// put records a response produced by owner, evicting an arbitrary entry
-// when the shard is full.
+// put records a response produced by owner; the store evicts LRU when
+// full.
 func (c *l2Cache) put(key string, resp *wire.CompileResponse, owner int) {
 	if c == nil {
 		return
 	}
-	s := c.shard(key)
-	s.mu.Lock()
-	if s.m == nil {
-		s.m = make(map[string]l2Entry, c.perShard)
-	}
-	if _, ok := s.m[key]; !ok && len(s.m) >= c.perShard {
-		for k := range s.m {
-			delete(s.m, k)
-			break
-		}
-	}
-	s.m[key] = l2Entry{resp: resp, owner: owner}
-	s.mu.Unlock()
+	c.s.Put(key, l2Entry{resp: resp, owner: owner})
 }
 
 // setOwner hands an entry over to a new owner — called when the ring
@@ -103,28 +116,37 @@ func (c *l2Cache) setOwner(key string, owner int) {
 	if c == nil {
 		return
 	}
-	s := c.shard(key)
-	s.mu.Lock()
-	if e, ok := s.m[key]; ok {
+	if e, ok := c.s.Get(key); ok && e.owner != owner {
 		e.owner = owner
-		s.m[key] = e
+		c.s.Put(key, e)
 	}
-	s.mu.Unlock()
 }
 
-// entries counts cached responses across shards.
+// entries counts cached responses across tiers.
 func (c *l2Cache) entries() int {
 	if c == nil {
 		return 0
 	}
-	n := 0
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		n += len(s.m)
-		s.mu.Unlock()
+	return c.s.Len()
+}
+
+// tiers exposes the per-tier breakdown when the cache is persistent.
+func (c *l2Cache) tiers() []store.TierStats {
+	if c == nil {
+		return nil
 	}
-	return n
+	if t, ok := c.s.(store.Tiers); ok {
+		return t.Tiers()
+	}
+	return nil
+}
+
+// close releases the disk tier, if any.
+func (c *l2Cache) close() error {
+	if c == nil {
+		return nil
+	}
+	return c.s.Close()
 }
 
 // l2Key builds the full request identity for one compile: the graph
@@ -163,6 +185,10 @@ func l2Key(fp string, req *wire.CompileRequest) string {
 	}
 	b.WriteByte('|')
 	b.WriteString(req.StopAfter)
+	b.WriteByte('|')
+	// A delta compile against a base can answer differently from a plain
+	// compile of the same graph, so the base is part of the identity.
+	b.WriteString(req.BaseFingerprint)
 	b.WriteByte('|')
 	for _, sp := range req.Spans {
 		b.WriteString(strconv.Itoa(sp))

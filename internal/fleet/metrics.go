@@ -140,6 +140,20 @@ func (m *routerMetrics) render(w io.Writer, p *pool, l2 *l2Cache, stats client.R
 	fmt.Fprintf(w, "mpschedrouter_l2_served_total{reason=\"moved\"} %d\n", m.l2ServedMoved.Load())
 	fmt.Fprintf(w, "mpschedrouter_l2_served_total{reason=\"fallback\"} %d\n", m.l2ServedFallback.Load())
 	gauge("mpschedrouter_l2_entries", "Responses currently in the shared cache.", float64(l2.entries()))
+	if tiers := l2.tiers(); len(tiers) > 0 {
+		fmt.Fprintf(w, "# HELP mpschedrouter_l2_tier_hits_total Shared-cache hits by tier.\n# TYPE mpschedrouter_l2_tier_hits_total counter\n")
+		for _, t := range tiers {
+			fmt.Fprintf(w, "mpschedrouter_l2_tier_hits_total{tier=%q} %d\n", t.Tier, t.Hits)
+		}
+		fmt.Fprintf(w, "# HELP mpschedrouter_l2_tier_entries Shared-cache entries by tier.\n# TYPE mpschedrouter_l2_tier_entries gauge\n")
+		for _, t := range tiers {
+			fmt.Fprintf(w, "mpschedrouter_l2_tier_entries{tier=%q} %d\n", t.Tier, t.Entries)
+		}
+		fmt.Fprintf(w, "# HELP mpschedrouter_l2_tier_bytes Shared-cache bytes by tier (disk only).\n# TYPE mpschedrouter_l2_tier_bytes gauge\n")
+		for _, t := range tiers {
+			fmt.Fprintf(w, "mpschedrouter_l2_tier_bytes{tier=%q} %d\n", t.Tier, t.Bytes)
+		}
+	}
 
 	// The forwarding clients share one resilience layer, so these are
 	// fleet-wide sums; per-backend splits live in the breaker/hedger maps

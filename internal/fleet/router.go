@@ -53,6 +53,12 @@ type Options struct {
 	// L2Entries sizes the router's shared response cache; 0 means
 	// DefaultL2Entries, negative disables the tier.
 	L2Entries int
+	// StoreDir, when non-empty, backs the shared cache with a persistent
+	// disk tier in this directory, so a router restart keeps the fleet's
+	// rebalance/failover responses warm. Ignored when L2Entries < 0.
+	StoreDir string
+	// StoreMaxBytes bounds the disk tier; ≤ 0 means store.DefaultMaxBytes.
+	StoreMaxBytes int64
 	// MaxBodyBytes bounds request bodies; ≤ 0 means the server default.
 	MaxBodyBytes int64
 	// MaxBatchJobs caps one /v1/batch envelope; ≤ 0 means the server
@@ -128,7 +134,18 @@ func New(opts Options) (*Router, error) {
 		rt.maxBatchJobs = 256
 	}
 	if opts.L2Entries >= 0 {
-		rt.l2 = newL2(opts.L2Entries)
+		logger := opts.Logger
+		if logger == nil {
+			logger = slog.Default()
+		}
+		warn := func(format string, args ...any) {
+			logger.Warn("fleet l2 store: " + fmt.Sprintf(format, args...))
+		}
+		l2, err := newL2(opts.L2Entries, opts.StoreDir, opts.StoreMaxBytes, warn)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: open l2 store: %w", err)
+		}
+		rt.l2 = l2
 	}
 	rt.pool = newPool(rt.root, opts.Backends, fwd, opts.ProbeTimeout, opts.VNodes, opts.FailAfter)
 	rt.pool.run(opts.ProbeInterval)
@@ -165,8 +182,14 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rt.mux.ServeHTTP(w, r)
 }
 
-// Close stops the health probers. In-flight requests are unaffected.
-func (rt *Router) Close() { rt.pool.close() }
+// Close stops the health probers and releases the shared cache's disk
+// tier, if any. In-flight requests are unaffected.
+func (rt *Router) Close() {
+	rt.pool.close()
+	if err := rt.l2.close(); err != nil {
+		slog.Default().Warn("fleet: close l2 store", "err", err)
+	}
+}
 
 // Backends exposes the pool for tests and status reporting.
 func (rt *Router) Backends() []*Backend { return rt.pool.backends }

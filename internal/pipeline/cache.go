@@ -1,138 +1,70 @@
 package pipeline
 
 import (
-	"container/list"
-	"fmt"
-	"sync"
-
 	"mpsched/internal/alloc"
 	"mpsched/internal/patsel"
 	"mpsched/internal/sched"
+	"mpsched/internal/store"
 )
 
-// Cache is a content-addressed compilation cache: graph fingerprint plus
-// the full configuration (selection, scheduling, architecture) maps to the
-// finished Selection/Schedule/Program. Repeated workloads — the common case
-// under traffic — skip antichain enumeration, selection and scheduling
-// entirely. Entries are evicted least-recently-used once MaxEntries is
-// exceeded. Safe for concurrent use.
+// The pipeline's caches are thin wrappers over internal/store — the
+// unified tiered result store. Cache and ShardedCache survive as named
+// constructors for the two shapes earlier PRs exposed; both now share
+// the store.Memory implementation, and NewTieredCache adds the
+// persistent disk tier behind either.
 //
-// Cached results are shared, never deep-copied: hits return schedules whose
-// slices alias the cached entry. Treat compilation results as immutable —
-// everything downstream (verification, rendering, simulation) only reads
-// them.
-type Cache struct {
-	mu      sync.Mutex
-	max     int
-	order   *list.List // front = most recently used
-	entries map[string]*list.Element
+// Cached results are shared, never deep-copied: hits return schedules
+// whose slices alias the cached entry. Treat compilation results as
+// immutable — everything downstream (verification, rendering,
+// simulation) only reads them.
 
-	hits   int64
-	misses int64
-}
+// Stats is the unified cache counter snapshot (an alias for
+// store.Stats, which every tier reports — including the eviction count
+// the old sharded cache dropped).
+type Stats = store.Stats
+
+// ResultCache is the cache surface a Pipeline consumes. It is the
+// unified store API instantiated at the pipeline's package-private entry
+// type, so external implementations would have nothing to store — the
+// same sealing the old unexported-method interface provided.
+type ResultCache = store.Store[*cacheEntry]
 
 // DefaultCacheEntries bounds a NewCache(0) cache. A full entry for a
 // paper-sized workload is a few kilobytes, so the default costs megabytes
 // at worst while covering far more distinct workloads than a steady-state
 // fleet presents.
-const DefaultCacheEntries = 4096
+const DefaultCacheEntries = store.DefaultEntries
 
+// cacheEntry is the unit the result store holds: the finished
+// Selection/Schedule/Program for one (graph, config) key, plus the
+// summary fields that reconstruct a Report on a hit. The full
+// antichain.Result is deliberately not cached (Selection.Enumerated
+// still carries it for callers that need the classes).
 type cacheEntry struct {
-	key       string
 	selection *patsel.Selection
 	schedule  *sched.Schedule
 	program   *alloc.Program
-	// census/span/swept reconstruct the Report fields on a hit; the full
-	// antichain.Result is deliberately not cached (Selection.Enumerated
-	// still carries it for callers that need the classes).
-	census *CensusSummary
-	span   int
-	swept  bool
+	census    *CensusSummary
+	span      int
+	swept     bool
+	// sigs is the graph's sorted node-signature multiset, computed when
+	// the entry is stored; the delta compile path diffs a submitted
+	// graph's signatures against a base entry's to decide whether the
+	// base selection can be reused.
+	sigs []uint64
+}
+
+// Cache is a content-addressed compilation cache: graph fingerprint plus
+// the full configuration (selection, scheduling, architecture) maps to
+// the finished Selection/Schedule/Program. Entries are evicted
+// least-recently-used once maxEntries is exceeded. Safe for concurrent
+// use. Since the store redesign it is a single-shard store.Memory.
+type Cache struct {
+	*store.Memory[*cacheEntry]
 }
 
 // NewCache returns an empty cache holding at most maxEntries results.
 // maxEntries ≤ 0 selects DefaultCacheEntries.
 func NewCache(maxEntries int) *Cache {
-	if maxEntries <= 0 {
-		maxEntries = DefaultCacheEntries
-	}
-	return &Cache{
-		max:     maxEntries,
-		order:   list.New(),
-		entries: map[string]*list.Element{},
-	}
-}
-
-// Stats is a point-in-time snapshot of cache effectiveness.
-type Stats struct {
-	Hits    int64
-	Misses  int64
-	Entries int
-}
-
-// HitRate returns hits / lookups, or 0 before any lookup.
-func (s Stats) HitRate() float64 {
-	if s.Hits+s.Misses == 0 {
-		return 0
-	}
-	return float64(s.Hits) / float64(s.Hits+s.Misses)
-}
-
-func (s Stats) String() string {
-	return fmt.Sprintf("cache: %d entries, %d hits, %d misses (%.0f%% hit rate)",
-		s.Entries, s.Hits, s.Misses, 100*s.HitRate())
-}
-
-// Stats returns current counters.
-func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
-}
-
-// Len returns the number of cached results.
-func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
-}
-
-// Reset drops every entry and zeroes the counters.
-func (c *Cache) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.order.Init()
-	c.entries = map[string]*list.Element{}
-	c.hits, c.misses = 0, 0
-}
-
-// get looks the key up, counting a hit or miss and refreshing recency.
-func (c *Cache) get(key string) (*cacheEntry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry), true
-}
-
-// put stores the entry, evicting the least-recently-used on overflow.
-func (c *Cache) put(e *cacheEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[e.key]; ok {
-		el.Value = e
-		c.order.MoveToFront(el)
-		return
-	}
-	c.entries[e.key] = c.order.PushFront(e)
-	for len(c.entries) > c.max {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-	}
+	return &Cache{store.NewMemory[*cacheEntry](maxEntries, 1)}
 }

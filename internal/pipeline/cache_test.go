@@ -6,25 +6,23 @@ import (
 	"testing"
 )
 
-func entryFor(key string) *cacheEntry { return &cacheEntry{key: key} }
-
 func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(3)
 	for i := 0; i < 3; i++ {
-		c.put(entryFor(fmt.Sprintf("k%d", i)))
+		c.Put(fmt.Sprintf("k%d", i), &cacheEntry{})
 	}
-	if _, ok := c.get("k0"); !ok { // refresh k0: k1 is now oldest
+	if _, ok := c.Get("k0"); !ok { // refresh k0: k1 is now oldest
 		t.Fatal("k0 should be cached")
 	}
-	c.put(entryFor("k3"))
+	c.Put("k3", &cacheEntry{})
 	if c.Len() != 3 {
 		t.Fatalf("len = %d, want 3", c.Len())
 	}
-	if _, ok := c.get("k1"); ok {
+	if _, ok := c.Get("k1"); ok {
 		t.Error("k1 should have been evicted as least recently used")
 	}
 	for _, k := range []string{"k0", "k2", "k3"} {
-		if _, ok := c.get(k); !ok {
+		if _, ok := c.Get(k); !ok {
 			t.Errorf("%s should have survived", k)
 		}
 	}
@@ -32,8 +30,8 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheOverwriteSameKey(t *testing.T) {
 	c := NewCache(2)
-	c.put(entryFor("k"))
-	c.put(entryFor("k"))
+	c.Put("k", &cacheEntry{})
+	c.Put("k", &cacheEntry{})
 	if c.Len() != 1 {
 		t.Fatalf("len = %d, want 1", c.Len())
 	}
@@ -41,9 +39,9 @@ func TestCacheOverwriteSameKey(t *testing.T) {
 
 func TestCacheStatsAndReset(t *testing.T) {
 	c := NewCache(0)
-	c.put(entryFor("a"))
-	c.get("a")
-	c.get("missing")
+	c.Put("a", &cacheEntry{})
+	c.Get("a")
+	c.Get("missing")
 	st := c.Stats()
 	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
 		t.Fatalf("stats = %+v", st)
@@ -58,10 +56,37 @@ func TestCacheStatsAndReset(t *testing.T) {
 	}
 }
 
+// TestCacheEvictionsCounted pins the satellite fix: evictions are part of
+// the unified Stats for single and sharded caches alike (the old
+// ShardedCache summed per-shard stats into a struct with no eviction
+// field).
+func TestCacheEvictionsCounted(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    ResultCache
+	}{
+		{"single", NewCache(4)},
+		{"sharded", NewShardedCache(8, 8)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 100; i++ {
+				tc.c.Put(fakeKey(i), &cacheEntry{})
+			}
+			st := tc.c.Stats()
+			if st.Evictions == 0 {
+				t.Fatal("evictions missing from Stats")
+			}
+			if got := st.Evictions + int64(st.Entries); got != 100 {
+				t.Fatalf("evictions(%d) + entries(%d) = %d, want 100", st.Evictions, st.Entries, got)
+			}
+		})
+	}
+}
+
 func TestCacheDefaultBound(t *testing.T) {
 	c := NewCache(0)
 	for i := 0; i < DefaultCacheEntries+10; i++ {
-		c.put(entryFor(fmt.Sprintf("k%d", i)))
+		c.Put(fmt.Sprintf("k%d", i), &cacheEntry{})
 	}
 	if c.Len() != DefaultCacheEntries {
 		t.Fatalf("len = %d, want %d", c.Len(), DefaultCacheEntries)
@@ -77,8 +102,8 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", (w*31+i)%100)
-				if _, ok := c.get(key); !ok {
-					c.put(entryFor(key))
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, &cacheEntry{})
 				}
 			}
 		}(w)

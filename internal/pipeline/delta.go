@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"sort"
+
+	"mpsched/internal/dfg"
+)
+
+// The delta compile path: a request may name a base fingerprint (a graph
+// the store has already compiled with the same configuration). If the
+// submitted graph's node-signature multiset differs from the base's by a
+// small fraction, the base report's census and selection are reused and
+// only scheduling (and allocation) run fresh — census + selection
+// dominate a cold compile, so near-duplicates get most of the warm-path
+// speedup without an exact fingerprint match.
+//
+// A node's signature hashes its local neighbourhood: its color, degrees,
+// and the sorted colors of its predecessors and successors. Two graphs
+// that differ by a few recolored or rewired nodes therefore differ in
+// only the touched nodes' (and their neighbours') signatures, while a
+// structural overhaul moves most of the multiset and disqualifies reuse.
+
+// deltaMaxDiffFraction is the reuse threshold: above this fraction of
+// changed node signatures the base selection is considered stale and the
+// compile falls back to the cold path.
+const deltaMaxDiffFraction = 0.25
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return (h ^ 0xff) * fnvPrime64 // terminator so "ab","c" ≠ "a","bc"
+}
+
+// graphColors returns the distinct colors appearing in g, in first-seen
+// order — the demand side of the delta path's coverage check.
+func graphColors(g *dfg.Graph) []dfg.Color {
+	seen := map[dfg.Color]bool{}
+	var out []dfg.Color
+	for id := 0; id < g.N(); id++ {
+		c := g.ColorOf(id)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// nodeSignatures returns the sorted multiset of per-node neighbourhood
+// signatures for g.
+func nodeSignatures(g *dfg.Graph) []uint64 {
+	n := g.N()
+	sigs := make([]uint64, n)
+	var colors []string
+	for id := 0; id < n; id++ {
+		h := uint64(fnvOffset64)
+		h = fnvString(h, string(g.ColorOf(id)))
+		preds, succs := g.Preds(id), g.Succs(id)
+		h = (h ^ uint64(len(preds))) * fnvPrime64
+		h = (h ^ uint64(len(succs))) * fnvPrime64
+		colors = colors[:0]
+		for _, p := range preds {
+			colors = append(colors, string(g.ColorOf(p)))
+		}
+		sort.Strings(colors)
+		for _, c := range colors {
+			h = fnvString(h, c)
+		}
+		h = (h ^ '|') * fnvPrime64
+		colors = colors[:0]
+		for _, s := range succs {
+			colors = append(colors, string(g.ColorOf(s)))
+		}
+		sort.Strings(colors)
+		for _, c := range colors {
+			h = fnvString(h, c)
+		}
+		sigs[id] = h
+	}
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i] < sigs[j] })
+	return sigs
+}
+
+// sigDiffFraction returns the fraction of changed node signatures
+// between two sorted signature multisets: 1 − |a ∩ b| / max(|a|, |b|).
+// 0 for identical graphs, 1 for disjoint ones.
+func sigDiffFraction(a, b []uint64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	max := len(a)
+	if len(b) > max {
+		max = len(b)
+	}
+	common := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			common++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return 1 - float64(common)/float64(max)
+}

@@ -1,59 +1,28 @@
 package pipeline
 
 import (
-	"runtime"
+	"mpsched/internal/store"
 )
 
-// ResultCache is the cache surface a Pipeline consumes: the single-mutex
-// Cache and the ShardedCache both implement it. The lookup methods are
-// unexported on purpose — cache entries hold package-private compilation
-// results, so external implementations would have nothing to store.
-type ResultCache interface {
-	// Stats returns point-in-time effectiveness counters.
-	Stats() Stats
-	// Len returns the number of cached results.
-	Len() int
-	// Reset drops every entry and zeroes the counters.
-	Reset()
-
-	get(key string) (*cacheEntry, bool)
-	put(e *cacheEntry)
-}
-
-var (
-	_ ResultCache = (*Cache)(nil)
-	_ ResultCache = (*ShardedCache)(nil)
-)
-
-// ShardedCache is a Cache split into N independently-locked shards. Under
-// a serving workload every request takes the cache lock at least once
-// (even hits, to refresh LRU recency), so a single mutex becomes the
-// bottleneck long before the compile stages do; sharding spreads that
-// contention across N locks.
+// ShardedCache is the result cache split into N independently-locked
+// shards. Under a serving workload every request takes the cache lock at
+// least once (even hits, to refresh LRU recency), so a single mutex
+// becomes the bottleneck long before the compile stages do; sharding
+// spreads that contention across N locks.
 //
 // A key is routed by its fingerprint prefix: cache keys start with the
-// graph's content hash (see cacheKey), whose leading bytes are uniformly
-// distributed, so shards stay balanced without hashing the whole key.
-// Entry capacity and LRU eviction are per shard.
+// graph's content hash (see specCacheKey), whose leading bytes are
+// uniformly distributed, so shards stay balanced without hashing the
+// whole key. Entry capacity and LRU eviction are per shard. Since the
+// store redesign this is store.Memory with multiple shards.
 type ShardedCache struct {
-	shards []*Cache
+	*store.Memory[*cacheEntry]
 }
 
 // DefaultCacheShards is the shard count NewShardedCache(…, 0) selects:
 // enough locks that GOMAXPROCS workers rarely collide, rounded up to a
 // power of two, and never fewer than 8.
-func DefaultCacheShards() int {
-	n := 8
-	for n < runtime.GOMAXPROCS(0) {
-		n <<= 1
-	}
-	return n
-}
-
-// fingerprintPrefixLen is how many leading key bytes route a key to its
-// shard. Keys begin with the hex sha256 graph fingerprint, so 16 hex
-// digits (64 bits of the hash) are ample for uniform routing.
-const fingerprintPrefixLen = 16
+func DefaultCacheShards() int { return store.DefaultShards() }
 
 // NewShardedCache returns a cache of `shards` independently-locked shards
 // holding at most maxEntries results in total. maxEntries ≤ 0 selects
@@ -65,71 +34,20 @@ func NewShardedCache(maxEntries, shards int) *ShardedCache {
 	if shards <= 0 {
 		shards = DefaultCacheShards()
 	}
-	if shards > maxEntries {
-		shards = maxEntries
-	}
-	c := &ShardedCache{shards: make([]*Cache, shards)}
-	// Distribute capacity exactly: the first maxEntries%shards shards get
-	// one extra slot, so the total is maxEntries, not rounded up.
-	base, extra := maxEntries/shards, maxEntries%shards
-	for i := range c.shards {
-		n := base
-		if i < extra {
-			n++
-		}
-		c.shards[i] = NewCache(n)
-	}
-	return c
+	return &ShardedCache{store.NewMemory[*cacheEntry](maxEntries, shards)}
 }
 
-// Shards returns the shard count.
-func (c *ShardedCache) Shards() int { return len(c.shards) }
-
-// shard routes a key by its fingerprint prefix. The hash is FNV-1a,
-// inlined so routing costs no allocation on the hit path.
-func (c *ShardedCache) shard(key string) *Cache {
-	prefix := key
-	if len(prefix) > fingerprintPrefixLen {
-		prefix = prefix[:fingerprintPrefixLen]
+// NewTieredCache composes the sharded memory cache over a persistent
+// disk tier rooted at dir, so a restarted process starts warm: lookups
+// missing memory fall through to disk and promote, puts write through.
+// maxEntries/shards size the memory tier as in NewShardedCache; maxBytes
+// bounds the disk tier (0 means store.DefaultMaxBytes); logf (optional)
+// receives corruption and eviction reports.
+func NewTieredCache(maxEntries, shards int, dir string, maxBytes int64, logf store.Logf) (ResultCache, error) {
+	mem := NewShardedCache(maxEntries, shards)
+	disk, err := store.Open[*cacheEntry](dir, maxBytes, entryCodec{}, logf)
+	if err != nil {
+		return nil, err
 	}
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(prefix); i++ {
-		h = (h ^ uint32(prefix[i])) * prime32
-	}
-	return c.shards[h%uint32(len(c.shards))]
-}
-
-func (c *ShardedCache) get(key string) (*cacheEntry, bool) { return c.shard(key).get(key) }
-func (c *ShardedCache) put(e *cacheEntry)                  { c.shard(e.key).put(e) }
-
-// Stats sums the counters across shards.
-func (c *ShardedCache) Stats() Stats {
-	var total Stats
-	for _, s := range c.shards {
-		st := s.Stats()
-		total.Hits += st.Hits
-		total.Misses += st.Misses
-		total.Entries += st.Entries
-	}
-	return total
-}
-
-// Len returns the number of cached results across all shards.
-func (c *ShardedCache) Len() int {
-	n := 0
-	for _, s := range c.shards {
-		n += s.Len()
-	}
-	return n
-}
-
-// Reset drops every entry and zeroes the counters in all shards.
-func (c *ShardedCache) Reset() {
-	for _, s := range c.shards {
-		s.Reset()
-	}
+	return store.NewTiered[*cacheEntry](mem, disk), nil
 }

@@ -1,0 +1,269 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"mpsched/internal/alloc"
+	"mpsched/internal/dfg"
+	"mpsched/internal/sched"
+	"mpsched/internal/workloads"
+)
+
+// compileOnce runs one full compile (through allocation, with trace)
+// against the given cache and returns the report.
+func compileOnce(t *testing.T, cache ResultCache, g *dfg.Graph, base string) *Report {
+	t.Helper()
+	c := NewCompiler(Options{Cache: cache})
+	spec := NewSpec(g,
+		WithSelect(selectCfg(4)),
+		WithSchedule(sched.Options{KeepTrace: true}),
+		WithArch(alloc.DefaultArch()),
+	)
+	spec.BaseFingerprint = base
+	rep, err := c.Compile(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return rep
+}
+
+// entryBytes canonicalises a report into the disk codec's byte form —
+// the strongest equality we have for compile artifacts.
+func entryBytes(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	b, err := entryCodec{}.Append(nil, &cacheEntry{
+		selection: rep.Selection,
+		schedule:  rep.Schedule,
+		program:   rep.Program,
+		census:    rep.Census,
+		span:      rep.Span,
+		swept:     rep.SweptSpans,
+	})
+	if err != nil {
+		t.Fatalf("encode report: %v", err)
+	}
+	return b
+}
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	rep := compileOnce(t, nil, workloads.ThreeDFT(), "")
+	e := &cacheEntry{
+		selection: rep.Selection,
+		schedule:  rep.Schedule,
+		program:   rep.Program,
+		census:    rep.Census,
+		span:      rep.Span,
+		swept:     rep.SweptSpans,
+		sigs:      nodeSignatures(rep.Graph),
+	}
+	enc, err := entryCodec{}.Append(nil, e)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := entryCodec{}.Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	// Re-encoding the decoded entry must reproduce the bytes exactly —
+	// the bit-stable artifact contract.
+	enc2, err := entryCodec{}.Append(nil, dec)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("decode→encode did not round-trip bit-identically")
+	}
+	// Spot-check semantic fields survived.
+	if dec.span != e.span || dec.swept != e.swept {
+		t.Fatalf("span/swept: got %d/%v want %d/%v", dec.span, dec.swept, e.span, e.swept)
+	}
+	if dec.schedule.Length() != e.schedule.Length() {
+		t.Fatalf("schedule length: got %d want %d", dec.schedule.Length(), e.schedule.Length())
+	}
+	if len(dec.selection.Steps) != len(e.selection.Steps) {
+		t.Fatalf("selection steps: got %d want %d", len(dec.selection.Steps), len(e.selection.Steps))
+	}
+	if dec.program.Stats != e.program.Stats {
+		t.Fatalf("program stats: got %+v want %+v", dec.program.Stats, e.program.Stats)
+	}
+	if len(dec.sigs) != len(e.sigs) {
+		t.Fatalf("sigs: got %d want %d", len(dec.sigs), len(e.sigs))
+	}
+	// Decoded schedule shares the selection's pattern set, as live
+	// entries do.
+	if dec.schedule.Patterns != dec.selection.Patterns {
+		t.Fatal("decoded schedule must share the selection's pattern set")
+	}
+}
+
+func TestTieredCacheWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := workloads.ThreeDFT()
+
+	cache1, err := NewTieredCache(0, 0, dir, 0, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := compileOnce(t, cache1, g, "")
+	if cold.CacheHit {
+		t.Fatal("cold compile reported a cache hit")
+	}
+	if err := cache1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh tiered cache over the same directory serves the
+	// compile from disk.
+	cache2, err := NewTieredCache(0, 0, dir, 0, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache2.Close()
+	warm := compileOnce(t, cache2, g, "")
+	if !warm.CacheHit {
+		t.Fatal("compile after restart missed the persisted store")
+	}
+	if !bytes.Equal(entryBytes(t, cold), entryBytes(t, warm)) {
+		t.Fatal("disk-served compile differs from the original")
+	}
+}
+
+// TestTieredEquivalence pins the old-vs-new acceptance criterion at the
+// pipeline layer: compiles served through the tiered store are
+// bit-identical to the in-memory-cache path, across the workload catalog.
+func TestTieredEquivalence(t *testing.T) {
+	graphs := []*dfg.Graph{
+		workloads.ThreeDFT(),
+		workloads.Fig4Small(),
+	}
+	for _, g := range graphs {
+		mem := NewShardedCache(0, 0)
+		tiered, err := NewTieredCache(0, 0, t.TempDir(), 0, t.Logf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memCold := compileOnce(t, mem, g, "")
+		memWarm := compileOnce(t, mem, g, "")
+		tierCold := compileOnce(t, tiered, g, "")
+		tierWarm := compileOnce(t, tiered, g, "")
+		want := entryBytes(t, memCold)
+		for name, rep := range map[string]*Report{
+			"memory warm": memWarm, "tiered cold": tierCold, "tiered warm": tierWarm,
+		} {
+			if !memWarm.CacheHit || !tierWarm.CacheHit {
+				t.Fatalf("%s: warm path missed the cache", g.Name)
+			}
+			if !bytes.Equal(want, entryBytes(t, rep)) {
+				t.Fatalf("%s: %s compile differs from memory-cache path", g.Name, name)
+			}
+		}
+		tiered.Close()
+	}
+}
+
+// recolorNodes rebuilds g with the colors of k chosen nodes replaced by
+// other colors already present in the graph — the "small edit" a delta
+// request carries. Deterministic in seed.
+func recolorNodes(g *dfg.Graph, k int, seed int) *dfg.Graph {
+	colors := g.Colors()
+	out := dfg.NewGraph(g.Name + "-mut")
+	n := g.N()
+	state := uint64(seed)*2654435761 + 1
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(mod))
+	}
+	mutate := map[int]dfg.Color{}
+	for i := 0; i < k; i++ {
+		id := next(n)
+		mutate[id] = colors[next(len(colors))]
+	}
+	for id := 0; id < n; id++ {
+		node := g.Node(id)
+		if c, ok := mutate[id]; ok {
+			node.Color = c
+		}
+		out.MustAddNode(node)
+	}
+	for id := 0; id < n; id++ {
+		for _, s := range g.Succs(id) {
+			out.MustAddDep(id, s)
+		}
+	}
+	return out
+}
+
+func TestDeltaCompileReusesBaseSelection(t *testing.T) {
+	cache := NewShardedCache(0, 0)
+	base := workloads.ThreeDFT()
+	baseRep := compileOnce(t, cache, base, "")
+	if baseRep.DeltaBase != "" {
+		t.Fatal("base compile must not be a delta")
+	}
+
+	mut := recolorNodes(base, 2, 1)
+	if mut.Fingerprint() == base.Fingerprint() {
+		t.Fatal("test setup: mutation did not change the fingerprint")
+	}
+	rep := compileOnce(t, cache, mut, base.Fingerprint())
+	if rep.CacheHit {
+		t.Fatal("first delta compile cannot be a cache hit")
+	}
+	if rep.DeltaBase != base.Fingerprint() {
+		t.Fatalf("DeltaBase = %q, want base fingerprint", rep.DeltaBase)
+	}
+	// The reused selection is the base's; the schedule is fresh and valid
+	// for the mutated graph.
+	if rep.Selection != baseRep.Selection {
+		t.Fatal("delta compile did not reuse the base selection")
+	}
+	if err := rep.Schedule.Verify(); err != nil {
+		t.Fatalf("delta schedule invalid: %v", err)
+	}
+	// Census must not have re-run: the delta path's entire point.
+	if rep.StageElapsed(StageCensus) != 0 || rep.StageElapsed(StageSelect) != 0 {
+		t.Fatal("delta compile re-ran census/select")
+	}
+
+	// Repeating the same delta request hits the delta-tagged entry.
+	rep2 := compileOnce(t, cache, mut, base.Fingerprint())
+	if !rep2.CacheHit {
+		t.Fatal("repeated delta compile missed the delta-tagged entry")
+	}
+	if rep2.DeltaBase != base.Fingerprint() {
+		t.Fatalf("repeated delta DeltaBase = %q", rep2.DeltaBase)
+	}
+
+	// The mutated graph without a base still compiles cold (delta entries
+	// never answer plain keys).
+	rep3 := compileOnce(t, cache, mut, "")
+	if rep3.CacheHit || rep3.DeltaBase != "" {
+		t.Fatal("plain compile of mutated graph must not be answered by delta entries")
+	}
+}
+
+func TestDeltaFallsBackWhenTooDifferent(t *testing.T) {
+	cache := NewShardedCache(0, 0)
+	base := workloads.ThreeDFT()
+	compileOnce(t, cache, base, "")
+
+	// A different workload entirely: diff fraction way over threshold.
+	other := workloads.Fig4Small()
+	rep := compileOnce(t, cache, other, base.Fingerprint())
+	if rep.DeltaBase != "" {
+		t.Fatal("dissimilar graph must not reuse the base selection")
+	}
+	if rep.Selection == nil || rep.StageElapsed(StageSelect) == 0 {
+		t.Fatal("fallback compile must have run selection")
+	}
+}
+
+func TestDeltaUnknownBaseFallsBack(t *testing.T) {
+	cache := NewShardedCache(0, 0)
+	rep := compileOnce(t, cache, workloads.ThreeDFT(), "no-such-fingerprint")
+	if rep.DeltaBase != "" || rep.Selection == nil {
+		t.Fatal("unknown base must fall back to a cold compile")
+	}
+}

@@ -112,6 +112,7 @@ func toJobGraph(req CompileRequest, cached *dfg.Graph) (pipeline.Job, error) {
 
 	job.StopAfter = stopStages[req.StopAfter] // validated above
 	job.Spans = req.Spans
+	job.BaseFingerprint = req.BaseFingerprint
 	return job, nil
 }
 
@@ -144,6 +145,7 @@ func (s *Server) toResponse(r pipeline.Result) *CompileResponse {
 	if rep := r.Report; rep != nil {
 		resp.Span = rep.Span
 		resp.SweptSpans = rep.SweptSpans
+		resp.Delta = rep.DeltaBase != ""
 		if rep.Census != nil {
 			resp.Census = &CensusResponse{
 				Antichains: rep.Census.Antichains,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mpsched/internal/obs"
+	"mpsched/internal/store"
 )
 
 // metrics holds the daemon's counters and latency distributions,
@@ -152,7 +153,9 @@ func summary(w io.Writer, name, labels string, h obs.Histogram) {
 
 // render writes the Prometheus text exposition. queueDepth and cache
 // state are sampled by the caller so metrics stays decoupled from Server.
-func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cacheHits, cacheMisses int64, cacheEntries int) {
+// tiers, when non-empty, is the per-tier breakdown of a tiered result
+// store (memory + disk).
+func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cacheHits, cacheMisses int64, cacheEntries int, tiers []store.TierStats) {
 	uptime := time.Since(m.start).Seconds()
 
 	counter := func(name, help string, v int64) {
@@ -208,6 +211,25 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, cacheHits, cache
 	counter("mpschedd_cache_hits_total", "Result-cache hits.", cacheHits)
 	counter("mpschedd_cache_misses_total", "Result-cache misses.", cacheMisses)
 	gauge("mpschedd_cache_entries", "Results currently cached.", float64(cacheEntries))
+
+	if len(tiers) > 0 {
+		tierFamily := func(name, help, kind string, v func(store.TierStats) float64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+			for _, t := range tiers {
+				fmt.Fprintf(w, "%s{tier=%q} %g\n", name, t.Tier, v(t))
+			}
+		}
+		tierFamily("mpschedd_store_hits_total", "Result-store hits by tier.", "counter",
+			func(t store.TierStats) float64 { return float64(t.Hits) })
+		tierFamily("mpschedd_store_misses_total", "Result-store misses by tier.", "counter",
+			func(t store.TierStats) float64 { return float64(t.Misses) })
+		tierFamily("mpschedd_store_evictions_total", "Result-store evictions by tier.", "counter",
+			func(t store.TierStats) float64 { return float64(t.Evictions) })
+		tierFamily("mpschedd_store_entries", "Results currently stored by tier.", "gauge",
+			func(t store.TierStats) float64 { return float64(t.Entries) })
+		tierFamily("mpschedd_store_bytes", "Bytes held by tier (disk tiers only).", "gauge",
+			func(t store.TierStats) float64 { return float64(t.Bytes) })
+	}
 
 	counter("mpschedd_jobs_submitted_total", "Async jobs accepted into the queue.", m.jobsSubmitted.Load())
 	counter("mpschedd_jobs_completed_total", "Async jobs finished successfully.", m.jobsCompleted.Load())

@@ -46,6 +46,7 @@ import (
 	"mpsched/internal/obs"
 	"mpsched/internal/pipeline"
 	"mpsched/internal/resilience"
+	"mpsched/internal/store"
 	"mpsched/internal/wire"
 )
 
@@ -74,6 +75,11 @@ type Options struct {
 	CacheEntries int
 	// CacheShards sets the shard count; ≤ 0 means DefaultCacheShards().
 	CacheShards int
+	// Cache, when non-nil, is the result store to serve compiles from and
+	// overrides CacheEntries/CacheShards — this is how mpschedd injects a
+	// persistent tiered store (pipeline.NewTieredCache) for warm restarts.
+	// The caller keeps ownership: close it after the server drains.
+	Cache pipeline.ResultCache
 	// MaxStoredJobs caps retained terminal jobs; ≤ 0 means
 	// DefaultMaxStoredJobs.
 	MaxStoredJobs int
@@ -242,7 +248,10 @@ func newServer(opts Options, startWorkers bool) *Server {
 		drainCh:   make(chan struct{}),
 		drainDone: make(chan struct{}),
 	}
-	if opts.CacheEntries >= 0 {
+	switch {
+	case opts.Cache != nil:
+		s.cache = opts.Cache
+	case opts.CacheEntries >= 0:
 		s.cache = pipeline.NewShardedCache(opts.CacheEntries, opts.CacheShards)
 	}
 	s.pipe = pipeline.New(pipeline.Options{Workers: opts.PipelineWorkers, Cache: s.cache})
@@ -609,11 +618,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var hits, misses int64
 	entries := 0
+	var tiers []store.TierStats
 	if s.cache != nil {
 		st := s.cache.Stats()
 		hits, misses, entries = st.Hits, st.Misses, st.Entries
+		// A tiered store additionally exposes per-tier hit/miss/evict/size
+		// breakdowns; plain memory caches render only the totals above.
+		if t, ok := s.cache.(store.Tiers); ok {
+			tiers = t.Tiers()
+		}
 	}
-	s.metrics.render(w, len(s.queue), s.opts.QueueDepth, hits, misses, entries)
+	s.metrics.render(w, len(s.queue), s.opts.QueueDepth, hits, misses, entries, tiers)
 }
 
 // ---- plumbing ----

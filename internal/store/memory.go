@@ -1,0 +1,186 @@
+package store
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+)
+
+// DefaultEntries is the default per-store entry bound for the memory
+// tier. Sized so the full scenario corpus at several span configurations
+// fits without eviction.
+const DefaultEntries = 4096
+
+// DefaultShards returns the default memory shard count: the smallest
+// power of two ≥ max(8, GOMAXPROCS) — enough locks that concurrent
+// workers rarely collide.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	return shards
+}
+
+// fingerprintPrefixLen bounds how much of the key the shard router
+// hashes. Store keys lead with the graph fingerprint (hex sha256), so 16
+// bytes of prefix already carry 64 bits of entropy; hashing more would
+// only burn cycles on the shared config suffix.
+const fingerprintPrefixLen = 16
+
+// Memory is the in-process tier: an LRU map sharded by key prefix so
+// concurrent compiles don't serialise on one mutex. The zero value is
+// not usable; construct with NewMemory.
+type Memory[V any] struct {
+	shards []*memShard[V]
+}
+
+type memShard[V any] struct {
+	mu         sync.Mutex
+	maxEntries int
+	ll         *list.List
+	items      map[string]*list.Element
+	hits       int64
+	misses     int64
+	evictions  int64
+}
+
+type memEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewMemory builds a sharded LRU bounded at maxEntries total (0 means
+// DefaultEntries; 0 shards means DefaultShards(), and the count is
+// clamped so no shard has zero capacity). Capacity is distributed
+// exactly: the first maxEntries%shards shards hold one extra entry.
+func NewMemory[V any](maxEntries, shards int) *Memory[V] {
+	if maxEntries <= 0 {
+		maxEntries = DefaultEntries
+	}
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	if shards > maxEntries {
+		shards = maxEntries
+	}
+	m := &Memory[V]{
+		shards: make([]*memShard[V], shards),
+	}
+	base, extra := maxEntries/shards, maxEntries%shards
+	for i := range m.shards {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		m.shards[i] = &memShard[V]{
+			maxEntries: cap,
+			ll:         list.New(),
+			items:      make(map[string]*list.Element),
+		}
+	}
+	return m
+}
+
+// shardFor routes by FNV-1a over the first fingerprintPrefixLen bytes of
+// the key.
+func (m *Memory[V]) shardFor(key string) *memShard[V] {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	n := len(key)
+	if n > fingerprintPrefixLen {
+		n = fingerprintPrefixLen
+	}
+	h := uint32(offset32)
+	for i := 0; i < n; i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return m.shards[h%uint32(len(m.shards))]
+}
+
+// Get implements Store.
+func (m *Memory[V]) Get(key string) (V, bool) {
+	sh := m.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		sh.hits++
+		sh.ll.MoveToFront(el)
+		return el.Value.(*memEntry[V]).val, true
+	}
+	sh.misses++
+	var zero V
+	return zero, false
+}
+
+// Put implements Store.
+func (m *Memory[V]) Put(key string, v V) {
+	sh := m.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
+		el.Value.(*memEntry[V]).val = v
+		sh.ll.MoveToFront(el)
+		return
+	}
+	sh.items[key] = sh.ll.PushFront(&memEntry[V]{key: key, val: v})
+	for sh.ll.Len() > sh.maxEntries {
+		oldest := sh.ll.Back()
+		if oldest == nil {
+			break
+		}
+		sh.ll.Remove(oldest)
+		delete(sh.items, oldest.Value.(*memEntry[V]).key)
+		sh.evictions++
+	}
+}
+
+// Stats implements Store, summing across shards (including evictions —
+// the counter the old sharded cache dropped).
+func (m *Memory[V]) Stats() Stats {
+	var st Stats
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Evictions += sh.evictions
+		st.Entries += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Len implements Store.
+func (m *Memory[V]) Len() int {
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Reset implements Store.
+func (m *Memory[V]) Reset() {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.ll.Init()
+		sh.items = make(map[string]*list.Element)
+		sh.hits, sh.misses, sh.evictions = 0, 0, 0
+		sh.mu.Unlock()
+	}
+}
+
+// Close implements Store; the memory tier holds no external resources.
+func (m *Memory[V]) Close() error { return nil }
+
+// Shards reports the shard count (diagnostic).
+func (m *Memory[V]) Shards() int { return len(m.shards) }

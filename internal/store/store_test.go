@@ -1,0 +1,394 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stringCodec serialises plain strings for tests.
+type stringCodec struct{}
+
+func (stringCodec) Append(buf []byte, v string) ([]byte, error) { return append(buf, v...), nil }
+func (stringCodec) Decode(data []byte) (string, error)          { return string(data), nil }
+
+func TestMemoryLRUAndStats(t *testing.T) {
+	m := NewMemory[string](4, 1)
+	for i := 0; i < 4; i++ {
+		m.Put(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	if _, ok := m.Get("k0"); !ok { // touch k0 so k1 is LRU
+		t.Fatal("k0 missing")
+	}
+	m.Put("k4", "v4") // evicts k1
+	if _, ok := m.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	if _, ok := m.Get("k0"); !ok {
+		t.Fatal("k0 should have survived (recently used)")
+	}
+	st := m.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 4 || m.Len() != 4 {
+		t.Fatalf("entries = %d len = %d, want 4", st.Entries, m.Len())
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
+	}
+	m.Reset()
+	if st := m.Stats(); st.Entries != 0 || st.Hits != 0 || st.Evictions != 0 {
+		t.Fatalf("after reset: %+v", st)
+	}
+}
+
+func TestMemoryShardedEvictionsCounted(t *testing.T) {
+	// Regression for the old ShardedCache bug: per-shard eviction counts
+	// were dropped from the summed Stats.
+	m := NewMemory[string](8, 8)
+	for i := 0; i < 200; i++ {
+		m.Put(fmt.Sprintf("key-%03d", i), "v")
+	}
+	st := m.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("sharded memory store lost its eviction count")
+	}
+	if got := st.Evictions + int64(st.Entries); got != 200 {
+		t.Fatalf("evictions(%d) + entries(%d) = %d, want 200", st.Evictions, st.Entries, got)
+	}
+}
+
+func TestMemoryRoutingIsStable(t *testing.T) {
+	m := NewMemory[string](1024, 16)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("%016x%048x|cfg", i*2654435761, i)
+		if m.shardFor(k) != m.shardFor(k) {
+			t.Fatalf("key %q routed to different shards", k)
+		}
+	}
+	// Keys sharing a fingerprint prefix (same graph, different config)
+	// land on the same shard.
+	if m.shardFor("0123456789abcdef|variantA") != m.shardFor("0123456789abcdef|variantB") {
+		t.Fatal("same-fingerprint keys routed to different shards")
+	}
+}
+
+func TestMemorySpreadsKeys(t *testing.T) {
+	m := NewMemory[string](4096, 8)
+	for i := 0; i < 512; i++ {
+		m.Put(fmt.Sprintf("%016x%048x", i*2654435761, i), "v")
+	}
+	occupied := 0
+	for _, sh := range m.shards {
+		if sh.ll.Len() > 0 {
+			occupied++
+		}
+	}
+	if occupied < 6 {
+		t.Fatalf("512 distinct prefixes landed on only %d of 8 shards", occupied)
+	}
+}
+
+func TestMemoryShardCapacityExact(t *testing.T) {
+	m := NewMemory[string](10, 4)
+	total := 0
+	for _, sh := range m.shards {
+		total += sh.maxEntries
+	}
+	if total != 10 {
+		t.Fatalf("distributed capacity = %d, want 10", total)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open[string](dir, 0, stringCodec{}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d.Put(fmt.Sprintf("key-%d", i), strings.Repeat("x", i))
+	}
+	d.Put("key-7", "updated") // duplicate key: last write wins
+	for i := 0; i < 50; i++ {
+		want := strings.Repeat("x", i)
+		if i == 7 {
+			want = "updated"
+		}
+		got, ok := d.Get(fmt.Sprintf("key-%d", i))
+		if !ok || got != want {
+			t.Fatalf("key-%d: got %q ok=%v, want %q", i, got, ok, want)
+		}
+	}
+	st := d.Stats()
+	if st.Entries != 50 {
+		t.Fatalf("entries = %d, want 50", st.Entries)
+	}
+	if st.Bytes <= 0 {
+		t.Fatal("bytes not accounted")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything persists, duplicate still resolves to last write.
+	d2, err := Open[string](dir, 0, stringCodec{}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got, ok := d2.Get("key-7"); !ok || got != "updated" {
+		t.Fatalf("after reopen key-7 = %q ok=%v", got, ok)
+	}
+	if d2.Len() != 50 {
+		t.Fatalf("after reopen len = %d, want 50", d2.Len())
+	}
+}
+
+func TestDiskTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open[string](dir, 0, stringCodec{}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("alpha", "one")
+	d.Put("beta", "two")
+	d.Close()
+
+	// Simulate dying mid-Put: append half an entry to the segment.
+	seg := segPath(dir, 1)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := binary.AppendUvarint(nil, 5)
+	torn = append(torn, "gam"...) // key cut short, no value, no CRC
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var logged []string
+	logf := func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	d2, err := Open[string](dir, 0, stringCodec{}, logf)
+	if err != nil {
+		t.Fatalf("open over torn tail: %v", err)
+	}
+	defer d2.Close()
+	if got, ok := d2.Get("alpha"); !ok || got != "one" {
+		t.Fatalf("alpha = %q ok=%v after torn-tail recovery", got, ok)
+	}
+	if got, ok := d2.Get("beta"); !ok || got != "two" {
+		t.Fatalf("beta = %q ok=%v after torn-tail recovery", got, ok)
+	}
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "truncating torn tail") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("torn tail not logged: %v", logged)
+	}
+	// New writes after recovery land cleanly.
+	d2.Put("gamma", "three")
+	if got, ok := d2.Get("gamma"); !ok || got != "three" {
+		t.Fatalf("gamma = %q ok=%v", got, ok)
+	}
+}
+
+func TestDiskCorruptEntrySkippedAndLogged(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open[string](dir, 0, stringCodec{}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("first", "aaaa")
+	d.Put("second", "bbbb")
+	d.Put("third", "cccc")
+	d.Close()
+
+	// Flip a byte inside the middle entry's value: framing stays intact,
+	// CRC no longer matches.
+	seg := segPath(dir, 1)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(string(data), "bbbb")
+	if idx < 0 {
+		t.Fatal("test setup: value not found in segment")
+	}
+	data[idx] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logged []string
+	logf := func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	d2, err := Open[string](dir, 0, stringCodec{}, logf)
+	if err != nil {
+		t.Fatalf("open over corrupt entry: %v", err)
+	}
+	defer d2.Close()
+	if _, ok := d2.Get("second"); ok {
+		t.Fatal("corrupt entry should not be served")
+	}
+	if got, ok := d2.Get("first"); !ok || got != "aaaa" {
+		t.Fatalf("first = %q ok=%v", got, ok)
+	}
+	if got, ok := d2.Get("third"); !ok || got != "cccc" {
+		t.Fatalf("third = %q ok=%v", got, ok)
+	}
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "skipped 1 corrupt entries") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("corruption not logged: %v", logged)
+	}
+}
+
+func TestDiskBadHeaderSegmentRemoved(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(segPath(dir, 3), []byte("not a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	logf := func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	d, err := Open[string](dir, 0, stringCodec{}, logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if len(logged) == 0 || !strings.Contains(logged[0], "bad segment header") {
+		t.Fatalf("bad header not logged: %v", logged)
+	}
+	if _, err := os.Stat(segPath(dir, 3)); !os.IsNotExist(err) {
+		t.Fatal("bad segment should have been removed")
+	}
+}
+
+func TestDiskSegmentEviction(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open[string](dir, 4<<20, stringCodec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	// maxSeg clamps to 1MB; write ~6MB so old segments must be evicted.
+	val := strings.Repeat("v", 32<<10)
+	for i := 0; i < 192; i++ {
+		d.Put(fmt.Sprintf("key-%04d", i), val)
+	}
+	st := d.Stats()
+	if st.Bytes > 4<<20 {
+		t.Fatalf("bytes = %d exceeds bound", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	if _, ok := d.Get("key-0000"); ok {
+		t.Fatal("oldest entry should have been evicted with its segment")
+	}
+	if _, ok := d.Get("key-0191"); !ok {
+		t.Fatal("newest entry must survive eviction")
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "seg-*"))
+	if len(files) == 0 || len(files) > 5 {
+		t.Fatalf("unexpected segment count %d", len(files))
+	}
+}
+
+func TestTieredPromoteAndStats(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := Open[string](dir, 0, stringCodec{}, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory[string](8, 1)
+	ts := NewTiered[string](mem, disk)
+	ts.Put("a", "1")
+
+	// Simulate a restart: memory cold, disk warm.
+	mem.Reset()
+	if v, ok := ts.Get("a"); !ok || v != "1" {
+		t.Fatalf("disk tier miss after memory reset: %q %v", v, ok)
+	}
+	if _, ok := mem.Get("a"); !ok {
+		t.Fatal("disk hit was not promoted to memory")
+	}
+	st := ts.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("tiered hits = %d, want 1 (disk hits count)", st.Hits)
+	}
+	tt, ok := any(ts).(Tiers)
+	if !ok {
+		t.Fatal("tiered store must implement Tiers")
+	}
+	tiers := tt.Tiers()
+	if len(tiers) != 2 || tiers[0].Tier != "memory" || tiers[1].Tier != "disk" {
+		t.Fatalf("tiers = %+v", tiers)
+	}
+	if tiers[1].Bytes == 0 {
+		t.Fatal("disk tier bytes missing from per-tier stats")
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTieredNilDiskIsMemory(t *testing.T) {
+	mem := NewMemory[string](8, 1)
+	if got := NewTiered[string](mem, nil); got != Store[string](mem) {
+		t.Fatal("NewTiered with nil disk should return the memory tier")
+	}
+}
+
+// FuzzStoreSegment drives the segment scanner with arbitrary bytes: it
+// must never panic, and the reported valid prefix must itself rescan to
+// the same entries (idempotent recovery).
+func FuzzStoreSegment(f *testing.F) {
+	// Seed with a well-formed segment holding two entries.
+	seed := append([]byte(diskMagic), diskVersion)
+	for _, kv := range [][2]string{{"alpha", "value-1"}, {"beta", "value-2"}} {
+		seed = binary.AppendUvarint(seed, uint64(len(kv[0])))
+		seed = append(seed, kv[0]...)
+		seed = binary.AppendUvarint(seed, uint64(len(kv[1])))
+		seed = append(seed, kv[1]...)
+		crc := crc32.ChecksumIEEE([]byte(kv[0]))
+		crc = crc32.Update(crc, crc32.IEEETable, []byte(kv[1]))
+		seed = binary.LittleEndian.AppendUint32(seed, crc)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3]) // torn tail
+	f.Add([]byte("MPD\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var keys1 []string
+		valid, _ := ScanSegment(data, func(key string, off int64, vlen int) {
+			if off < 0 || vlen < 0 || off+int64(vlen) > int64(len(data)) {
+				t.Fatalf("entry ref out of bounds: off=%d vlen=%d len=%d", off, vlen, len(data))
+			}
+			keys1 = append(keys1, key)
+		})
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("validLen %d out of range", valid)
+		}
+		// Rescanning the valid prefix must find the same intact entries.
+		var keys2 []string
+		ScanSegment(data[:valid], func(key string, off int64, vlen int) {
+			keys2 = append(keys2, key)
+		})
+		if len(keys1) != len(keys2) {
+			t.Fatalf("rescan of valid prefix: %d entries vs %d", len(keys2), len(keys1))
+		}
+	})
+}

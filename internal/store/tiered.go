@@ -1,0 +1,93 @@
+package store
+
+import "sync/atomic"
+
+// tiered composes a fast front tier over a persistent back tier. Gets
+// try the front first; a back-tier hit is promoted into the front. Puts
+// write through to both, so entries survive a restart while the working
+// set stays hot in memory.
+type tiered[V any] struct {
+	mem    Store[V]
+	disk   Store[V]
+	hits   atomic.Int64 // served from either tier
+	misses atomic.Int64
+}
+
+// NewTiered composes mem over disk. If disk is nil the memory tier is
+// returned unchanged (a tiered store with no persistence is just its
+// front).
+func NewTiered[V any](mem, disk Store[V]) Store[V] {
+	if disk == nil {
+		return mem
+	}
+	return &tiered[V]{mem: mem, disk: disk}
+}
+
+func (t *tiered[V]) Get(key string) (V, bool) {
+	if v, ok := t.mem.Get(key); ok {
+		t.hits.Add(1)
+		return v, true
+	}
+	if v, ok := t.disk.Get(key); ok {
+		t.mem.Put(key, v) // promote
+		t.hits.Add(1)
+		return v, true
+	}
+	t.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+func (t *tiered[V]) Put(key string, v V) {
+	t.mem.Put(key, v)
+	t.disk.Put(key, v)
+}
+
+// Stats reports the combined view: hits count service from any tier (so
+// a warm restart that serves from disk still reads as hot), entries and
+// bytes come from the tier that bounds them.
+func (t *tiered[V]) Stats() Stats {
+	ms, ds := t.mem.Stats(), t.disk.Stats()
+	st := Stats{
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		Evictions: ms.Evictions + ds.Evictions,
+		Entries:   ms.Entries,
+		Bytes:     ds.Bytes,
+	}
+	if ds.Entries > st.Entries {
+		st.Entries = ds.Entries
+	}
+	return st
+}
+
+// Tiers implements the Tiers interface for per-tier metrics exposition.
+func (t *tiered[V]) Tiers() []TierStats {
+	return []TierStats{
+		{Tier: "memory", Stats: t.mem.Stats()},
+		{Tier: "disk", Stats: t.disk.Stats()},
+	}
+}
+
+func (t *tiered[V]) Len() int {
+	if n := t.disk.Len(); n > t.mem.Len() {
+		return n
+	}
+	return t.mem.Len()
+}
+
+func (t *tiered[V]) Reset() {
+	t.mem.Reset()
+	t.disk.Reset()
+	t.hits.Store(0)
+	t.misses.Store(0)
+}
+
+func (t *tiered[V]) Close() error {
+	err1 := t.mem.Close()
+	err2 := t.disk.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -121,6 +121,13 @@ type (
 	// ShardedCompileCache is the N-way sharded result cache for highly
 	// concurrent serving (many goroutines hitting one pipeline).
 	ShardedCompileCache = pipeline.ShardedCache
+	// ResultCache is the unified result-store surface every compile cache
+	// flavor implements (Get/Put/Stats/Len/Reset/Close) and the type
+	// PipelineOptions.Cache and CompileServerOptions.Cache consume.
+	ResultCache = pipeline.ResultCache
+	// CompileCacheStats is the counter snapshot a ResultCache reports:
+	// hits, misses, evictions, resident entries and bytes.
+	CompileCacheStats = pipeline.Stats
 	// CompileServer is the HTTP/JSON compile service (the mpschedd core).
 	CompileServer = server.Server
 	// CompileServerOptions configures a CompileServer.
@@ -360,6 +367,17 @@ func CompileBatch(jobs []PipelineJob, opts PipelineOptions) []PipelineResult {
 // mpschedd server uses it by default.
 func NewShardedCompileCache(maxEntries, shards int) *ShardedCompileCache {
 	return pipeline.NewShardedCache(maxEntries, shards)
+}
+
+// NewTieredCompileCache returns a result cache whose memory tier (sized
+// as in NewShardedCompileCache) is backed by a persistent disk tier
+// rooted at dir, holding at most maxBytes on disk (≤ 0 for the default
+// bound). Lookups missing memory fall through to disk and promote; puts
+// write through. A process reopened over the same dir starts warm — the
+// store behind mpschedd -store-dir. The caller owns the cache: pass it
+// via CompileServerOptions.Cache and Close it after the server drains.
+func NewTieredCompileCache(maxEntries, shards int, dir string, maxBytes int64) (ResultCache, error) {
+	return pipeline.NewTieredCache(maxEntries, shards, dir, maxBytes, nil)
 }
 
 // NewServer returns the embeddable compile service: an http.Handler

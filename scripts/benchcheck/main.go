@@ -83,16 +83,17 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		current    = fs.String("current", "", "bench JSON to validate, comma-separated files merged (required unless only -metrics/-traces/-router-metrics)")
-		baseline   = fs.String("baseline", "", "checked-in baseline to compare against")
-		tol        = fs.Float64("tol", 3.0, "regression tolerance: current must be <= tol x baseline")
-		loadgen    = fs.String("loadgen", "", "name of a load-test result that must be healthy")
-		metricsIn  = fs.String("metrics", "", "saved GET /metrics body to check for internal consistency")
-		tracesIn   = fs.String("traces", "", "saved GET /debug/traces body whose traces must all be terminal")
-		cacheFloor = fs.Float64("cache-floor", 0, "minimum cache_hit_ratio for every load result in -current (0 = off)")
-		routerIn   = fs.String("router-metrics", "", "saved router GET /metrics body to check (mpschedrouter_* surface)")
-		require    repeatable
-		scale      repeatable
+		current      = fs.String("current", "", "bench JSON to validate, comma-separated files merged (required unless only -metrics/-traces/-router-metrics)")
+		baseline     = fs.String("baseline", "", "checked-in baseline to compare against")
+		tol          = fs.Float64("tol", 3.0, "regression tolerance: current must be <= tol x baseline")
+		loadgen      = fs.String("loadgen", "", "name of a load-test result that must be healthy")
+		metricsIn    = fs.String("metrics", "", "saved GET /metrics body to check for internal consistency")
+		tracesIn     = fs.String("traces", "", "saved GET /debug/traces body whose traces must all be terminal")
+		cacheFloor   = fs.Float64("cache-floor", 0, "minimum cache_hit_ratio for every load result in -current (0 = off)")
+		restartFloor = fs.Float64("restart-hit-floor", 0, "minimum warm_restart_hit_ratio as a fraction of pre_restart_hit_ratio for every restart-storm result in -current (0 = off)")
+		routerIn     = fs.String("router-metrics", "", "saved router GET /metrics body to check (mpschedrouter_* surface)")
+		require      repeatable
+		scale        repeatable
 	)
 	fs.Var(&require, "require", "result name that must exist in -current (repeatable)")
 	fs.Var(&scale, "scale", "throughput scaling gate 'from;to;min': jobs_per_sec(to) must be >= min x jobs_per_sec(from) (repeatable)")
@@ -136,8 +137,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintf(stdout, "benchcheck: %s: %d results, schema ok\n", *current, len(cur.Results))
-	} else if *baseline != "" || *loadgen != "" || len(require) > 0 || len(scale) > 0 || *cacheFloor > 0 {
-		return fail("-baseline/-require/-loadgen/-scale/-cache-floor need -current")
+	} else if *baseline != "" || *loadgen != "" || len(require) > 0 || len(scale) > 0 || *cacheFloor > 0 || *restartFloor > 0 {
+		return fail("-baseline/-require/-loadgen/-scale/-cache-floor/-restart-hit-floor need -current")
 	}
 	if *baseline != "" {
 		base, err := benchfmt.ReadFile(*baseline)
@@ -240,6 +241,32 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stdout, "benchcheck: ok   %-40s cache hit ratio %.2f (floor %.2f)\n",
 					r.Name, r.CacheHitRatio, *cacheFloor)
 			}
+		}
+	}
+
+	if *restartFloor > 0 {
+		// The warm-restart gate: after the daemon restarted over its
+		// persistent store, the cache hit ratio must hold at restartFloor ×
+		// its pre-restart level — the store actually fed the new process.
+		gated := 0
+		for _, r := range cur.Results {
+			if r.PreRestartHitRatio <= 0 {
+				continue
+			}
+			gated++
+			floor := *restartFloor * r.PreRestartHitRatio
+			if r.WarmRestartHitRatio < floor {
+				bad++
+				fmt.Fprintf(stdout, "benchcheck: FAIL %-40s warm hit ratio %.3f below %.3f (%.2f x pre-restart %.3f)\n",
+					r.Name, r.WarmRestartHitRatio, floor, *restartFloor, r.PreRestartHitRatio)
+			} else {
+				fmt.Fprintf(stdout, "benchcheck: ok   %-40s warm hit ratio %.3f (floor %.3f = %.2f x pre-restart %.3f)\n",
+					r.Name, r.WarmRestartHitRatio, floor, *restartFloor, r.PreRestartHitRatio)
+			}
+		}
+		if gated == 0 {
+			bad++
+			fmt.Fprintf(stdout, "benchcheck: FAIL no restart-storm result (pre_restart_hit_ratio > 0) in %s\n", *current)
 		}
 	}
 

@@ -236,6 +236,40 @@ func TestCacheFloor(t *testing.T) {
 	}
 }
 
+// restartReport builds the single-result shape -restart-after emits.
+func restartReport(pre, warm float64) benchfmt.Report {
+	rep := benchfmt.NewReport()
+	rep.Results = []benchfmt.Result{{
+		Name: "serving/restart/ci", Iterations: 100, NsPerOp: 1e6, JobsPerSec: 1000,
+		P50Ns: 1e6, P99Ns: 3e6, Requests: 100,
+		PreRestartHitRatio: pre, WarmRestartHitRatio: warm,
+	}}
+	return rep
+}
+
+func TestRestartHitFloor(t *testing.T) {
+	held := write(t, "held.json", restartReport(0.98, 0.97))
+	if code, out := check(t, "-current", held, "-restart-hit-floor", "0.9"); code != 0 {
+		t.Fatalf("warm ratio at 0.99x pre failed a 0.9 floor:\n%s", out)
+	}
+	collapsed := write(t, "collapsed.json", restartReport(0.98, 0.4))
+	code, out := check(t, "-current", collapsed, "-restart-hit-floor", "0.9")
+	if code == 0 {
+		t.Fatalf("warm ratio collapse passed the floor:\n%s", out)
+	}
+	if !strings.Contains(out, "warm hit ratio") {
+		t.Fatalf("restart failure not named:\n%s", out)
+	}
+	// A report with no restart-storm result must fail, not silently pass.
+	micro := write(t, "micro.json", microReport(1000, 10))
+	if code, _ := check(t, "-current", micro, "-restart-hit-floor", "0.9"); code == 0 {
+		t.Fatal("report without a restart result passed the floor gate")
+	}
+	if code, _ := check(t, "-restart-hit-floor", "0.9"); code == 0 {
+		t.Fatal("-restart-hit-floor without -current accepted")
+	}
+}
+
 func TestRouterMetricsCheck(t *testing.T) {
 	dir := t.TempDir()
 	good := filepath.Join(dir, "good.txt")
